@@ -1,0 +1,98 @@
+"""Precision comparison against the taint-only baseline (§1.1 / §6.2).
+
+Three scenario families, each analyzed by both tools:
+
+* ``escaped-numeric`` — addslashes()d input in an unquoted context:
+  a REAL bug; the grammar analysis reports it, the baseline's sanitizer
+  whitelist hides it (false negative);
+* ``anchored-regex`` — input constrained by ``^[0-9]+$`` before a quoted
+  use: SAFE; the grammar analysis verifies it, the baseline reports it
+  (false positive);
+* ``raw`` — both tools report (sanity: agreement on the easy case).
+
+The benchmark measures runtime of both analyses on the same pages and
+asserts the precision table.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.analyzer import analyze_page
+from repro.baselines.taint_only import TaintOnlyAnalysis
+
+SCENARIOS = {
+    "raw": """\
+        <?php
+        $x = $_GET['x'];
+        mysql_query("SELECT * FROM t WHERE a='$x'");
+        """,
+    "escaped-numeric": """\
+        <?php
+        $x = addslashes($_GET['x']);
+        mysql_query("SELECT * FROM t WHERE id=$x");
+        """,
+    "anchored-regex": """\
+        <?php
+        $x = $_GET['x'];
+        if (!preg_match('/^[0-9]+$/', $x)) { exit; }
+        mysql_query("SELECT * FROM t WHERE id='$x'");
+        """,
+}
+
+#: (grammar analysis reports?, taint baseline reports?, really a bug?)
+EXPECTED = {
+    "raw": (True, True, True),
+    "escaped-numeric": (True, False, True),   # baseline false negative
+    "anchored-regex": (False, True, False),   # baseline false positive
+}
+
+
+def write_page(tmp_path, name, source):
+    page_dir = tmp_path / name
+    page_dir.mkdir(exist_ok=True)
+    (page_dir / "page.php").write_text(textwrap.dedent(source))
+    return page_dir
+
+
+@pytest.mark.parametrize("scenario", list(SCENARIOS))
+def test_grammar_analysis(benchmark, tmp_path, scenario):
+    page_dir = write_page(tmp_path, scenario, SCENARIOS[scenario])
+
+    def run():
+        reports, _ = analyze_page(page_dir, "page.php")
+        return any(not r.verified for r in reports)
+
+    reported = benchmark(run)
+    assert reported == EXPECTED[scenario][0]
+
+
+@pytest.mark.parametrize("scenario", list(SCENARIOS))
+def test_taint_baseline(benchmark, tmp_path, scenario):
+    page_dir = write_page(tmp_path, scenario, SCENARIOS[scenario])
+
+    def run():
+        result = TaintOnlyAnalysis(page_dir).analyze_file("page.php")
+        return bool(result.findings)
+
+    reported = benchmark(run)
+    assert reported == EXPECTED[scenario][1]
+
+
+def test_precision_table(tmp_path):
+    """The full 2×3 agreement/divergence table in one assertion."""
+    rows = {}
+    for scenario, source in SCENARIOS.items():
+        page_dir = write_page(tmp_path, scenario, source)
+        reports, _ = analyze_page(page_dir, "page.php")
+        grammar_reports = any(not r.verified for r in reports)
+        taint_reports = bool(
+            TaintOnlyAnalysis(page_dir).analyze_file("page.php").findings
+        )
+        rows[scenario] = (grammar_reports, taint_reports)
+    for scenario, (grammar_reports, taint_reports) in rows.items():
+        expected_grammar, expected_taint, is_bug = EXPECTED[scenario]
+        assert grammar_reports == expected_grammar, scenario
+        assert taint_reports == expected_taint, scenario
+        # headline: the grammar analysis is exactly right on all three
+        assert grammar_reports == is_bug, scenario

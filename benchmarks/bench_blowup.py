@@ -1,0 +1,63 @@
+"""§5.3 replacement-chain blow-up ablation.
+
+The paper: "Each regular expression or string replacement function
+(potentially) causes its argument's grammar to increase by some factor,
+so that a sequence of these replacement expressions leads to a blow up
+that is exponential in the number of replacements."  They hand-removed
+such code from Tiger; we implement their proposed fix (widening bounded
+by a threshold) and measure both sides of the trade here.
+"""
+
+import pytest
+
+from repro.analysis.absdom import GrammarBuilder
+from repro.lang.charset import CharSet
+from repro.lang.fst import FST
+
+
+def chain(builder: GrammarBuilder, length: int):
+    value = builder.any_string(hint="text")
+    for index in range(length):
+        fst = FST.replace_string(f"[t{index}]", f"<em{index}>")
+        value = builder.image(value, fst, f"step{index}")
+    return value
+
+
+@pytest.mark.parametrize("length", [2, 4, 8])
+def test_chain_with_widening(benchmark, length):
+    """Bounded: the widening threshold keeps chains tractable."""
+
+    def run():
+        builder = GrammarBuilder(widen_threshold=600)
+        chain(builder, length)
+        return builder.grammar.num_productions()
+
+    productions = benchmark(run)
+    assert productions < 60_000
+
+
+@pytest.mark.parametrize("length", [2, 4])
+def test_chain_without_widening(benchmark, length):
+    """Unbounded (the paper's blow-up): growth per step is multiplicative.
+    Kept to short chains — this is the configuration that made the paper
+    remove code from Tiger."""
+
+    def run():
+        builder = GrammarBuilder(widen_threshold=10**9)
+        chain(builder, length)
+        return builder.grammar.num_productions()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_blowup_factor_shape(tmp_path):
+    """The growth *factor* without widening exceeds the one with it."""
+
+    def size(threshold, length):
+        builder = GrammarBuilder(widen_threshold=threshold)
+        chain(builder, length)
+        return builder.grammar.num_productions()
+
+    unbounded_growth = size(10**9, 4) / size(10**9, 2)
+    bounded_growth = size(600, 4) / size(600, 2)
+    assert unbounded_growth > bounded_growth

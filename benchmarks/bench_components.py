@@ -1,0 +1,81 @@
+"""Component micro-benchmarks: the substrate operations the two phases
+are built from (useful for tracking regressions in the hot paths)."""
+
+import pytest
+
+from repro.analysis import quotes
+from repro.analysis.absdom import GrammarBuilder
+from repro.lang.charset import CharSet
+from repro.lang.earley import derivability, parse_sentential_form
+from repro.lang.fst import FST
+from repro.lang.grammar import DIRECT
+from repro.lang.intersect import intersection_is_empty
+from repro.lang.regex import parse_regex, search_language
+from repro.sql.grammar import sql_grammar
+from repro.sql.lexer import token_symbols
+
+
+def test_regex_compile_and_determinize(benchmark):
+    def run():
+        return search_language(
+            parse_regex(r"[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.(com|org|net)")
+        ).determinize()
+
+    dfa = benchmark(run)
+    assert dfa.accepts_string("user@host.com")
+
+
+def test_quote_parity_emptiness(benchmark):
+    """C1 on a realistic refined query grammar."""
+    builder = GrammarBuilder()
+    value = builder.any_string(DIRECT)
+    refined = builder.refine_regex(value, parse_regex("[0-9]+"), positive=True)
+    query = builder.concat_all(
+        [builder.literal("SELECT * FROM t WHERE id='"), refined, builder.literal("'")]
+    )
+    scope = builder.grammar.subgrammar(query.nt)
+
+    def run():
+        return intersection_is_empty(scope, query.nt, quotes.odd_unescaped_quotes())
+
+    assert benchmark(run) is False  # the attack is in there
+
+
+def test_fst_image_escape(benchmark):
+    builder = GrammarBuilder()
+    value = builder.any_string(DIRECT)
+    fst = FST.escape_chars(CharSet.of("'\"\\"))
+
+    def run():
+        return builder.image(value, fst)
+
+    escaped = benchmark(run)
+    assert builder.grammar.has_label(escaped.nt, DIRECT) or builder.labels_of(escaped)
+
+
+def test_sql_earley_parse(benchmark):
+    symbols = token_symbols(
+        "SELECT a, b FROM t JOIN u ON t.id = u.id "
+        "WHERE a = 1 AND b LIKE 'x%' ORDER BY a DESC LIMIT 10"
+    )
+
+    def run():
+        return parse_sentential_form(sql_grammar(), "query_list", symbols)
+
+    assert benchmark(run)
+
+
+def test_derivability_check(benchmark):
+    from repro.lang.earley import TokenGrammar
+
+    generated = TokenGrammar("u")
+    generated.add("u", ["u", "AND", "cmp"])
+    generated.add("u", ["cmp"])
+    generated.add("cmp", ["IDENT", "=", "NUMBER"])
+    generated.add("cmp", ["IDENT", "=", "STRING"])
+
+    def run():
+        return derivability(generated, sql_grammar(), "u")
+
+    result = benchmark(run)
+    assert result.derivable

@@ -1,0 +1,55 @@
+"""Figure 7 benchmark: the CFG–FSA intersection with taint propagation.
+
+Measures the worklist algorithm on grammars/automata of growing size and
+asserts Theorem 3.1 (labels survive) on every run.
+"""
+
+import pytest
+
+from repro.lang.charset import CharSet
+from repro.lang.fsa import NFA
+from repro.lang.grammar import DIRECT, Grammar, Lit
+from repro.lang.intersect import intersect
+from repro.lang.regex import parse_regex, search_language
+
+
+def balanced_grammar(alternatives: int):
+    """S → (S) | a₁ | … | aₙ with a tainted leaf."""
+    g = Grammar()
+    s = g.fresh("S")
+    leaf = g.fresh("LEAF")
+    g.start = s
+    g.add(s, (Lit("("), s, Lit(")")))
+    g.add(s, (leaf,))
+    for index in range(alternatives):
+        g.add(s, (Lit(f"w{index}"),))
+    g.add(leaf, (CharSet.any_char(),))
+    g.add_label(leaf, DIRECT)
+    return g, s
+
+
+@pytest.mark.parametrize("alternatives", [4, 16, 64])
+def test_intersection_scaling(benchmark, alternatives):
+    grammar, start = balanced_grammar(alternatives)
+    dfa = search_language(parse_regex(r"\(+[0-9w]")).determinize()
+
+    def run():
+        return intersect(grammar, start, dfa)
+
+    result, new_start = benchmark(run)
+    assert result.labeled_nonterminals(DIRECT), "Theorem 3.1 violated"
+
+
+@pytest.mark.parametrize("states", [3, 9, 27])
+def test_intersection_vs_automaton_size(benchmark, states):
+    """Triple construction grows with |Q|²; the fixpoint must stay fast."""
+    grammar, start = balanced_grammar(8)
+    # an automaton with `states` chained mandatory characters
+    nfa = NFA.epsilon_language()
+    for _ in range(states):
+        nfa = nfa.concat(NFA.from_charset(CharSet.any_char()))
+    nfa = nfa.concat(NFA.any_string())
+    dfa = nfa.determinize()
+
+    result, new_start = benchmark(lambda: intersect(grammar, start, dfa))
+    assert result.num_productions() > 0

@@ -1,0 +1,49 @@
+"""Figure-reproduction benchmarks (Figures 2, 4, 5, 6, 8, 9, 10).
+
+Each benchmark regenerates a figure's observable content and asserts the
+paper's qualitative result; see repro/evaluation/figures.py for what
+each figure contains.
+"""
+
+from repro.evaluation import figures
+
+
+def test_figure2_vulnerability(benchmark):
+    result = benchmark.pedantic(figures.figure2, rounds=1, iterations=1)
+    assert not result["verified"]
+    assert result["attack_query_derivable"]
+    assert not result["attack_confined"]
+
+
+def test_figure4_grammar_productions(benchmark):
+    result = benchmark.pedantic(figures.figure4, rounds=1, iterations=1)
+    assert result["direct_labeled"] >= 1
+    # the refined userid keeps at least one digit in every sample
+    assert all(any(c.isdigit() for c in s) for s in result["samples"])
+
+
+def test_figure5_dataflow_grammar(benchmark):
+    result = benchmark.pedantic(figures.figure5, rounds=1, iterations=1)
+    # X4 -> X2 | X3 with both branches appending "s": "s" derivable once
+    assert result["derives_s"]
+
+
+def test_figure6_fst(benchmark):
+    result = benchmark.pedantic(figures.figure6, rounds=1, iterations=1)
+    assert result["cases"]["A''B"] == "A'B"
+    assert result["cases"]["''''"] == "''"
+    assert result["cases"]["'"] == "'"
+
+
+def test_figure8_explode(benchmark):
+    result = benchmark.pedantic(figures.figure8, rounds=1, iterations=1)
+    assert result["derives"]["a"] and result["derives"]["b"] and result["derives"]["c"]
+    assert not result["derives"]["a,b"]
+
+
+def test_figures_9_and_10(benchmark, corpus_root, unp_app):
+    result = benchmark.pedantic(
+        figures.figures_9_and_10, args=(corpus_root,), rounds=1, iterations=1
+    )
+    assert result["figure9_false_positive_reported"]
+    assert result["figure10_indirect_reported"]

@@ -1,0 +1,52 @@
+"""§5.3 scalability benchmarks on the parametric app generator.
+
+Claims exercised:
+
+* analysis time grows roughly linearly in page count (each page is an
+  independent ``main``),
+* shared includes are re-analyzed per page (the paper's memoization
+  remark) — include weight multiplies into total time,
+* query-grammar size tracks *query-building code*, not application size
+  (Table 1's Tiger-vs-e107 observation).
+"""
+
+import pytest
+
+from repro.analysis.analyzer import analyze_project
+from repro.corpus.generator import generate_app
+
+
+@pytest.mark.parametrize("pages", [2, 8, 32])
+def test_scaling_pages(benchmark, tmp_path, pages):
+    app = generate_app(tmp_path / f"app{pages}", pages=pages, queries_per_page=2)
+    report = benchmark.pedantic(
+        analyze_project, args=(app, f"gen-{pages}"), rounds=1, iterations=1
+    )
+    assert len(report.hotspots) == pages * 2
+    assert report.verified  # all inputs intval()d
+
+
+@pytest.mark.parametrize("helpers", [2, 16, 64])
+def test_scaling_shared_includes(benchmark, tmp_path, helpers):
+    app = generate_app(
+        tmp_path / f"helpers{helpers}", pages=6, queries_per_page=1, helpers=helpers
+    )
+    report = benchmark.pedantic(
+        analyze_project, args=(app, f"helpers-{helpers}"), rounds=1, iterations=1
+    )
+    assert len(report.hotspots) == 6
+
+
+def test_grammar_size_not_proportional_to_loc(tmp_path):
+    """A big app with few queries yields a smaller query grammar than a
+    small app with heavy query construction (no timing — a shape test)."""
+    big_few = generate_app(
+        tmp_path / "big", pages=12, queries_per_page=1, filler=400
+    )
+    small_many = generate_app(
+        tmp_path / "small", pages=3, queries_per_page=10
+    )
+    report_big = analyze_project(big_few, "big")
+    report_small = analyze_project(small_many, "small")
+    assert report_big.lines > 2 * report_small.lines
+    assert report_small.grammar_productions > report_big.grammar_productions

@@ -1,0 +1,66 @@
+"""Table 1 regeneration benchmarks: one per application row.
+
+Each benchmark runs the full two-phase analysis of one corpus app and
+asserts the row's report anatomy (real/false/indirect) so a performance
+run doubles as a correctness check.  The e107 row is the headline
+scalability claim (741 files) and runs once.
+
+The *shape* claims from §5.3 that these rows demonstrate:
+
+* the check phase is much cheaper than the string-analysis phase,
+* grammar size is not proportional to application size (Tiger's query
+  grammar outweighs e107's despite 17× fewer lines of code).
+"""
+
+import pytest
+
+from repro.analysis.analyzer import analyze_project
+from repro.corpus import build_app
+from repro.evaluation.table1 import classify
+
+
+def _run(root, name):
+    manifest = build_app(root, name)
+    report = analyze_project(root / name, manifest.name)
+    return classify(report, manifest), report
+
+
+@pytest.mark.parametrize(
+    "app,expected",
+    [
+        ("eve_activity_tracker", (4, 0, 1)),
+        ("tiger_php_news", (0, 3, 2)),
+        ("utopia_news_pro", (14, 2, 12)),
+        ("warp_cms", (0, 0, 0)),
+    ],
+)
+def test_table1_row(benchmark, tmp_path, app, expected):
+    row, report = benchmark.pedantic(
+        _run, args=(tmp_path, app), rounds=1, iterations=1
+    )
+    assert (row.direct_real, row.direct_false, row.indirect) == expected
+    assert row.clean, (row.unexpected, row.missed)
+
+
+def test_table1_row_e107(benchmark, tmp_path):
+    row, report = benchmark.pedantic(
+        _run, args=(tmp_path, "e107"), rounds=1, iterations=1
+    )
+    assert (row.direct_real, row.direct_false, row.indirect) == (1, 0, 4)
+    assert row.clean, (row.unexpected, row.missed)
+
+
+def test_phase_split_recorded(benchmark, tmp_path):
+    """§5.3 phase-cost comparison ("SQLCIV checking never took more than
+    a few minutes" vs. hours of string analysis).  We *record* the split;
+    the absolute ratio differs from the paper's because our string phase
+    is not hours long (see EXPERIMENTS.md), but both phases must complete
+    well inside the paper's minutes-scale budget."""
+
+    def run():
+        manifest = build_app(tmp_path, "utopia_news_pro")
+        return analyze_project(tmp_path / "utopia_news_pro", manifest.name)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.string_analysis_seconds < 180
+    assert report.check_seconds < 180

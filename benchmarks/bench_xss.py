@@ -1,0 +1,34 @@
+"""Benchmark for the XSS extension (paper §7 future work)."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.xss import analyze_page_xss
+
+PAGES = {
+    "vulnerable": """\
+        <?php
+        $name = $_GET['name'];
+        echo "<h1>Hello $name</h1>";
+        """,
+    "encoded": """\
+        <?php
+        $name = htmlspecialchars($_GET['name'], ENT_QUOTES);
+        echo "<h1>Hello $name</h1>";
+        """,
+}
+
+
+@pytest.mark.parametrize("kind", list(PAGES))
+def test_xss_analysis(benchmark, tmp_path, kind):
+    page_dir = tmp_path / kind
+    page_dir.mkdir()
+    (page_dir / "page.php").write_text(textwrap.dedent(PAGES[kind]))
+
+    def run():
+        return analyze_page_xss(page_dir, "page.php")
+
+    reports = benchmark(run)
+    flagged = any(not r.verified for r in reports)
+    assert flagged == (kind == "vulnerable")

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+from repro.corpus import build_app
+
+
+@pytest.fixture(scope="session")
+def corpus_root(tmp_path_factory):
+    """One corpus build per benchmark session (apps built on demand)."""
+    return tmp_path_factory.mktemp("bench-corpus")
+
+
+@pytest.fixture(scope="session")
+def unp_app(corpus_root):
+    build_app(corpus_root, "utopia_news_pro")
+    return corpus_root / "utopia_news_pro"
+
+
+@pytest.fixture(scope="session")
+def eve_app(corpus_root):
+    build_app(corpus_root, "eve_activity_tracker")
+    return corpus_root / "eve_activity_tracker"
+
+
+@pytest.fixture(scope="session")
+def tiger_app(corpus_root):
+    build_app(corpus_root, "tiger_php_news")
+    return corpus_root / "tiger_php_news"
+
+
+@pytest.fixture(scope="session")
+def warp_app(corpus_root):
+    build_app(corpus_root, "warp_cms")
+    return corpus_root / "warp_cms"

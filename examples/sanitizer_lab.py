@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Sanitizer lab: how transducer models and contexts decide safety.
+
+The paper's central argument against binary taint tracking (§1.1): a
+sanitizer is not "safe" or "unsafe" — it is safe *for a context*.
+This example runs the same input through several sanitizers and places
+each result in two query contexts (quoted and unquoted), showing which
+combinations the policy verifies and which it reports, and validates the
+static verdicts against the runtime confinement oracle (Definition 2.2).
+
+Run:  python examples/sanitizer_lab.py
+"""
+
+import tempfile
+import textwrap
+from pathlib import Path
+
+from repro.analysis.analyzer import analyze_page
+from repro.baselines.sqlcheck import build_query, check_query
+
+SANITIZERS = {
+    "none": "$x",
+    "addslashes": "addslashes($x)",
+    "intval": "intval($x)",
+    "preg_replace digits-only": "preg_replace('/[^0-9]/', '', $x)",
+    "htmlspecialchars": "htmlspecialchars($x)",
+}
+
+CONTEXTS = {
+    "quoted": "SELECT * FROM t WHERE name='{hole}'",
+    "unquoted numeric": "SELECT * FROM t WHERE id={hole}",
+}
+
+
+def analyze(sanitizer_expr: str, context: str) -> str:
+    workspace = Path(tempfile.mkdtemp(prefix="lab-"))
+    query = context.format(hole="$s")
+    (workspace / "page.php").write_text(
+        textwrap.dedent(
+            f"""\
+            <?php
+            $x = $_GET['x'];
+            $s = {sanitizer_expr};
+            mysql_query("{query}");
+            """
+        )
+    )
+    reports, _ = analyze_page(workspace, "page.php")
+    report = reports[0]
+    if report.verified:
+        checks = ", ".join(f.check for f in report.findings) or "untainted"
+        return f"verified ({checks})"
+    return f"REPORTED ({', '.join(f.check for f in report.violations)})"
+
+
+print(f"{'sanitizer':28} {'quoted context':34} {'unquoted numeric context'}")
+print("-" * 100)
+for name, expr in SANITIZERS.items():
+    quoted = analyze(expr, CONTEXTS["quoted"])
+    unquoted = analyze(expr, CONTEXTS["unquoted numeric"])
+    print(f"{name:28} {quoted:34} {unquoted}")
+
+print(
+    "\nruntime cross-check (SQLCheck-style, Definition 2.2 on concrete "
+    "queries):"
+)
+attack = "1'; DROP TABLE t; --"
+for context_name, template in CONTEXTS.items():
+    marked = build_query(template.replace("{hole}", "{}"), attack)
+    verdict = check_query(marked)
+    print(
+        f"  raw attack in {context_name:18} "
+        f"{'blocked' if not verdict.safe else 'passed'}: {verdict.query!r}"
+    )
+escaped_attack = attack.replace("'", "\\'")
+for context_name, template in CONTEXTS.items():
+    marked = build_query(template.replace("{hole}", "{}"), escaped_attack)
+    verdict = check_query(marked)
+    print(
+        f"  addslashes()d attack in {context_name:18} "
+        f"{'blocked' if not verdict.safe else 'passed'}: {verdict.query!r}"
+    )

@@ -1,0 +1,30 @@
+"""Reproduction of "Sound and Precise Analysis of Web Applications for
+Injection Vulnerabilities" (Wassermann & Su, PLDI 2007).
+
+Public API highlights:
+
+>>> from repro import analyze_page, analyze_project
+>>> reports, analysis = analyze_page("webapp/", "page.php")
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.analysis.analyzer import analyze_page, analyze_project, entry_pages
+from repro.analysis.reports import Finding, HotspotReport, ProjectReport
+from repro.analysis.stringtaint import AnalysisResult, Hotspot, StringTaintAnalysis
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "Hotspot",
+    "HotspotReport",
+    "ProjectReport",
+    "StringTaintAnalysis",
+    "analyze_page",
+    "analyze_project",
+    "entry_pages",
+    "__version__",
+]

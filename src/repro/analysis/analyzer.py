@@ -1,0 +1,104 @@
+"""The top-level driver: PHP files in, bug reports (or "verified") out.
+
+Mirrors the paper's Figure 3 workflow: per entry page, run the
+string-taint analysis (phase 1), then the policy-conformance checks
+(phase 2), and aggregate into a :class:`ProjectReport` with the same
+shape as a Table 1 row.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from .absdom import GrammarBuilder
+from .policy import check_hotspot
+from .reports import HotspotReport, ProjectReport
+from .stringtaint import StringTaintAnalysis
+
+
+def analyze_page(
+    project_root: str | Path, entry: str | Path
+) -> tuple[list[HotspotReport], StringTaintAnalysis]:
+    """Analyze one top-level page; returns its hotspot reports."""
+    analysis = StringTaintAnalysis(project_root)
+    result = analysis.analyze_file(entry)
+    reports = [check_hotspot(result.grammar, spot) for spot in result.hotspots]
+    return reports, analysis
+
+
+def entry_pages(project_root: str | Path) -> list[Path]:
+    """Top-level pages of a web application: the .php files that are not
+    obviously include-only libraries.
+
+    Each page is a separate ``main`` (paper §5.3); library files are
+    analyzed as they are included.  The heuristic — include-only files
+    live in ``includes/``/``lib/``-style directories or start with an
+    ``if (!defined(...))`` guard — matches how the corpus (and the real
+    applications it mirrors) is laid out.
+    """
+    root = Path(project_root)
+    pages = []
+    for path in sorted(root.rglob("*.php")):
+        rel = path.relative_to(root)
+        library_markers = (
+            "includes", "include", "lib", "libs", "languages", "handlers",
+            "cache", "templates",
+        )
+        if any(
+            marker in part
+            for part in rel.parts[:-1]
+            for marker in library_markers
+        ):
+            continue
+        pages.append(path)
+    return pages
+
+
+def analyze_project(
+    project_root: str | Path, name: str | None = None
+) -> ProjectReport:
+    """Analyze a whole application: every entry page, one report."""
+    root = Path(project_root)
+    report = ProjectReport(name=name or root.name)
+
+    php_files = list(root.rglob("*.php"))
+    report.files = len(php_files)
+    report.lines = sum(
+        len(path.read_text().splitlines()) for path in php_files
+    )
+
+    total_nonterminals = 0
+    total_productions = 0
+    string_seconds = 0.0
+    check_seconds = 0.0
+
+    # shared across pages: parsed ASTs and the directory-layout scan
+    # (the paper's §5.3 memoization suggestion)
+    from repro.php.includes import IncludeResolver
+
+    parse_cache: dict = {}
+    resolver = IncludeResolver(root)
+
+    for page in entry_pages(root):
+        started = time.perf_counter()
+        analysis = StringTaintAnalysis(
+            root, parse_cache=parse_cache, resolver=resolver
+        )
+        result = analysis.analyze_file(page)
+        string_seconds += time.perf_counter() - started
+        report.parse_errors.extend(result.parse_errors)
+
+        started = time.perf_counter()
+        for spot in result.hotspots:
+            scope = result.grammar.subgrammar(spot.query.nt)
+            total_nonterminals += len(scope.productions)
+            total_productions += scope.num_productions()
+            report.hotspots.append(check_hotspot(result.grammar, spot))
+        check_seconds += time.perf_counter() - started
+
+    report.grammar_nonterminals = total_nonterminals
+    report.grammar_productions = total_productions
+    report.string_analysis_seconds = string_seconds
+    report.check_seconds = check_seconds
+    return report

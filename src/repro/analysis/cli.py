@@ -1,0 +1,78 @@
+"""Command-line interface: ``sqlciv <project-root> [entry.php …]``.
+
+Mirrors the workflow of the paper's tool: point it at a PHP web
+application, get either bug reports or "verified".
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analyzer import analyze_page, analyze_project, entry_pages
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sqlciv",
+        description=(
+            "Grammar-based static detection of SQL command injection "
+            "vulnerabilities in PHP web applications "
+            "(reproduction of Wassermann & Su, PLDI 2007)."
+        ),
+    )
+    parser.add_argument("root", help="project root directory")
+    parser.add_argument(
+        "pages",
+        nargs="*",
+        help="entry pages to analyze (default: every top-level .php page)",
+    )
+    parser.add_argument(
+        "--verbose", "-v", action="store_true", help="show verified hotspots too"
+    )
+    parser.add_argument(
+        "--xss",
+        action="store_true",
+        help="also check echo/print sinks for cross-site scripting",
+    )
+    args = parser.parse_args(argv)
+
+    root = Path(args.root)
+    if not root.is_dir():
+        parser.error(f"{root} is not a directory")
+
+    if args.pages:
+        pages = [root / page for page in args.pages]
+    else:
+        pages = entry_pages(root)
+
+    any_violation = False
+    for page in pages:
+        reports, analysis = analyze_page(root, page)
+        for report in reports:
+            if report.verified and not args.verbose:
+                continue
+            print(report.render())
+            print()
+        any_violation |= any(not r.verified for r in reports)
+        if args.xss:
+            from .xss import analyze_page_xss
+
+            for xss_report in analyze_page_xss(root, page):
+                if xss_report.verified and not args.verbose:
+                    continue
+                status = "verified" if xss_report.verified else "XSS"
+                print(f"echo {xss_report.file}:{xss_report.line}: {status}")
+                for finding in xss_report.findings:
+                    print("  " + finding.render().replace("\n", "\n  "))
+                any_violation |= not xss_report.verified
+        for error in analysis.parse_errors:
+            print(f"warning: {error}", file=sys.stderr)
+    if not any_violation:
+        print("verified: no SQLCIV reports")
+    return 1 if any_violation else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

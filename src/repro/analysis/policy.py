@@ -1,0 +1,328 @@
+"""Phase 2: policy-conformance analysis (paper §3.2).
+
+For each hotspot, every *maximal* labeled nonterminal ``X`` (one whose
+untrusted substrings are not part of a larger untrusted substring) is
+run through the paper's check cascade:
+
+C1 ``odd-quotes``       — some string of ``L(X)`` has an odd number of
+                          unescaped quotes ⇒ it can never be confined ⇒
+                          violation.
+C2 ``literal-position`` — if every occurrence of ``X`` in the query
+                          grammar sits inside a single-quoted literal
+                          (checked by abstracting ``X`` to a fresh
+                          terminal and a regular containment), then
+                          ``X`` is safe iff ``L(X)`` has no unescaped
+                          quote (``literal-break`` otherwise).
+C3 ``numeric``          — ``L(X)`` ⊆ numeric literals ⇒ safe.
+C4 ``attack-string``    — ``X`` derives a known non-confinable fragment
+                          outside quotes ⇒ violation.
+C5 ``derivability``     — fallback (§3.2.2): tokenize the query grammar
+                          with ``X`` as a hole, compute the SQL
+                          nonterminals that fit every context, and check
+                          Definition 3.2 derivability of ``X``'s
+                          subgrammar from one of them.  Tokenization or
+                          derivability failure ⇒ violation (fail closed —
+                          this preserves Theorem 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.earley import (
+    candidate_fixpoint,
+    derivability,
+    enumerate_strings,
+    parse_sentential_form,
+)
+from repro.lang.grammar import Grammar, Lit, Nonterminal
+from repro.lang.intersect import intersect, intersection_is_empty
+from repro.sql.bridge import TokenizationFailure, grammar_to_tokens
+from repro.sql.grammar import sql_grammar
+
+from . import quotes
+from .reports import Finding, HotspotReport
+from .stringtaint import Hotspot
+
+HOLE_TOKEN = "⟨X⟩"
+
+
+def check_hotspot(grammar: Grammar, hotspot: Hotspot) -> HotspotReport:
+    """Run the full check cascade for one hotspot."""
+    report = HotspotReport(file=hotspot.file, line=hotspot.line, sink=hotspot.sink)
+    root = hotspot.query.nt
+    scope = grammar.subgrammar(root).trim(root)
+    report.query_samples = scope.sample_strings(root, limit=3)
+    maximal = maximal_labeled(scope, root)
+    findings = []
+    for labeled in maximal:
+        finding = check_nonterminal(scope, root, labeled, hotspot, others=maximal)
+        if not finding.safe and finding.witness and not finding.example_query:
+            finding.example_query = _example_query(
+                scope, root, labeled, maximal, finding.witness
+            )
+        findings.append(finding)
+    # One untrusted source can appear as several automaton-state-split
+    # nonterminals after refinement; they describe the same substring set
+    # piecewise, so collapse findings with the same verdict shape.
+    seen: dict[tuple, int] = {}
+    for finding in findings:
+        key = (finding.category, finding.check, finding.safe)
+        if key in seen:
+            kept = report.findings[seen[key]]
+            if finding.witness and not kept.witness:
+                kept.witness = finding.witness
+            continue
+        seen[key] = len(report.findings)
+        report.findings.append(finding)
+    return report
+
+
+def maximal_labeled(scope: Grammar, root: Nonterminal) -> list[Nonterminal]:
+    """Labeled nonterminals with no labeled proper ancestor.
+
+    Computed on the SCC condensation so that cycles of labeled
+    nonterminals still yield representatives (soundness: every untrusted
+    substring occurrence is covered by some maximal labeled node)."""
+    labeled = [nt for nt in scope.productions if scope.has_label(nt)]
+    if not labeled:
+        return []
+    reach = {nt: scope.reachable(nt) for nt in labeled}
+    maximal = []
+    for x in labeled:
+        has_strict_ancestor = any(
+            y is not x and x in reach[y] and y not in reach[x] for y in labeled
+        )
+        if has_strict_ancestor:
+            continue
+        # within a labeled SCC keep a single representative
+        in_same_cycle = any(x in reach[y] and y in reach[x] for y in maximal)
+        if not in_same_cycle:
+            maximal.append(x)
+    return maximal
+
+
+def check_nonterminal(
+    scope: Grammar,
+    root: Nonterminal,
+    labeled: Nonterminal,
+    hotspot: Hotspot,
+    others: list[Nonterminal] | None = None,
+) -> Finding:
+    labels = frozenset(scope.labels.get(labeled, ()))
+
+    def finding(check: str, safe: bool, witness: str = "", detail: str = "") -> Finding:
+        return Finding(
+            file=hotspot.file,
+            line=hotspot.line,
+            sink=hotspot.sink,
+            nonterminal=labeled.name,
+            labels=labels,
+            check=check,
+            safe=safe,
+            witness=witness,
+            detail=detail,
+        )
+
+    # -- C1: odd number of unescaped quotes --------------------------------
+    odd = quotes.odd_unescaped_quotes()
+    if not intersection_is_empty(scope, labeled, odd):
+        witness = _witness(scope, labeled, odd)
+        return finding(
+            "odd-quotes",
+            safe=False,
+            witness=witness,
+            detail="derives a string with an odd number of unescaped quotes",
+        )
+
+    # -- C2: string-literal position ----------------------------------------
+    context = _contexts_grammar(scope, root, labeled, others or [])
+    only_literal = intersection_is_empty(
+        context, root, quotes.markers_inside_string_literals().complement()
+    )
+    if only_literal:
+        breaker = quotes.has_unescaped_quote()
+        if intersection_is_empty(scope, labeled, breaker):
+            return finding(
+                "literal-position",
+                safe=True,
+                detail="occurs only inside string literals; derives no unescaped quote",
+            )
+        return finding(
+            "literal-break",
+            safe=False,
+            witness=_witness(scope, labeled, breaker),
+            detail="sits inside string literals but derives an unescaped quote",
+        )
+
+    # -- C3: numeric literals only ------------------------------------------
+    numeric = quotes.numeric_literals()
+    if intersection_is_empty(scope, labeled, numeric.complement()):
+        if _nonempty(scope, labeled):
+            return finding(
+                "numeric", safe=True, detail="derives only numeric literals"
+            )
+
+    # -- C4: known non-confinable fragments ----------------------------------
+    attacks = quotes.non_confinable_substrings()
+    if not intersection_is_empty(scope, labeled, attacks):
+        return finding(
+            "attack-string",
+            safe=False,
+            witness=_witness(scope, labeled, attacks),
+            detail="derives a known non-confinable fragment outside quotes",
+        )
+
+    # -- C5: derivability fallback (§3.2.2) -----------------------------------
+    return _check_derivability(scope, root, labeled, finding)
+
+
+def _check_derivability(scope, root, labeled, finding):
+    sql = sql_grammar()
+    try:
+        context_tokens = grammar_to_tokens(scope, root, special={labeled: HOLE_TOKEN})
+    except TokenizationFailure as exc:
+        return finding(
+            "tokenization",
+            safe=False,
+            detail=f"query context does not tokenize cleanly: {exc}",
+        )
+    hole_candidates = _context_candidates(context_tokens, sql)
+    if not hole_candidates:
+        return finding(
+            "derivability",
+            safe=False,
+            detail="no SQL nonterminal fits the untrusted substring's contexts",
+        )
+    try:
+        sub_tokens = grammar_to_tokens(scope, labeled)
+    except TokenizationFailure as exc:
+        return finding(
+            "tokenization",
+            safe=False,
+            detail=f"untrusted subgrammar does not tokenize cleanly: {exc}",
+        )
+    for candidate in hole_candidates:
+        result = derivability(
+            sub_tokens, sql, sub_tokens.start, allowed_roots=[candidate]
+        )
+        if result.derivable:
+            return finding(
+                "derivability",
+                safe=True,
+                detail=f"subgrammar derivable from SQL nonterminal {candidate!r}",
+            )
+    return finding(
+        "derivability",
+        safe=False,
+        detail=(
+            "subgrammar not derivable from any context-compatible SQL "
+            f"nonterminal (contexts allow {hole_candidates[:4]})"
+        ),
+    )
+
+
+def _context_candidates(context_tokens, sql) -> list[str]:
+    """SQL symbols that can stand for the hole in *every* context.
+
+    Preferred path (the paper's "sentential forms that include X"): when
+    the token-level context language is finite, enumerate the forms
+    ``s1 ⟨X⟩ s2`` and keep the SQL nonterminals/terminals ``A`` for which
+    every ``s1 A s2`` parses as a query.  For infinite context languages
+    fall back to the structural candidate fixpoint (conservative)."""
+    forms = enumerate_strings(context_tokens, context_tokens.start, max_strings=48)
+    if forms is not None:
+        with_hole = [form for form in forms if HOLE_TOKEN in form]
+        # forms without the hole carry no constraint; if no form mentions
+        # the hole, the untrusted data never reaches this query at all
+        if not with_hole:
+            return []
+        survivors = []
+        for candidate in list(sql.nonterminals()) + sorted(sql.terminals()):
+            ok = all(
+                parse_sentential_form(
+                    sql,
+                    sql.start,
+                    [candidate if s == HOLE_TOKEN else s for s in form],
+                )
+                for form in with_hole
+            )
+            if ok:
+                survivors.append(candidate)
+        return survivors
+    candidates = candidate_fixpoint(
+        context_tokens,
+        sql,
+        allowed={context_tokens.start: [sql.start]},
+    )
+    return sorted(candidates.get(HOLE_TOKEN, ()))
+
+
+#: placeholder for *other* untrusted pieces when computing one piece's
+#: context: behaves like ordinary quote-free literal content.  Each piece
+#: is separately verified not to break out of its own context, so
+#: abstracting the others this way is the compositional reading of the
+#: paper's "abstracting the labeled subgrammars out of the generated CFG".
+NEUTRAL = "\ue001"
+
+
+def _contexts_grammar(
+    scope: Grammar,
+    root: Nonterminal,
+    labeled: Nonterminal,
+    others: list[Nonterminal],
+) -> Grammar:
+    """The scope grammar with every rhs occurrence of ``labeled`` replaced
+    by the fresh terminal MARKER (the paper's ``R_t`` construction), and
+    every other maximal labeled nonterminal replaced by NEUTRAL."""
+    result = Grammar(root)
+    marker = Lit(quotes.MARKER)
+    neutral = Lit(NEUTRAL)
+    replaced_nts = {labeled} | {nt for nt in others if nt is not labeled}
+
+    def replacement(symbol):
+        if symbol is labeled:
+            return marker
+        if isinstance(symbol, Nonterminal) and symbol in replaced_nts:
+            return neutral
+        return symbol
+
+    for nt, rules in scope.productions.items():
+        if nt in replaced_nts:
+            # severed: the context language treats these purely as markers
+            result.productions.setdefault(nt, [])
+            continue
+        for rhs in rules:
+            result.add(nt, tuple(replacement(symbol) for symbol in rhs))
+        result.productions.setdefault(nt, [])
+    if root is labeled:
+        result.add(root, (marker,))
+    elif root in replaced_nts:
+        result.add(root, (neutral,))
+    return result
+
+
+def _example_query(
+    scope: Grammar,
+    root: Nonterminal,
+    labeled: Nonterminal,
+    others: list[Nonterminal],
+    witness: str,
+) -> str:
+    """A full query string with the witness substring spliced into one of
+    its contexts — the "here is the attack" line of the bug report."""
+    context = _contexts_grammar(scope, root, labeled, others)
+    for sample in context.sample_strings(root, limit=6, max_len=300):
+        if quotes.MARKER in sample:
+            return sample.replace(quotes.MARKER, witness).replace(NEUTRAL, "data")
+    return ""
+
+
+def _witness(scope: Grammar, labeled: Nonterminal, dfa) -> str:
+    refined, start = intersect(scope, labeled, dfa)
+    samples = refined.sample_strings(start, limit=1)
+    return samples[0] if samples else ""
+
+
+def _nonempty(scope: Grammar, labeled: Nonterminal) -> bool:
+    return labeled in scope.trim(labeled).productive()

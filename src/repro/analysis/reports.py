@@ -1,0 +1,129 @@
+"""Bug-report data structures and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.grammar import DIRECT, INDIRECT
+
+
+@dataclass
+class Finding:
+    """The verdict for one labeled (untrusted) nonterminal at one hotspot."""
+
+    file: str
+    line: int
+    sink: str
+    nonterminal: str
+    labels: frozenset[str]
+    check: str         # which check decided: "odd-quotes", "literal-break",
+                       # "numeric", "literal-position", "attack-string",
+                       # "derivability", "tokenization"
+    safe: bool
+    witness: str = ""  # an offending untrusted substring, when unsafe
+    example_query: str = ""  # a full query embedding the witness
+    detail: str = ""
+
+    @property
+    def category(self) -> str:
+        """``direct`` dominates for report categorization (paper Table 1)."""
+        if DIRECT in self.labels:
+            return DIRECT
+        if INDIRECT in self.labels:
+            return INDIRECT
+        return "unlabeled"
+
+    def render(self) -> str:
+        verdict = "SAFE" if self.safe else "VIOLATION"
+        head = (
+            f"{verdict} [{self.category}] {self.file}:{self.line} "
+            f"sink={self.sink} via {self.check}"
+        )
+        lines = [head]
+        if self.witness:
+            lines.append(f"  witness substring: {self.witness!r}")
+        if self.example_query:
+            lines.append(f"  example query: {self.example_query!r}")
+        if self.detail:
+            lines.append(f"  {self.detail}")
+        return "\n".join(lines)
+
+
+@dataclass
+class HotspotReport:
+    file: str
+    line: int
+    sink: str
+    findings: list[Finding] = field(default_factory=list)
+    query_samples: list[str] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[Finding]:
+        return [f for f in self.findings if not f.safe]
+
+    @property
+    def verified(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        status = "verified" if self.verified else "VULNERABLE"
+        lines = [f"hotspot {self.file}:{self.line} ({self.sink}): {status}"]
+        for sample in self.query_samples[:3]:
+            lines.append(f"  query ∋ {sample!r}")
+        for finding in self.findings:
+            lines.append("  " + finding.render().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+@dataclass
+class ProjectReport:
+    """What the tool prints for one application (cf. Table 1 columns)."""
+
+    name: str
+    files: int = 0
+    lines: int = 0
+    grammar_nonterminals: int = 0
+    grammar_productions: int = 0
+    string_analysis_seconds: float = 0.0
+    check_seconds: float = 0.0
+    hotspots: list[HotspotReport] = field(default_factory=list)
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def direct_violations(self) -> list[Finding]:
+        return [
+            f
+            for spot in self.hotspots
+            for f in spot.violations
+            if f.category == DIRECT
+        ]
+
+    @property
+    def indirect_violations(self) -> list[Finding]:
+        return [
+            f
+            for spot in self.hotspots
+            for f in spot.violations
+            if f.category == INDIRECT
+        ]
+
+    @property
+    def verified(self) -> bool:
+        return all(spot.verified for spot in self.hotspots)
+
+    def render(self) -> str:
+        lines = [
+            f"== {self.name} ==",
+            f"files={self.files} lines={self.lines} "
+            f"|V|={self.grammar_nonterminals} |R|={self.grammar_productions}",
+            f"string analysis: {self.string_analysis_seconds:.2f}s, "
+            f"checks: {self.check_seconds:.2f}s",
+            f"direct violations: {len(self.direct_violations)}, "
+            f"indirect reports: {len(self.indirect_violations)}",
+        ]
+        for spot in self.hotspots:
+            if not spot.verified:
+                lines.append(spot.render())
+        if self.verified:
+            lines.append("VERIFIED: no SQLCIV reports")
+        return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Classification of untrusted sources and query sinks (paper §2.2).
+
+*Direct* sources hand the user's bytes straight to the program (GET/POST
+parameters, cookies, raw request metadata).  *Indirect* sources carry
+data that untrusted users may have influenced earlier (database results,
+sessions).  The distinction only affects how a report is categorized —
+both are tracked the same way.
+"""
+
+from __future__ import annotations
+
+from repro.lang.grammar import DIRECT, INDIRECT
+
+#: superglobal arrays → taint label of their contents
+SUPERGLOBAL_LABELS = {
+    "_GET": DIRECT,
+    "_POST": DIRECT,
+    "_REQUEST": DIRECT,
+    "_COOKIE": DIRECT,
+    "_SERVER": DIRECT,
+    "_FILES": DIRECT,
+    "HTTP_GET_VARS": DIRECT,
+    "HTTP_POST_VARS": DIRECT,
+    "HTTP_COOKIE_VARS": DIRECT,
+    "_SESSION": INDIRECT,
+    "HTTP_SESSION_VARS": INDIRECT,
+}
+
+#: builtin functions whose return value is database data (INDIRECT), with
+#: the shape of the result ("array" or "scalar")
+FETCH_FUNCTIONS = {
+    "mysql_fetch_array": "array",
+    "mysql_fetch_assoc": "array",
+    "mysql_fetch_row": "array",
+    "mysql_fetch_object": "object",
+    "mysql_result": "scalar",
+    "mysqli_fetch_array": "array",
+    "mysqli_fetch_assoc": "array",
+    "mysqli_fetch_row": "array",
+    "mysqli_fetch_object": "object",
+    "pg_fetch_array": "array",
+    "pg_fetch_assoc": "array",
+    "pg_fetch_row": "array",
+    "sqlite_fetch_array": "array",
+}
+
+#: method names treated as fetches when the receiver class is unknown
+FETCH_METHOD_NAMES = frozenset(
+    """
+    fetch fetch_array fetch_assoc fetch_row fetch_object fetchrow
+    fetch_fields get_row get_results sql_fetchrow sql_fetch_assoc
+    """.split()
+)
+
+#: builtin query sinks: function name → index of the SQL argument
+QUERY_FUNCTIONS = {
+    "mysql_query": 0,
+    "mysql_unbuffered_query": 0,
+    "mysql_db_query": 1,
+    "mysqli_query": 1,
+    "mysqli_real_query": 1,
+    "mysqli_multi_query": 1,
+    "pg_query": 0,
+    "pg_send_query": 0,
+    "sqlite_query": 0,
+}
+
+#: method names treated as query sinks (SQL argument is argument 0)
+QUERY_METHOD_NAMES = frozenset(
+    """
+    query sql_query execute_query unbuffered_query dbquery db_query
+    """.split()
+)
+
+
+def superglobal_label(name: str) -> str | None:
+    return SUPERGLOBAL_LABELS.get(name)
+
+
+def is_fetch_function(name: str) -> str | None:
+    """The result shape if ``name`` is a DB fetch builtin, else None."""
+    return FETCH_FUNCTIONS.get(name)
+
+
+def is_fetch_method(name: str) -> bool:
+    return name.lower() in FETCH_METHOD_NAMES
+
+
+def query_argument_index(name: str) -> int | None:
+    """The SQL-string argument position if ``name`` is a query builtin."""
+    return QUERY_FUNCTIONS.get(name)
+
+
+def is_query_method(name: str) -> bool:
+    return name.lower() in QUERY_METHOD_NAMES

@@ -1,0 +1,78 @@
+"""Abstract values for the string-taint interpreter.
+
+PHP coerces nearly everything through strings, and the paper's analysis
+cares exactly about string structure, so the abstract domain is small:
+
+* :class:`StrVal` — a scalar: a nonterminal in the analysis's growing
+  grammar (its language over-approximates the runtime string values).
+  Booleans and numbers are strings with boolean/numeric languages, which
+  matches PHP's coercion semantics.
+* :class:`ArrVal` — an array: per-key scalar values plus a default for
+  statically-unknown keys.
+
+Taint lives on the grammar nonterminals (``DIRECT``/``INDIRECT``
+labels), not on the values, per the paper's design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.grammar import Nonterminal
+
+
+@dataclass
+class Value:
+    pass
+
+
+@dataclass
+class StrVal(Value):
+    nt: Nonterminal
+
+    def __repr__(self) -> str:
+        return f"StrVal({self.nt.name})"
+
+
+@dataclass
+class ArrVal(Value):
+    """An abstract PHP array.
+
+    ``elements`` maps *literal* keys (stringified) to values; ``default``
+    over-approximates entries under unknown keys.  Reads of a missing
+    key produce the default (or an empty-string value if none).
+    """
+
+    elements: dict[str, Value] = field(default_factory=dict)
+    default: Value | None = None
+
+    def get(self, key: str | None) -> Value | None:
+        if key is not None and key in self.elements:
+            return self.elements[key]
+        return self.default
+
+    def all_values(self) -> list[Value]:
+        found = list(self.elements.values())
+        if self.default is not None:
+            found.append(self.default)
+        return found
+
+    def __repr__(self) -> str:
+        keys = ",".join(sorted(self.elements)) or "-"
+        return f"ArrVal[{keys}]"
+
+
+@dataclass
+class ObjVal(Value):
+    """An abstract object: its class name plus abstract property values.
+
+    Enough to resolve ``$DB->query(...)`` to a user-defined method and to
+    flow strings through properties; full alias analysis is out of scope
+    (the paper's prototype had "only limited support for references").
+    """
+
+    class_name: str = ""
+    props: dict[str, Value] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return f"ObjVal({self.class_name})"

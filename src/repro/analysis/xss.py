@@ -1,0 +1,125 @@
+"""Cross-site-scripting detection — the paper's §7 future-work item,
+built on the same two-phase machinery.
+
+"We would like to apply the same technique to detecting vulnerabilities
+that allow cross-site scripting attacks, in which a server may deliver
+untrusted JavaScript code to be executed by a client browser."
+
+Sinks are ``echo``/``print`` of string values; the policy is the HTML
+analogue of syntactic confinement: an untrusted substring must stay
+*character data* — it must not be able to introduce markup structure.
+Conservatively: its language must contain no ``<`` (element/script
+injection) and no ``"``/``'`` (attribute breakout).  The transducer
+model of ``htmlspecialchars`` (which rewrites ``<`` to ``&lt;`` etc.)
+makes properly encoded output verify, exactly as ``addslashes`` does for
+the SQL policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+
+from repro.lang.fsa import DFA, NFA
+from repro.lang.charset import CharSet
+from repro.lang.grammar import Grammar, Nonterminal
+from repro.lang.intersect import intersect, intersection_is_empty
+
+from .policy import maximal_labeled
+from .reports import Finding
+from .stringtaint import Hotspot, StringTaintAnalysis
+
+
+@lru_cache(maxsize=1)
+def markup_capable() -> DFA:
+    """Strings that can open markup or break out of an attribute."""
+    dangerous = CharSet.of("<>\"'")
+    return (
+        NFA.any_string()
+        .concat(NFA.from_charset(dangerous))
+        .concat(NFA.any_string())
+        .determinize()
+    )
+
+
+@dataclass
+class XssReport:
+    file: str
+    line: int
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[Finding]:
+        return [f for f in self.findings if not f.safe]
+
+    @property
+    def verified(self) -> bool:
+        return not self.violations
+
+
+def check_echo_hotspot(grammar: Grammar, hotspot: Hotspot) -> XssReport:
+    """Check one echo site: every untrusted substring must be inert."""
+    report = XssReport(file=hotspot.file, line=hotspot.line)
+    root = hotspot.query.nt
+    scope = grammar.subgrammar(root).trim(root)
+    for labeled in maximal_labeled(scope, root):
+        labels = frozenset(scope.labels.get(labeled, ()))
+        inert = intersection_is_empty(scope, labeled, markup_capable())
+        witness = ""
+        if not inert:
+            refined, start = intersect(scope, labeled, markup_capable())
+            samples = refined.sample_strings(start, limit=1)
+            witness = samples[0] if samples else ""
+        report.findings.append(
+            Finding(
+                file=hotspot.file,
+                line=hotspot.line,
+                sink="echo",
+                nonterminal=labeled.name,
+                labels=labels,
+                check="markup-inert",
+                safe=inert,
+                witness=witness,
+                detail=(
+                    "untrusted substring cannot introduce markup"
+                    if inert
+                    else "untrusted substring can emit <, >, or a quote"
+                ),
+            )
+        )
+    return report
+
+
+class XssAnalysis(StringTaintAnalysis):
+    """String-taint analysis with echo/print sinks recorded."""
+
+    def __init__(self, project_root: str | Path, **kwargs) -> None:
+        super().__init__(project_root, **kwargs)
+        self.echo_hotspots: list[Hotspot] = []
+
+    def _exec_Echo(self, stmt, env) -> None:  # noqa: N802 (dispatch name)
+        for value in stmt.values:
+            result = self.builder.to_str(self.eval(value, env))
+            self.echo_hotspots.append(
+                Hotspot(
+                    file=self.current_file,
+                    line=stmt.line,
+                    query=result,
+                    sink="echo",
+                )
+            )
+
+
+def analyze_page_xss(
+    project_root: str | Path, entry: str | Path
+) -> list[XssReport]:
+    """Analyze one page for XSS: one report per echo with untrusted data."""
+    analysis = XssAnalysis(project_root)
+    analysis.analyze_file(entry)
+    reports = []
+    for hotspot in analysis.echo_hotspots:
+        report = check_echo_hotspot(analysis.builder.grammar, hotspot)
+        if report.findings:  # echoes of purely trusted data are silent
+            reports.append(report)
+    return reports

@@ -1,0 +1,75 @@
+"""Baseline: SQLCheck-style *runtime* enforcement (Su & Wassermann, POPL'06).
+
+The paper's own prior work, cited as [25] and used there to justify the
+syntactic-confinement policy: at runtime, mark the substrings that came
+from user input and check — per concrete query — that each marked
+substring is syntactically confined (Definition 2.2).  Precise for the
+queries actually seen, but provides no pre-deployment guarantee: it only
+inspects executions you run.
+
+This implementation wraps the confinement oracle from
+:mod:`repro.sql.confinement` with the POPL-style metacharacter marking.
+The benchmark harness uses it (a) to validate that statically-reported
+witness queries really are attacks, and (b) for the static-vs-runtime
+comparison discussed in §6.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sql.confinement import check_confinement
+
+#: delimiters wrapped around untrusted input at the (simulated) source
+MARK_OPEN = "⦃"   # ⦃
+MARK_CLOSE = "⦄"  # ⦄
+
+
+def mark(text: str) -> str:
+    """Wrap user input in metacharacter delimiters at its source."""
+    return f"{MARK_OPEN}{text}{MARK_CLOSE}"
+
+
+@dataclass
+class RuntimeCheck:
+    safe: bool
+    query: str           # the unmarked query, as the database would see it
+    spans: list[tuple[int, int]]
+    offending: tuple[int, int] | None = None
+
+
+def strip_marks(marked_query: str) -> tuple[str, list[tuple[int, int]]]:
+    """Remove delimiters, returning the real query and untrusted spans."""
+    spans: list[tuple[int, int]] = []
+    out: list[str] = []
+    stack: list[int] = []
+    for char in marked_query:
+        if char == MARK_OPEN:
+            stack.append(len(out))
+        elif char == MARK_CLOSE:
+            if not stack:
+                raise ValueError("unbalanced input marks")
+            start = stack.pop()
+            if not stack:  # only outermost spans count
+                spans.append((start, len(out)))
+        else:
+            out.append(char)
+    if stack:
+        raise ValueError("unbalanced input marks")
+    return "".join(out), spans
+
+
+def check_query(marked_query: str) -> RuntimeCheck:
+    """The runtime check: every untrusted span must be confined."""
+    query, spans = strip_marks(marked_query)
+    for span in spans:
+        result = check_confinement(query, *span)
+        if not result.confined:
+            return RuntimeCheck(False, query, spans, offending=span)
+    return RuntimeCheck(True, query, spans)
+
+
+def build_query(template: str, *user_inputs: str) -> str:
+    """Substitute ``{}`` placeholders with *marked* user input — the
+    instrumented equivalent of PHP string interpolation."""
+    return template.format(*(mark(value) for value in user_inputs))

@@ -1,0 +1,37 @@
+"""The synthetic evaluation corpus (paper §5.1's five subjects).
+
+``build_corpus(root)`` writes all five applications under ``root`` and
+returns their manifests in Table 1 order.  See DESIGN.md §3 for why each
+app is shaped the way it is.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from . import e107, eve, tiger, unp, warp
+from .manifest import AppManifest
+
+#: (module, directory name) in Table 1 row order
+APPS = [
+    (e107, e107.APP),
+    (eve, eve.APP),
+    (tiger, tiger.APP),
+    (unp, unp.APP),
+    (warp, warp.APP),
+]
+
+
+def build_corpus(root: str | Path) -> list[AppManifest]:
+    """Write all five applications under ``root``; returns the manifests."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    return [module.build(root) for module, _ in APPS]
+
+
+def build_app(root: str | Path, name: str) -> AppManifest:
+    """Write one application by its directory name."""
+    for module, app_dir in APPS:
+        if app_dir == name:
+            return module.build(Path(root))
+    raise KeyError(f"unknown corpus app {name!r}; have {[d for _, d in APPS]}")

@@ -1,0 +1,405 @@
+"""Synthetic stand-in for e107 0.7.5 (paper Table 1, row 1).
+
+The paper's largest subject: 741 files / 132,850 lines, with **1 real
+direct** SQLCIV and **4 indirect** reports.  The direct bug "comes from
+a field read from a cookie, which a user can modify, that is used in a
+query in a different file" — reproduced here as ``class2.php`` (the real
+e107 bootstrap name) reading the cookie and ``usersettings.php`` using
+it.  e107's bulk is its hundreds of language/plugin constant files,
+which is also where the paper's dynamic-include discussion lives
+(§4: ``include("e107_languages/lan_".$choice.".php")``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .manifest import AppManifest, DIRECT_REAL, INDIRECT, Seed
+from .snippets import db_class, formatting_helpers, language_file, page_shell
+
+APP = "e107"
+INCLUDES = ["e107_handlers/class2.php"]
+
+#: number of generated language-pack files (the real e107 ships hundreds)
+LANGUAGE_PACKS = 697
+PACK_ENTRY_COUNT = 180  # ≈183 lines per pack file
+
+
+def build(root: Path) -> AppManifest:
+    app = root / APP
+    (app / "e107_handlers").mkdir(parents=True, exist_ok=True)
+    (app / "e107_languages").mkdir(parents=True, exist_ok=True)
+    manifest = AppManifest(name="e107 (0.7.5)")
+
+    _write_handlers(app)
+    _write_language_packs(app)
+    for name, source in _pages().items():
+        (app / name).write_text(source)
+
+    manifest.seeds = [
+        Seed(
+            "usersettings.php",
+            DIRECT_REAL,
+            "cookie read in class2.php, used raw in a query here (cross-file)",
+        ),
+        Seed("news.php", INDIRECT, "site preferences row used raw in a query"),
+        Seed("comment.php", INDIRECT, "moderator name from prefs in audit INSERT"),
+        Seed("online.php", INDIRECT, "tracking row column reused in UPDATE"),
+        Seed("stats.php", INDIRECT, "referrer column from fetched row in INSERT"),
+    ]
+    return manifest
+
+
+# ---------------------------------------------------------------------------
+# handlers (the shared core every page includes)
+# ---------------------------------------------------------------------------
+
+
+def _write_handlers(app: Path) -> None:
+    handlers = app / "e107_handlers"
+    (handlers / "db_handler.php").write_text(db_class("e107_db", "e107_"))
+    (handlers / "functions.php").write_text(
+        "<?php\n" + formatting_helpers("e107")
+    )
+    (handlers / "prefs.php").write_text(
+        """\
+<?php
+// site preferences live in the database: everything in $pref is
+// INDIRECT data in the analysis
+$getprefs = $sql->query("SELECT * FROM `e107_core` WHERE name='SitePrefs'");
+$pref = $sql->fetch_array($getprefs);
+"""
+    )
+    (handlers / "template.php").write_text(
+        """\
+<?php
+function tablerender($caption, $text)
+{
+    echo '<div class="block"><h3>' . $caption . '</h3>';
+    echo '<div class="inner">' . $text . '</div></div>';
+}
+
+function required($field)
+{
+    return '<span class="required">' . htmlspecialchars($field) . '*</span>';
+}
+"""
+    )
+    (handlers / "lang_loader.php").write_text(
+        """\
+<?php
+// the paper's §4 example: a dynamic include whose argument is resolved
+// against the project's file layout
+$language = isset($_COOKIE['e107_language']) ? $_COOKIE['e107_language'] : 'en';
+include('e107_languages/lan_' . $language . '.php');
+"""
+    )
+    (handlers / "class2.php").write_text(
+        """\
+<?php
+require_once 'e107_handlers/db_handler.php';
+require_once 'e107_handlers/functions.php';
+require_once 'e107_handlers/template.php';
+
+$sql = new e107_db('localhost', 'e107', 'secret', 'e107');
+
+// SEEDED SOURCE (direct-real lands in usersettings.php): the user id
+// cookie is stored raw here and trusted elsewhere
+$e107_uid = isset($_COOKIE['e107_uid']) ? $_COOKIE['e107_uid'] : '';
+
+// the sanitized variant most pages use
+$e107_uid_safe = intval($e107_uid);
+
+require_once 'e107_handlers/prefs.php';
+"""
+    )
+
+
+def _write_language_packs(app: Path) -> None:
+    languages = app / "e107_languages"
+    entries = [
+        (f"LAN_{index}", f"Interface message number {index} for this pack")
+        for index in range(PACK_ENTRY_COUNT)
+    ]
+    # the three dynamically includable packs (match the lan_ prefix)
+    for code, greeting in (("en", "Welcome"), ("de", "Willkommen"), ("fr", "Bienvenue")):
+        (languages / f"lan_{code}.php").write_text(
+            "<?php\n"
+            f"$lan_greeting = '{greeting}';\n"
+            + language_file(f"lan_{code}", entries)[6:]  # drop duplicate <?php
+        )
+    # the long tail of pack files (plugins, themes, admin areas)
+    for index in range(LANGUAGE_PACKS):
+        (languages / f"pack_{index:03d}.php").write_text(
+            language_file(f"pack{index:03d}", entries)
+        )
+
+
+# ---------------------------------------------------------------------------
+# entry pages
+# ---------------------------------------------------------------------------
+
+#: safe plugin-style pages generated from one shape (news archive, polls,
+#: downloads, …) — e107's entry surface is wide but repetitive
+SAFE_SECTIONS = [
+    "download", "links", "poll", "chatbox", "gallery", "calendar",
+    "faq", "wiki", "guestbook", "banner", "newsletter", "search_adv",
+    "top_posts", "members_recent", "print_friendly", "email_article",
+    "bookmark", "rate", "trackback", "backup",
+]
+
+
+def _pages() -> dict[str, str]:
+    pages: dict[str, str] = {}
+
+    pages["index.php"] = page_shell(
+        "e107 Portal",
+        """\
+$getnews = $sql->query("SELECT * FROM `e107_news` ORDER BY news_datestamp DESC LIMIT 10");
+while ($row = $sql->fetch_array($getnews))
+{
+    tablerender(e107_html($row['news_title']), e107_html($row['news_body']));
+}
+""",
+        INCLUDES,
+        filler=280,
+    )
+
+    pages["news.php"] = page_shell(
+        "News",
+        """\
+$item = intval(isset($_GET['item']) ? $_GET['item'] : 0);
+$getnews = $sql->query("SELECT * FROM `e107_news` WHERE news_id=$item");
+$row = $sql->fetch_array($getnews);
+tablerender(e107_html($row['news_title']), e107_html($row['news_body']));
+
+// SEEDED (indirect): the category default comes from the prefs row
+$defaultcat = $pref['news_default_category'];
+$sql->query("UPDATE `e107_news_stats` SET hits=hits+1"
+    . " WHERE category='$defaultcat'");
+""",
+        INCLUDES,
+        filler=280,
+    )
+
+    pages["usersettings.php"] = page_shell(
+        "User Settings",
+        """\
+// SEEDED (direct-real, the paper's e107 bug): the raw cookie value set
+// in e107_handlers/class2.php crosses the file boundary into this query
+$getuser = $sql->query("SELECT * FROM `e107_user`"
+    . " WHERE user_id='$e107_uid'");
+$row = $sql->fetch_array($getuser);
+echo '<form method="post">';
+echo '<input name="realname" value="' . e107_html($row['user_name']) . '" />';
+echo '</form>';
+$realname = mysql_real_escape_string(isset($_POST['realname']) ? $_POST['realname'] : '');
+$sql->query("UPDATE `e107_user` SET user_login='$realname'"
+    . " WHERE user_id=$e107_uid_safe");
+""",
+        INCLUDES,
+        filler=280,
+    )
+
+    pages["user.php"] = page_shell(
+        "User Profile",
+        """\
+// the sanitized twin of usersettings.php (verifies clean)
+$uid = intval(isset($_GET['id']) ? $_GET['id'] : 0);
+$getuser = $sql->query("SELECT * FROM `e107_user` WHERE user_id=$uid");
+$row = $sql->fetch_array($getuser);
+tablerender('Profile', e107_html($row['user_name']));
+""",
+        INCLUDES,
+        filler=280,
+    )
+
+    pages["comment.php"] = page_shell(
+        "Comments",
+        """\
+$item = intval(isset($_GET['item']) ? $_GET['item'] : 0);
+$body = mysql_real_escape_string(isset($_POST['comment']) ? $_POST['comment'] : '');
+if ($body != '')
+{
+    $sql->query("INSERT INTO `e107_comments` (comment_item_id, comment_body)"
+        . " VALUES ($item, '$body')");
+}
+// SEEDED (indirect): the audit line trusts the prefs moderator field
+$moderator = $pref['comment_moderator'];
+$sql->query("INSERT INTO `e107_audit` (who, what)"
+    . " VALUES ('$moderator', 'comment')");
+""",
+        INCLUDES,
+        filler=280,
+    )
+
+    pages["online.php"] = page_shell(
+        "Who Is Online",
+        """\
+$getonline = $sql->query("SELECT * FROM `e107_online` ORDER BY online_timestamp DESC");
+while ($row = $sql->fetch_array($getonline))
+{
+    echo '<li>' . e107_html($row['online_user']) . '</li>';
+}
+// SEEDED (indirect): the page column read from the row goes back raw
+$lastpage = $row['online_location'];
+$sql->query("UPDATE `e107_online_stats` SET views=views+1"
+    . " WHERE page='$lastpage'");
+""",
+        INCLUDES,
+        filler=280,
+    )
+
+    pages["stats.php"] = page_shell(
+        "Statistics",
+        """\
+$getstats = $sql->query("SELECT * FROM `e107_stats` ORDER BY hits DESC LIMIT 50");
+while ($row = $sql->fetch_array($getstats))
+{
+    echo '<tr><td>' . e107_html($row['page']) . '</td><td>'
+        . e107_html($row['hits']) . '</td></tr>';
+}
+// SEEDED (indirect): the referrer string from the fetched row is reused
+$referrer = $row['referrer'];
+$sql->query("INSERT INTO `e107_referrals` (source) VALUES ('$referrer')");
+""",
+        INCLUDES,
+        filler=280,
+    )
+
+    pages["language.php"] = page_shell(
+        "Language",
+        """\
+// the §4 dynamic include: the cookie value is intersected with the
+// project layout to find which files can actually be included
+require_once 'e107_handlers/lang_loader.php';
+tablerender('Language', e107_html($lan_greeting));
+""",
+        INCLUDES,
+        filler=200,
+    )
+
+    pages["login.php"] = page_shell(
+        "Login",
+        """\
+$username = mysql_real_escape_string(isset($_POST['username']) ? $_POST['username'] : '');
+$password = md5(isset($_POST['password']) ? $_POST['password'] : '');
+$check = $sql->query("SELECT * FROM `e107_user`"
+    . " WHERE user_loginname='$username' AND user_password='$password'");
+if ($sql->is_single_row($check))
+{
+    tablerender('Welcome', 'Login successful.');
+}
+""",
+        INCLUDES,
+        filler=280,
+    )
+
+    pages["signup.php"] = page_shell(
+        "Sign Up",
+        """\
+$loginname = mysql_real_escape_string(isset($_POST['loginname']) ? $_POST['loginname'] : '');
+$email = isset($_POST['email']) ? $_POST['email'] : '';
+if (!preg_match('/^[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+$/', $email))
+{
+    exit;
+}
+$email = mysql_real_escape_string($email);
+$sql->query("INSERT INTO `e107_user` (user_loginname, user_email)"
+    . " VALUES ('$loginname', '$email')");
+""",
+        INCLUDES,
+        filler=280,
+    )
+
+    pages["contact.php"] = page_shell(
+        "Contact",
+        """\
+$subject = mysql_real_escape_string(isset($_POST['subject']) ? $_POST['subject'] : '');
+$body = mysql_real_escape_string(isset($_POST['body']) ? $_POST['body'] : '');
+$sql->query("INSERT INTO `e107_messages` (subject, body)"
+    . " VALUES ('$subject', '$body')");
+""",
+        INCLUDES,
+        filler=280,
+    )
+
+    pages["submitnews.php"] = page_shell(
+        "Submit News",
+        """\
+$title = mysql_real_escape_string(isset($_POST['title']) ? $_POST['title'] : '');
+$body = mysql_real_escape_string(isset($_POST['body']) ? $_POST['body'] : '');
+$sql->query("INSERT INTO `e107_submitnews` (submitnews_title, submitnews_item)"
+    . " VALUES ('$title', '$body')");
+""",
+        INCLUDES,
+        filler=280,
+    )
+
+    pages["search.php"] = page_shell(
+        "Search",
+        """\
+$query = mysql_real_escape_string(isset($_GET['q']) ? $_GET['q'] : '');
+$results = $sql->query("SELECT * FROM `e107_news`"
+    . " WHERE news_title LIKE '%$query%' LIMIT 20");
+while ($row = $sql->fetch_array($results))
+{
+    echo '<h4>' . e107_html($row['news_title']) . '</h4>';
+}
+""",
+        INCLUDES,
+        filler=280,
+    )
+
+    pages["top.php"] = page_shell(
+        "Top Content",
+        """\
+$area = isset($_GET['area']) ? $_GET['area'] : 'news';
+if (!in_array($area, array('news', 'downloads', 'links')))
+{
+    $area = 'news';
+}
+$rows = $sql->query("SELECT * FROM `e107_stats`"
+    . " WHERE area='$area' ORDER BY hits DESC LIMIT 10");
+while ($row = $sql->fetch_array($rows))
+{
+    echo '<li>' . e107_html($row['page']) . '</li>';
+}
+""",
+        INCLUDES,
+        filler=280,
+    )
+
+    for section in SAFE_SECTIONS:
+        pages[f"{section}.php"] = page_shell(
+            section.replace("_", " ").title(),
+            f"""\
+// generated section page (verifies clean): id is cast, text is escaped
+$id = intval(isset($_GET['id']) ? $_GET['id'] : 0);
+$rows = $sql->query("SELECT * FROM `e107_{section}` WHERE parent=$id"
+    . " ORDER BY id DESC LIMIT 25");
+while ($row = $sql->fetch_array($rows))
+{{
+    tablerender(e107_html($row['title']), e107_html($row['body']));
+}}
+$note = mysql_real_escape_string(isset($_POST['note']) ? $_POST['note'] : '');
+if ($note != '')
+{{
+    $sql->query("INSERT INTO `e107_{section}_notes` (body) VALUES ('$note')");
+}}
+""",
+            INCLUDES,
+            filler=300,
+        )
+
+    # 14 named pages + 20 generated sections = 34 entry pages
+    # 34 + 6 handlers + 700 language files = 740; add one more: offline page
+    pages["offline.php"] = page_shell(
+        "Offline",
+        """\
+echo '<p>The site is currently down for maintenance.</p>';
+""",
+        [],
+        filler=120,
+    )
+    return pages

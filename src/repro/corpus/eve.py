@@ -1,0 +1,175 @@
+"""Synthetic stand-in for EVE Activity Tracker 1.0 (paper Table 1, row 2).
+
+The paper found **4 real direct** SQLCIVs and **1 indirect** report in a
+tiny 8-file / 905-line tracker.  The app is a thin layer over the
+database with almost no input filtering — the typical hobby-project
+profile where raw superglobals flow straight into queries.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .manifest import AppManifest, DIRECT_REAL, INDIRECT, Seed
+from .snippets import formatting_helpers, page_shell
+
+APP = "eve_activity_tracker"
+INCLUDES = ["common.php"]
+
+
+def build(root: Path) -> AppManifest:
+    app = root / APP
+    app.mkdir(parents=True, exist_ok=True)
+    manifest = AppManifest(name="EVE Activity Tracker (1.0)")
+
+    (app / "common.php").write_text(
+        "<?php\n"
+        "mysql_connect('localhost', 'eve', 'eve');\n"
+        "mysql_select_db('eve');\n"
+        "$config_title = 'EVE Activity Tracker';\n"
+        "$config_rows = 20;\n\n" + formatting_helpers("eve")
+    )
+
+    (app / "style.php").write_text(
+        """\
+<?php
+header('Content-type: text/css');
+$color = '#336699';
+echo 'body { font-family: sans-serif; }';
+echo '#header { background: ' . $color . '; color: white; }';
+echo '#nav a { color: ' . $color . '; text-decoration: none; }';
+echo '.activity { border-bottom: 1px solid #ccc; padding: 4px; }';
+"""
+    )
+
+    (app / "index.php").write_text(
+        page_shell(
+            "Activity Tracker",
+            """\
+// SEEDED (direct-real): pilot name from the URL, raw, inside quotes
+$pilot = isset($_GET['pilot']) ? $_GET['pilot'] : '';
+$result = mysql_query("SELECT * FROM activity WHERE pilot='$pilot'"
+    . " ORDER BY stamp DESC LIMIT 20");
+while ($row = mysql_fetch_array($result))
+{
+    echo '<div class="activity">' . eve_html($row['what'])
+        . ' <span>' . eve_date($row['stamp']) . '</span></div>';
+}
+""",
+            INCLUDES,
+            filler=95,
+        )
+    )
+
+    (app / "add.php").write_text(
+        page_shell(
+            "Add Activity",
+            """\
+// SEEDED (direct-real): both POST fields raw in the INSERT
+$pilot = isset($_POST['pilot']) ? $_POST['pilot'] : '';
+$what = isset($_POST['what']) ? $_POST['what'] : '';
+$stamp = time();
+mysql_query("INSERT INTO activity (pilot, what, stamp)"
+    . " VALUES ('$pilot', '$what', '$stamp')");
+echo '<p>Recorded.</p>';
+""",
+            INCLUDES,
+            filler=95,
+        )
+    )
+
+    (app / "view.php").write_text(
+        page_shell(
+            "View Entry",
+            """\
+// SEEDED (direct-real): id from the URL used in an unquoted context
+$id = isset($_GET['id']) ? $_GET['id'] : '0';
+$result = mysql_query("SELECT * FROM activity WHERE id=$id");
+$row = mysql_fetch_array($result);
+echo '<h2>' . eve_html($row['what']) . '</h2>';
+echo '<p>by ' . eve_html($row['pilot']) . '</p>';
+
+// SEEDED (indirect): the view counter keys on a column read back from
+// the database row itself
+$corp = $row['corp'];
+mysql_query("UPDATE corp_stats SET views=views+1 WHERE corp='$corp'");
+""",
+            INCLUDES,
+            filler=95,
+        )
+    )
+
+    (app / "delete.php").write_text(
+        page_shell(
+            "Delete Entry",
+            """\
+// SEEDED (direct-real): confirmation flag checked, id never validated
+$id = isset($_GET['id']) ? $_GET['id'] : '';
+$confirm = isset($_GET['confirm']) ? $_GET['confirm'] : '0';
+if ($confirm == '1')
+{
+    mysql_query("DELETE FROM activity WHERE id='$id' LIMIT 1");
+    echo '<p>Deleted.</p>';
+}
+else
+{
+    echo '<a href="delete.php?id=' . eve_html($id) . '&confirm=1">Confirm?</a>';
+}
+""",
+            INCLUDES,
+            filler=95,
+        )
+    )
+
+    (app / "stats.php").write_text(
+        page_shell(
+            "Statistics",
+            """\
+// aggregate stats: period is whitelisted (verifies clean)
+$period = isset($_GET['period']) ? $_GET['period'] : 'day';
+if (!in_array($period, array('day', 'week', 'month')))
+{
+    $period = 'day';
+}
+$result = mysql_query("SELECT pilot, COUNT(*) AS n FROM activity"
+    . " GROUP BY pilot ORDER BY n DESC LIMIT 10");
+while ($row = mysql_fetch_array($result))
+{
+    echo '<li>' . eve_html($row['pilot']) . ': ' . eve_html($row['n']) . '</li>';
+}
+echo '<p>Period: ' . eve_html($period) . '</p>';
+""",
+            INCLUDES,
+            filler=95,
+        )
+    )
+
+    (app / "igb.php").write_text(
+        page_shell(
+            "In-Game Browser",
+            """\
+// the in-game browser header is user data, but here it is escaped
+// before use inside quotes (verifies clean)
+$charname = isset($_SERVER['HTTP_EVE_CHARNAME'])
+    ? $_SERVER['HTTP_EVE_CHARNAME'] : '';
+$charname = mysql_real_escape_string($charname);
+$result = mysql_query("SELECT * FROM activity WHERE pilot='$charname'"
+    . " ORDER BY stamp DESC LIMIT 10");
+while ($row = mysql_fetch_array($result))
+{
+    echo '<div class="activity">' . eve_html($row['what']) . '</div>';
+}
+""",
+            INCLUDES,
+            filler=95,
+        )
+    )
+
+    manifest.seeds = [
+        Seed("index.php", DIRECT_REAL, "raw GET pilot inside quotes"),
+        Seed("add.php", DIRECT_REAL, "raw POST fields in INSERT"),
+        Seed("view.php", DIRECT_REAL, "raw GET id in unquoted context"),
+        Seed("delete.php", DIRECT_REAL, "raw GET id inside quotes"),
+        Seed("view.php", INDIRECT, "corp column read back from the DB row"),
+    ]
+    return manifest

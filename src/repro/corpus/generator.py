@@ -1,0 +1,94 @@
+"""Parametric synthetic-application generator for scaling benchmarks.
+
+The §5.3 claims need workloads with tunable knobs:
+
+* ``pages`` / ``queries_per_page`` — code size vs. analysis time,
+* ``helpers`` — shared-include weight (the re-analysis overhead the
+  paper measures),
+* ``markup_chain`` — the replacement-sequence blow-up length,
+* ``vulnerable_ratio`` — how many queries use raw input.
+
+Everything is deterministic (seeded by position, not RNG) so benchmark
+runs are comparable.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .snippets import db_class, formatting_helpers, page_shell
+
+
+def generate_app(
+    root: str | Path,
+    pages: int = 5,
+    queries_per_page: int = 2,
+    helpers: int = 5,
+    markup_chain: int = 0,
+    vulnerable_ratio: float = 0.0,
+    filler: int = 0,
+) -> Path:
+    """Write a synthetic app under ``root``; returns the app directory."""
+    app = Path(root)
+    (app / "includes").mkdir(parents=True, exist_ok=True)
+
+    helper_functions = [formatting_helpers("gen")]
+    for index in range(helpers):
+        helper_functions.append(
+            f"""\
+function gen_helper_{index}($value)
+{{
+    $out = 'h{index}:' . $value;
+    return $out;
+}}
+"""
+        )
+    (app / "includes" / "functions.php").write_text(
+        "<?php\n" + "\n".join(helper_functions)
+    )
+    (app / "includes" / "db.php").write_text(db_class("GenDB", "gen_"))
+    (app / "includes" / "common.php").write_text(
+        """\
+<?php
+require_once 'includes/db.php';
+require_once 'includes/functions.php';
+$DB = new GenDB('localhost', 'gen', 'gen', 'gen');
+"""
+    )
+
+    vulnerable_budget = int(round(pages * queries_per_page * vulnerable_ratio))
+    emitted_vulnerable = 0
+    for page_index in range(pages):
+        body_lines = []
+        if markup_chain:
+            body_lines.append("$text = isset($_POST['text']) ? $_POST['text'] : '';")
+            for chain_index in range(markup_chain):
+                body_lines.append(
+                    f"$text = str_replace('[t{chain_index}]', "
+                    f"'<em{chain_index}>', $text);"
+                )
+            body_lines.append("echo $text;")
+        for query_index in range(queries_per_page):
+            param = f"p{query_index}"
+            if emitted_vulnerable < vulnerable_budget:
+                emitted_vulnerable += 1
+                body_lines.append(
+                    f"${param} = isset($_GET['{param}']) ? $_GET['{param}'] : '';"
+                )
+            else:
+                body_lines.append(
+                    f"${param} = intval(isset($_GET['{param}']) ? $_GET['{param}'] : 0);"
+                )
+            body_lines.append(
+                f"$DB->query(\"SELECT * FROM gen_table_{query_index}"
+                f" WHERE k='${param}'\");"
+            )
+        (app / f"page_{page_index:03d}.php").write_text(
+            page_shell(
+                f"Generated page {page_index}",
+                "\n".join(body_lines),
+                ["includes/common.php"],
+                filler=filler,
+            )
+        )
+    return app

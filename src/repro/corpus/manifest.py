@@ -1,0 +1,47 @@
+"""Ground-truth manifests for the synthetic corpus.
+
+The paper's evaluation (Table 1) reports, per application, the number of
+*real* direct errors, *false positive* direct reports, and indirect
+reports.  Real applications need a human to classify reports; our
+synthetic stand-ins carry machine-readable ground truth: every seeded
+report site is recorded here, so the harness can mark each tool report
+real / false-positive / unexpected automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+DIRECT_REAL = "direct-real"
+DIRECT_FALSE = "direct-false"   # the tool *will* report it; ground truth: safe
+INDIRECT = "indirect"
+
+
+@dataclass(frozen=True)
+class Seed:
+    """One seeded report site."""
+
+    page: str       # entry page (relative path) whose analysis reports it
+    kind: str       # DIRECT_REAL | DIRECT_FALSE | INDIRECT
+    description: str
+
+
+@dataclass
+class AppManifest:
+    name: str
+    seeds: list[Seed] = field(default_factory=list)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for seed in self.seeds if seed.kind == kind)
+
+    @property
+    def expected_direct_real(self) -> int:
+        return self.count(DIRECT_REAL)
+
+    @property
+    def expected_direct_false(self) -> int:
+        return self.count(DIRECT_FALSE)
+
+    @property
+    def expected_indirect(self) -> int:
+        return self.count(INDIRECT)

@@ -1,0 +1,202 @@
+"""Shared PHP snippet builders for the synthetic corpus.
+
+These generate the *boring* bulk of a web application — HTML layout,
+language tables, form rendering, validation helpers — so the seeded
+security-relevant code sits inside realistically sized pages, exercising
+the analyzer the way real code does (lots of irrelevant string work, a
+few load-bearing flows).
+"""
+
+from __future__ import annotations
+
+HTML_HEADER = """\
+<!DOCTYPE html PUBLIC "-//W3C//DTD XHTML 1.0 Transitional//EN">
+<html>
+<head>
+<title>{title}</title>
+<link rel="stylesheet" href="style.css" type="text/css" />
+</head>
+<body>
+<div id="wrapper">
+<div id="header"><h1>{title}</h1></div>
+<div id="nav">
+<a href="index.php">Home</a> |
+<a href="news.php">News</a> |
+<a href="search.php">Search</a> |
+<a href="members.php">Members</a>
+</div>
+<div id="content">
+"""
+
+HTML_FOOTER = """\
+</div>
+<div id="footer">Powered by {title}</div>
+</div>
+</body>
+</html>
+"""
+
+
+def page_shell(
+    title: str, body_php: str, includes: list[str], filler: int = 0
+) -> str:
+    """A full page: includes, HTML header, PHP body, HTML footer.
+
+    ``filler`` appends that many lines of static template HTML — the help
+    text, forms, and layout scaffolding that dominates real CMS pages by
+    volume without touching the analysis.
+    """
+    include_lines = "\n".join(f"require_once '{inc}';" for inc in includes)
+    return (
+        "<?php\n"
+        + include_lines
+        + "\n?>\n"
+        + HTML_HEADER.format(title=title)
+        + "<?php\n"
+        + body_php
+        + "\n?>\n"
+        + (filler_html(title, filler) if filler else "")
+        + HTML_FOOTER.format(title=title)
+    )
+
+
+_FILLER_SENTENCES = [
+    "Use the navigation above to reach the administration area.",
+    "Entries are shown in reverse chronological order.",
+    "Fields marked with an asterisk are required.",
+    "Changes take effect immediately after saving.",
+    "Contact the site administrator if you believe this is an error.",
+    "The permalink for this entry is shown in the address bar.",
+    "Formatting codes are available in the editor toolbar.",
+    "Attachments are limited to two megabytes per upload.",
+    "Your time zone can be configured in your profile settings.",
+    "Printable versions of every page are available.",
+]
+
+
+def filler_html(topic: str, lines: int) -> str:
+    """``lines`` lines of plausible static template HTML."""
+    out = [f'<div class="help" id="help-{abs(hash(topic)) % 997}">']
+    emitted = 1
+    index = 0
+    while emitted < lines - 1:
+        sentence = _FILLER_SENTENCES[index % len(_FILLER_SENTENCES)]
+        out.append(f"<p>{sentence} <!-- §{index} --></p>")
+        emitted += 1
+        index += 1
+        if index % 8 == 0 and emitted < lines - 1:
+            out.append('<hr class="separator" />')
+            emitted += 1
+    out.append("</div>")
+    return "\n".join(out) + "\n"
+
+
+def language_file(prefix: str, entries: list[tuple[str, str]]) -> str:
+    """A constants file in the style every CMS ships hundreds of."""
+    lines = ["<?php", "// auto-generated language pack — do not edit"]
+    for key, text in entries:
+        escaped = text.replace("'", "\\'")
+        lines.append(f"${prefix}_{key} = '{escaped}';")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def formatting_helpers(prefix: str) -> str:
+    """Plausible display helpers: plenty of string work, no SQL."""
+    return f"""\
+function {prefix}_date($ts)
+{{
+    return date('Y-m-d H:i', $ts);
+}}
+
+function {prefix}_excerpt($text, $len = 200)
+{{
+    $clean = strip_tags($text);
+    if (strlen($clean) > $len)
+    {{
+        $clean = substr($clean, 0, $len) . '...';
+    }}
+    return $clean;
+}}
+
+function {prefix}_html($text)
+{{
+    $text = htmlspecialchars($text);
+    $text = nl2br($text);
+    return $text;
+}}
+
+function {prefix}_msg($text)
+{{
+    echo '<div class="message">' . $text . '</div>';
+}}
+
+function {prefix}_pager($page, $pages)
+{{
+    $out = '';
+    for ($i = 1; $i <= $pages; $i++)
+    {{
+        if ($i == $page)
+        {{
+            $out .= ' <b>' . $i . '</b>';
+        }}
+        else
+        {{
+            $out .= ' <a href="?page=' . $i . '">' . $i . '</a>';
+        }}
+    }}
+    return $out;
+}}
+"""
+
+
+def markup_filter(prefix: str, rounds: int = 4) -> str:
+    """Forum-style markup substitution (the §5.3 blow-up pattern): a
+    sequence of replacement operations on displayed text."""
+    replacements = [
+        ("[b]", "<b>"), ("[/b]", "</b>"),
+        ("[i]", "<i>"), ("[/i]", "</i>"),
+        ("[u]", "<u>"), ("[/u]", "</u>"),
+        ("[quote]", "<blockquote>"), ("[/quote]", "</blockquote>"),
+        (":)", '<img src="smile.gif" />'), (":(", '<img src="frown.gif" />'),
+    ]
+    lines = [f"function {prefix}_markup($text)", "{"]
+    for source, target in replacements[: rounds * 2]:
+        lines.append(f"    $text = str_replace('{source}', '{target}', $text);")
+    lines.append("    return $text;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def db_class(class_name: str, table_prefix: str) -> str:
+    """The classic PHP4-era database wrapper."""
+    return f"""\
+<?php
+class {class_name}
+{{
+    var $link;
+    var $prefix = '{table_prefix}';
+    var $querycount = 0;
+
+    function {class_name}($host, $user, $pass, $name)
+    {{
+        $this->link = mysql_connect($host, $user, $pass);
+        mysql_select_db($name, $this->link);
+    }}
+
+    function escape($value)
+    {{
+        return mysql_real_escape_string($value);
+    }}
+
+    function is_single_row($result)
+    {{
+        return mysql_num_rows($result) == 1;
+    }}
+
+    function insert_id()
+    {{
+        return mysql_insert_id($this->link);
+    }}
+}}
+"""

@@ -1,0 +1,377 @@
+"""Synthetic stand-in for Tiger PHP News System 1.0b39 (Table 1, row 3).
+
+The paper found **0 real direct** errors, **3 direct false positives**,
+and **2 indirect** reports in 16 files / 7,961 lines.  Tiger "is
+designed to be secure"; the false positives all come from a hand-written
+sanitizing routine that branches on a character's numeric ASCII value —
+semantics no string-transducer model can see (§5.2).  Tiger also carries
+the forum-markup replacement chains that §5.3 blames for grammar
+blow-up, which we reproduce.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .manifest import AppManifest, DIRECT_FALSE, INDIRECT, Seed
+from .snippets import (
+    db_class,
+    formatting_helpers,
+    language_file,
+    markup_filter,
+    page_shell,
+)
+
+APP = "tiger_php_news"
+INCLUDES = ["includes/common.php"]
+
+#: the §5.2 sanitizer: encodes characters by ASCII value.  ord('\'') is
+#: 39 < 48, so quotes are always encoded — the routine is *safe* — but
+#: the analyzer cannot relate ord($c) to $c and must assume $c flows.
+ASCII_SANITIZER = """\
+function tiger_encode($text)
+{
+    $out = '';
+    for ($i = 0; $i < strlen($text); $i++)
+    {
+        $char = $text[$i];
+        $code = ord($char);
+        if ($code < 48 || ($code > 57 && $code < 65) || $code > 122)
+        {
+            $out .= '&#' . $code . ';';
+        }
+        else
+        {
+            $out .= $char;
+        }
+    }
+    return $out;
+}
+"""
+
+
+def build(root: Path) -> AppManifest:
+    app = root / APP
+    (app / "includes").mkdir(parents=True, exist_ok=True)
+    manifest = AppManifest(name="Tiger PHP News System (1.0 beta 39)")
+
+    _write_includes(app)
+    for name, source in _pages().items():
+        (app / name).write_text(source)
+
+    manifest.seeds = [
+        Seed("post.php", DIRECT_FALSE, "ASCII-value sanitizer on the subject"),
+        Seed("comments.php", DIRECT_FALSE, "ASCII-value sanitizer on the comment"),
+        Seed("profile.php", DIRECT_FALSE, "ASCII-value sanitizer on the signature"),
+        Seed("article.php", INDIRECT, "view counter keyed on a fetched column"),
+        Seed("forum.php", INDIRECT, "last-poster update from a fetched row"),
+    ]
+    return manifest
+
+
+def _write_includes(app: Path) -> None:
+    (app / "includes" / "config.php").write_text(
+        "<?php\n"
+        "$config_dbhost = 'localhost';\n"
+        "$config_dbuser = 'tiger';\n"
+        "$config_dbpass = 'secret';\n"
+        "$config_dbname = 'tigernews';\n"
+        "$config_perpage = 15;\n"
+        "$config_sitename = 'Tiger News';\n"
+    )
+    (app / "includes" / "database.php").write_text(db_class("TigerDB", "tiger_"))
+    (app / "includes" / "functions.php").write_text(
+        "<?php\n"
+        + ASCII_SANITIZER
+        + "\n"
+        + formatting_helpers("tiger")
+        + "\n"
+        + markup_filter("tiger_forum", rounds=5)
+        + "\n"
+        + _smiley_filter()
+    )
+    (app / "includes" / "common.php").write_text(
+        """\
+<?php
+require_once 'includes/config.php';
+require_once 'includes/database.php';
+require_once 'includes/functions.php';
+require_once 'includes/lang.php';
+
+$DB = new TigerDB($config_dbhost, $config_dbuser, $config_dbpass, $config_dbname);
+$uid = intval(isset($_COOKIE['tiger_uid']) ? $_COOKIE['tiger_uid'] : 0);
+$getviewer = $DB->query("SELECT * FROM `tiger_user` WHERE uid=$uid");
+$VIEWER = $DB->fetch_array($getviewer);
+"""
+    )
+    (app / "includes" / "lang.php").write_text(
+        language_file(
+            "tl",
+            [
+                ("posted", "Your article has been posted."),
+                ("edited", "Your article has been updated."),
+                ("deleted", "The article has been removed."),
+                ("invalid", "Invalid request."),
+                ("noperm", "You do not have permission."),
+                ("search", "Search the archive"),
+                ("comments", "Reader comments"),
+                ("profileok", "Profile saved."),
+                ("loginbad", "Wrong username or password."),
+                ("welcome", "Welcome back!"),
+            ],
+        )
+    )
+
+
+def _smiley_filter() -> str:
+    """More §5.3 replacement chains: emoticon substitution for the forum."""
+    smileys = [
+        (":D", "biggrin"), (";)", "wink"), (":P", "tongue"),
+        (":o", "surprised"), (":roll:", "rolleyes"), (":cry:", "cry"),
+        (":evil:", "evil"), (":idea:", "idea"), (":!:", "exclaim"),
+    ]
+    lines = ["function tiger_smileys($text)", "{"]
+    for code, name in smileys:
+        escaped = code.replace("'", "\\'")
+        lines.append(
+            f"    $text = str_replace('{escaped}', "
+            f"'<img src=\"icons/{name}.gif\" alt=\"{name}\" />', $text);"
+        )
+    lines.append("    return $text;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _pages() -> dict[str, str]:
+    pages: dict[str, str] = {}
+
+    pages["index.php"] = page_shell(
+        "Tiger News",
+        """\
+// front page, fully sanitized paging (verifies clean)
+$page = intval(isset($_GET['page']) ? $_GET['page'] : 1);
+$offset = ($page - 1) * $config_perpage;
+$getnews = $DB->query("SELECT * FROM `tiger_news`"
+    . " ORDER BY posted DESC LIMIT $offset, 15");
+while ($news = $DB->fetch_array($getnews))
+{
+    echo '<h2><a href="article.php?id=' . intval($news['id']) . '">'
+        . tiger_html($news['subject']) . '</a></h2>';
+    echo '<div>' . tiger_forum_markup(tiger_smileys(tiger_excerpt($news['body'])))
+        . '</div>';
+}
+""",
+        INCLUDES,
+        filler=620,
+    )
+
+    pages["article.php"] = page_shell(
+        "Article",
+        """\
+// article display: id sanitized with intval (verifies clean)
+$id = intval(isset($_GET['id']) ? $_GET['id'] : 0);
+$getnews = $DB->query("SELECT * FROM `tiger_news` WHERE id=$id");
+$news = $DB->fetch_array($getnews);
+echo '<h1>' . tiger_html($news['subject']) . '</h1>';
+echo '<div>' . tiger_forum_markup(tiger_smileys(tiger_html($news['body'])))
+    . '</div>';
+
+// SEEDED (indirect): the view counter keys on the *fetched* category
+$cat = $news['category'];
+$DB->query("UPDATE `tiger_stats` SET hits=hits+1 WHERE category='$cat'");
+""",
+        INCLUDES,
+        filler=620,
+    )
+
+    pages["post.php"] = page_shell(
+        "Post Article",
+        """\
+if ($VIEWER['level'] != 1)
+{
+    tiger_msg($tl_noperm);
+    exit;
+}
+// SEEDED (direct-false): tiger_encode() encodes every character whose
+// ASCII code falls outside [0-9A-Za-z] — quotes included — so this is
+// safe at runtime; the analyzer cannot model ord() comparisons.
+$subject = tiger_encode(isset($_POST['subject']) ? $_POST['subject'] : '');
+$body = tiger_encode(isset($_POST['body']) ? $_POST['body'] : '');
+$stamp = time();
+$DB->query("INSERT INTO `tiger_news` (subject, body, posted)"
+    . " VALUES ('$subject', '$body', $stamp)");
+tiger_msg($tl_posted);
+""",
+        INCLUDES,
+        filler=620,
+    )
+
+    pages["comments.php"] = page_shell(
+        "Comments",
+        """\
+$id = intval(isset($_GET['id']) ? $_GET['id'] : 0);
+$getcomments = $DB->query("SELECT * FROM `tiger_comment` WHERE newsid=$id");
+while ($comment = $DB->fetch_array($getcomments))
+{
+    echo '<div class="comment">' . tiger_html($comment['body']) . '</div>';
+}
+// SEEDED (direct-false): same ASCII-value sanitizer on the new comment
+$body = tiger_encode(isset($_POST['body']) ? $_POST['body'] : '');
+if ($body != '')
+{
+    $DB->query("INSERT INTO `tiger_comment` (newsid, body)"
+        . " VALUES ($id, '$body')");
+    tiger_msg($tl_comments);
+}
+""",
+        INCLUDES,
+        filler=620,
+    )
+
+    pages["profile.php"] = page_shell(
+        "Profile",
+        """\
+// SEEDED (direct-false): the signature passes through tiger_encode too
+$signature = tiger_encode(isset($_POST['signature']) ? $_POST['signature'] : '');
+$uid = intval($VIEWER['uid']);
+$DB->query("UPDATE `tiger_user` SET signature='$signature' WHERE uid=$uid");
+tiger_msg($tl_profileok);
+""",
+        INCLUDES,
+        filler=620,
+    )
+
+    pages["forum.php"] = page_shell(
+        "Forum",
+        """\
+$thread = intval(isset($_GET['thread']) ? $_GET['thread'] : 0);
+$getposts = $DB->query("SELECT * FROM `tiger_post` WHERE thread=$thread"
+    . " ORDER BY posted ASC");
+while ($post = $DB->fetch_array($getposts))
+{
+    $body = tiger_html($post['body']);
+    $body = tiger_forum_markup($body);
+    $body = tiger_smileys($body);
+    $body = str_replace('[code]', '<pre>', $body);
+    $body = str_replace('[/code]', '</pre>', $body);
+    $body = str_replace('[url]', '<a href="', $body);
+    $body = str_replace('[/url]', '">link</a>', $body);
+    echo '<div class="post">' . $body . '</div>';
+}
+// SEEDED (indirect): last-poster column comes from the fetched row
+$lastposter = $post['author'];
+$DB->query("UPDATE `tiger_thread` SET lastposter='$lastposter'"
+    . " WHERE id=$thread");
+""",
+        INCLUDES,
+        filler=620,
+    )
+
+    pages["search.php"] = page_shell(
+        "Search",
+        """\
+// search term escaped inside quotes (verifies clean)
+$term = $DB->escape(isset($_POST['term']) ? $_POST['term'] : '');
+if ($term != '')
+{
+    $results = $DB->query("SELECT * FROM `tiger_news`"
+        . " WHERE subject LIKE '%$term%'");
+    while ($news = $DB->fetch_array($results))
+    {
+        echo '<h3>' . tiger_html($news['subject']) . '</h3>';
+    }
+}
+""",
+        INCLUDES,
+        filler=620,
+    )
+
+    pages["edit.php"] = page_shell(
+        "Edit Article",
+        """\
+if ($VIEWER['level'] != 1)
+{
+    tiger_msg($tl_noperm);
+    exit;
+}
+// anchored id check + escaped text (verifies clean)
+$id = isset($_GET['id']) ? $_GET['id'] : '';
+if (!preg_match('/^[0-9]+$/', $id))
+{
+    tiger_msg($tl_invalid);
+    exit;
+}
+$subject = $DB->escape(isset($_POST['subject']) ? $_POST['subject'] : '');
+$DB->query("UPDATE `tiger_news` SET subject='$subject' WHERE id='$id'");
+tiger_msg($tl_edited);
+""",
+        INCLUDES,
+        filler=620,
+    )
+
+    pages["delete_article.php"] = page_shell(
+        "Delete Article",
+        """\
+if ($VIEWER['level'] != 1)
+{
+    tiger_msg($tl_noperm);
+    exit;
+}
+$id = intval(isset($_POST['id']) ? $_POST['id'] : 0);
+$DB->query("DELETE FROM `tiger_news` WHERE id=$id LIMIT 1");
+tiger_msg($tl_deleted);
+""",
+        INCLUDES,
+        filler=620,
+    )
+
+    pages["login.php"] = page_shell(
+        "Login",
+        """\
+// credentials escaped inside quotes (verifies clean)
+$username = $DB->escape(isset($_POST['username']) ? $_POST['username'] : '');
+$password = md5(isset($_POST['password']) ? $_POST['password'] : '');
+$check = $DB->query("SELECT * FROM `tiger_user`"
+    . " WHERE username='$username' AND password='$password'");
+if ($DB->is_single_row($check))
+{
+    tiger_msg($tl_welcome);
+}
+else
+{
+    tiger_msg($tl_loginbad);
+}
+""",
+        INCLUDES,
+        filler=620,
+    )
+
+    pages["admin.php"] = page_shell(
+        "Administration",
+        """\
+if ($VIEWER['level'] != 1)
+{
+    tiger_msg($tl_noperm);
+    exit;
+}
+// admin action dispatch over a whitelist (verifies clean)
+$action = isset($_GET['action']) ? $_GET['action'] : 'overview';
+switch ($action)
+{
+    case 'prune':
+        $DB->query("DELETE FROM `tiger_comment` WHERE flagged=1");
+        tiger_msg('Pruned.');
+        break;
+    case 'optimize':
+        $DB->query("SELECT COUNT(*) FROM `tiger_news`");
+        tiger_msg('Optimized.');
+        break;
+    default:
+        echo '<p>Overview</p>';
+}
+""",
+        INCLUDES,
+        filler=620,
+    )
+
+    return pages

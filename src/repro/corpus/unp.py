@@ -1,0 +1,715 @@
+"""Synthetic stand-in for Utopia News Pro 1.3.0 (paper Table 1, row 4).
+
+The paper found: **14 real direct** SQLCIVs, **2 direct false
+positives**, and **12 indirect** reports in 25 files / 5,611 lines.
+This generator seeds exactly that anatomy, using the idioms the paper
+describes:
+
+* the Figure 2 unanchored-``eregi`` bug (plus "two others similar"),
+* the Figure 9 string→bool type-conversion false positive (plus "the
+  other is similar"),
+* the Figure 10 unchecked-``$USER`` indirect INSERT,
+* escaped-but-unquoted numeric contexts, stripslashes-after-addslashes,
+  raw cookie/POST/GET flows,
+* and properly sanitized queries that the tool must *verify* (anchored
+  regexes, ``$DB->escape`` inside quotes, ``intval``, whitelists).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .manifest import AppManifest, DIRECT_FALSE, DIRECT_REAL, INDIRECT, Seed
+from .snippets import (
+    db_class,
+    formatting_helpers,
+    language_file,
+    markup_filter,
+    page_shell,
+)
+
+APP = "utopia_news_pro"
+INCLUDES = ["includes/header.php"]
+
+
+def build(root: Path) -> AppManifest:
+    app = root / APP
+    (app / "includes").mkdir(parents=True, exist_ok=True)
+    manifest = AppManifest(name="Utopia News Pro (1.3.0)")
+
+    _write_includes(app)
+
+    pages = {
+        "index.php": _page_index(),
+        "news.php": _page_news(),
+        "shownews.php": _page_shownews(),
+        "postnews.php": _page_postnews(),
+        "useredit.php": _page_useredit(),
+        "userdel.php": _page_userdel(),
+        "usernew.php": _page_usernew(),
+        "viewuser.php": _page_viewuser(),
+        "search.php": _page_search(),
+        "comment.php": _page_comment(),
+        "archive.php": _page_archive(),
+        "profile.php": _page_profile(),
+        "rss.php": _page_rss(),
+        "category.php": _page_category(),
+        "editnews.php": _page_editnews(),
+        "delnews.php": _page_delnews(),
+        "login.php": _page_login(),
+        "register.php": _page_register(),
+        "subscribe.php": _page_subscribe(),
+        "members.php": _page_members(),
+        "logout.php": _page_logout(),
+    }
+    for name, source in pages.items():
+        (app / name).write_text(source)
+
+    manifest.seeds = [
+        Seed("useredit.php", DIRECT_REAL, "Figure 2: unanchored eregi('[0-9]+')"),
+        Seed("userdel.php", DIRECT_REAL, "unanchored preg_match('/[0-9]+/')"),
+        Seed("usernew.php", DIRECT_REAL, "unanchored eregi('[a-z0-9]+') on username"),
+        Seed("news.php", DIRECT_REAL, "raw GET catid inside quotes"),
+        Seed("search.php", DIRECT_REAL, "raw POST term inside LIKE pattern"),
+        Seed("comment.php", DIRECT_REAL, "addslashes()d input in unquoted numeric context"),
+        Seed("archive.php", DIRECT_REAL, "raw GET month inside quotes"),
+        Seed("profile.php", DIRECT_REAL, "raw COOKIE theme inside quotes"),
+        Seed("rss.php", DIRECT_REAL, "raw GET limit in LIMIT clause"),
+        Seed("category.php", DIRECT_REAL, "raw REQUEST cat inside quotes"),
+        Seed("editnews.php", DIRECT_REAL, "start-anchored-only preg_match('/^[0-9]+/')"),
+        Seed("delnews.php", DIRECT_REAL, "stripslashes undoes addslashes"),
+        Seed("login.php", DIRECT_REAL, "raw POST username inside quotes"),
+        Seed("subscribe.php", DIRECT_REAL, "raw POST email inside quotes"),
+        Seed("shownews.php", DIRECT_FALSE, "Figure 9: string→bool cast guards the query"),
+        Seed("viewuser.php", DIRECT_FALSE, "Figure 9 twin with POST input"),
+        Seed("postnews.php", INDIRECT, "Figure 10: unchecked $USER fields in INSERT"),
+        Seed("index.php", INDIRECT, "lastvisit UPDATE keyed on raw $USER username"),
+        Seed("members.php", INDIRECT, "group filter from $USER groupname"),
+        Seed("logout.php", INDIRECT, "session DELETE keyed on raw $USER session"),
+        Seed("register.php", INDIRECT, "referrer column from $USER username"),
+        Seed("news.php", INDIRECT, "view-count UPDATE keyed on $USER lastcat"),
+        Seed("shownews.php", INDIRECT, "read-log INSERT of $USER username"),
+        Seed("search.php", INDIRECT, "search-log INSERT of $USER username"),
+        Seed("archive.php", INDIRECT, "prefs UPDATE keyed on $USER stylepref"),
+        Seed("profile.php", INDIRECT, "signature UPDATE from $USER signature"),
+        Seed("category.php", INDIRECT, "audit INSERT of $USER username"),
+        Seed("login.php", INDIRECT, "failed-login INSERT of $USER lastname"),
+    ]
+    return manifest
+
+
+# ---------------------------------------------------------------------------
+# includes
+# ---------------------------------------------------------------------------
+
+
+def _write_includes(app: Path) -> None:
+    (app / "includes" / "db.php").write_text(db_class("UNP_DB", "unp_"))
+    (app / "includes" / "functions.php").write_text(
+        "<?php\n"
+        + formatting_helpers("unp")
+        + "\n"
+        + markup_filter("unp", rounds=3)
+        + "\n"
+        + _extra_helpers()
+    )
+    (app / "includes" / "lang.php").write_text(
+        language_file(
+            "gp",
+            [
+                ("permserror", "You do not have permission to view this page."),
+                ("invalidrequest", "Invalid request."),
+                ("invaliduser", "You entered an invalid user ID."),
+                ("allfields", "All fields are required."),
+                ("newsposted", "Your news item has been posted."),
+                ("newsdeleted", "The news item has been deleted."),
+                ("loginfailed", "Login failed. Check your credentials."),
+                ("welcome", "Welcome to Utopia News Pro!"),
+                ("subscribed", "You have been subscribed to the newsletter."),
+                ("commentposted", "Your comment has been saved."),
+                ("profileupdated", "Your profile has been updated."),
+                ("registered", "Your account has been created."),
+                ("searchempty", "Your search returned no results."),
+                ("sessionexpired", "Your session has expired. Please log in."),
+                ("accessdenied", "Access denied."),
+            ],
+        )
+    )
+    (app / "includes" / "header.php").write_text(
+        """\
+<?php
+require_once 'includes/db.php';
+require_once 'includes/functions.php';
+require_once 'includes/lang.php';
+
+$DB = new UNP_DB('localhost', 'unp', 'secret', 'unp');
+
+// restore the current user from the session cookie; every column of
+// $USER is database data (an INDIRECT source in the analysis)
+$session = isset($_COOKIE['unp_session']) ? $_COOKIE['unp_session'] : '';
+$session = $DB->escape($session);
+$getuser = $DB->query("SELECT * FROM `unp_user` WHERE session='$session'");
+$USER = $DB->fetch_array($getuser);
+$showall = 0;
+"""
+    )
+
+
+def _extra_helpers() -> str:
+    return """\
+function unp_redirect($target)
+{
+    header('Location: ' . $target);
+    exit;
+}
+
+function unp_isEmpty($value)
+{
+    $value = trim($value);
+    return strlen($value) == 0;
+}
+
+function unp_checkemail($email)
+{
+    return preg_match('/^[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+$/', $email);
+}
+
+function unp_trimtext($text, $max)
+{
+    if (strlen($text) > $max)
+    {
+        return substr($text, 0, $max) . '...';
+    }
+    return $text;
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# entry pages
+# ---------------------------------------------------------------------------
+
+
+def _page_index() -> str:
+    return page_shell(
+        "Utopia News Pro",
+        """\
+// front page: latest news, sanitized paging (verifies clean)
+$page = isset($_GET['page']) ? intval($_GET['page']) : 1;
+$offset = ($page - 1) * 10;
+$getnews = $DB->query("SELECT * FROM `unp_news` ORDER BY `date` DESC LIMIT $offset, 10");
+while ($news = $DB->fetch_array($getnews))
+{
+    echo '<div class="item"><h2>' . unp_html($news['subject']) . '</h2>';
+    echo '<p>' . unp_markup(unp_html($news['news'])) . '</p>';
+    echo '<span class="byline">' . unp_html($news['poster']) . ' on '
+        . unp_date($news['date']) . '</span></div>';
+}
+
+// SEEDED (indirect): lastvisit bookkeeping trusts the DB-loaded username
+$username = $USER['username'];
+$posttime = time();
+$DB->query("UPDATE `unp_user` SET lastvisit='$posttime' WHERE username='$username'");
+""",
+        INCLUDES,
+        filler=190,
+    )
+
+
+def _page_news() -> str:
+    return page_shell(
+        "News",
+        """\
+// SEEDED (direct-real): category id straight from the URL into quotes
+$catid = isset($_GET['catid']) ? $_GET['catid'] : '';
+$getnews = $DB->query("SELECT * FROM `unp_news` WHERE catid='$catid' ORDER BY `date` DESC");
+while ($news = $DB->fetch_array($getnews))
+{
+    echo '<h3>' . unp_html($news['subject']) . '</h3>';
+    echo '<p>' . unp_excerpt($news['news']) . '</p>';
+}
+
+// SEEDED (indirect): per-user category counter keyed on a DB value
+$lastcat = $USER['lastcat'];
+$DB->query("UPDATE `unp_stats` SET views=views+1 WHERE catid='$lastcat'");
+""",
+        INCLUDES,
+        filler=190,
+    )
+
+
+def _page_shownews() -> str:
+    """Figure 9, nearly verbatim: the false positive the paper analyzes."""
+    return page_shell(
+        "Show News",
+        """\
+// SEEDED (direct-false, Figure 9): the string→bool conversion makes
+// this safe at runtime — '' and '0' fail the second test, everything
+// non-numeric exits — but that needs type-conversion reasoning.
+isset($_GET['newsid']) ? $getnewsid = $_GET['newsid'] : $getnewsid = false;
+if (($getnewsid != false) && (!preg_match('/^[\\d]+$/', $getnewsid)))
+{
+    unp_msg('You entered an invalid news ID.');
+    exit;
+}
+if (!$showall && $getnewsid)
+{
+    $getnews = $DB->query("SELECT * FROM `unp_news`"
+        . " WHERE `newsid`='$getnewsid'"
+        . " ORDER BY `date` DESC LIMIT 1");
+    $news = $DB->fetch_array($getnews);
+    echo '<h2>' . unp_html($news['subject']) . '</h2>';
+    echo '<div>' . unp_markup(unp_html($news['news'])) . '</div>';
+}
+
+// SEEDED (indirect): reading log records the DB-loaded username
+$reader = $USER['username'];
+$DB->query("INSERT INTO `unp_readlog` (`who`) VALUES ('$reader')");
+""",
+        INCLUDES,
+        filler=190,
+    )
+
+
+def _page_postnews() -> str:
+    """Figure 10, nearly verbatim: the indirect report the paper shows."""
+    return page_shell(
+        "Post News",
+        """\
+$subject = $DB->escape(isset($_POST['subject']) ? $_POST['subject'] : '');
+$news = $DB->escape(isset($_POST['news']) ? $_POST['news'] : '');
+$posttime = time();
+
+// SEEDED (indirect, Figure 10): $newsposterid is checked, $newsposter is
+// not — "at the least it represents inconsistent programming"
+$newsposter = $USER['username'];
+$newsposterid = $USER['userid'];
+if (unp_isEmpty($subject) || unp_isEmpty($news))
+{
+    unp_msg($gp_allfields);
+    exit;
+}
+if (!preg_match('/^[\\d]+$/', $newsposterid))
+{
+    unp_msg($gp_invalidrequest);
+    exit;
+}
+$submitnews = $DB->query("INSERT INTO `unp_news`"
+    . " (`date`, `subject`, `news`, `posterid`, `poster`)"
+    . " VALUES "
+    . "('$posttime','$subject','$news',"
+    . "'$newsposterid','$newsposter')");
+unp_msg($gp_newsposted);
+""",
+        INCLUDES,
+        filler=190,
+    )
+
+
+def _page_useredit() -> str:
+    """Figure 2, verbatim modulo helper names."""
+    return page_shell(
+        "Edit User",
+        """\
+// SEEDED (direct-real, Figure 2): the regular expression lacks anchors,
+// so any value with one digit somewhere passes the check
+isset($_GET['userid']) ?
+    $userid = $_GET['userid'] : $userid = '';
+if ($USER['groupid'] != 1)
+{
+    unp_msg($gp_permserror);
+    exit;
+}
+if ($userid == '')
+{
+    unp_msg($gp_invalidrequest);
+    exit;
+}
+if (!eregi('[0-9]+', $userid))
+{
+    unp_msg('You entered an invalid user ID.');
+    exit;
+}
+$getuser = $DB->query("SELECT * FROM `unp_user`"
+    . " WHERE userid='$userid'");
+if (!$DB->is_single_row($getuser))
+{
+    unp_msg('You entered an invalid user ID.');
+    exit;
+}
+$edituser = $DB->fetch_array($getuser);
+echo '<form action="useredit.php" method="post">';
+echo '<input type="text" name="username" value="'
+    . unp_html($edituser['username']) . '" />';
+echo '<input type="submit" value="Save" /></form>';
+""",
+        INCLUDES,
+        filler=190,
+    )
+
+
+def _page_userdel() -> str:
+    return page_shell(
+        "Delete User",
+        """\
+if ($USER['groupid'] != 1)
+{
+    unp_msg($gp_permserror);
+    exit;
+}
+// SEEDED (direct-real): same bug family as Figure 2 — preg_match with
+// no anchors accepts '9; DROP ...'
+$userid = isset($_GET['userid']) ? $_GET['userid'] : '';
+if (!preg_match('/[0-9]+/', $userid))
+{
+    unp_msg($gp_invalidrequest);
+    exit;
+}
+$DB->query("DELETE FROM `unp_user` WHERE userid='$userid' LIMIT 1");
+unp_msg('User deleted.');
+""",
+        INCLUDES,
+        filler=190,
+    )
+
+
+def _page_usernew() -> str:
+    return page_shell(
+        "New User",
+        """\
+if ($USER['groupid'] != 1)
+{
+    unp_msg($gp_permserror);
+    exit;
+}
+// SEEDED (direct-real): third of the Figure-2 family — the character
+// class looks tight but the match is unanchored
+$username = isset($_POST['username']) ? $_POST['username'] : '';
+if (!eregi('[a-z0-9]+', $username))
+{
+    unp_msg($gp_invalidrequest);
+    exit;
+}
+$password = md5(isset($_POST['password']) ? $_POST['password'] : '');
+$DB->query("INSERT INTO `unp_user` (`username`, `password`)"
+    . " VALUES ('$username', '$password')");
+unp_msg('User created.');
+""",
+        INCLUDES,
+        filler=190,
+    )
+
+
+def _page_viewuser() -> str:
+    return page_shell(
+        "View User",
+        """\
+// SEEDED (direct-false): the Figure 9 pattern again, with POST data —
+// safe at runtime for the same type-conversion reason
+isset($_POST['uid']) ? $uid = $_POST['uid'] : $uid = false;
+if (($uid != false) && (!preg_match('/^[\\d]+$/', $uid)))
+{
+    unp_msg($gp_invalidrequest);
+    exit;
+}
+if ($uid)
+{
+    $getuser = $DB->query("SELECT * FROM `unp_user` WHERE userid='$uid'");
+    $user = $DB->fetch_array($getuser);
+    echo '<h2>' . unp_html($user['username']) . '</h2>';
+    echo '<p>Member since ' . unp_date($user['joined']) . '</p>';
+}
+""",
+        INCLUDES,
+        filler=190,
+    )
+
+
+def _page_search() -> str:
+    return page_shell(
+        "Search",
+        """\
+// SEEDED (direct-real): search term embedded raw in a LIKE pattern
+$term = isset($_POST['term']) ? $_POST['term'] : '';
+if ($term != '')
+{
+    $results = $DB->query("SELECT * FROM `unp_news`"
+        . " WHERE subject LIKE '%$term%' ORDER BY `date` DESC");
+    while ($news = $DB->fetch_array($results))
+    {
+        echo '<h3>' . unp_html($news['subject']) . '</h3>';
+    }
+    // SEEDED (indirect): the search log trusts the DB-loaded username
+    $who = $USER['username'];
+    $DB->query("INSERT INTO `unp_searchlog` (`who`) VALUES ('$who')");
+}
+else
+{
+    echo '<form method="post"><input name="term" />'
+        . '<input type="submit" value="Search" /></form>';
+}
+""",
+        INCLUDES,
+        filler=190,
+    )
+
+
+def _page_comment() -> str:
+    return page_shell(
+        "Comment",
+        """\
+// SEEDED (direct-real): the input IS escaped — but used in an unquoted
+// numeric context, where escaping does not confine it (the paper's
+// argument against binary sanitizer models, §1.1)
+$newsid = addslashes(isset($_GET['newsid']) ? $_GET['newsid'] : '0');
+$comment = $DB->escape(isset($_POST['comment']) ? $_POST['comment'] : '');
+$getnews = $DB->query("SELECT * FROM `unp_news` WHERE newsid=$newsid");
+if ($DB->is_single_row($getnews))
+{
+    $DB->query("INSERT INTO `unp_comment` (`newsid`, `body`)"
+        . " VALUES ($newsid, '$comment')");
+    unp_msg($gp_commentposted);
+}
+""",
+        INCLUDES,
+        filler=190,
+    )
+
+
+def _page_archive() -> str:
+    return page_shell(
+        "Archive",
+        """\
+// SEEDED (direct-real): month selector straight from the URL
+$month = isset($_GET['month']) ? $_GET['month'] : '01';
+$getnews = $DB->query("SELECT * FROM `unp_news`"
+    . " WHERE month='$month' ORDER BY `date` DESC");
+while ($news = $DB->fetch_array($getnews))
+{
+    echo '<li>' . unp_html($news['subject']) . '</li>';
+}
+
+// SEEDED (indirect): style preference round-trips through the DB
+$style = $USER['stylepref'];
+$DB->query("UPDATE `unp_user` SET style='$style' WHERE userid=1");
+""",
+        INCLUDES,
+        filler=190,
+    )
+
+
+def _page_profile() -> str:
+    return page_shell(
+        "Profile",
+        """\
+// SEEDED (direct-real): theme cookie used raw — cookies are user data
+$theme = isset($_COOKIE['unp_theme']) ? $_COOKIE['unp_theme'] : 'default';
+$gettheme = $DB->query("SELECT * FROM `unp_themes` WHERE name='$theme'");
+$themerow = $DB->fetch_array($gettheme);
+echo '<link rel="stylesheet" href="' . unp_html($themerow['css']) . '" />';
+
+// SEEDED (indirect): signature written back from the DB-loaded value
+$sig = $USER['signature'];
+$DB->query("UPDATE `unp_profile` SET signature='$sig' WHERE userid=1");
+""",
+        INCLUDES,
+        filler=190,
+    )
+
+
+def _page_rss() -> str:
+    return page_shell(
+        "RSS",
+        """\
+// SEEDED (direct-real): feed length from the URL, unquoted LIMIT
+$limit = isset($_GET['limit']) ? $_GET['limit'] : '10';
+$getnews = $DB->query("SELECT * FROM `unp_news` ORDER BY `date` DESC LIMIT $limit");
+echo '<?xml version="1.0"?>' . "\\n" . '<rss version="2.0"><channel>';
+while ($news = $DB->fetch_array($getnews))
+{
+    echo '<item><title>' . unp_html($news['subject']) . '</title></item>';
+}
+echo '</channel></rss>';
+""",
+        INCLUDES,
+        filler=190,
+    )
+
+
+def _page_category() -> str:
+    return page_shell(
+        "Categories",
+        """\
+// SEEDED (direct-real): $_REQUEST merges GET/POST/COOKIE — all user data
+$cat = isset($_REQUEST['cat']) ? $_REQUEST['cat'] : '';
+$getcat = $DB->query("SELECT * FROM `unp_category` WHERE name='$cat'");
+$catrow = $DB->fetch_array($getcat);
+echo '<h2>' . unp_html($catrow['title']) . '</h2>';
+
+// SEEDED (indirect): audit trail of the DB-loaded username
+$who = $USER['username'];
+$DB->query("INSERT INTO `unp_audit` (`who`, `what`) VALUES ('$who', 'cat')");
+""",
+        INCLUDES,
+        filler=190,
+    )
+
+
+def _page_editnews() -> str:
+    return page_shell(
+        "Edit News",
+        """\
+if ($USER['groupid'] != 1)
+{
+    unp_msg($gp_permserror);
+    exit;
+}
+// SEEDED (direct-real): anchored at the start only — '1; DROP ...'
+// still passes because nothing pins the end of the string
+$newsid = isset($_GET['newsid']) ? $_GET['newsid'] : '';
+if (!preg_match('/^[0-9]+/', $newsid))
+{
+    unp_msg($gp_invalidrequest);
+    exit;
+}
+$subject = $DB->escape(isset($_POST['subject']) ? $_POST['subject'] : '');
+$DB->query("UPDATE `unp_news` SET subject='$subject'"
+    . " WHERE newsid='$newsid'");
+unp_msg('News updated.');
+""",
+        INCLUDES,
+        filler=190,
+    )
+
+
+def _page_delnews() -> str:
+    return page_shell(
+        "Delete News",
+        """\
+if ($USER['groupid'] != 1)
+{
+    unp_msg($gp_permserror);
+    exit;
+}
+// SEEDED (direct-real): magic-quotes compensation gone wrong — the
+// stripslashes undoes the addslashes, leaving the input raw
+$newsid = addslashes(isset($_POST['newsid']) ? $_POST['newsid'] : '');
+$newsid = stripslashes($newsid);
+$DB->query("DELETE FROM `unp_news` WHERE newsid='$newsid' LIMIT 1");
+unp_msg($gp_newsdeleted);
+""",
+        INCLUDES,
+        filler=190,
+    )
+
+
+def _page_login() -> str:
+    return page_shell(
+        "Login",
+        """\
+// SEEDED (direct-real): the classic — username raw, password hashed
+$username = isset($_POST['username']) ? $_POST['username'] : '';
+$password = md5(isset($_POST['password']) ? $_POST['password'] : '');
+if ($username != '')
+{
+    $check = $DB->query("SELECT * FROM `unp_user`"
+        . " WHERE username='$username' AND password='$password'");
+    if ($DB->is_single_row($check))
+    {
+        unp_msg($gp_welcome);
+    }
+    else
+    {
+        unp_msg($gp_loginfailed);
+        // SEEDED (indirect): failure log trusts the DB-loaded value
+        $last = $USER['lastname'];
+        $DB->query("INSERT INTO `unp_loginlog` (`name`) VALUES ('$last')");
+    }
+}
+""",
+        INCLUDES,
+        filler=190,
+    )
+
+
+def _page_register() -> str:
+    return page_shell(
+        "Register",
+        """\
+// registration form: inputs properly escaped inside quotes (verifies)
+$username = $DB->escape(isset($_POST['username']) ? $_POST['username'] : '');
+$email = isset($_POST['email']) ? $_POST['email'] : '';
+if (!unp_checkemail($email))
+{
+    unp_msg($gp_invalidrequest);
+    exit;
+}
+$email = $DB->escape($email);
+$DB->query("INSERT INTO `unp_user` (`username`, `email`)"
+    . " VALUES ('$username', '$email')");
+
+// SEEDED (indirect): referrer column from the DB-loaded username
+$referrer = $USER['username'];
+$DB->query("UPDATE `unp_user` SET referrer='$referrer'"
+    . " WHERE username='$username'");
+unp_msg($gp_registered);
+""",
+        INCLUDES,
+        filler=190,
+    )
+
+
+def _page_subscribe() -> str:
+    return page_shell(
+        "Subscribe",
+        """\
+// SEEDED (direct-real): the email is validated… and then the RAW value
+// is used, not the validated one (note the unanchored check elsewhere
+// is not even needed: the query uses $_POST directly)
+$email = isset($_POST['email']) ? $_POST['email'] : '';
+$DB->query("INSERT INTO `unp_newsletter` (`email`) VALUES ('$email')");
+unp_msg($gp_subscribed);
+""",
+        INCLUDES,
+        filler=190,
+    )
+
+
+def _page_members() -> str:
+    return page_shell(
+        "Members",
+        """\
+// member list with a whitelisted sort order (verifies clean)
+$order = isset($_GET['order']) ? $_GET['order'] : 'ASC';
+if (!in_array($order, array('ASC', 'DESC')))
+{
+    exit;
+}
+$getusers = $DB->query("SELECT * FROM `unp_user` ORDER BY username $order");
+while ($user = $DB->fetch_array($getusers))
+{
+    echo '<li>' . unp_html($user['username']) . '</li>';
+}
+
+// SEEDED (indirect): group banner text comes straight from the DB
+$group = $USER['groupname'];
+$DB->query("UPDATE `unp_stats` SET lastgroup='$group' WHERE id=1");
+""",
+        INCLUDES,
+        filler=190,
+    )
+
+
+def _page_logout() -> str:
+    return page_shell(
+        "Logout",
+        """\
+// SEEDED (indirect): the session token from the DB row is reused raw
+$token = $USER['session'];
+$DB->query("DELETE FROM `unp_session` WHERE token='$token'");
+setcookie('unp_session', '');
+unp_msg('You have been logged out.');
+""",
+        INCLUDES,
+        filler=190,
+    )

@@ -1,0 +1,318 @@
+"""Synthetic stand-in for Warp Content Management System 1.2.1 (Table 1,
+row 5) — the app the paper *verified*: **zero** reports of any kind.
+
+Warp is the precision stress test in the other direction: 42 files /
+23,003 lines of queries that are all defensible, using every sanitation
+idiom the analysis must prove safe — ``intval``/casts, escaping inside
+quotes, anchored regular expressions, and whitelists.  Any report here
+is a false positive, so this app keeps the checker honest.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .manifest import AppManifest
+from .snippets import (
+    db_class,
+    formatting_helpers,
+    language_file,
+    page_shell,
+)
+
+APP = "warp_cms"
+INCLUDES = ["lib/bootstrap.php"]
+
+#: (module name, singular noun) — each becomes list/show/save/remove pages
+MODULES = [
+    ("pages", "page"),
+    ("blocks", "block"),
+    ("menus", "menu"),
+    ("media", "asset"),
+    ("users", "account"),
+    ("groups", "group"),
+    ("plugins", "plugin"),
+    ("themes", "theme"),
+]
+
+
+def build(root: Path) -> AppManifest:
+    app = root / APP
+    (app / "lib").mkdir(parents=True, exist_ok=True)
+    manifest = AppManifest(name="Warp Content MS (1.2.1)")
+
+    _write_lib(app)
+    page_count = 0
+    for module, noun in MODULES:
+        (app / f"{module}_list.php").write_text(_list_page(module, noun))
+        (app / f"{module}_show.php").write_text(_show_page(module, noun))
+        (app / f"{module}_save.php").write_text(_save_page(module, noun))
+        (app / f"{module}_remove.php").write_text(_remove_page(module, noun))
+        page_count += 4
+    (app / "index.php").write_text(_index_page())
+    (app / "sitemap.php").write_text(_sitemap_page())
+    (app / "feed.php").write_text(_feed_page())
+    (app / "contact.php").write_text(_contact_page())
+    # 8 modules × 4 pages + 4 site pages + 6 lib files = 42 files
+    return manifest
+
+
+def _write_lib(app: Path) -> None:
+    (app / "lib" / "config.php").write_text(
+        "<?php\n"
+        "$warp_dbhost = 'localhost';\n"
+        "$warp_dbuser = 'warp';\n"
+        "$warp_dbpass = 'secret';\n"
+        "$warp_dbname = 'warpcms';\n"
+        "$warp_theme = 'default';\n"
+        "$warp_perpage = 25;\n"
+    )
+    (app / "lib" / "database.php").write_text(db_class("WarpDB", "warp_"))
+    (app / "lib" / "helpers.php").write_text(
+        "<?php\n" + formatting_helpers("warp") + _validators()
+    )
+    (app / "lib" / "lang.php").write_text(
+        language_file(
+            "wl",
+            [
+                ("saved", "Saved."),
+                ("removed", "Removed."),
+                ("invalid", "Invalid request."),
+                ("noperm", "Permission denied."),
+                ("notfound", "Not found."),
+                ("contactok", "Your message has been sent."),
+                ("welcome", "Welcome to Warp CMS."),
+            ],
+        )
+    )
+    (app / "lib" / "template.php").write_text(
+        """\
+<?php
+function warp_render_head($title)
+{
+    echo '<html><head><title>' . htmlspecialchars($title) . '</title></head>';
+    echo '<body><div id="page">';
+}
+
+function warp_render_foot()
+{
+    echo '</div></body></html>';
+}
+
+function warp_render_row($cells)
+{
+    $out = '<tr>';
+    foreach ($cells as $cell)
+    {
+        $out .= '<td>' . htmlspecialchars($cell) . '</td>';
+    }
+    return $out . '</tr>';
+}
+"""
+    )
+    (app / "lib" / "bootstrap.php").write_text(
+        """\
+<?php
+require_once 'lib/config.php';
+require_once 'lib/database.php';
+require_once 'lib/helpers.php';
+require_once 'lib/lang.php';
+require_once 'lib/template.php';
+
+$DB = new WarpDB($warp_dbhost, $warp_dbuser, $warp_dbpass, $warp_dbname);
+"""
+    )
+
+
+def _validators() -> str:
+    return """\
+function warp_id($value)
+{
+    return intval($value);
+}
+
+function warp_text($value)
+{
+    return mysql_real_escape_string($value);
+}
+
+function warp_slug($value)
+{
+    return preg_replace('/[^a-z0-9_]/', '', strtolower($value));
+}
+
+function warp_checkslug($value)
+{
+    return preg_match('/^[a-z0-9_]+$/', $value);
+}
+"""
+
+
+def _list_page(module: str, noun: str) -> str:
+    return page_shell(
+        f"Warp — {module}",
+        f"""\
+// listing with cast paging and a whitelisted sort column
+$page = warp_id(isset($_GET['page']) ? $_GET['page'] : 1);
+$offset = ($page - 1) * $warp_perpage;
+$sort = isset($_GET['sort']) ? $_GET['sort'] : 'title';
+if (!in_array($sort, array('title', 'created', 'author')))
+{{
+    $sort = 'title';
+}}
+$rows = $DB->query("SELECT * FROM `warp_{module}`"
+    . " ORDER BY $sort ASC LIMIT $offset, 25");
+echo '<table>';
+while ($row = $DB->fetch_array($rows))
+{{
+    echo warp_render_row(array($row['title'], $row['author']));
+}}
+echo '</table>';
+echo warp_pager($page, 10);
+""",
+        INCLUDES,
+        filler=600,
+    )
+
+
+def _show_page(module: str, noun: str) -> str:
+    return page_shell(
+        f"Warp — view {noun}",
+        f"""\
+// display by integer id (cast) or by slug (anchored regex)
+$id = warp_id(isset($_GET['id']) ? $_GET['id'] : 0);
+if ($id > 0)
+{{
+    $result = $DB->query("SELECT * FROM `warp_{module}` WHERE id=$id");
+}}
+else
+{{
+    $slug = isset($_GET['slug']) ? $_GET['slug'] : '';
+    if (!warp_checkslug($slug))
+    {{
+        warp_msg($wl_invalid);
+        exit;
+    }}
+    $result = $DB->query("SELECT * FROM `warp_{module}` WHERE slug='$slug'");
+}}
+$row = $DB->fetch_array($result);
+echo '<h1>' . warp_html($row['title']) . '</h1>';
+echo '<div>' . warp_html($row['body']) . '</div>';
+""",
+        INCLUDES,
+        filler=650,
+    )
+
+
+def _save_page(module: str, noun: str) -> str:
+    return page_shell(
+        f"Warp — save {noun}",
+        f"""\
+// every field passes through a typed validator before the query
+$id = warp_id(isset($_POST['id']) ? $_POST['id'] : 0);
+$title = warp_text(isset($_POST['title']) ? $_POST['title'] : '');
+$body = warp_text(isset($_POST['body']) ? $_POST['body'] : '');
+$slug = warp_slug(isset($_POST['slug']) ? $_POST['slug'] : '');
+if ($id > 0)
+{{
+    $DB->query("UPDATE `warp_{module}`"
+        . " SET title='$title', body='$body', slug='$slug'"
+        . " WHERE id=$id");
+}}
+else
+{{
+    $DB->query("INSERT INTO `warp_{module}` (title, body, slug)"
+        . " VALUES ('$title', '$body', '$slug')");
+}}
+warp_msg($wl_saved);
+""",
+        INCLUDES,
+        filler=700,
+    )
+
+
+def _remove_page(module: str, noun: str) -> str:
+    return page_shell(
+        f"Warp — remove {noun}",
+        f"""\
+$id = isset($_POST['id']) ? $_POST['id'] : '';
+if (!preg_match('/^[0-9]+$/', $id))
+{{
+    warp_msg($wl_invalid);
+    exit;
+}}
+$DB->query("DELETE FROM `warp_{module}` WHERE id='$id' LIMIT 1");
+warp_msg($wl_removed);
+""",
+        INCLUDES,
+        filler=500,
+    )
+
+
+def _index_page() -> str:
+    return page_shell(
+        "Warp CMS",
+        """\
+$home = $DB->query("SELECT * FROM `warp_pages` WHERE slug='home'");
+$row = $DB->fetch_array($home);
+echo '<h1>' . warp_html($row['title']) . '</h1>';
+echo '<div>' . warp_html($row['body']) . '</div>';
+""",
+        INCLUDES,
+        filler=400,
+    )
+
+
+def _sitemap_page() -> str:
+    return page_shell(
+        "Sitemap",
+        """\
+$rows = $DB->query("SELECT slug, title FROM `warp_pages` ORDER BY title ASC");
+echo '<ul>';
+while ($row = $DB->fetch_array($rows))
+{
+    echo '<li><a href="pages_show.php?slug=' . warp_html($row['slug']) . '">'
+        . warp_html($row['title']) . '</a></li>';
+}
+echo '</ul>';
+""",
+        INCLUDES,
+        filler=400,
+    )
+
+
+def _feed_page() -> str:
+    return page_shell(
+        "Feed",
+        """\
+$count = warp_id(isset($_GET['count']) ? $_GET['count'] : 10);
+$rows = $DB->query("SELECT * FROM `warp_pages`"
+    . " ORDER BY created DESC LIMIT $count");
+echo '<rss version="2.0"><channel>';
+while ($row = $DB->fetch_array($rows))
+{
+    echo '<item><title>' . warp_html($row['title']) . '</title></item>';
+}
+echo '</channel></rss>';
+""",
+        INCLUDES,
+        filler=400,
+    )
+
+
+def _contact_page() -> str:
+    return page_shell(
+        "Contact",
+        """\
+$name = warp_text(isset($_POST['name']) ? $_POST['name'] : '');
+$message = warp_text(isset($_POST['message']) ? $_POST['message'] : '');
+if ($name != '' && $message != '')
+{
+    $DB->query("INSERT INTO `warp_messages` (name, body)"
+        . " VALUES ('$name', '$message')");
+    warp_msg($wl_contactok);
+}
+""",
+        INCLUDES,
+        filler=400,
+    )

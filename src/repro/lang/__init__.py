@@ -1,0 +1,29 @@
+"""The formal-language substrate: everything the analysis is built on.
+
+* :mod:`~repro.lang.charset` — interval character sets (a Boolean algebra)
+* :mod:`~repro.lang.fsa` — NFA/DFA over charset labels
+* :mod:`~repro.lang.regex` — PCRE/POSIX-subset regex engine
+* :mod:`~repro.lang.fst` — finite-state transducers (string operations)
+* :mod:`~repro.lang.grammar` — taint-labeled context-free grammars
+* :mod:`~repro.lang.intersect` — CFG ∩ FSA with taint (paper Fig. 7)
+* :mod:`~repro.lang.image` — CFG image under an FST with taint
+* :mod:`~repro.lang.earley` — sentential-form Earley parsing and
+  Definition 3.2 grammar derivability
+"""
+
+from .charset import CharSet
+from .fsa import DFA, NFA
+from .fst import FST
+from .grammar import DIRECT, Grammar, INDIRECT, Lit, Nonterminal
+
+__all__ = [
+    "CharSet",
+    "DFA",
+    "DIRECT",
+    "FST",
+    "Grammar",
+    "INDIRECT",
+    "Lit",
+    "NFA",
+    "Nonterminal",
+]

@@ -1,0 +1,288 @@
+"""Regular approximation of context-free grammars (Mohri & Nederhof).
+
+The paper's reference [21]: Christensen et al. used this transformation
+to approximate CFGs by finite automata; Minamide's analysis (and ours)
+mostly avoids it by keeping CFGs, but a *structure-preserving* regular
+over-approximation is still the right tool in two places:
+
+* widening cyclic operands with more precision than the charset-closure
+  bound (``GrammarBuilder.widen(strategy="mohri-nederhof")``), and
+* converting loop-built query grammars to automata for checks that need
+  a regular language.
+
+The transformation: for every strongly-connected component ``M`` of the
+nonterminal reference graph that is not already right-linear *within
+M*, introduce a primed copy ``A'`` per ``A ∈ M`` and replace each
+production ``A → α₀B₁α₁B₂…Bₘαₘ`` (``Bᵢ ∈ M``; ``αⱼ`` free of ``M``) by
+
+    A   → α₀ B₁
+    Bᵢ' → αᵢ Bᵢ₊₁      (1 ≤ i < m)
+    Bₘ' → αₘ A'
+
+and ``A → α₀ A'`` when ``m = 0``, plus ``A' → ε``.  The result is
+*strongly regular* (every SCC right-linear), its language a superset of
+the original — and equal when the grammar was strongly regular already.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .charset import CharSet
+from .fsa import NFA
+from .grammar import Grammar, Lit, Nonterminal, Rhs, Symbol, is_terminal
+
+
+def _sccs(grammar: Grammar) -> dict[Nonterminal, int]:
+    """Tarjan SCC ids over the nonterminal reference graph (iterative)."""
+    index: dict[Nonterminal, int] = {}
+    lowlink: dict[Nonterminal, int] = {}
+    on_stack: set[Nonterminal] = set()
+    stack: list[Nonterminal] = []
+    component: dict[Nonterminal, int] = {}
+    counter = [0]
+    comp_counter = [0]
+
+    successors = {
+        nt: [s for rhs in rules for s in rhs if isinstance(s, Nonterminal)]
+        for nt, rules in grammar.productions.items()
+    }
+
+    for root in grammar.productions:
+        if root in index:
+            continue
+        work: list[tuple[Nonterminal, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index[node] = lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            recursed = False
+            children = successors.get(node, [])
+            for i in range(child_index, len(children)):
+                child = children[i]
+                if child not in grammar.productions:
+                    continue
+                if child not in index:
+                    work.append((node, i + 1))
+                    work.append((child, 0))
+                    recursed = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if recursed:
+                continue
+            if lowlink[node] == index[node]:
+                comp_id = comp_counter[0]
+                comp_counter[0] += 1
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component[member] = comp_id
+                    if member is node:
+                        break
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return component
+
+
+def _component_is_right_linear(
+    grammar: Grammar, members: set[Nonterminal]
+) -> bool:
+    """Right-linear within the SCC: at most one member reference per rhs,
+    and only in the final position."""
+    for nt in members:
+        for rhs in grammar.productions.get(nt, ()):
+            positions = [
+                i for i, s in enumerate(rhs) if isinstance(s, Nonterminal) and s in members
+            ]
+            if len(positions) > 1:
+                return False
+            if positions and positions[0] != len(rhs) - 1:
+                return False
+    return True
+
+
+def _component_is_trivial(
+    grammar: Grammar, members: set[Nonterminal]
+) -> bool:
+    """A singleton SCC with no self reference (not recursive at all)."""
+    if len(members) != 1:
+        return False
+    (nt,) = members
+    return not any(
+        s is nt for rhs in grammar.productions.get(nt, ()) for s in rhs
+    )
+
+
+def mohri_nederhof(grammar: Grammar, root: Nonterminal) -> tuple[Grammar, Nonterminal]:
+    """The Mohri–Nederhof strongly-regular over-approximation.
+
+    Returns a new grammar (reusing the original nonterminal objects for
+    unchanged parts) and the same root.  Taint labels carry over; primed
+    nonterminals inherit the labels of their originals.
+    """
+    scope = grammar.subgrammar(root)
+    component = _sccs(scope)
+    by_component: dict[int, set[Nonterminal]] = defaultdict(set)
+    for nt, comp_id in component.items():
+        by_component[comp_id].add(nt)
+
+    needs_transform = {
+        comp_id: members
+        for comp_id, members in by_component.items()
+        if not _component_is_trivial(scope, members)
+        and not _component_is_right_linear(scope, members)
+    }
+
+    result = Grammar(root)
+    primes: dict[Nonterminal, Nonterminal] = {}
+
+    def prime(nt: Nonterminal) -> Nonterminal:
+        if nt not in primes:
+            primes[nt] = result.fresh(f"{nt.name}'")
+            for label in scope.labels.get(nt, ()):
+                result.add_label(primes[nt], label)
+        return primes[nt]
+
+    for nt, rules in scope.productions.items():
+        comp_id = component.get(nt)
+        members = needs_transform.get(comp_id)
+        if members is None:
+            for rhs in rules:
+                result.add(nt, rhs)
+            result.productions.setdefault(nt, [])
+            continue
+        prime(nt)
+        for rhs in rules:
+            # split the rhs into αᵢ pieces around member references Bᵢ:
+            # rhs = α₀ B₁ α₁ B₂ … Bₘ αₘ
+            pieces: list[list[Symbol]] = [[]]
+            member_refs: list[Nonterminal] = []
+            for symbol in rhs:
+                if isinstance(symbol, Nonterminal) and symbol in members:
+                    member_refs.append(symbol)
+                    pieces.append([])
+                else:
+                    pieces[-1].append(symbol)
+            if not member_refs:
+                # A → α₀ A'
+                result.add(nt, tuple(pieces[0]) + (prime(nt),))
+                continue
+            # A → α₀ B₁
+            result.add(nt, tuple(pieces[0]) + (member_refs[0],))
+            # Bᵢ' → αᵢ Bᵢ₊₁
+            for i, member in enumerate(member_refs[:-1]):
+                result.add(
+                    prime(member), tuple(pieces[i + 1]) + (member_refs[i + 1],)
+                )
+            # Bₘ' → αₘ A'
+            result.add(
+                prime(member_refs[-1]), tuple(pieces[-1]) + (prime(nt),)
+            )
+        result.productions.setdefault(nt, [])
+    for members in needs_transform.values():
+        for nt in members:
+            result.add(prime(nt), ())
+
+    result.copy_labels_from(scope, scope.productions)
+    return result, root
+
+
+def is_strongly_regular(grammar: Grammar, root: Nonterminal) -> bool:
+    scope = grammar.subgrammar(root)
+    component = _sccs(scope)
+    by_component: dict[int, set[Nonterminal]] = defaultdict(set)
+    for nt, comp_id in component.items():
+        by_component[comp_id].add(nt)
+    return all(
+        _component_is_trivial(scope, members)
+        or _component_is_right_linear(scope, members)
+        for members in by_component.values()
+    )
+
+
+def strongly_regular_to_nfa(grammar: Grammar, root: Nonterminal) -> NFA:
+    """Compile a strongly regular grammar to an NFA (Nederhof's
+    construction): each recursive SCC becomes one sub-automaton with a
+    state per member; everything below recurses (the reference DAG of
+    SCCs is acyclic, so this terminates)."""
+    scope = grammar.subgrammar(root)
+    component = _sccs(scope)
+    by_component: dict[int, set[Nonterminal]] = defaultdict(set)
+    for nt, comp_id in component.items():
+        by_component[comp_id].add(nt)
+
+    nfa = NFA()
+    memo: dict[Nonterminal, tuple[int, int]] = {}
+
+    def splice_symbol(symbol: Symbol, src: int) -> int:
+        """Attach the automaton of one symbol after state ``src``."""
+        if isinstance(symbol, Lit):
+            current = src
+            for char in symbol.text:
+                nxt = nfa.new_state()
+                nfa.add_edge(current, CharSet.of(char), nxt)
+                current = nxt
+            return current
+        if isinstance(symbol, CharSet):
+            nxt = nfa.new_state()
+            nfa.add_edge(src, symbol, nxt)
+            return nxt
+        entry, exit_state = build_nt(symbol)
+        nfa.add_epsilon(src, entry)
+        return exit_state
+
+    def splice_sequence(symbols: Rhs, src: int) -> int:
+        current = src
+        for symbol in symbols:
+            current = splice_symbol(symbol, current)
+        return current
+
+    def build_nt(nt: Nonterminal) -> tuple[int, int]:
+        if nt in memo:
+            return memo[nt]
+        members = by_component[component[nt]]
+        if _component_is_trivial(scope, members):
+            entry = nfa.new_state()
+            exit_state = nfa.new_state()
+            memo[nt] = (entry, exit_state)
+            for rhs in scope.productions.get(nt, ()):
+                end = splice_sequence(rhs, entry)
+                nfa.add_epsilon(end, exit_state)
+            return memo[nt]
+        if not _component_is_right_linear(scope, members):
+            raise ValueError(
+                f"grammar is not strongly regular at {nt.name}; apply "
+                "mohri_nederhof() first"
+            )
+        # one shared sub-automaton for the whole SCC
+        member_state = {member: nfa.new_state() for member in members}
+        exit_state = nfa.new_state()
+        for member in members:
+            memo[member] = (member_state[member], exit_state)
+        for member in members:
+            for rhs in scope.productions.get(member, ()):
+                if rhs and isinstance(rhs[-1], Nonterminal) and rhs[-1] in members:
+                    end = splice_sequence(rhs[:-1], member_state[member])
+                    nfa.add_epsilon(end, member_state[rhs[-1]])
+                else:
+                    end = splice_sequence(rhs, member_state[member])
+                    nfa.add_epsilon(end, exit_state)
+        return memo[nt]
+
+    entry, exit_state = build_nt(root)
+    nfa.start = entry
+    nfa.accepts = {exit_state}
+    return nfa
+
+
+def regular_approximation(grammar: Grammar, root: Nonterminal) -> NFA:
+    """CFG → NFA over-approximation: Mohri–Nederhof, then compile."""
+    if is_strongly_regular(grammar, root):
+        return strongly_regular_to_nfa(grammar, root)
+    approximated, new_root = mohri_nederhof(grammar, root)
+    return strongly_regular_to_nfa(approximated, new_root)

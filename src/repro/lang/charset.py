@@ -1,0 +1,240 @@
+"""Interval-based character sets.
+
+The whole formal-language substrate (automata, transducers, grammars)
+labels transitions and terminals with *character sets* rather than single
+characters.  A :class:`CharSet` is an immutable, normalized union of
+closed codepoint intervals ``[lo, hi]``.  This keeps automata over large
+alphabets (all of Unicode) small: a transition on ``[^']`` is one edge,
+not 1,114,110 edges.
+
+CharSets form a Boolean algebra: union, intersection, complement, and
+difference are all closed and cheap (linear in the number of intervals).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+#: Highest codepoint we model.  sys.maxunicode is the honest bound; the
+#: analyses never depend on the exact value, only on "everything else".
+MAX_CODEPOINT = 0x10FFFF
+
+
+def _normalize(intervals: Iterable[tuple[int, int]]) -> tuple[tuple[int, int], ...]:
+    """Sort, clamp, drop empties, and merge touching/overlapping intervals."""
+    clamped = []
+    for lo, hi in intervals:
+        lo = max(lo, 0)
+        hi = min(hi, MAX_CODEPOINT)
+        if lo <= hi:
+            clamped.append((lo, hi))
+    clamped.sort()
+    merged: list[tuple[int, int]] = []
+    for lo, hi in clamped:
+        if merged and lo <= merged[-1][1] + 1:
+            prev_lo, prev_hi = merged[-1]
+            merged[-1] = (prev_lo, max(prev_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return tuple(merged)
+
+
+class CharSet:
+    """An immutable set of Unicode codepoints stored as sorted intervals."""
+
+    __slots__ = ("intervals", "_hash")
+
+    def __init__(self, intervals: Iterable[tuple[int, int]] = ()) -> None:
+        self.intervals: tuple[tuple[int, int], ...] = _normalize(intervals)
+        self._hash: int | None = None
+
+    # -- constructors -------------------------------------------------
+
+    @staticmethod
+    def empty() -> "CharSet":
+        return _EMPTY
+
+    @staticmethod
+    def any_char() -> "CharSet":
+        """The full alphabet Sigma (one arbitrary character)."""
+        return _ANY
+
+    @staticmethod
+    def of(chars: str) -> "CharSet":
+        """The set containing exactly the characters of ``chars``."""
+        return CharSet((ord(c), ord(c)) for c in chars)
+
+    @staticmethod
+    def range(lo: str, hi: str) -> "CharSet":
+        return CharSet([(ord(lo), ord(hi))])
+
+    @staticmethod
+    def union_of(sets: Iterable["CharSet"]) -> "CharSet":
+        intervals: list[tuple[int, int]] = []
+        for s in sets:
+            intervals.extend(s.intervals)
+        return CharSet(intervals)
+
+    # -- queries -------------------------------------------------------
+
+    def __bool__(self) -> bool:
+        return bool(self.intervals)
+
+    def __contains__(self, char: str | int) -> bool:
+        cp = char if isinstance(char, int) else ord(char)
+        lo_idx, hi_idx = 0, len(self.intervals)
+        while lo_idx < hi_idx:
+            mid = (lo_idx + hi_idx) // 2
+            lo, hi = self.intervals[mid]
+            if cp < lo:
+                hi_idx = mid
+            elif cp > hi:
+                lo_idx = mid + 1
+            else:
+                return True
+        return False
+
+    def size(self) -> int:
+        """Number of codepoints in the set."""
+        return sum(hi - lo + 1 for lo, hi in self.intervals)
+
+    def is_singleton(self) -> bool:
+        return len(self.intervals) == 1 and self.intervals[0][0] == self.intervals[0][1]
+
+    def min_char(self) -> str:
+        """An arbitrary (the smallest) member; useful for witness strings."""
+        if not self.intervals:
+            raise ValueError("empty CharSet has no member")
+        return chr(self.intervals[0][0])
+
+    def sample_char(self) -> str:
+        """A *readable* member if one exists (prefers printable ASCII)."""
+        for lo, hi in self.intervals:
+            start = max(lo, 0x20)
+            if start <= min(hi, 0x7E):
+                return chr(start)
+        return self.min_char()
+
+    def chars(self, limit: int = 64) -> Iterator[str]:
+        """Iterate members (up to ``limit``), smallest first."""
+        count = 0
+        for lo, hi in self.intervals:
+            for cp in range(lo, hi + 1):
+                if count >= limit:
+                    return
+                yield chr(cp)
+                count += 1
+
+    # -- algebra -------------------------------------------------------
+
+    def union(self, other: "CharSet") -> "CharSet":
+        return CharSet(self.intervals + other.intervals)
+
+    def intersect(self, other: "CharSet") -> "CharSet":
+        result = []
+        a, b = self.intervals, other.intervals
+        i = j = 0
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if lo <= hi:
+                result.append((lo, hi))
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return CharSet(result)
+
+    def complement(self) -> "CharSet":
+        result = []
+        prev_end = -1
+        for lo, hi in self.intervals:
+            if lo > prev_end + 1:
+                result.append((prev_end + 1, lo - 1))
+            prev_end = hi
+        if prev_end < MAX_CODEPOINT:
+            result.append((prev_end + 1, MAX_CODEPOINT))
+        return CharSet(result)
+
+    def difference(self, other: "CharSet") -> "CharSet":
+        return self.intersect(other.complement())
+
+    def overlaps(self, other: "CharSet") -> bool:
+        a, b = self.intervals, other.intervals
+        i = j = 0
+        while i < len(a) and j < len(b):
+            if a[i][0] > b[j][1]:
+                j += 1
+            elif b[j][0] > a[i][1]:
+                i += 1
+            else:
+                return True
+        return False
+
+    def is_subset_of(self, other: "CharSet") -> bool:
+        return not self.difference(other)
+
+    # -- dunder --------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CharSet) and self.intervals == other.intervals
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self.intervals)
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self.intervals:
+            return "CharSet(∅)"
+        if self == _ANY:
+            return "CharSet(Σ)"
+        parts = []
+        for lo, hi in self.intervals[:8]:
+            if lo == hi:
+                parts.append(_show(lo))
+            else:
+                parts.append(f"{_show(lo)}-{_show(hi)}")
+        if len(self.intervals) > 8:
+            parts.append("…")
+        return f"CharSet[{','.join(parts)}]"
+
+
+def _show(cp: int) -> str:
+    if 0x21 <= cp <= 0x7E:
+        return chr(cp)
+    return f"\\u{cp:04x}"
+
+
+def partition_charsets(sets: Sequence[CharSet]) -> list[CharSet]:
+    """Refine ``sets`` into disjoint, nonempty classes covering their union.
+
+    Every input set is a union of some of the returned classes.  This is
+    the standard alphabet-refinement step used before automaton
+    determinization and product constructions.
+    """
+    boundaries: set[int] = set()
+    for s in sets:
+        for lo, hi in s.intervals:
+            boundaries.add(lo)
+            boundaries.add(hi + 1)
+    cuts = sorted(boundaries)
+    classes = []
+    for lo, next_lo in zip(cuts, cuts[1:]):
+        piece = CharSet([(lo, next_lo - 1)])
+        if any(piece.overlaps(s) for s in sets):
+            classes.append(piece)
+    return classes
+
+
+_EMPTY = CharSet()
+_ANY = CharSet([(0, MAX_CODEPOINT)])
+
+#: Convenient named classes used throughout the PHP/SQL layers.
+DIGITS = CharSet.range("0", "9")
+LOWER = CharSet.range("a", "z")
+UPPER = CharSet.range("A", "Z")
+ALPHA = LOWER.union(UPPER)
+ALNUM = ALPHA.union(DIGITS)
+WORD = ALNUM.union(CharSet.of("_"))
+SPACE = CharSet.of(" \t\r\n\f\v")

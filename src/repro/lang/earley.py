@@ -1,0 +1,407 @@
+"""Earley parsing of sentential forms and grammar derivability.
+
+The fallback policy check (paper §3.2.2) asks: is every string derivable
+from a labeled nonterminal also derivable from *some one nonterminal* of
+the reference SQL grammar, in the context where it appears?  Context-free
+language inclusion is undecidable, so the paper approximates it with
+*grammar derivability* (Definition 3.2, after Thiemann): a homomorphism
+``F`` from the generated grammar's symbols to the reference grammar's
+symbols such that every production image is derivable.
+
+Two pieces live here:
+
+* :class:`TokenGrammar` — a plain token-level grammar (symbols are
+  strings; a symbol is a nonterminal iff it has productions).
+* :func:`parse_sentential_form` — an Earley recognizer whose *input* may
+  contain reference-grammar nonterminals; an input nonterminal scans
+  like a token that matches itself.  This is exactly what "parsing a
+  sentential form" means.
+* :func:`derivability` — the Definition 3.2 fixed point: shrink
+  candidate sets ``C(X) ⊆ V₂ ∪ Σ₂`` until stable, then verify one
+  concrete mapping ``F`` (so a "derivable" answer is trustworthy — the
+  soundness direction the paper's Theorem 3.4 needs).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+
+class TokenGrammar:
+    """A CFG over string symbols.  Nonterminal ⇔ has a productions entry."""
+
+    def __init__(self, start: str) -> None:
+        self.start = start
+        self.productions: dict[str, list[tuple[str, ...]]] = {}
+
+    def add(self, lhs: str, rhs: Sequence[str]) -> None:
+        rules = self.productions.setdefault(lhs, [])
+        rhs_tuple = tuple(rhs)
+        if rhs_tuple not in rules:
+            rules.append(rhs_tuple)
+
+    def is_nonterminal(self, symbol: str) -> bool:
+        return symbol in self.productions
+
+    def nonterminals(self) -> list[str]:
+        return list(self.productions)
+
+    def terminals(self) -> set[str]:
+        found = set()
+        for rules in self.productions.values():
+            for rhs in rules:
+                for symbol in rhs:
+                    if symbol not in self.productions:
+                        found.add(symbol)
+        return found
+
+    def nullable(self) -> set[str]:
+        """Nonterminals that derive the empty sequence."""
+        nullable: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for lhs, rules in self.productions.items():
+                if lhs in nullable:
+                    continue
+                for rhs in rules:
+                    if all(s in nullable for s in rhs):
+                        nullable.add(lhs)
+                        changed = True
+                        break
+        return nullable
+
+
+def enumerate_strings(
+    grammar: TokenGrammar,
+    start: str,
+    max_strings: int = 64,
+    max_len: int = 64,
+) -> list[tuple[str, ...]] | None:
+    """All token strings of ``L(start)`` if finite and small, else None.
+
+    Production-less nonterminals (holes) are treated as opaque tokens and
+    appear in the output — so the result is really the set of *sentential
+    forms* over terminals and holes.
+    """
+    expandable = {nt for nt, rules in grammar.productions.items() if rules}
+    # cycle check among expandable nonterminals
+    visiting: set[str] = set()
+    visited: set[str] = set()
+
+    def cyclic(nt: str) -> bool:
+        if nt in visited:
+            return False
+        if nt in visiting:
+            return True
+        visiting.add(nt)
+        for rhs in grammar.productions.get(nt, ()):
+            for symbol in rhs:
+                if symbol in expandable and cyclic(symbol):
+                    return True
+        visiting.discard(nt)
+        visited.add(nt)
+        return False
+
+    if start in expandable and cyclic(start):
+        return None
+    results: set[tuple[str, ...]] = set()
+    forms: list[tuple[str, ...]] = [(start,)]
+    steps = 0
+    while forms:
+        steps += 1
+        if steps > 20_000:
+            return None
+        form = forms.pop()
+        idx = next((i for i, s in enumerate(form) if s in expandable), None)
+        if idx is None:
+            if len(form) > max_len:
+                return None
+            results.add(form)
+            if len(results) > max_strings:
+                return None
+            continue
+        for rhs in grammar.productions[form[idx]]:
+            forms.append(form[:idx] + tuple(rhs) + form[idx + 1 :])
+    return sorted(results)
+
+
+@dataclass(frozen=True)
+class _Item:
+    lhs: str
+    rhs: tuple[str, ...]
+    dot: int
+    origin: int
+
+    def next_symbol(self) -> str | None:
+        return self.rhs[self.dot] if self.dot < len(self.rhs) else None
+
+    def advanced(self) -> "_Item":
+        return _Item(self.lhs, self.rhs, self.dot + 1, self.origin)
+
+
+def parse_sentential_form(
+    grammar: TokenGrammar,
+    start: str,
+    form: Sequence[str],
+    match_classes: Mapping[str, frozenset[str]] | None = None,
+) -> bool:
+    """Earley recognition of ``form`` from ``start``.
+
+    ``form`` may mix terminals and nonterminals of ``grammar``; an input
+    nonterminal matches a predicted occurrence of itself (so a form is
+    accepted iff ``start ⇒* form``).  ``match_classes`` optionally lets
+    an input symbol match a *set* of grammar symbols — used by the
+    derivability fixed point, where a generated-grammar variable ranges
+    over its current candidate set.
+    """
+    augmented = "__start__"
+    while augmented in grammar.productions:
+        augmented += "_"
+    nullable = grammar.nullable()
+    chart: list[set[_Item]] = [set() for _ in range(len(form) + 1)]
+    chart[0].add(_Item(augmented, (start,), 0, 0))
+
+    def matches(expected: str, actual: str) -> bool:
+        if expected == actual:
+            return True
+        if match_classes and actual in match_classes:
+            return expected in match_classes[actual]
+        return False
+
+    for position in range(len(form) + 1):
+        worklist = list(chart[position])
+        seen = set(worklist)
+        while worklist:
+            item = worklist.pop()
+            symbol = item.next_symbol()
+            if symbol is None:
+                # complete
+                for parent in list(chart[item.origin]):
+                    if parent.next_symbol() == item.lhs:
+                        advanced = parent.advanced()
+                        if advanced not in seen and advanced.origin <= position:
+                            if advanced not in chart[position]:
+                                chart[position].add(advanced)
+                                seen.add(advanced)
+                                worklist.append(advanced)
+                continue
+            if grammar.is_nonterminal(symbol):
+                # predict
+                for rhs in grammar.productions[symbol]:
+                    predicted = _Item(symbol, rhs, 0, position)
+                    if predicted not in chart[position]:
+                        chart[position].add(predicted)
+                        seen.add(predicted)
+                        worklist.append(predicted)
+                # Aycock–Horspool nullable fix: a nullable prediction can
+                # complete instantly, so advance over it right away.
+                if symbol in nullable:
+                    advanced = item.advanced()
+                    if advanced not in chart[position]:
+                        chart[position].add(advanced)
+                        seen.add(advanced)
+                        worklist.append(advanced)
+            # scan (terminals AND nonterminals may be scanned from the form)
+            if position < len(form) and matches(symbol, form[position]):
+                advanced = item.advanced()
+                if advanced not in chart[position + 1]:
+                    chart[position + 1].add(advanced)
+        # A completed item whose origin == position can unlock items added
+        # later in the same chart set; the worklist above already loops
+        # until stable, so nothing more to do.
+    return any(
+        item.lhs == augmented and item.dot == 1 for item in chart[len(form)]
+    )
+
+
+@dataclass
+class Derivability:
+    """Result of the Definition 3.2 check."""
+
+    derivable: bool
+    mapping: dict[str, str] | None = None
+    reason: str = ""
+
+
+def candidate_fixpoint(
+    generated: TokenGrammar,
+    reference: TokenGrammar,
+    allowed: Mapping[str, Iterable[str]] | None = None,
+) -> dict[str, set[str]]:
+    """The shrinking candidate sets ``C(X) ⊆ V₂ ∪ Σ₂`` of Definition 3.2.
+
+    ``allowed`` pre-restricts chosen nonterminals (e.g. pin the root to
+    the reference start symbol, or a context hole to one candidate).
+    The result over-approximates the valid mappings: every valid ``F``
+    satisfies ``F(X) ∈ C(X)``; membership alone does not guarantee a
+    globally consistent ``F`` (use :func:`derivability` to verify one).
+    """
+    ref_terminals = reference.terminals()
+    all_candidates = set(reference.nonterminals()) | ref_terminals
+    candidates: dict[str, set[str]] = {
+        nt: set(all_candidates) for nt in generated.productions
+    }
+    if allowed:
+        for nt, allowed_set in allowed.items():
+            candidates[nt] = set(allowed_set) & all_candidates
+
+    # occurrences of "holes" (production-less nonterminals) for the
+    # context-shrinking pass below
+    holes = [nt for nt, rules in generated.productions.items() if not rules]
+    occurrences: dict[str, list[tuple[str, tuple[str, ...]]]] = {h: [] for h in holes}
+    for lhs, rules in generated.productions.items():
+        for rhs in rules:
+            for symbol in rhs:
+                if symbol in occurrences:
+                    occurrences[symbol].append((lhs, rhs))
+
+    changed = True
+    while changed:
+        changed = False
+        match_classes = {
+            nt: frozenset(cands) for nt, cands in candidates.items()
+        }
+        for nt in generated.productions:
+            if not generated.productions[nt]:
+                continue  # handled by the hole pass
+            survivors = set()
+            for cand in candidates[nt]:
+                ok = True
+                for rhs in generated.productions[nt]:
+                    if cand in ref_terminals:
+                        if not (
+                            len(rhs) == 1
+                            and (
+                                rhs[0] == cand
+                                or (
+                                    generated.is_nonterminal(rhs[0])
+                                    and cand in candidates[rhs[0]]
+                                )
+                            )
+                        ):
+                            ok = False
+                            break
+                    elif not parse_sentential_form(
+                        reference, cand, rhs, match_classes
+                    ):
+                        ok = False
+                        break
+                if ok:
+                    survivors.add(cand)
+            if survivors != candidates[nt]:
+                candidates[nt] = survivors
+                changed = True
+        # Hole pass: a hole has no productions of its own, so its
+        # candidates shrink by *context* — candidate A survives only if
+        # every production mentioning the hole still parses with the
+        # hole pinned to A.
+        for hole in holes:
+            if not occurrences[hole]:
+                continue
+            survivors = set()
+            for cand in candidates[hole]:
+                pinned_classes = dict(match_classes)
+                pinned_classes[hole] = frozenset({cand})
+                ok = all(
+                    any(
+                        parse_sentential_form(reference, parent_cand, rhs, pinned_classes)
+                        for parent_cand in candidates[lhs]
+                        if parent_cand not in ref_terminals
+                    )
+                    for lhs, rhs in occurrences[hole]
+                )
+                if ok:
+                    survivors.add(cand)
+            if survivors != candidates[hole]:
+                candidates[hole] = survivors
+                changed = True
+    return candidates
+
+
+def derivability(
+    generated: TokenGrammar,
+    reference: TokenGrammar,
+    root: str,
+    allowed_roots: Iterable[str] | None = None,
+    pinned: Mapping[str, str] | None = None,
+    search_budget: int = 2000,
+) -> Derivability:
+    """Is ``generated`` (rooted at ``root``) derivable from ``reference``?
+
+    Definition 3.2: find ``F`` with ``F(X) ⇒*_ref F*(α)`` for every
+    production ``X → α``.  Terminals map to themselves; every terminal of
+    the generated grammar must therefore be a terminal of the reference
+    grammar (otherwise: not derivable).
+
+    The candidate sets start at all reference nonterminals (or
+    ``allowed_roots`` for the root) and shrink: drop ``A`` from ``C(X)``
+    if some production of ``X`` cannot be parsed from ``A`` with inner
+    variables ranging over their current candidates.  After the fixed
+    point, a concrete ``F`` is searched for and *verified* — only a
+    verified mapping yields ``derivable=True``.
+    """
+    ref_terminals = reference.terminals()
+    for rules in generated.productions.values():
+        for rhs in rules:
+            for symbol in rhs:
+                if not generated.is_nonterminal(symbol) and symbol not in ref_terminals:
+                    return Derivability(
+                        False, reason=f"terminal {symbol!r} unknown to reference grammar"
+                    )
+
+    allowed: dict[str, Iterable[str]] = {}
+    if allowed_roots is not None:
+        allowed[root] = list(allowed_roots)
+    if pinned:
+        for nt, symbol in pinned.items():
+            allowed[nt] = [symbol]
+    candidates = candidate_fixpoint(generated, reference, allowed)
+    if not candidates[root]:
+        return Derivability(False, reason="no candidate for root survives")
+    if any(not cands for cands in candidates.values()):
+        empty = [nt for nt, cands in candidates.items() if not cands]
+        return Derivability(
+            False, reason=f"no candidates survive for {empty[:3]}"
+        )
+
+    # ---- verification: pick and check one concrete mapping ----------------
+    order = sorted(generated.productions, key=lambda nt: len(candidates[nt]))
+    budget = [search_budget]
+
+    def verify(mapping: dict[str, str]) -> bool:
+        for nt, rules in generated.productions.items():
+            target = mapping[nt]
+            for rhs in rules:
+                image = tuple(
+                    mapping[s] if generated.is_nonterminal(s) else s for s in rhs
+                )
+                if target in ref_terminals:
+                    if image != (target,):
+                        return False
+                elif not parse_sentential_form(reference, target, image):
+                    return False
+        return True
+
+    def search(index: int, mapping: dict[str, str]) -> dict[str, str] | None:
+        if budget[0] <= 0:
+            return None
+        if index == len(order):
+            budget[0] -= 1
+            return dict(mapping) if verify(mapping) else None
+        nt = order[index]
+        for cand in sorted(candidates[nt]):
+            mapping[nt] = cand
+            found = search(index + 1, mapping)
+            if found is not None:
+                return found
+            del mapping[nt]
+        return None
+
+    mapping = search(0, {})
+    if mapping is None:
+        return Derivability(False, reason="no consistent mapping verified")
+    return Derivability(True, mapping=mapping)

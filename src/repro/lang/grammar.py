@@ -1,0 +1,462 @@
+"""Context-free grammars with taint-labeled nonterminals.
+
+The string-taint analysis (paper §3.1) represents the set of query
+strings a program can generate as a CFG whose *nonterminals mirror the
+program's dataflow* (one per SSA-style assignment, Figure 5).  Untrusted
+sources are marked by labeling their nonterminals ``DIRECT`` or
+``INDIRECT``; Theorem 3.1 guarantees the labels survive intersection and
+transducer images.
+
+Symbols
+-------
+A production right-hand side is a tuple of:
+
+* :class:`Lit` — a literal string chunk (possibly multi-character; the
+  constant query fragments of Definition 2.1),
+* a :class:`~repro.lang.charset.CharSet` — one character from a set
+  (compact encoding of e.g. ``[0-9]``), and
+* :class:`Nonterminal` values.
+
+Keeping literals multi-character keeps real query grammars small; the
+intersection/image algorithms handle them natively.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .charset import CharSet
+
+#: Taint labels (paper §2.2).
+DIRECT = "direct"
+INDIRECT = "indirect"
+
+
+@dataclass(frozen=True)
+class Lit:
+    """A literal terminal string (may be several characters, never None)."""
+
+    text: str
+
+    def __repr__(self) -> str:
+        return f"Lit({self.text!r})"
+
+
+class Nonterminal:
+    """An interned grammar variable.  Identity-based: two nonterminals are
+    equal only if they are the same object, so fresh variables are cheap."""
+
+    __slots__ = ("name", "uid")
+    _counter = itertools.count()
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.uid = next(Nonterminal._counter)
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __lt__(self, other: "Nonterminal") -> bool:
+        return self.uid < other.uid
+
+
+Symbol = Lit | CharSet | Nonterminal
+Rhs = tuple[Symbol, ...]
+
+
+def is_terminal(symbol: Symbol) -> bool:
+    return isinstance(symbol, (Lit, CharSet))
+
+
+class Grammar:
+    """A mutable CFG with per-nonterminal taint labels."""
+
+    def __init__(self, start: Nonterminal | None = None) -> None:
+        self.start = start
+        self.productions: dict[Nonterminal, list[Rhs]] = {}
+        self.labels: dict[Nonterminal, set[str]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def fresh(self, name: str) -> Nonterminal:
+        nt = Nonterminal(name)
+        self.productions.setdefault(nt, [])
+        return nt
+
+    def add(self, lhs: Nonterminal, rhs: Sequence[Symbol]) -> None:
+        """Add ``lhs -> rhs`` (dedups; drops empty-Lit clutter)."""
+        cleaned = tuple(s for s in rhs if not (isinstance(s, Lit) and s.text == ""))
+        rules = self.productions.setdefault(lhs, [])
+        if cleaned not in rules:
+            rules.append(cleaned)
+
+    def add_label(self, nt: Nonterminal, label: str) -> None:
+        self.labels.setdefault(nt, set()).add(label)
+        self.productions.setdefault(nt, [])
+
+    def copy_labels(self, src: Nonterminal, dst: Nonterminal) -> None:
+        """The paper's TAINTIF: dst inherits every label of src."""
+        for label in self.labels.get(src, ()):
+            self.add_label(dst, label)
+
+    def has_label(self, nt: Nonterminal, label: str | None = None) -> bool:
+        if label is None:
+            return bool(self.labels.get(nt))
+        return label in self.labels.get(nt, ())
+
+    def labeled_nonterminals(self, label: str | None = None) -> list[Nonterminal]:
+        return [nt for nt in self.productions if self.has_label(nt, label)]
+
+    # -- structure queries -------------------------------------------------
+
+    def nonterminals(self) -> list[Nonterminal]:
+        return list(self.productions)
+
+    def num_productions(self) -> int:
+        return sum(len(rules) for rules in self.productions.values())
+
+    def rhs_nonterminals(self, rhs: Rhs) -> Iterator[Nonterminal]:
+        for symbol in rhs:
+            if isinstance(symbol, Nonterminal):
+                yield symbol
+
+    def reachable(self, root: Nonterminal | None = None) -> set[Nonterminal]:
+        root = root or self.start
+        if root is None:
+            return set()
+        seen = {root}
+        queue = deque([root])
+        while queue:
+            nt = queue.popleft()
+            for rhs in self.productions.get(nt, ()):
+                for ref in self.rhs_nonterminals(rhs):
+                    if ref not in seen:
+                        seen.add(ref)
+                        queue.append(ref)
+        return seen
+
+    def productive(self) -> set[Nonterminal]:
+        """Nonterminals that derive at least one terminal string."""
+        productive: set[Nonterminal] = set()
+        changed = True
+        while changed:
+            changed = False
+            for nt, rules in self.productions.items():
+                if nt in productive:
+                    continue
+                for rhs in rules:
+                    if all(
+                        is_terminal(s) or s in productive for s in rhs
+                    ):
+                        productive.add(nt)
+                        changed = True
+                        break
+        return productive
+
+    def trim(self, root: Nonterminal | None = None) -> "Grammar":
+        """Remove unreachable and unproductive nonterminals."""
+        root = root or self.start
+        productive = self.productive()
+        result = Grammar(root)
+        if root not in productive:
+            if root is not None:
+                result.productions[root] = []
+                result.copy_labels_from(self, [root])
+            return result
+        keep = {
+            nt
+            for nt in self.reachable(root)
+            if nt in productive
+        }
+        for nt in keep:
+            for rhs in self.productions.get(nt, ()):
+                if all(
+                    is_terminal(s) or s in keep for s in rhs
+                ):
+                    result.add(nt, rhs)
+            result.productions.setdefault(nt, [])
+        result.copy_labels_from(self, keep)
+        return result
+
+    def copy_labels_from(self, other: "Grammar", nts: Iterable[Nonterminal]) -> None:
+        for nt in nts:
+            for label in other.labels.get(nt, ()):
+                self.add_label(nt, label)
+
+    def subgrammar(self, root: Nonterminal) -> "Grammar":
+        """The grammar restricted to symbols reachable from ``root``."""
+        result = Grammar(root)
+        keep = self.reachable(root)
+        for nt in keep:
+            for rhs in self.productions.get(nt, ()):
+                result.add(nt, rhs)
+            result.productions.setdefault(nt, [])
+        result.copy_labels_from(self, keep)
+        return result
+
+    def cyclic_nonterminals(self) -> set[Nonterminal]:
+        """Nonterminals on a reference cycle (Tarjan SCC, iterative)."""
+        index: dict[Nonterminal, int] = {}
+        lowlink: dict[Nonterminal, int] = {}
+        on_stack: set[Nonterminal] = set()
+        stack: list[Nonterminal] = []
+        counter = itertools.count()
+        cyclic: set[Nonterminal] = set()
+
+        successors = {
+            nt: [ref for rhs in rules for ref in self.rhs_nonterminals(rhs)]
+            for nt, rules in self.productions.items()
+        }
+
+        for root in self.productions:
+            if root in index:
+                continue
+            work = [(root, 0)]
+            while work:
+                node, child_idx = work.pop()
+                if child_idx == 0:
+                    index[node] = lowlink[node] = next(counter)
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                children = successors.get(node, [])
+                for i in range(child_idx, len(children)):
+                    child = children[i]
+                    if child not in index:
+                        work.append((node, i + 1))
+                        work.append((child, 0))
+                        recurse = True
+                        break
+                    if child in on_stack:
+                        lowlink[node] = min(lowlink[node], index[child])
+                if recurse:
+                    continue
+                if lowlink[node] == index[node]:
+                    component = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member is node:
+                            break
+                    if len(component) > 1:
+                        cyclic.update(component)
+                    else:
+                        member = component[0]
+                        if any(child is member for child in successors.get(member, [])):
+                            cyclic.add(member)
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+        return cyclic
+
+    # -- language queries --------------------------------------------------
+
+    def charset_closure(self, root: Nonterminal) -> CharSet:
+        """Union of all characters any string of ``root`` may contain."""
+        chars = CharSet.empty()
+        for nt in self.reachable(root):
+            for rhs in self.productions.get(nt, ()):
+                for symbol in rhs:
+                    if isinstance(symbol, Lit):
+                        chars = chars.union(CharSet.of(symbol.text))
+                    elif isinstance(symbol, CharSet):
+                        chars = chars.union(symbol)
+        return chars
+
+    def sample_strings(self, root: Nonterminal, limit: int = 20, max_len: int = 200) -> list[str]:
+        """Up to ``limit`` distinct strings of L(root), shortest-ish first.
+
+        Breadth-first expansion of sentential forms; charset symbols
+        contribute their sample character (plus ``'`` if present, since
+        quotes are what the analyses care about).
+        """
+        results: list[str] = []
+        seen_forms: set[tuple] = set()
+        queue: deque[Rhs] = deque([(root,)])
+        steps = 0
+        while queue and len(results) < limit and steps < 20000:
+            steps += 1
+            form = queue.popleft()
+            # find first nonterminal / charset
+            idx = next(
+                (i for i, s in enumerate(form) if not isinstance(s, Lit)), None
+            )
+            if idx is None:
+                text = "".join(s.text for s in form)
+                if len(text) <= max_len and text not in results:
+                    results.append(text)
+                continue
+            symbol = form[idx]
+            if isinstance(symbol, CharSet):
+                choices = {symbol.sample_char()}
+                if "'" in symbol:
+                    choices.add("'")
+                if "-" in symbol:
+                    choices.add("-")
+                for char in choices:
+                    expanded = form[:idx] + (Lit(char),) + form[idx + 1 :]
+                    if expanded not in seen_forms:
+                        seen_forms.add(expanded)
+                        queue.append(expanded)
+                continue
+            for rhs in self.productions.get(symbol, ()):
+                expanded = form[:idx] + rhs + form[idx + 1 :]
+                if len(expanded) <= 40 and expanded not in seen_forms:
+                    seen_forms.add(expanded)
+                    queue.append(expanded)
+        return results
+
+    def enumerate_finite(
+        self,
+        root: Nonterminal,
+        max_strings: int = 64,
+        max_charset: int = 16,
+        max_len: int = 200,
+    ) -> list[str] | None:
+        """All strings of ``L(root)`` if the language is finite and small.
+
+        Returns None when the language is (or may be) infinite, when a
+        charset symbol is too wide to enumerate, or when the bounds are
+        exceeded.  Used by the token bridge to handle whitelist values
+        (``ASC``/``DESC`` …) exactly.
+        """
+        scope = self.subgrammar(root).trim(root)
+        if scope.cyclic_nonterminals():
+            return None
+        results: set[str] = set()
+        forms: deque[Rhs] = deque([(root,)])
+        steps = 0
+        while forms:
+            steps += 1
+            if steps > 10_000:
+                return None
+            form = forms.popleft()
+            idx = next(
+                (i for i, s in enumerate(form) if not isinstance(s, Lit)), None
+            )
+            if idx is None:
+                text = "".join(s.text for s in form)
+                if len(text) > max_len:
+                    return None
+                results.add(text)
+                if len(results) > max_strings:
+                    return None
+                continue
+            symbol = form[idx]
+            if isinstance(symbol, CharSet):
+                if symbol.size() > max_charset:
+                    return None
+                for char in symbol.chars(limit=max_charset):
+                    forms.append(form[:idx] + (Lit(char),) + form[idx + 1 :])
+                continue
+            for rhs in scope.productions.get(symbol, ()):
+                forms.append(form[:idx] + rhs + form[idx + 1 :])
+        return sorted(results)
+
+    def generates(self, root: Nonterminal, text: str) -> bool:
+        """Membership test: does ``root`` derive ``text``?
+
+        A bottom-up span table (CYK-style, but directly over our symbol
+        kinds) with a per-span fixpoint so cyclic/unit/epsilon rules are
+        handled exactly.  Not meant for production use — the policy
+        checks use automata intersections — but invaluable for tests and
+        for validating witness strings.
+        """
+        n = len(text)
+        reach = [nt for nt in self.reachable(root) if nt in self.productions]
+        table: set[tuple[Nonterminal, int, int]] = set()
+
+        def seq_derives(rhs: Rhs, k: int, i: int, j: int) -> bool:
+            if k == len(rhs):
+                return i == j
+            symbol = rhs[k]
+            if isinstance(symbol, Lit):
+                split = i + len(symbol.text)
+                return (
+                    split <= j
+                    and text[i:split] == symbol.text
+                    and seq_derives(rhs, k + 1, split, j)
+                )
+            if isinstance(symbol, CharSet):
+                return i < j and text[i] in symbol and seq_derives(rhs, k + 1, i + 1, j)
+            return any(
+                (symbol, i, split) in table and seq_derives(rhs, k + 1, split, j)
+                for split in range(i, j + 1)
+            )
+
+        for length in range(n + 1):
+            spans = [(i, i + length) for i in range(n - length + 1)]
+            changed = True
+            while changed:
+                changed = False
+                for i, j in spans:
+                    for nt in reach:
+                        if (nt, i, j) in table:
+                            continue
+                        if any(
+                            seq_derives(rhs, 0, i, j)
+                            for rhs in self.productions.get(nt, ())
+                        ):
+                            table.add((nt, i, j))
+                            changed = True
+        return (root, 0, n) in table
+
+    # -- transformation ----------------------------------------------------
+
+    def normalized(self, root: Nonterminal | None = None) -> "Grammar":
+        """Equivalent grammar with every rhs of length ≤ 2 (paper's NORMALIZE).
+
+        Long right-hand sides are split with fresh unlabeled chain
+        variables; labels on original nonterminals are preserved.
+        """
+        root = root or self.start
+        result = Grammar(root)
+        for nt in self.productions:
+            result.productions.setdefault(nt, [])
+        for nt, rules in self.productions.items():
+            for rhs in rules:
+                current = nt
+                remaining = rhs
+                while len(remaining) > 2:
+                    chain = result.fresh(f"{nt.name}~")
+                    result.add(current, (remaining[0], chain))
+                    current = chain
+                    remaining = remaining[1:]
+                result.add(current, remaining)
+        result.copy_labels_from(self, self.productions)
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"Grammar(start={self.start}, |V|={len(self.productions)}, "
+            f"|R|={self.num_productions()})"
+        )
+
+    def dump(self, root: Nonterminal | None = None, limit: int = 60) -> str:
+        """Human-readable production listing (for reports and debugging)."""
+        root = root or self.start
+        order = sorted(self.reachable(root) if root else self.productions)
+        lines = []
+        for nt in order[:limit]:
+            tags = ",".join(sorted(self.labels.get(nt, ())))
+            tag_str = f"  [{tags}]" if tags else ""
+            for rhs in self.productions.get(nt, ()):
+                shown = " ".join(_show_symbol(s) for s in rhs) or "ε"
+                lines.append(f"{nt.name} -> {shown}{tag_str}")
+            if not self.productions.get(nt):
+                lines.append(f"{nt.name} -> <no productions>{tag_str}")
+        if len(order) > limit:
+            lines.append(f"… ({len(order) - limit} more nonterminals)")
+        return "\n".join(lines)
+
+
+def _show_symbol(symbol: Symbol) -> str:
+    if isinstance(symbol, Lit):
+        return repr(symbol.text)
+    if isinstance(symbol, CharSet):
+        return repr(symbol)
+    return symbol.name

@@ -1,0 +1,253 @@
+"""Image of a CFG under a finite-state transducer, with taint propagation.
+
+The string-taint analysis converts an extended production like
+``x → escape_quotes(y)`` into ordinary productions by computing the image
+of the grammar rooted at ``y`` under the FST modeling ``escape_quotes``
+(paper §3.1.2).  The construction mirrors the CFG–FSA intersection
+(Figure 7): nonterminals become triples ``X_{pq}`` deriving *the outputs
+of* FST runs from state ``p`` to ``q`` over strings of ``X``, and
+``TAINTIF`` keeps the taint labels attached — the image of a tainted
+subgrammar is tainted.
+
+Because FSTs may be nondeterministic, a literal terminal can map to a
+*set* of outputs per state pair; these become alternation productions.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .charset import CharSet
+from .fst import FST, FSTExplosion, Output, map_marker_charset, render_output
+from .grammar import Grammar, Lit, Nonterminal, Rhs, Symbol, is_terminal
+
+
+def _lit_runs(
+    fst: FST, text: str, start: int, limit: int = 64
+) -> dict[int, set[str]]:
+    """All FST runs over ``text`` from ``start``: end state → output set."""
+    frontier: dict[int, set[str]] = {start: {""}}
+    for char in text:
+        next_frontier: dict[int, set[str]] = defaultdict(set)
+        total = 0
+        for state, outputs in frontier.items():
+            for transition in fst.transitions.get(state, ()):
+                if char not in transition.label:
+                    continue
+                emitted = render_output(transition.output, char)
+                for out in outputs:
+                    next_frontier[transition.dst].add(out + emitted)
+                    total += 1
+                    if total > limit:
+                        raise FSTExplosion(
+                            f"literal {text!r} has >{limit} transducer images"
+                        )
+        frontier = dict(next_frontier)
+        if not frontier:
+            break
+    return frontier
+
+
+def _charset_steps(
+    fst: FST, charset: CharSet, start: int
+) -> dict[int, list[tuple[Symbol, ...]]]:
+    """Single-char images: end state → list of output symbol sequences."""
+    result: dict[int, list[tuple[Symbol, ...]]] = defaultdict(list)
+    for transition in fst.transitions.get(start, ()):
+        overlap = charset.intersect(transition.label)
+        if not overlap:
+            continue
+        symbols: list[Symbol] = []
+        for item in transition.output:
+            mapped = map_marker_charset(item, overlap)
+            if isinstance(mapped, str):
+                if mapped:
+                    symbols.append(Lit(mapped))
+            else:
+                symbols.append(mapped)
+        result[transition.dst].append(tuple(symbols))
+    return result
+
+
+def fst_image(
+    grammar: Grammar, root: Nonterminal, fst: FST
+) -> tuple[Grammar, Nonterminal]:
+    """Grammar for ``{ output : input ∈ L(grammar, root) }`` under ``fst``.
+
+    Returns ``(result, start)``, trimmed, with labels propagated to
+    every triple of a labeled nonterminal (the FST analogue of
+    Theorem 3.1).
+    """
+    normalized = grammar.normalized(root)
+    states = list(range(fst.num_states))
+
+    # ---- pair fixpoint (which (p, q) are realizable per nonterminal) ----
+    pairs: dict[Nonterminal, set[tuple[int, int]]] = defaultdict(set)
+    lit_cache: dict[tuple[int, str, int], dict[int, set[str]]] = {}
+
+    def lit_runs(text: str, p: int) -> dict[int, set[str]]:
+        key = (id(fst), text, p)
+        if key not in lit_cache:
+            lit_cache[key] = _lit_runs(fst, text, p)
+        return lit_cache[key]
+
+    def term_pairs(symbol: Symbol) -> set[tuple[int, int]]:
+        found = set()
+        if isinstance(symbol, Lit):
+            for p in states:
+                for q in lit_runs(symbol.text, p):
+                    found.add((p, q))
+        else:
+            for p in states:
+                for q in _charset_steps(fst, symbol, p):
+                    found.add((p, q))
+        return found
+
+    term_cache: dict[int, set[tuple[int, int]]] = {}
+
+    def sym_pairs(symbol: Symbol) -> set[tuple[int, int]]:
+        if isinstance(symbol, Nonterminal):
+            return pairs[symbol]
+        key = id(symbol)
+        if key not in term_cache:
+            term_cache[key] = term_pairs(symbol)
+        return term_cache[key]
+
+    rules = normalized.productions
+    occurrences: dict[Nonterminal, list[Nonterminal]] = defaultdict(list)
+    for lhs, rhss in rules.items():
+        for rhs in rhss:
+            for symbol in rhs:
+                if isinstance(symbol, Nonterminal):
+                    occurrences[symbol].append(lhs)
+
+    def eval_rhs(rhs: Rhs) -> set[tuple[int, int]]:
+        if not rhs:
+            return {(p, p) for p in states}
+        if len(rhs) == 1:
+            return set(sym_pairs(rhs[0]))
+        left, right = sym_pairs(rhs[0]), sym_pairs(rhs[1])
+        by_start: dict[int, list[int]] = defaultdict(list)
+        for j, k in right:
+            by_start[j].append(k)
+        return {(i, k) for i, j in left for k in by_start.get(j, ())}
+
+    worklist = list(rules)
+    queued = set(worklist)
+    while worklist:
+        lhs = worklist.pop()
+        queued.discard(lhs)
+        added = False
+        for rhs in rules.get(lhs, ()):
+            new_pairs = eval_rhs(rhs) - pairs[lhs]
+            if new_pairs:
+                pairs[lhs].update(new_pairs)
+                added = True
+        if added:
+            for parent in occurrences.get(lhs, ()):
+                if parent not in queued:
+                    queued.add(parent)
+                    worklist.append(parent)
+
+    # ---- materialize the output grammar ---------------------------------
+    result = Grammar()
+    triple: dict[tuple[Nonterminal, int, int], Nonterminal] = {}
+    term_triple: dict[tuple[int, int, int], Nonterminal] = {}
+
+    def get_triple(nt: Nonterminal, p: int, q: int) -> Nonterminal:
+        key = (nt, p, q)
+        if key not in triple:
+            fresh = result.fresh(f"{nt.name}/{p},{q}")
+            triple[key] = fresh
+            for label in normalized.labels.get(nt, ()):
+                result.add_label(fresh, label)
+        return triple[key]
+
+    def term_symbol(symbol: Symbol, p: int, q: int) -> Symbol | None:
+        """Output-side symbol for a terminal crossing (p, q), or None."""
+        key = (id(symbol), p, q)
+        if key in term_triple:
+            return term_triple[key]
+        if isinstance(symbol, Lit):
+            outputs = lit_runs(symbol.text, p).get(q)
+            if not outputs:
+                return None
+            if len(outputs) == 1:
+                out = next(iter(outputs))
+                return Lit(out)
+            wrapper = result.fresh(f"lit/{p},{q}")
+            for out in sorted(outputs):
+                wrapper_rhs = (Lit(out),) if out else ()
+                result.add(wrapper, wrapper_rhs)
+            term_triple[key] = wrapper
+            return wrapper
+        sequences = _charset_steps(fst, symbol, p).get(q)
+        if not sequences:
+            return None
+        if len(sequences) == 1 and len(sequences[0]) == 1:
+            return sequences[0][0]
+        wrapper = result.fresh(f"cls/{p},{q}")
+        for seq in sequences:
+            result.add(wrapper, seq)
+        term_triple[key] = wrapper
+        return wrapper
+
+    def rhs_symbol(symbol: Symbol, p: int, q: int) -> Symbol | None:
+        if is_terminal(symbol):
+            return term_symbol(symbol, p, q)
+        if (p, q) in pairs[symbol]:
+            return get_triple(symbol, p, q)
+        return None
+
+    for lhs, rhss in rules.items():
+        for p, q in pairs[lhs]:
+            lhs_triple = get_triple(lhs, p, q)
+            for rhs in rhss:
+                if not rhs:
+                    if p == q:
+                        result.add(lhs_triple, ())
+                    continue
+                if len(rhs) == 1:
+                    restricted = rhs_symbol(rhs[0], p, q)
+                    if restricted is not None:
+                        result.add(lhs_triple, (restricted,))
+                    continue
+                first, second = rhs
+                for p2, mid in sym_pairs(first):
+                    if p2 != p:
+                        continue
+                    left = rhs_symbol(first, p, mid)
+                    right = rhs_symbol(second, mid, q)
+                    if left is not None and right is not None:
+                        result.add(lhs_triple, (left, right))
+
+    start = result.fresh(f"{root.name}»")
+    result.start = start
+    for label in normalized.labels.get(root, ()):
+        result.add_label(start, label)
+    for q in states:
+        if not fst.is_accepting(q):
+            continue
+        if (fst.start, q) not in pairs[root]:
+            continue
+        flush = fst.final_output.get(q, "")
+        body: Rhs = (get_triple(root, fst.start, q),)
+        if flush:
+            body = body + (Lit(flush),)
+        result.add(start, body)
+    return result.trim(start), start
+
+
+def regular_image(charset: CharSet, fst: FST) -> tuple[Grammar, Nonterminal]:
+    """Image of ``charset*`` under ``fst`` — the widening target used when a
+    string operation occurs in a grammar cycle (paper §3.1.2).
+
+    ``charset*`` is expressed as the one-nonterminal cyclic grammar
+    ``W → ε | C W`` and run through :func:`fst_image`.
+    """
+    grammar = Grammar()
+    w = grammar.fresh("Σ*")
+    grammar.start = w
+    grammar.add(w, ())
+    grammar.add(w, (charset, w))
+    return fst_image(grammar, w, fst)

@@ -1,0 +1,212 @@
+"""CFG ∩ FSA intersection with taint propagation (paper Figure 7).
+
+Given a grammar ``G``, a root nonterminal, and a DFA ``F``, construct a
+grammar for ``L(G, root) ∩ L(F)`` whose nonterminals are triples
+``X_{ij}`` ("X, entered at automaton state *i*, leaving at *j*").  The
+paper's ``TAINTIF`` step — every ``X_{ij}`` inherits the taint labels of
+``X`` — is what makes Theorem 3.1 hold: tainted-substring boundaries
+survive the intersection.
+
+The construction runs in two stages:
+
+1. a *pair fixpoint* computing, for every nonterminal ``X``, the set of
+   state pairs ``(i, j)`` such that some string of ``X`` drives the DFA
+   from ``i`` to ``j`` (this alone answers emptiness queries, which is
+   all the policy checks need), and
+2. on demand, materialization of the triple grammar.
+
+Working over a *deterministic* automaton keeps literal terminals cheap:
+a multi-character literal reaches exactly one ``j`` from each ``i``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from .charset import CharSet
+from .fsa import DFA
+from .grammar import Grammar, Lit, Nonterminal, Rhs, Symbol, is_terminal
+
+
+class _PairTable:
+    """State-pair sets per grammar symbol, computed to fixpoint."""
+
+    def __init__(self, grammar: Grammar, root: Nonterminal, dfa: DFA) -> None:
+        self.grammar = grammar.normalized(root)
+        self.root = root
+        self.dfa = dfa
+        self.states = sorted(dfa.live_states())
+        self.pairs: dict[Nonterminal, set[tuple[int, int]]] = defaultdict(set)
+        self._lit_cache: dict[tuple[str, int], int | None] = {}
+        self._solve()
+
+    # -- terminal pair sets -------------------------------------------------
+
+    def lit_target(self, text: str, state: int) -> int | None:
+        key = (text, state)
+        if key not in self._lit_cache:
+            self._lit_cache[key] = self.dfa.run_string(state, text)
+        return self._lit_cache[key]
+
+    def term_pairs(self, symbol: Symbol) -> Iterable[tuple[int, int]]:
+        if isinstance(symbol, Lit):
+            for i in self.states:
+                j = self.lit_target(symbol.text, i)
+                if j is not None:
+                    yield (i, j)
+        else:  # CharSet
+            for i in self.states:
+                for label, j in self.dfa.transitions.get(i, ()):
+                    if symbol.overlaps(label):
+                        yield (i, j)
+
+    def charset_refined(self, charset: CharSet, i: int, j: int) -> CharSet:
+        """The characters of ``charset`` that actually drive i → j."""
+        overlap = CharSet.empty()
+        for label, dst in self.dfa.transitions.get(i, ()):
+            if dst == j:
+                overlap = overlap.union(charset.intersect(label))
+        return overlap
+
+    def symbol_pairs(self, symbol: Symbol) -> set[tuple[int, int]]:
+        if is_terminal(symbol):
+            return set(self.term_pairs(symbol))
+        return self.pairs[symbol]
+
+    # -- fixpoint -------------------------------------------------------------
+
+    def _solve(self) -> None:
+        """Worklist fixpoint over the normalized (rhs ≤ 2) grammar.
+
+        This is the paper's Figure 7 organized around "which nonterminal
+        gained pairs" instead of raw triples; the computed relation is
+        identical.
+        """
+        rules = self.grammar.productions
+        # occurrences[Y] = productions in which Y appears on the rhs
+        occurrences: dict[Nonterminal, list[tuple[Nonterminal, Rhs]]] = defaultdict(list)
+        for lhs, rhss in rules.items():
+            for rhs in rhss:
+                for symbol in rhs:
+                    if isinstance(symbol, Nonterminal):
+                        occurrences[symbol].append((lhs, rhs))
+
+        term_cache: dict[int, set[tuple[int, int]]] = {}
+
+        def sym_pairs(symbol: Symbol) -> set[tuple[int, int]]:
+            if isinstance(symbol, Nonterminal):
+                return self.pairs[symbol]
+            key = id(symbol)
+            if key not in term_cache:
+                term_cache[key] = set(self.term_pairs(symbol))
+            return term_cache[key]
+
+        def eval_rhs(rhs: Rhs) -> set[tuple[int, int]]:
+            if not rhs:
+                return {(i, i) for i in self.states}
+            if len(rhs) == 1:
+                return set(sym_pairs(rhs[0]))
+            first, second = rhs
+            left = sym_pairs(first)
+            right = sym_pairs(second)
+            by_start: dict[int, list[int]] = defaultdict(list)
+            for j, k in right:
+                by_start[j].append(k)
+            return {
+                (i, k)
+                for i, j in left
+                for k in by_start.get(j, ())
+            }
+
+        worklist = list(rules)
+        queued = set(worklist)
+        while worklist:
+            lhs = worklist.pop()
+            queued.discard(lhs)
+            added = False
+            for rhs in rules.get(lhs, ()):
+                new_pairs = eval_rhs(rhs) - self.pairs[lhs]
+                if new_pairs:
+                    self.pairs[lhs].update(new_pairs)
+                    added = True
+            if added:
+                for parent, _ in occurrences.get(lhs, ()):
+                    if parent not in queued:
+                        queued.add(parent)
+                        worklist.append(parent)
+
+
+def intersection_is_empty(grammar: Grammar, root: Nonterminal, dfa: DFA) -> bool:
+    """True iff L(grammar, root) ∩ L(dfa) = ∅ (no triple grammar built)."""
+    table = _PairTable(grammar, root, dfa)
+    return not any(
+        (dfa.start, qf) in table.pairs[root] for qf in dfa.accepts
+    )
+
+
+def intersect(
+    grammar: Grammar, root: Nonterminal, dfa: DFA
+) -> tuple[Grammar, Nonterminal]:
+    """The annotated intersection grammar (paper Figure 7 + TAINTIF).
+
+    Returns ``(result, start)``; the result is trimmed.  Labels on
+    ``X_{ij}`` mirror the labels on ``X`` (Theorem 3.1).
+    """
+    table = _PairTable(grammar, root, dfa)
+    normalized = table.grammar
+    result = Grammar()
+    triple: dict[tuple[Nonterminal, int, int], Nonterminal] = {}
+
+    def get_triple(nt: Nonterminal, i: int, j: int) -> Nonterminal:
+        key = (nt, i, j)
+        if key not in triple:
+            fresh = result.fresh(f"{nt.name}@{i},{j}")
+            triple[key] = fresh
+            # TAINTIF: propagate source labels through the construction.
+            for label in normalized.labels.get(nt, ()):
+                result.add_label(fresh, label)
+        return triple[key]
+
+    def rhs_symbol(symbol: Symbol, i: int, j: int) -> Symbol | None:
+        """The (i, j)-restriction of one rhs symbol, or None if invalid."""
+        if isinstance(symbol, Lit):
+            return symbol if table.lit_target(symbol.text, i) == j else None
+        if isinstance(symbol, CharSet):
+            refined = table.charset_refined(symbol, i, j)
+            return refined if refined else None
+        if (i, j) in table.pairs[symbol]:
+            return get_triple(symbol, i, j)
+        return None
+
+    for lhs, rhss in normalized.productions.items():
+        for i, j in table.pairs[lhs]:
+            lhs_triple = get_triple(lhs, i, j)
+            for rhs in rhss:
+                if not rhs:
+                    if i == j:
+                        result.add(lhs_triple, ())
+                    continue
+                if len(rhs) == 1:
+                    restricted = rhs_symbol(rhs[0], i, j)
+                    if restricted is not None:
+                        result.add(lhs_triple, (restricted,))
+                    continue
+                first, second = rhs
+                first_pairs = table.symbol_pairs(first)
+                for i2, mid in first_pairs:
+                    if i2 != i:
+                        continue
+                    left = rhs_symbol(first, i, mid)
+                    right = rhs_symbol(second, mid, j)
+                    if left is not None and right is not None:
+                        result.add(lhs_triple, (left, right))
+
+    start = result.fresh(f"{root.name}∩")
+    result.start = start
+    for label in normalized.labels.get(root, ()):
+        result.add_label(start, label)
+    for qf in dfa.accepts:
+        if (dfa.start, qf) in table.pairs[root]:
+            result.add(start, (get_triple(root, dfa.start, qf),))
+    return result.trim(start), start

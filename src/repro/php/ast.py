@@ -1,0 +1,311 @@
+"""AST node definitions for the PHP subset.
+
+The subset covers what the paper's analysis (and its evaluation corpus)
+exercises: assignments and compound assignments, string concatenation
+and double-quoted interpolation, arrays, superglobals, user functions,
+classes-lite (method calls like ``$DB->query(...)``), the full statement
+repertoire (``if``/``while``/``do``/``for``/``foreach``/``switch``),
+``include``/``require`` (including *dynamic* includes), ``echo``,
+``exit``, ``isset``/``empty``, ternaries, and error suppression.
+
+Nodes are plain dataclasses; every node records its source ``line`` for
+bug reports (the paper's future-work item 3 — we implement it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class Literal(Expr):
+    """A scalar constant: string, int, float, bool, or null."""
+
+    value: str | int | float | bool | None = None
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+
+
+@dataclass
+class ArrayDim(Expr):
+    """``$base[index]``; ``index`` is None for ``$base[] = …`` pushes."""
+
+    base: Expr = None
+    index: Expr | None = None
+
+
+@dataclass
+class Prop(Expr):
+    """``$obj->name``."""
+
+    base: Expr = None
+    name: str = ""
+
+
+@dataclass
+class Interp(Expr):
+    """A double-quoted string: literal chunks interleaved with exprs."""
+
+    parts: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class Assign(Expr):
+    """``target op= value``; plain assignment has ``op == "="``."""
+
+    target: Expr = None
+    op: str = "="
+    value: Expr = None
+
+
+@dataclass
+class Ternary(Expr):
+    condition: Expr = None
+    if_true: Expr | None = None  # None for the `?:` short form
+    if_false: Expr = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class MethodCall(Expr):
+    obj: Expr = None
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class StaticCall(Expr):
+    class_name: str = ""
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class New(Expr):
+    class_name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ArrayLit(Expr):
+    """``array(k => v, …)`` / ``[v, …]``; pairs have key None when absent."""
+
+    items: list[tuple[Expr | None, Expr]] = field(default_factory=list)
+
+
+@dataclass
+class IssetExpr(Expr):
+    targets: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class EmptyExpr(Expr):
+    target: Expr = None
+
+
+@dataclass
+class Cast(Expr):
+    kind: str = ""  # "int", "string", "bool", "float", "array"
+    operand: Expr = None
+
+
+@dataclass
+class Suppress(Expr):
+    """``@expr`` — error suppression (transparent to the analysis)."""
+
+    operand: Expr = None
+
+
+@dataclass
+class ConstFetch(Expr):
+    """A bare identifier used as a constant (or define()d constant)."""
+
+    name: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class Echo(Stmt):
+    values: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class InlineHtml(Stmt):
+    text: str = ""
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr = None
+    then: Block = None
+    elifs: list[tuple[Expr, Block]] = field(default_factory=list)
+    orelse: Block | None = None
+
+
+@dataclass
+class While(Stmt):
+    condition: Expr = None
+    body: Block = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Block = None
+    condition: Expr = None
+
+
+@dataclass
+class For(Stmt):
+    init: list[Expr] = field(default_factory=list)
+    condition: Expr | None = None
+    step: list[Expr] = field(default_factory=list)
+    body: Block = None
+
+
+@dataclass
+class Foreach(Stmt):
+    subject: Expr = None
+    key_var: Expr | None = None
+    value_var: Expr = None
+    body: Block = None
+
+
+@dataclass
+class Switch(Stmt):
+    subject: Expr = None
+    cases: list[tuple[Expr | None, Block]] = field(default_factory=list)  # None = default
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class ExitStmt(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class GlobalDecl(Stmt):
+    names: list[str] = field(default_factory=list)
+
+
+@dataclass
+class Include(Stmt):
+    """``include``/``require`` (and the ``_once`` forms)."""
+
+    path: Expr = None
+    once: bool = False
+    required: bool = False
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    default: Expr | None = None
+    by_reference: bool = False
+
+
+@dataclass
+class FunctionDef(Stmt):
+    name: str = ""
+    params: list[Param] = field(default_factory=list)
+    body: Block = None
+
+
+@dataclass
+class ClassDef(Stmt):
+    name: str = ""
+    parent: str | None = None
+    methods: list[FunctionDef] = field(default_factory=list)
+    properties: list[tuple[str, Expr | None]] = field(default_factory=list)
+
+
+@dataclass
+class File(Node):
+    """A parsed PHP file: the top-level statement list."""
+
+    path: str = ""
+    body: Block = None
+
+
+def walk(node: Node):
+    """Yield ``node`` and all descendants (generic, field-driven)."""
+    yield node
+    for value in vars(node).values():
+        if isinstance(value, Node):
+            yield from walk(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, Node):
+                    yield from walk(item)
+                elif isinstance(item, tuple):
+                    for member in item:
+                        if isinstance(member, Node):
+                            yield from walk(member)

@@ -1,0 +1,766 @@
+"""Transducer/semantic models for PHP's library functions.
+
+The paper's implementation "added specifications for 243 PHP functions"
+(§4).  This module is that catalog, organized by modeling strategy:
+
+* **transducers** — sanitizer-relevant string functions modeled exactly
+  as FSTs (``addslashes``, ``str_replace``, class-replace
+  ``preg_replace`` forms, case mapping, ``stripslashes``, …);
+* **regular abstractions** — functions whose *output language* is a known
+  regular set (``md5`` → 32 hex chars, ``intval`` → an integer,
+  ``urlencode`` → percent-encoded alphabet, …); taint is preserved where
+  the output still depends on the input;
+* **structure models** — ``sprintf``, ``implode``, ``explode``
+  (Figure 8), ``substr``, ``str_repeat``, ``strrev``;
+* **predicates** — condition languages for ``preg_match``/``ereg``/
+  ``is_numeric``/``ctype_*`` used by branch refinement (§3.1.2);
+* **widening fallbacks** — everything string-expanding or unmodellable
+  (``urldecode``, array ``strtr``) soundly widens to a charset closure
+  or Σ*, keeping taint.
+
+Handlers receive the :class:`~repro.analysis.absdom.GrammarBuilder`,
+the abstract argument values, and the raw AST argument nodes (so models
+can exploit literal arguments, which is where all the precision comes
+from — a ``str_replace`` with a dynamic pattern cannot be an FST).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.lang.charset import ALNUM, CharSet, DIGITS
+from repro.lang.fsa import NFA
+from repro.lang.fst import COPY, FST
+from repro.lang.grammar import Lit
+from repro.lang.regex import (
+    Pattern,
+    RegexError,
+    full_match_language,
+    parse_php_regex,
+    parse_regex,
+    search_language,
+)
+from repro.analysis.absdom import GrammarBuilder
+from repro.analysis.values import ArrVal, StrVal, Value
+
+from . import ast
+
+Handler = Callable[[GrammarBuilder, list[Value | None], list[ast.Expr]], Value | None]
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def literal_str(node: ast.Expr | None) -> str | None:
+    """The literal string value of an AST argument, if statically known."""
+    if isinstance(node, ast.Literal) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Literal) and isinstance(node.value, (int, float)):
+        return _php_number_str(node.value)
+    return None
+
+
+def _php_number_str(value: int | float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    return repr(value)
+
+
+def _arg(values: list[Value | None], index: int) -> Value | None:
+    return values[index] if index < len(values) else None
+
+
+def _str_arg(builder: GrammarBuilder, values: list[Value | None], index: int) -> StrVal:
+    return builder.to_str(_arg(values, index))
+
+
+def _keep_taint(builder: GrammarBuilder, source: StrVal, result: StrVal) -> StrVal:
+    for label in builder.labels_of(source):
+        builder.grammar.add_label(result.nt, label)
+    return result
+
+
+def regular_result(builder: GrammarBuilder, pattern: str, hint: str) -> StrVal:
+    return builder.from_nfa(full_match_language(parse_regex(pattern)), hint)
+
+
+# The "all substrings" transducer: skip a prefix, copy a window, skip the
+# suffix.  Exact for substr() with unknown bounds.
+def _substring_fst() -> FST:
+    fst = FST()
+    pre, mid, post = fst.new_state(), fst.new_state(), fst.new_state()
+    anything = CharSet.any_char()
+    fst.add_transition(pre, anything, ("",), pre)
+    fst.add_transition(pre, anything, (COPY,), mid)
+    fst.add_transition(mid, anything, (COPY,), mid)
+    fst.add_transition(mid, anything, ("",), post)
+    fst.add_transition(post, anything, ("",), post)
+    return fst
+
+
+def _between_delims_fst(delim: str) -> FST:
+    """Figure 8: the pieces ``explode(delim, subject)`` returns, for a
+    single-character delimiter (the common case)."""
+    fst = FST()
+    start, skip, mid, done = (fst.new_state() for _ in range(4))
+    delim_cs = CharSet.of(delim)
+    other = delim_cs.complement()
+    anything = CharSet.any_char()
+    # still before our piece: swallow anything, a delimiter may start it
+    fst.add_transition(start, anything, ("",), skip)
+    fst.add_transition(start, other, (COPY,), mid)
+    # the FIRST piece can end right away at a delimiter (empty piece) …
+    fst.add_transition(start, delim_cs, ("",), done)
+    # … and a delimiter at position 0 can also START our piece
+    fst.add_transition(start, delim_cs, ("",), mid)
+    fst.add_transition(skip, anything, ("",), skip)
+    fst.add_transition(skip, delim_cs, ("",), mid)
+    # inside our piece: copy non-delimiters; a delimiter ends it
+    fst.add_transition(mid, other, (COPY,), mid)
+    fst.add_transition(mid, delim_cs, ("",), done)
+    fst.add_transition(done, anything, ("",), done)
+    fst.accepts = {start, mid, done}
+    return fst
+
+
+def _reverse_value(builder: GrammarBuilder, value: StrVal) -> StrVal:
+    """Exact language reversal: reverse every rhs and every literal."""
+    scope = builder.grammar.subgrammar(value.nt)
+    mapping = {nt: builder.fresh(f"rev.{nt.name}") for nt in scope.productions}
+    for nt, rules in scope.productions.items():
+        for rhs in rules:
+            reversed_rhs = []
+            for symbol in reversed(rhs):
+                if isinstance(symbol, Lit):
+                    reversed_rhs.append(Lit(symbol.text[::-1]))
+                elif symbol in mapping:
+                    reversed_rhs.append(mapping[symbol])
+                else:
+                    reversed_rhs.append(symbol)
+            builder.grammar.add(mapping[nt], tuple(reversed_rhs))
+        for label in scope.labels.get(nt, ()):
+            builder.grammar.add_label(mapping[nt], label)
+    return StrVal(mapping[value.nt])
+
+
+# ---------------------------------------------------------------------------
+# character sets for the escaping family
+# ---------------------------------------------------------------------------
+
+ADDSLASHES_CHARS = CharSet.of("'\"\\\0")
+MYSQL_ESCAPE_CHARS = CharSet.of("'\"\\\0\n\r\x1a")
+REGEX_SPECIALS = CharSet.of(".\\+*?[^]$(){}=!<>|:-#/")
+
+
+def _stripslashes_fst() -> FST:
+    fst = FST()
+    normal, escaped = fst.new_state(), fst.new_state()
+    backslash = CharSet.of("\\")
+    fst.add_transition(normal, backslash, ("",), escaped)
+    fst.add_transition(normal, backslash.complement(), (COPY,), normal)
+    fst.add_transition(escaped, CharSet.any_char(), (COPY,), normal)
+    return fst
+
+
+def _htmlspecialchars_fst(quote_style: str) -> FST:
+    mapping = [
+        (CharSet.of("&"), ("&amp;",)),
+        (CharSet.of("<"), ("&lt;",)),
+        (CharSet.of(">"), ("&gt;",)),
+    ]
+    if quote_style in ("ENT_COMPAT", "ENT_QUOTES"):
+        mapping.append((CharSet.of('"'), ("&quot;",)))
+    if quote_style == "ENT_QUOTES":
+        mapping.append((CharSet.of("'"), ("&#039;",)))
+    return FST.char_map(mapping)
+
+
+# ---------------------------------------------------------------------------
+# transducer-family handlers
+# ---------------------------------------------------------------------------
+
+
+def _h_addslashes(builder, values, nodes):
+    subject = _str_arg(builder, values, 0)
+    return builder.image(subject, FST.escape_chars(ADDSLASHES_CHARS), "addslashes")
+
+
+def _h_stripslashes(builder, values, nodes):
+    subject = _str_arg(builder, values, 0)
+    return builder.image(subject, _stripslashes_fst(), "stripslashes")
+
+
+def _h_mysql_escape(builder, values, nodes):
+    subject = _str_arg(builder, values, 0)
+    return builder.image(subject, FST.escape_chars(MYSQL_ESCAPE_CHARS), "sqlescape")
+
+
+def _h_mysqli_escape(builder, values, nodes):
+    # mysqli_real_escape_string($link, $string): subject is argument 1
+    subject = _str_arg(builder, values, 1 if len(values) > 1 else 0)
+    return builder.image(subject, FST.escape_chars(MYSQL_ESCAPE_CHARS), "sqlescape")
+
+
+def _h_htmlspecialchars(builder, values, nodes):
+    subject = _str_arg(builder, values, 0)
+    style = "ENT_COMPAT"
+    if len(nodes) > 1 and isinstance(nodes[1], ast.ConstFetch):
+        style = nodes[1].name
+    return builder.image(subject, _htmlspecialchars_fst(style), "htmlspecial")
+
+
+def _h_strtolower(builder, values, nodes):
+    return builder.image(_str_arg(builder, values, 0), FST.lowercase(), "lower")
+
+
+def _h_strtoupper(builder, values, nodes):
+    return builder.image(_str_arg(builder, values, 0), FST.uppercase(), "upper")
+
+
+def _h_preg_quote(builder, values, nodes):
+    subject = _str_arg(builder, values, 0)
+    return builder.image(subject, FST.escape_chars(REGEX_SPECIALS), "pregquote")
+
+
+def _h_nl2br(builder, values, nodes):
+    subject = _str_arg(builder, values, 0)
+    fst = FST.char_map([(CharSet.of("\n"), ("<br />\n",))])
+    return builder.image(subject, fst, "nl2br")
+
+
+def _h_trim(builder, values, nodes):
+    # Sound over-approximation: output ⊆ input-language ∪ edge-trimmed
+    # strings; we return input ∪ substring-language restricted to losing
+    # only whitespace — simplest sound model is the identity union the
+    # substring language; whitespace precision rarely matters for SQLCIVs.
+    subject = _str_arg(builder, values, 0)
+    trimmed = builder.image(subject, _substring_fst(), "trim")
+    return builder.join([subject, trimmed], "trim∪")
+
+
+def _h_str_replace(builder, values, nodes):
+    search_node = nodes[0] if nodes else None
+    replace_node = nodes[1] if len(nodes) > 1 else None
+    subject = _str_arg(builder, values, 2)
+
+    pairs = _replace_pairs(search_node, replace_node)
+    if pairs is None:
+        # dynamic pattern/replacement: widen, keep taint of all inputs
+        result = builder.widen(subject, "replace▽")
+        for index in (0, 1):
+            arg = _arg(values, index)
+            if isinstance(arg, StrVal):
+                _keep_taint(builder, arg, result)
+        return result
+    result = subject
+    for search, replacement in pairs:
+        if not search:
+            continue
+        result = builder.image(result, FST.replace_string(search, replacement), "replace")
+    return result
+
+
+def _replace_pairs(
+    search_node: ast.Expr | None, replace_node: ast.Expr | None
+) -> list[tuple[str, str]] | None:
+    """Literal (search, replacement) pairs for str_replace, handling the
+    array forms (the paper had to expand those by hand; we support them)."""
+
+    def literal_list(node):
+        if isinstance(node, ast.ArrayLit):
+            items = []
+            for key, value in node.items:
+                text = literal_str(value)
+                if text is None:
+                    return None
+                items.append(text)
+            return items
+        text = literal_str(node)
+        return None if text is None else [text]
+
+    searches = literal_list(search_node)
+    if searches is None:
+        return None
+    replacements = literal_list(replace_node)
+    if replacements is None:
+        return None
+    if isinstance(replace_node, ast.ArrayLit):
+        padded = replacements + [""] * (len(searches) - len(replacements))
+    else:
+        padded = replacements * len(searches)
+    return list(zip(searches, padded))
+
+
+def _h_preg_replace(builder, values, nodes, php_delimiters: bool = True):
+    pattern_text = literal_str(nodes[0] if nodes else None)
+    replacement = literal_str(nodes[1] if len(nodes) > 1 else None)
+    subject = _str_arg(builder, values, 2)
+    fst = None
+    if pattern_text is not None and replacement is not None and "\\" not in replacement and "$" not in replacement:
+        fst = _regex_replace_fst(pattern_text, replacement, php_delimiters)
+    if fst is None:
+        result = builder.widen(subject, "pregrep▽")
+        replacement_value = _arg(values, 1)
+        if isinstance(replacement_value, StrVal):
+            _keep_taint(builder, replacement_value, result)
+        return result
+    return builder.image(subject, fst, "pregrep")
+
+
+def _h_ereg_replace(builder, values, nodes):
+    return _h_preg_replace(builder, values, nodes, php_delimiters=False)
+
+
+def _regex_replace_fst(
+    pattern_text: str, replacement: str, php_delimiters: bool
+) -> FST | None:
+    """An exact FST for the ``preg_replace`` forms web code actually uses:
+    a single character class (``/[^0-9]/``), a repeated class
+    (``/[^a-z]+/``), or a fixed string.  Anything else → None (widen)."""
+    try:
+        pattern = (
+            parse_php_regex(pattern_text)
+            if php_delimiters
+            else parse_regex(pattern_text)
+        )
+    except RegexError:
+        return None
+    root = pattern.root
+    from repro.lang import regex as rx
+
+    def fold(cs: CharSet) -> CharSet:
+        return rx._case_fold(cs) if pattern.ignore_case else cs
+
+    if isinstance(root, rx.Chars):
+        return FST.char_map([(fold(root.charset), (replacement,))])
+    if (
+        isinstance(root, rx.Repeat)
+        and isinstance(root.node, rx.Chars)
+        and root.low >= 1
+        and root.high is None
+    ):
+        return FST.collapse_class(fold(root.node.charset), replacement)
+    if isinstance(root, rx.Repeat) and isinstance(root.node, rx.Chars) and root.low == 0:
+        # '/x*/' replaces empty matches too — not FST-expressible; widen
+        return None
+    if isinstance(root, rx.Literal) and root.text:
+        if pattern.ignore_case:
+            return None
+        return FST.replace_string(root.text, replacement)
+    if isinstance(root, rx.Seq):
+        text_parts = []
+        for part in root.parts:
+            if isinstance(part, rx.Literal):
+                text_parts.append(part.text)
+            else:
+                return None
+        joined = "".join(text_parts)
+        if joined and not pattern.ignore_case:
+            return FST.replace_string(joined, replacement)
+    return None
+
+
+def _h_strtr(builder, values, nodes):
+    subject = _str_arg(builder, values, 0)
+    from_text = literal_str(nodes[1] if len(nodes) > 1 else None)
+    to_text = literal_str(nodes[2] if len(nodes) > 2 else None)
+    if from_text is not None and to_text is not None:
+        mapping = [
+            (CharSet.of(f), (t,))
+            for f, t in zip(from_text, to_text)
+        ]
+        return builder.image(subject, FST.char_map(mapping), "strtr")
+    result = builder.widen(subject, "strtr▽")
+    return result
+
+
+def _h_strrev(builder, values, nodes):
+    return _reverse_value(builder, _str_arg(builder, values, 0))
+
+
+def _h_substr(builder, values, nodes):
+    subject = _str_arg(builder, values, 0)
+    return builder.image(subject, _substring_fst(), "substr")
+
+
+def _h_str_repeat(builder, values, nodes):
+    subject = _str_arg(builder, values, 0)
+    star = builder.fresh("repeat")
+    builder.grammar.add(star, ())
+    builder.grammar.add(star, (subject.nt, star))
+    return StrVal(star)
+
+
+def _h_str_pad(builder, values, nodes):
+    subject = _str_arg(builder, values, 0)
+    pad_text = literal_str(nodes[2] if len(nodes) > 2 else None) or " "
+    pad = builder.literal(pad_text)
+    pad_star = _h_str_repeat(builder, [pad], [])
+    return builder.concat(builder.concat(StrVal(pad_star.nt), subject), pad_star)
+
+
+def _h_sprintf(builder, values, nodes):
+    fmt = literal_str(nodes[0] if nodes else None)
+    if fmt is None:
+        result = builder.widen(_str_arg(builder, values, 0), "sprintf▽")
+        for value in values[1:]:
+            if isinstance(value, StrVal):
+                _keep_taint(builder, value, result)
+        return result
+    parts: list[StrVal] = []
+    arg_index = 1
+    i = 0
+    chunk = ""
+    while i < len(fmt):
+        char = fmt[i]
+        if char == "%" and i + 1 < len(fmt):
+            directive = fmt[i + 1]
+            if directive == "%":
+                chunk += "%"
+                i += 2
+                continue
+            # flush literal chunk
+            if chunk:
+                parts.append(builder.literal(chunk))
+                chunk = ""
+            # skip width/precision/flags
+            j = i + 1
+            while j < len(fmt) and fmt[j] in "0123456789.+-' ":
+                j += 1
+            directive = fmt[j] if j < len(fmt) else "s"
+            if directive in "dufFeEgGbcoxX":
+                # numeric conversions sanitize: output is a number
+                parts.append(regular_result(builder, r"-?[0-9]+(\.[0-9]+)?", "fmtnum"))
+            else:  # %s and friends: the argument flows through
+                parts.append(_str_arg(builder, values, arg_index))
+            arg_index += 1
+            i = j + 1
+            continue
+        chunk += char
+        i += 1
+    if chunk:
+        parts.append(builder.literal(chunk))
+    return builder.concat_all(parts)
+
+
+def _h_implode(builder, values, nodes):
+    glue_value, array_value = _arg(values, 0), _arg(values, 1)
+    if isinstance(glue_value, ArrVal) or (
+        array_value is None and isinstance(glue_value, ArrVal)
+    ):
+        glue_value, array_value = array_value, glue_value
+    if not isinstance(array_value, ArrVal):
+        if isinstance(glue_value, ArrVal):  # implode($array) form
+            array_value, glue_value = glue_value, None
+        else:
+            return builder.any_string(hint="implode?")
+    glue = builder.to_str(glue_value) if glue_value is not None else builder.literal("")
+    element_values = [builder.to_str(v) for v in array_value.all_values()]
+    element = (
+        builder.join(element_values, "elem") if element_values else builder.literal("")
+    )
+    result = builder.fresh("implode")
+    builder.grammar.add(result, ())
+    builder.grammar.add(result, (element.nt,))
+    builder.grammar.add(result, (element.nt, glue.nt, result))
+    return StrVal(result)
+
+
+def _h_explode(builder, values, nodes):
+    delim = literal_str(nodes[0] if nodes else None)
+    subject = _str_arg(builder, values, 1)
+    if delim is not None and len(delim) == 1:
+        piece = builder.image(subject, _between_delims_fst(delim), "explode")
+    else:
+        # multi-character or dynamic delimiter: any substring (sound)
+        piece = builder.image(subject, _substring_fst(), "explode~")
+    return ArrVal(default=piece)
+
+
+def _h_str_split(builder, values, nodes):
+    subject = _str_arg(builder, values, 0)
+    return ArrVal(default=builder.image(subject, _substring_fst(), "strsplit"))
+
+
+# ---------------------------------------------------------------------------
+# regular-output abstractions
+# ---------------------------------------------------------------------------
+
+
+def _regular_handler(pattern: str, hint: str, taint_arg: int | None = None) -> Handler:
+    def handler(builder, values, nodes):
+        result = regular_result(builder, pattern, hint)
+        if taint_arg is not None:
+            arg = _arg(values, taint_arg)
+            if isinstance(arg, StrVal):
+                _keep_taint(builder, arg, result)
+        return result
+
+    return handler
+
+
+def _widen_handler(taint_args: tuple[int, ...] = (0,)) -> Handler:
+    def handler(builder, values, nodes):
+        subjects = [
+            builder.to_str(_arg(values, index))
+            for index in taint_args
+            if _arg(values, index) is not None
+        ]
+        if not subjects:
+            return builder.any_string(hint="▽")
+        joined = builder.join(subjects, "args")
+        return builder.widen(joined, "▽")
+
+    return handler
+
+
+def _identity_handler(index: int = 0) -> Handler:
+    def handler(builder, values, nodes):
+        return _str_arg(builder, values, index)
+
+    return handler
+
+
+def _h_intval(builder, values, nodes):
+    return regular_result(builder, r"-?[0-9]+", "intval")
+
+
+def _h_number_format(builder, values, nodes):
+    return regular_result(builder, r"-?[0-9][0-9,]*(\.[0-9]+)?", "numfmt")
+
+
+def _h_date(builder, values, nodes):
+    fmt = literal_str(nodes[0] if nodes else None)
+    if fmt is not None and "'" not in fmt:
+        return regular_result(builder, r"[A-Za-z0-9 :,./+-]*", "date")
+    return regular_result(builder, r"[^']*", "date~")
+
+
+def _h_urlencode(builder, values, nodes):
+    subject = _str_arg(builder, values, 0)
+    result = regular_result(builder, r"[A-Za-z0-9%._+*-]*", "urlenc")
+    return _keep_taint(builder, subject, result)
+
+
+def _h_base64_encode(builder, values, nodes):
+    subject = _str_arg(builder, values, 0)
+    result = regular_result(builder, r"[A-Za-z0-9+/]*={0,2}", "b64")
+    return _keep_taint(builder, subject, result)
+
+
+# ---------------------------------------------------------------------------
+# the registry
+# ---------------------------------------------------------------------------
+
+NUMERIC = r"-?[0-9]+"
+HEX32 = r"[0-9a-f]{32}"
+HEX40 = r"[0-9a-f]{40}"
+
+BUILTINS: dict[str, Handler] = {
+    # sanitizers / escaping (exact transducers)
+    "addslashes": _h_addslashes,
+    "stripslashes": _h_stripslashes,
+    "mysql_real_escape_string": _h_mysql_escape,
+    "mysql_escape_string": _h_mysql_escape,
+    "mysqli_real_escape_string": _h_mysqli_escape,
+    "pg_escape_string": _h_mysql_escape,
+    "sqlite_escape_string": _h_mysql_escape,
+    "htmlspecialchars": _h_htmlspecialchars,
+    "htmlentities": _h_htmlspecialchars,
+    "preg_quote": _h_preg_quote,
+    "quotemeta": _h_preg_quote,
+    # replacement family
+    "str_replace": _h_str_replace,
+    "str_ireplace": _h_str_replace,
+    "preg_replace": _h_preg_replace,
+    "ereg_replace": _h_ereg_replace,
+    "eregi_replace": _h_ereg_replace,
+    "strtr": _h_strtr,
+    "nl2br": _h_nl2br,
+    # case / shape
+    "strtolower": _h_strtolower,
+    "strtoupper": _h_strtoupper,
+    "mb_strtolower": _h_strtolower,
+    "mb_strtoupper": _h_strtoupper,
+    "lcfirst": _widen_handler(),
+    "ucfirst": _widen_handler(),
+    "ucwords": _widen_handler(),
+    "trim": _h_trim,
+    "ltrim": _h_trim,
+    "rtrim": _h_trim,
+    "chop": _h_trim,
+    "strrev": _h_strrev,
+    "substr": _h_substr,
+    "mb_substr": _h_substr,
+    "str_repeat": _h_str_repeat,
+    "str_pad": _h_str_pad,
+    "wordwrap": _widen_handler(),
+    "chunk_split": _widen_handler(),
+    "strip_tags": _widen_handler(),
+    "stripcslashes": _widen_handler(),
+    "html_entity_decode": _widen_handler(),
+    "htmlspecialchars_decode": _widen_handler(),
+    # formatting / structure
+    "sprintf": _h_sprintf,
+    "vsprintf": _h_sprintf,
+    "implode": _h_implode,
+    "join": _h_implode,
+    "explode": _h_explode,
+    "str_split": _h_str_split,
+    "preg_split": _h_explode,
+    "split": _h_explode,
+    # numeric conversions (sanitizing)
+    "intval": _h_intval,
+    "floatval": _regular_handler(r"-?[0-9]+(\.[0-9]+)?", "floatval"),
+    "doubleval": _regular_handler(r"-?[0-9]+(\.[0-9]+)?", "floatval"),
+    "abs": _regular_handler(r"[0-9]+(\.[0-9]+)?", "abs"),
+    "round": _regular_handler(r"-?[0-9]+(\.[0-9]+)?", "round"),
+    "floor": _regular_handler(NUMERIC, "floor"),
+    "ceil": _regular_handler(NUMERIC, "ceil"),
+    "count": _regular_handler(NUMERIC, "count"),
+    "sizeof": _regular_handler(NUMERIC, "sizeof"),
+    "strlen": _regular_handler(NUMERIC, "strlen"),
+    "mb_strlen": _regular_handler(NUMERIC, "strlen"),
+    "strpos": _regular_handler(NUMERIC, "strpos"),
+    "strrpos": _regular_handler(NUMERIC, "strrpos"),
+    "time": _regular_handler(NUMERIC, "time"),
+    "mktime": _regular_handler(NUMERIC, "mktime"),
+    "rand": _regular_handler(NUMERIC, "rand"),
+    "mt_rand": _regular_handler(NUMERIC, "mt_rand"),
+    "number_format": _h_number_format,
+    "ord": _regular_handler(NUMERIC, "ord"),
+    "hexdec": _regular_handler(NUMERIC, "hexdec"),
+    "octdec": _regular_handler(NUMERIC, "octdec"),
+    "bindec": _regular_handler(NUMERIC, "bindec"),
+    # digest / encoding (safe or restricted alphabets)
+    "md5": _regular_handler(HEX32, "md5"),
+    "sha1": _regular_handler(HEX40, "sha1"),
+    "crc32": _regular_handler(NUMERIC, "crc32"),
+    "uniqid": _regular_handler(r"[0-9a-f.]+", "uniqid"),
+    "dechex": _regular_handler(r"[0-9a-f]+", "dechex"),
+    "decoct": _regular_handler(r"[0-7]+", "decoct"),
+    "decbin": _regular_handler(r"[01]+", "decbin"),
+    "bin2hex": _regular_handler(r"[0-9a-f]*", "bin2hex", taint_arg=0),
+    "urlencode": _h_urlencode,
+    "rawurlencode": _h_urlencode,
+    "base64_encode": _h_base64_encode,
+    "chr": _regular_handler(r".", "chr"),
+    "date": _h_date,
+    "strftime": _h_date,
+    "gmdate": _h_date,
+    # expanding / unmodellable (widen, keep taint)
+    "urldecode": _widen_handler(),
+    "rawurldecode": _widen_handler(),
+    "base64_decode": _widen_handler(),
+    "utf8_encode": _widen_handler(),
+    "utf8_decode": _widen_handler(),
+    "convert_uuencode": _widen_handler(),
+    "serialize": _widen_handler(),
+    "unserialize": _widen_handler(),
+    "gzcompress": _widen_handler(),
+    "gzuncompress": _widen_handler(),
+    "strval": _identity_handler(),
+    # misc string
+    "basename": _h_substr,
+    "dirname": _h_substr,
+    "pathinfo": _h_substr,
+    "strstr": _h_substr,
+    "stristr": _h_substr,
+    "strrchr": _h_substr,
+    "strchr": _h_substr,
+    "get_magic_quotes_gpc": _regular_handler(r"[01]", "magicquotes"),
+    "gettype": _regular_handler(
+        r"(boolean|integer|double|string|array|object|NULL)", "gettype"
+    ),
+    "php_uname": _regular_handler(r"[A-Za-z0-9 ._-]*", "uname"),
+    "phpversion": _regular_handler(r"[0-9.]+", "phpversion"),
+}
+
+#: Names of builtins whose return value is an *array* of pieces.
+ARRAY_RESULTS = frozenset({"explode", "str_split", "preg_split", "split"})
+
+#: Statement-ish builtins that return nothing interesting and have no
+#: string effect (registered so the analysis does not widen on them).
+NO_EFFECT = frozenset(
+    """
+    header error_reporting ini_set ini_get set_time_limit session_start
+    session_destroy session_write_close setcookie ob_start ob_end_flush
+    ob_end_clean flush usleep sleep error_log trigger_error define defined
+    srand mt_srand register_shutdown_function function_exists class_exists
+    method_exists extension_loaded connection_aborted ignore_user_abort
+    unset print printf echo var_dump print_r assert
+    """.split()
+)
+
+
+def model_call(
+    name: str,
+    builder: GrammarBuilder,
+    values: list[Value | None],
+    nodes: list[ast.Expr],
+) -> Value | None:
+    """Apply the model for builtin ``name``; None if no model exists."""
+    handler = BUILTINS.get(name)
+    if handler is not None:
+        return handler(builder, values, nodes)
+    if name in NO_EFFECT:
+        return builder.literal("")
+    return None
+
+
+# ---------------------------------------------------------------------------
+# predicates (branch refinement languages)
+# ---------------------------------------------------------------------------
+
+
+def predicate_language(call: ast.Call) -> tuple[ast.Expr, Pattern | NFA] | None:
+    """For a boolean builtin call, return ``(constrained_arg, language)``
+    where ``language`` describes the strings for which the call is true.
+
+    ``preg_match``-family results carry :class:`Pattern` (so the caller
+    can build the complement for the else-branch); the ``ctype`` family
+    returns anchored patterns too.
+    """
+    name = call.name
+    args = call.args
+    if name in ("preg_match", "preg_match_all") and len(args) >= 2:
+        pattern_text = literal_str(args[0])
+        if pattern_text is None:
+            return None
+        try:
+            return args[1], parse_php_regex(pattern_text)
+        except RegexError:
+            return None
+    if name in ("ereg", "eregi") and len(args) >= 2:
+        pattern_text = literal_str(args[0])
+        if pattern_text is None:
+            return None
+        try:
+            return args[1], parse_regex(pattern_text, ignore_case=(name == "eregi"))
+        except RegexError:
+            return None
+    simple = {
+        "is_numeric": r"^[+-]?([0-9]+(\.[0-9]*)?|\.[0-9]+)([eE][+-]?[0-9]+)?$",
+        "ctype_digit": r"^[0-9]+$",
+        "ctype_alnum": r"^[0-9A-Za-z]+$",
+        "ctype_alpha": r"^[A-Za-z]+$",
+        "ctype_xdigit": r"^[0-9A-Fa-f]+$",
+        "is_int": r"^-?[0-9]+$",
+        "is_integer": r"^-?[0-9]+$",
+    }
+    if name in simple and args:
+        return args[0], parse_regex(simple[name])
+    if name == "in_array" and len(args) >= 2 and isinstance(args[1], ast.ArrayLit):
+        literals = []
+        for _, value in args[1].items:
+            text = literal_str(value)
+            if text is None:
+                return None
+            literals.append(text)
+        language = NFA.nothing()
+        for text in literals:
+            language = language.union(NFA.from_string(text))
+        return args[0], language
+    return None

@@ -1,0 +1,75 @@
+"""Dynamic include resolution (paper §4).
+
+When the analyzer reaches ``include("lan_" . $choice . ".php")`` it must
+know which files can be included.  The paper's approach, reproduced
+here: treat the project's file-and-directory layout as part of the
+specification — build the (finite, regular) language of project-relative
+paths, intersect it with the language of the include argument, and
+analyze every file in the result.
+
+The intersection is evaluated by membership tests of each candidate path
+string against the include-argument grammar, which is equivalent to the
+regular-language intersection for a finite path language.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.lang.grammar import Grammar, Nonterminal
+
+
+class IncludeResolver:
+    def __init__(self, project_root: str | Path) -> None:
+        self.root = Path(project_root)
+        self._files: list[Path] = []
+        if self.root.is_dir():
+            for dirpath, _dirnames, filenames in os.walk(self.root):
+                for filename in filenames:
+                    if filename.endswith((".php", ".inc", ".html", ".tpl")):
+                        self._files.append(Path(dirpath) / filename)
+        self._files.sort()
+
+    def project_files(self) -> list[Path]:
+        return list(self._files)
+
+    def candidate_names(self, current_dir: Path) -> dict[str, Path]:
+        """Every name a project file could be referred to by from
+        ``current_dir``: project-relative, current-dir-relative, bare."""
+        names: dict[str, Path] = {}
+        for file in self._files:
+            rel_root = file.relative_to(self.root).as_posix()
+            names.setdefault(rel_root, file)
+            names.setdefault("./" + rel_root, file)
+            try:
+                rel_cur = file.relative_to(current_dir).as_posix()
+                names.setdefault(rel_cur, file)
+                names.setdefault("./" + rel_cur, file)
+            except ValueError:
+                pass
+        return names
+
+    def resolve(
+        self,
+        grammar: Grammar,
+        path_nt: Nonterminal,
+        current_dir: str | Path,
+        limit: int = 64,
+    ) -> list[Path]:
+        """Files whose names the include-argument grammar can generate."""
+        current = Path(current_dir)
+        names = self.candidate_names(current)
+        # Fast path: the argument is a finite set of short literals.
+        literals = grammar.sample_strings(path_nt, limit=8, max_len=300)
+        exact = [names[text] for text in literals if text in names]
+        if exact and len(literals) < 8:
+            # finite small language fully sampled: that IS the answer
+            return sorted(set(exact))
+        scope = grammar.subgrammar(path_nt)
+        matches = {
+            file
+            for text, file in names.items()
+            if scope.generates(path_nt, text)
+        }
+        return sorted(matches)[:limit]

@@ -1,0 +1,289 @@
+"""A hand-written lexer for the PHP subset.
+
+Handles the mixed HTML/PHP structure of real pages (text outside
+``<?php … ?>`` becomes ``INLINE_HTML`` tokens), variables, identifiers,
+keywords (case-insensitive), numbers, single-quoted strings (literal),
+double-quoted strings (kept raw — the parser expands interpolation),
+line and block comments, and PHP's operator zoo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = frozenset(
+    """
+    if else elseif while do for foreach as function return global echo
+    print include include_once require require_once isset empty exit die
+    unset true false null new class extends switch case default break
+    continue and or xor not array list static public private protected
+    var const endif endwhile endfor endforeach endswitch
+    """.split()
+)
+
+#: longest first, so the scanner can try them in order
+OPERATORS = (
+    "===", "!==", "<<<", "<=>",
+    "==", "!=", "<>", "<=", ">=", "&&", "||", "++", "--", "+=", "-=",
+    "*=", "/=", "%=", ".=", "->", "=>", "::", "<<", ">>",
+    "+", "-", "*", "/", "%", ".", "=", "<", ">", "!", "?", ":", ";",
+    ",", "(", ")", "{", "}", "[", "]", "@", "&", "|", "^", "~", "$",
+)
+
+
+class PhpLexError(ValueError):
+    """Raised on malformed PHP source."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # INLINE_HTML, VARIABLE, IDENT, KEYWORD, NUMBER, SQ_STRING, DQ_STRING, OP, EOF
+    value: str
+    line: int
+
+
+IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+IDENT_CHARS = IDENT_START | frozenset("0123456789")
+DIGITS = frozenset("0123456789")
+
+
+class Lexer:
+    def __init__(self, source: str, path: str = "<string>") -> None:
+        self.source = source
+        self.path = path
+        self.pos = 0
+        self.line = 1
+        self.tokens: list[Token] = []
+
+    def error(self, message: str) -> PhpLexError:
+        return PhpLexError(f"{self.path}:{self.line}: {message}")
+
+    def run(self) -> list[Token]:
+        while self.pos < len(self.source):
+            self._lex_html()
+            if self.pos < len(self.source):
+                self._lex_php()
+        self.tokens.append(Token("EOF", "", self.line))
+        return self.tokens
+
+    # -- modes ---------------------------------------------------------------
+
+    def _lex_html(self) -> None:
+        start = self.pos
+        open_tag = self.source.find("<?php", self.pos)
+        short_tag = self.source.find("<?=", self.pos)
+        if open_tag == -1 and short_tag == -1:
+            end = len(self.source)
+        elif open_tag == -1:
+            end = short_tag
+        elif short_tag == -1:
+            end = open_tag
+        else:
+            end = min(open_tag, short_tag)
+        if end > start:
+            text = self.source[start:end]
+            self.tokens.append(Token("INLINE_HTML", text, self.line))
+            self.line += text.count("\n")
+        self.pos = end
+        if self.pos < len(self.source):
+            if self.source.startswith("<?php", self.pos):
+                self.pos += 5
+            else:  # <?=  → echo shorthand
+                self.pos += 3
+                self.tokens.append(Token("KEYWORD", "echo", self.line))
+
+    def _lex_php(self) -> None:
+        source, n = self.source, len(self.source)
+        while self.pos < n:
+            char = source[self.pos]
+            if char == "\n":
+                self.line += 1
+                self.pos += 1
+                continue
+            if char in " \t\r":
+                self.pos += 1
+                continue
+            if source.startswith("?>", self.pos):
+                self.pos += 2
+                # a statement terminator, per PHP semantics
+                self.tokens.append(Token("OP", ";", self.line))
+                return
+            if source.startswith("//", self.pos) or char == "#":
+                end = source.find("\n", self.pos)
+                close = source.find("?>", self.pos)
+                if close != -1 and (end == -1 or close < end):
+                    self.pos = close
+                    continue
+                self.pos = n if end == -1 else end
+                continue
+            if source.startswith("/*", self.pos):
+                end = source.find("*/", self.pos + 2)
+                if end == -1:
+                    raise self.error("unterminated block comment")
+                self.line += source.count("\n", self.pos, end)
+                self.pos = end + 2
+                continue
+            if char == "$" and self.pos + 1 < n and source[self.pos + 1] in IDENT_START:
+                start = self.pos + 1
+                end = start
+                while end < n and source[end] in IDENT_CHARS:
+                    end += 1
+                self.tokens.append(Token("VARIABLE", source[start:end], self.line))
+                self.pos = end
+                continue
+            if char in IDENT_START:
+                start = self.pos
+                end = start
+                while end < n and source[end] in IDENT_CHARS:
+                    end += 1
+                word = source[start:end]
+                lowered = word.lower()
+                kind = "KEYWORD" if lowered in KEYWORDS else "IDENT"
+                value = lowered if kind == "KEYWORD" else word
+                self.tokens.append(Token(kind, value, self.line))
+                self.pos = end
+                continue
+            if char in DIGITS or (
+                char == "." and self.pos + 1 < n and source[self.pos + 1] in DIGITS
+            ):
+                self._lex_number()
+                continue
+            if char == "'":
+                self._lex_single_quoted()
+                continue
+            if char == '"':
+                self._lex_double_quoted()
+                continue
+            if source.startswith("<<<", self.pos):
+                self._lex_heredoc()
+                continue
+            for op in OPERATORS:
+                if source.startswith(op, self.pos):
+                    self.tokens.append(Token("OP", op, self.line))
+                    self.pos += len(op)
+                    break
+            else:
+                raise self.error(f"unexpected character {char!r}")
+
+    # -- literal scanners -----------------------------------------------------
+
+    def _lex_number(self) -> None:
+        source, n = self.source, len(self.source)
+        start = self.pos
+        if source.startswith(("0x", "0X"), self.pos):
+            end = self.pos + 2
+            while end < n and source[end] in "0123456789abcdefABCDEF":
+                end += 1
+        else:
+            end = self.pos
+            while end < n and source[end] in DIGITS:
+                end += 1
+            if end < n and source[end] == ".":
+                end += 1
+                while end < n and source[end] in DIGITS:
+                    end += 1
+        self.tokens.append(Token("NUMBER", source[start:end], self.line))
+        self.pos = end
+
+    def _lex_single_quoted(self) -> None:
+        source, n = self.source, len(self.source)
+        i = self.pos + 1
+        chunks: list[str] = []
+        while i < n:
+            char = source[i]
+            if char == "\\" and i + 1 < n and source[i + 1] in "'\\":
+                chunks.append(source[i + 1])
+                i += 2
+                continue
+            if char == "'":
+                text = "".join(chunks)
+                self.tokens.append(Token("SQ_STRING", text, self.line))
+                self.line += source.count("\n", self.pos, i)
+                self.pos = i + 1
+                return
+            chunks.append(char)
+            i += 1
+        raise self.error("unterminated single-quoted string")
+
+    def _lex_double_quoted(self) -> None:
+        """Scan to the closing quote; interpolation is expanded later, so
+        the token value is the *raw* body (escapes intact)."""
+        source, n = self.source, len(self.source)
+        i = self.pos + 1
+        depth = 0  # {$…} nesting
+        while i < n:
+            char = source[i]
+            if char == "\\" and i + 1 < n:
+                i += 2
+                continue
+            if char == "{" and i + 1 < n and source[i + 1] == "$":
+                depth += 1
+            elif char == "}" and depth:
+                depth -= 1
+            elif char == '"' and depth == 0:
+                body = source[self.pos + 1 : i]
+                self.tokens.append(Token("DQ_STRING", body, self.line))
+                self.line += source.count("\n", self.pos, i)
+                self.pos = i + 1
+                return
+            i += 1
+        raise self.error("unterminated double-quoted string")
+
+
+    def _lex_heredoc(self) -> None:
+        """``<<<TAG … TAG;`` — heredoc (interpolating) or, with a quoted
+        tag (``<<<'TAG'``), nowdoc (literal)."""
+        source, n = self.source, len(self.source)
+        i = self.pos + 3
+        while i < n and source[i] in " \t":
+            i += 1
+        nowdoc = i < n and source[i] == "'"
+        quoted = i < n and source[i] in "'\""
+        if quoted:
+            i += 1
+        start = i
+        while i < n and source[i] in IDENT_CHARS:
+            i += 1
+        tag = source[start:i]
+        if not tag:
+            raise self.error("missing heredoc tag")
+        if quoted:
+            if i >= n or source[i] not in "'\"":
+                raise self.error("unterminated heredoc tag quote")
+            i += 1
+        if i >= n or source[i] != "\n":
+            # tolerate \r\n
+            if source.startswith("\r\n", i):
+                i += 1
+            else:
+                raise self.error("heredoc tag must end the line")
+        i += 1
+        body_start = i
+        # find a line that starts with the tag (possibly followed by ;)
+        while i < n:
+            line_end = source.find("\n", i)
+            if line_end == -1:
+                line_end = n
+            line = source[i:line_end].rstrip("\r")
+            stripped = line.rstrip(";").strip()
+            if stripped == tag and line.strip().startswith(tag):
+                body = source[body_start : i - 1 if i > body_start else i]
+                kind = "SQ_STRING" if nowdoc else "DQ_STRING"
+                if nowdoc:
+                    self.tokens.append(Token(kind, body, self.line))
+                else:
+                    # escape raw backslash-quote sequences are heredoc-literal
+                    self.tokens.append(Token(kind, body.replace('"', '\\"'), self.line))
+                self.line += source.count("\n", self.pos, i)
+                self.pos = i + len(line.split(";")[0].rstrip())
+                # keep the trailing ; for the parser
+                return
+            i = line_end + 1
+        raise self.error(f"unterminated heredoc {tag!r}")
+
+
+def lex(source: str, path: str = "<string>") -> list[Token]:
+    """Tokenize PHP ``source`` (mixed HTML + PHP)."""
+    return Lexer(source, path).run()

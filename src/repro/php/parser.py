@@ -1,0 +1,788 @@
+"""Recursive-descent parser for the PHP subset.
+
+Produces the AST of :mod:`repro.php.ast`.  Operator precedence follows
+PHP; double-quoted string interpolation is expanded here (the lexer
+keeps bodies raw), including the simple ``$var`` / ``$arr[key]`` /
+``$obj->prop`` syntax and the complex ``{$expr}`` syntax.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .lexer import IDENT_CHARS, IDENT_START, PhpLexError, Token, lex
+
+
+class PhpParseError(ValueError):
+    """Raised on source the subset parser cannot handle."""
+
+
+#: binary operator precedence (higher binds tighter); all left-assoc here
+_BINARY_PRECEDENCE = {
+    "||": 10,
+    "&&": 11,
+    "|": 12,
+    "^": 13,
+    "&": 14,
+    "==": 15, "!=": 15, "===": 15, "!==": 15, "<>": 15,
+    "<": 16, "<=": 16, ">": 16, ">=": 16, "<=>": 16,
+    "<<": 17, ">>": 17,
+    "+": 18, "-": 18, ".": 18,
+    "*": 19, "/": 19, "%": 19,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", ".="}
+
+_CAST_KINDS = {"int", "integer", "string", "bool", "boolean", "float", "double", "array"}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token], path: str = "<string>") -> None:
+        self.tokens = tokens
+        self.path = path
+        self.pos = 0
+
+    # -- plumbing -------------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def take(self) -> Token:
+        token = self.peek()
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def at(self, kind: str, value: str | None = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (value is None or token.value == value)
+
+    def at_op(self, *values: str) -> bool:
+        token = self.peek()
+        return token.kind == "OP" and token.value in values
+
+    def at_keyword(self, *values: str) -> bool:
+        token = self.peek()
+        return token.kind == "KEYWORD" and token.value in values
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        token = self.peek()
+        if not self.at(kind, value):
+            raise self.error(f"expected {value or kind}, found {token.value!r}")
+        return self.take()
+
+    def error(self, message: str) -> PhpParseError:
+        return PhpParseError(f"{self.path}:{self.peek().line}: {message}")
+
+    # -- entry ------------------------------------------------------------------
+
+    def parse_file(self) -> ast.File:
+        body = []
+        while not self.at("EOF"):
+            body.append(self.statement())
+        return ast.File(path=self.path, body=ast.Block(statements=body, line=1), line=1)
+
+    # -- statements ----------------------------------------------------------------
+
+    def statement(self) -> ast.Stmt:
+        token = self.peek()
+        line = token.line
+        if token.kind == "INLINE_HTML":
+            self.take()
+            return ast.InlineHtml(text=token.value, line=line)
+        if token.kind == "OP" and token.value == ";":
+            self.take()
+            return ast.Block(statements=[], line=line)
+        if token.kind == "OP" and token.value == "{":
+            return self.block()
+        if token.kind == "KEYWORD":
+            handler = getattr(self, f"_stmt_{token.value}", None)
+            if handler is not None:
+                return handler()
+        expr = self.expression()
+        self._end_statement()
+        return ast.ExprStmt(expr=expr, line=line)
+
+    def _end_statement(self) -> None:
+        if self.at_op(";"):
+            self.take()
+        elif not (self.at("EOF") or self.at("INLINE_HTML") or self.at_op("}")):
+            raise self.error(f"expected ';', found {self.peek().value!r}")
+
+    def block(self) -> ast.Block:
+        line = self.expect("OP", "{").line
+        statements = []
+        while not self.at_op("}"):
+            if self.at("EOF"):
+                raise self.error("unexpected end of file in block")
+            statements.append(self.statement())
+        self.take()
+        return ast.Block(statements=statements, line=line)
+
+    def _body(self) -> ast.Block:
+        """A `{…}` block or a single statement (PHP allows both)."""
+        if self.at_op("{"):
+            return self.block()
+        statement = self.statement()
+        return ast.Block(statements=[statement], line=statement.line)
+
+    def _alt_body(self, *stop_keywords: str) -> ast.Block:
+        """Alternative-syntax body: ``:`` then statements up to (not
+        consuming) one of ``stop_keywords`` (``endif``, ``else``, …)."""
+        line = self.expect("OP", ":").line
+        statements = []
+        while not self.at("KEYWORD") or self.peek().value not in stop_keywords:
+            if self.at("EOF"):
+                raise self.error(f"expected one of {stop_keywords}")
+            statements.append(self.statement())
+        return ast.Block(statements=statements, line=line)
+
+    def _stmt_echo(self) -> ast.Stmt:
+        line = self.take().line
+        values = [self.expression()]
+        while self.at_op(","):
+            self.take()
+            values.append(self.expression())
+        self._end_statement()
+        return ast.Echo(values=values, line=line)
+
+    _stmt_print = _stmt_echo
+
+    def _stmt_if(self) -> ast.Stmt:
+        line = self.take().line
+        self.expect("OP", "(")
+        condition = self.expression()
+        self.expect("OP", ")")
+        if self.at_op(":"):
+            return self._stmt_if_alternative(line, condition)
+        then = self._body()
+        elifs = []
+        orelse = None
+        while self.at_keyword("elseif") or (
+            self.at_keyword("else") and self.peek(1).kind == "KEYWORD" and self.peek(1).value == "if"
+        ):
+            if self.at_keyword("elseif"):
+                self.take()
+            else:
+                self.take()
+                self.take()
+            self.expect("OP", "(")
+            elif_condition = self.expression()
+            self.expect("OP", ")")
+            elifs.append((elif_condition, self._body()))
+        if self.at_keyword("else"):
+            self.take()
+            orelse = self._body()
+        return ast.If(condition=condition, then=then, elifs=elifs, orelse=orelse, line=line)
+
+    def _stmt_if_alternative(self, line: int, condition: ast.Expr) -> ast.Stmt:
+        """``if (...): … elseif (...): … else: … endif;``"""
+        then = self._alt_body("elseif", "else", "endif")
+        elifs = []
+        orelse = None
+        while self.at_keyword("elseif"):
+            self.take()
+            self.expect("OP", "(")
+            elif_condition = self.expression()
+            self.expect("OP", ")")
+            elifs.append((elif_condition, self._alt_body("elseif", "else", "endif")))
+        if self.at_keyword("else"):
+            self.take()
+            orelse = self._alt_body("endif")
+        self.expect("KEYWORD", "endif")
+        self._end_statement()
+        return ast.If(condition=condition, then=then, elifs=elifs, orelse=orelse, line=line)
+
+    def _stmt_while(self) -> ast.Stmt:
+        line = self.take().line
+        self.expect("OP", "(")
+        condition = self.expression()
+        self.expect("OP", ")")
+        if self.at_op(":"):
+            body = self._alt_body("endwhile")
+            self.expect("KEYWORD", "endwhile")
+            self._end_statement()
+            return ast.While(condition=condition, body=body, line=line)
+        return ast.While(condition=condition, body=self._body(), line=line)
+
+    def _stmt_do(self) -> ast.Stmt:
+        line = self.take().line
+        body = self._body()
+        self.expect("KEYWORD", "while")
+        self.expect("OP", "(")
+        condition = self.expression()
+        self.expect("OP", ")")
+        self._end_statement()
+        return ast.DoWhile(body=body, condition=condition, line=line)
+
+    def _stmt_for(self) -> ast.Stmt:
+        line = self.take().line
+        self.expect("OP", "(")
+        init = self._expr_list_until(";")
+        condition_list = self._expr_list_until(";")
+        condition = condition_list[-1] if condition_list else None
+        step = self._expr_list_until(")")
+        return ast.For(init=init, condition=condition, step=step, body=self._body(), line=line)
+
+    def _expr_list_until(self, closer: str) -> list[ast.Expr]:
+        exprs = []
+        while not self.at_op(closer):
+            exprs.append(self.expression())
+            if self.at_op(","):
+                self.take()
+        self.take()
+        return exprs
+
+    def _stmt_foreach(self) -> ast.Stmt:
+        line = self.take().line
+        self.expect("OP", "(")
+        subject = self.expression()
+        self.expect("KEYWORD", "as")
+        if self.at_op("&"):
+            self.take()
+        first = self.expression()
+        key_var = None
+        value_var = first
+        if self.at_op("=>"):
+            self.take()
+            if self.at_op("&"):
+                self.take()
+            key_var = first
+            value_var = self.expression()
+        self.expect("OP", ")")
+        if self.at_op(":"):
+            body = self._alt_body("endforeach")
+            self.expect("KEYWORD", "endforeach")
+            self._end_statement()
+        else:
+            body = self._body()
+        return ast.Foreach(
+            subject=subject, key_var=key_var, value_var=value_var, body=body, line=line
+        )
+
+    def _stmt_switch(self) -> ast.Stmt:
+        line = self.take().line
+        self.expect("OP", "(")
+        subject = self.expression()
+        self.expect("OP", ")")
+        self.expect("OP", "{")
+        cases: list[tuple[ast.Expr | None, ast.Block]] = []
+        while not self.at_op("}"):
+            if self.at_keyword("case"):
+                self.take()
+                label = self.expression()
+            elif self.at_keyword("default"):
+                self.take()
+                label = None
+            else:
+                raise self.error("expected case/default in switch")
+            if self.at_op(":") or self.at_op(";"):
+                self.take()
+            statements = []
+            while not (self.at_keyword("case") or self.at_keyword("default") or self.at_op("}")):
+                statements.append(self.statement())
+            cases.append((label, ast.Block(statements=statements, line=line)))
+        self.take()
+        return ast.Switch(subject=subject, cases=cases, line=line)
+
+    def _stmt_break(self) -> ast.Stmt:
+        line = self.take().line
+        if self.at("NUMBER"):
+            self.take()  # break N: treated as plain break
+        self._end_statement()
+        return ast.Break(line=line)
+
+    def _stmt_continue(self) -> ast.Stmt:
+        line = self.take().line
+        if self.at("NUMBER"):
+            self.take()
+        self._end_statement()
+        return ast.Continue(line=line)
+
+    def _stmt_return(self) -> ast.Stmt:
+        line = self.take().line
+        value = None
+        if not (self.at_op(";") or self.at("EOF") or self.at_op("}")):
+            value = self.expression()
+        self._end_statement()
+        return ast.Return(value=value, line=line)
+
+    def _stmt_global(self) -> ast.Stmt:
+        line = self.take().line
+        names = [self.expect("VARIABLE").value]
+        while self.at_op(","):
+            self.take()
+            names.append(self.expect("VARIABLE").value)
+        self._end_statement()
+        return ast.GlobalDecl(names=names, line=line)
+
+    def _stmt_include(self, once: bool = False, required: bool = False) -> ast.Stmt:
+        line = self.take().line
+        parenthesized = self.at_op("(")
+        if parenthesized:
+            self.take()
+        path = self.expression()
+        if parenthesized:
+            self.expect("OP", ")")
+        self._end_statement()
+        return ast.Include(path=path, once=once, required=required, line=line)
+
+    def _stmt_include_once(self) -> ast.Stmt:
+        return self._stmt_include(once=True)
+
+    def _stmt_require(self) -> ast.Stmt:
+        return self._stmt_include(required=True)
+
+    def _stmt_require_once(self) -> ast.Stmt:
+        return self._stmt_include(once=True, required=True)
+
+    def _stmt_function(self) -> ast.Stmt:
+        line = self.take().line
+        if self.at_op("&"):
+            self.take()
+        name = self.expect("IDENT").value
+        params = self._params()
+        body = self.block()
+        return ast.FunctionDef(name=name, params=params, body=body, line=line)
+
+    def _params(self) -> list[ast.Param]:
+        self.expect("OP", "(")
+        params = []
+        while not self.at_op(")"):
+            by_reference = False
+            if self.at_op("&"):
+                self.take()
+                by_reference = True
+            if self.at("IDENT"):  # type hint
+                self.take()
+            name = self.expect("VARIABLE").value
+            default = None
+            if self.at_op("="):
+                self.take()
+                default = self.expression()
+            params.append(ast.Param(name=name, default=default, by_reference=by_reference))
+            if self.at_op(","):
+                self.take()
+        self.take()
+        return params
+
+    def _stmt_class(self) -> ast.Stmt:
+        line = self.take().line
+        name = self.expect("IDENT").value
+        parent = None
+        if self.at_keyword("extends"):
+            self.take()
+            parent = self.expect("IDENT").value
+        self.expect("OP", "{")
+        methods: list[ast.FunctionDef] = []
+        properties: list[tuple[str, ast.Expr | None]] = []
+        while not self.at_op("}"):
+            while self.at_keyword("public", "private", "protected", "static", "var"):
+                self.take()
+            if self.at_keyword("function"):
+                method = self._stmt_function()
+                methods.append(method)
+            elif self.at("VARIABLE"):
+                prop_name = self.take().value
+                default = None
+                if self.at_op("="):
+                    self.take()
+                    default = self.expression()
+                self._end_statement()
+                properties.append((prop_name, default))
+            elif self.at_keyword("const"):
+                self.take()
+                self.expect("IDENT")
+                self.expect("OP", "=")
+                self.expression()
+                self._end_statement()
+            else:
+                raise self.error(f"unexpected {self.peek().value!r} in class body")
+        self.take()
+        return ast.ClassDef(name=name, parent=parent, methods=methods, properties=properties, line=line)
+
+    def _stmt_static(self) -> ast.Stmt:
+        """`static $x = init;` inside a function — treated as assignment."""
+        line = self.take().line
+        name = self.expect("VARIABLE").value
+        value: ast.Expr = ast.Literal(value=None, line=line)
+        if self.at_op("="):
+            self.take()
+            value = self.expression()
+        self._end_statement()
+        return ast.ExprStmt(
+            expr=ast.Assign(target=ast.Var(name=name, line=line), op="=", value=value, line=line),
+            line=line,
+        )
+
+    def _stmt_unset(self) -> ast.Stmt:
+        line = self.take().line
+        self.expect("OP", "(")
+        targets = self._expr_list_until(")")
+        self._end_statement()
+        return ast.ExprStmt(expr=ast.Call(name="unset", args=targets, line=line), line=line)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def expression(self) -> ast.Expr:
+        return self._keyword_logic()
+
+    def _keyword_logic(self) -> ast.Expr:
+        left = self._assignment()
+        while self.at_keyword("and", "or", "xor"):
+            op_token = self.take()
+            op = {"and": "&&", "or": "||", "xor": "^"}[op_token.value]
+            right = self._assignment()
+            left = ast.BinOp(op=op, left=left, right=right, line=op_token.line)
+        return left
+
+    def _assignment(self) -> ast.Expr:
+        left = self._ternary()
+        if self.at("OP") and self.peek().value in _ASSIGN_OPS:
+            op_token = self.take()
+            if self.at_op("&"):
+                self.take()  # assignment by reference: value semantics here
+            value = self._assignment()  # right associative
+            return ast.Assign(target=left, op=op_token.value, value=value, line=op_token.line)
+        return left
+
+    def _ternary(self) -> ast.Expr:
+        condition = self._binary(0)
+        if self.at_op("?"):
+            line = self.take().line
+            if self.at_op(":"):
+                self.take()
+                if_false = self._assignment()
+                return ast.Ternary(condition=condition, if_true=None, if_false=if_false, line=line)
+            if_true = self._assignment()
+            self.expect("OP", ":")
+            if_false = self._assignment()
+            return ast.Ternary(condition=condition, if_true=if_true, if_false=if_false, line=line)
+        return condition
+
+    def _binary(self, min_precedence: int) -> ast.Expr:
+        left = self._unary()
+        while True:
+            token = self.peek()
+            if token.kind != "OP":
+                return left
+            precedence = _BINARY_PRECEDENCE.get(token.value)
+            if precedence is None or precedence < min_precedence:
+                return left
+            self.take()
+            right = self._binary(precedence + 1)
+            left = ast.BinOp(op=token.value, left=left, right=right, line=token.line)
+
+    def _unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "OP":
+            if token.value == "!":
+                self.take()
+                return ast.UnaryOp(op="!", operand=self._unary(), line=token.line)
+            if token.value == "-":
+                self.take()
+                return ast.UnaryOp(op="-", operand=self._unary(), line=token.line)
+            if token.value == "+":
+                self.take()
+                return self._unary()
+            if token.value == "~":
+                self.take()
+                return ast.UnaryOp(op="~", operand=self._unary(), line=token.line)
+            if token.value == "@":
+                self.take()
+                return ast.Suppress(operand=self._unary(), line=token.line)
+            if token.value == "&":
+                self.take()
+                return self._unary()
+            if token.value in ("++", "--"):
+                self.take()
+                operand = self._unary()
+                return ast.Assign(
+                    target=operand,
+                    op="+=" if token.value == "++" else "-=",
+                    value=ast.Literal(value=1, line=token.line),
+                    line=token.line,
+                )
+            if token.value == "(" and self._looks_like_cast():
+                self.take()
+                kind = self.take().value.lower()
+                self.expect("OP", ")")
+                kind = {"integer": "int", "boolean": "bool", "double": "float"}.get(kind, kind)
+                return ast.Cast(kind=kind, operand=self._unary(), line=token.line)
+        return self._postfix(self._primary())
+
+    def _looks_like_cast(self) -> bool:
+        nxt, after = self.peek(1), self.peek(2)
+        return (
+            nxt.kind in ("IDENT", "KEYWORD")
+            and nxt.value.lower() in _CAST_KINDS
+            and after.kind == "OP"
+            and after.value == ")"
+        )
+
+    def _postfix(self, expr: ast.Expr) -> ast.Expr:
+        while True:
+            token = self.peek()
+            if token.kind != "OP":
+                return expr
+            if token.value == "[":
+                self.take()
+                index = None if self.at_op("]") else self.expression()
+                self.expect("OP", "]")
+                expr = ast.ArrayDim(base=expr, index=index, line=token.line)
+            elif token.value == "->":
+                self.take()
+                if self.at("IDENT") or self.at("KEYWORD"):
+                    name = self.take().value
+                elif self.at("VARIABLE"):
+                    name = "$" + self.take().value  # dynamic property
+                else:
+                    raise self.error("expected property/method name after ->")
+                if self.at_op("("):
+                    args = self._args()
+                    expr = ast.MethodCall(obj=expr, name=name, args=args, line=token.line)
+                else:
+                    expr = ast.Prop(base=expr, name=name, line=token.line)
+            elif token.value in ("++", "--"):
+                self.take()
+                expr = ast.Assign(
+                    target=expr,
+                    op="+=" if token.value == "++" else "-=",
+                    value=ast.Literal(value=1, line=token.line),
+                    line=token.line,
+                )
+            else:
+                return expr
+
+    def _args(self) -> list[ast.Expr]:
+        self.expect("OP", "(")
+        args = []
+        while not self.at_op(")"):
+            if self.at_op("&"):
+                self.take()
+            args.append(self.expression())
+            if self.at_op(","):
+                self.take()
+        self.take()
+        return args
+
+    def _primary(self) -> ast.Expr:
+        token = self.peek()
+        line = token.line
+        if token.kind == "VARIABLE":
+            self.take()
+            return ast.Var(name=token.value, line=line)
+        if token.kind == "NUMBER":
+            self.take()
+            text = token.value
+            if text.startswith(("0x", "0X")):
+                return ast.Literal(value=int(text, 16), line=line)
+            if "." in text:
+                return ast.Literal(value=float(text), line=line)
+            return ast.Literal(value=int(text), line=line)
+        if token.kind == "SQ_STRING":
+            self.take()
+            return ast.Literal(value=token.value, line=line)
+        if token.kind == "DQ_STRING":
+            self.take()
+            return expand_interpolation(token.value, line, self.path)
+        if token.kind == "OP" and token.value == "(":
+            self.take()
+            inner = self.expression()
+            self.expect("OP", ")")
+            return inner
+        if token.kind == "KEYWORD":
+            return self._keyword_expr(token)
+        if token.kind == "IDENT":
+            self.take()
+            if self.at_op("::"):
+                self.take()
+                member = self.take().value
+                if self.at_op("("):
+                    return ast.StaticCall(
+                        class_name=token.value, name=member, args=self._args(), line=line
+                    )
+                return ast.ConstFetch(name=f"{token.value}::{member}", line=line)
+            if self.at_op("("):
+                return ast.Call(name=token.value.lower(), args=self._args(), line=line)
+            return ast.ConstFetch(name=token.value, line=line)
+        raise self.error(f"unexpected token {token.value!r}")
+
+    def _keyword_expr(self, token: Token) -> ast.Expr:
+        line = token.line
+        word = token.value
+        if word in ("true", "false"):
+            self.take()
+            return ast.Literal(value=(word == "true"), line=line)
+        if word == "null":
+            self.take()
+            return ast.Literal(value=None, line=line)
+        if word == "array":
+            self.take()
+            return self._array_literal(line, ")")
+        if word == "isset":
+            self.take()
+            self.expect("OP", "(")
+            targets = self._expr_list_until(")")
+            return ast.IssetExpr(targets=targets, line=line)
+        if word == "empty":
+            self.take()
+            self.expect("OP", "(")
+            target = self.expression()
+            self.expect("OP", ")")
+            return ast.EmptyExpr(target=target, line=line)
+        if word in ("exit", "die"):
+            self.take()
+            value = None
+            if self.at_op("("):
+                self.take()
+                if not self.at_op(")"):
+                    value = self.expression()
+                self.expect("OP", ")")
+            return ast.Call(name="exit", args=[value] if value else [], line=line)
+        if word == "new":
+            self.take()
+            class_name = self.expect("IDENT").value
+            args = self._args() if self.at_op("(") else []
+            return ast.New(class_name=class_name, args=args, line=line)
+        if word == "print":
+            self.take()
+            return ast.Call(name="print", args=[self.expression()], line=line)
+        if word in ("include", "include_once", "require", "require_once"):
+            # include as an expression (rare but legal)
+            self.take()
+            parenthesized = self.at_op("(")
+            if parenthesized:
+                self.take()
+            path = self.expression()
+            if parenthesized:
+                self.expect("OP", ")")
+            return ast.Call(name=word, args=[path], line=line)
+        if word == "not":
+            self.take()
+            return ast.UnaryOp(op="!", operand=self._unary(), line=line)
+        raise self.error(f"unexpected keyword {word!r} in expression")
+
+    def _array_literal(self, line: int, closer: str) -> ast.Expr:
+        self.expect("OP", "(" if closer == ")" else "[")
+        items: list[tuple[ast.Expr | None, ast.Expr]] = []
+        while not self.at_op(closer):
+            first = self.expression()
+            if self.at_op("=>"):
+                self.take()
+                items.append((first, self.expression()))
+            else:
+                items.append((None, first))
+            if self.at_op(","):
+                self.take()
+        self.take()
+        return ast.ArrayLit(items=items, line=line)
+
+
+# ---------------------------------------------------------------------------
+# Double-quoted string interpolation
+# ---------------------------------------------------------------------------
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "v": "\v", "f": "\f",
+    "\\": "\\", "$": "$", '"': '"', "0": "\0", "e": "\x1b",
+}
+
+
+def expand_interpolation(body: str, line: int, path: str) -> ast.Expr:
+    """Expand a raw double-quoted string body into an :class:`ast.Interp`
+    (or a plain :class:`ast.Literal` when there is nothing to interpolate)."""
+    parts: list[ast.Expr] = []
+    chunk: list[str] = []
+    i = 0
+    n = len(body)
+
+    def flush() -> None:
+        if chunk:
+            parts.append(ast.Literal(value="".join(chunk), line=line))
+            chunk.clear()
+
+    while i < n:
+        char = body[i]
+        if char == "\\" and i + 1 < n:
+            esc = body[i + 1]
+            if esc == "x" and i + 3 < n:
+                try:
+                    chunk.append(chr(int(body[i + 2 : i + 4], 16)))
+                    i += 4
+                    continue
+                except ValueError:
+                    pass
+            chunk.append(_ESCAPES.get(esc, "\\" + esc))
+            i += 2
+            continue
+        if char == "$" and i + 1 < n and body[i + 1] in IDENT_START:
+            flush()
+            expr, i = _simple_interp(body, i + 1, line)
+            parts.append(expr)
+            continue
+        if char == "{" and i + 1 < n and body[i + 1] == "$":
+            flush()
+            end = _matching_brace(body, i)
+            inner = body[i + 1 : end]
+            parts.append(_parse_expr_text(inner, line, path))
+            i = end + 1
+            continue
+        chunk.append(char)
+        i += 1
+    flush()
+    if len(parts) == 1 and isinstance(parts[0], ast.Literal):
+        return parts[0]
+    if not parts:
+        return ast.Literal(value="", line=line)
+    return ast.Interp(parts=parts, line=line)
+
+
+def _simple_interp(body: str, start: int, line: int) -> tuple[ast.Expr, int]:
+    i = start
+    while i < len(body) and body[i] in IDENT_CHARS:
+        i += 1
+    expr: ast.Expr = ast.Var(name=body[start:i], line=line)
+    if i < len(body) and body[i] == "[":
+        end = body.find("]", i)
+        if end != -1:
+            key_text = body[i + 1 : end]
+            key: ast.Expr
+            if key_text.startswith("$"):
+                key = ast.Var(name=key_text[1:], line=line)
+            elif key_text.isdigit():
+                key = ast.Literal(value=int(key_text), line=line)
+            else:
+                key = ast.Literal(value=key_text.strip("'\""), line=line)
+            expr = ast.ArrayDim(base=expr, index=key, line=line)
+            i = end + 1
+    elif body.startswith("->", i) and i + 2 < len(body) and body[i + 2] in IDENT_START:
+        j = i + 2
+        while j < len(body) and body[j] in IDENT_CHARS:
+            j += 1
+        expr = ast.Prop(base=expr, name=body[i + 2 : j], line=line)
+        i = j
+    return expr, i
+
+
+def _matching_brace(body: str, start: int) -> int:
+    depth = 0
+    for i in range(start, len(body)):
+        if body[i] == "{":
+            depth += 1
+        elif body[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    raise PhpParseError(f"unbalanced braces in interpolated string: {body!r}")
+
+
+def _parse_expr_text(text: str, line: int, path: str) -> ast.Expr:
+    tokens = lex("<?php " + text + ";", path)
+    parser = Parser(tokens, path)
+    return parser.expression()
+
+
+def parse(source: str, path: str = "<string>") -> ast.File:
+    """Parse PHP ``source`` into a :class:`repro.php.ast.File`."""
+    return Parser(lex(source, path), path).parse_file()

@@ -1,0 +1,129 @@
+"""Syntactic confinement of concrete substrings (Definition 2.2).
+
+Given a generated query ``s = s1 s2 s3``, the substring ``s2`` is
+*syntactically confined* iff there is a sentential form ``s1 X s3`` with
+one nonterminal ``X`` covering exactly ``s2``.  A query is a command
+injection attack (Definition 2.3) iff some untrusted ``f(i)`` substring
+is not confined.
+
+This module evaluates the definition directly on strings: tokenize, then
+Earley-parse the sentential form ``pre + [X] + post`` and the middle
+``X ⇒* mid`` for every candidate nonterminal.  The static analysis never
+needs this (it works on grammars), but it powers witness validation in
+tests, the SQLCheck-style runtime baseline, and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.earley import parse_sentential_form
+from .grammar import sql_grammar
+from .lexer import SqlLexError, Token, tokenize
+
+
+@dataclass
+class ConfinementResult:
+    confined: bool
+    nonterminal: str | None = None
+    reason: str = ""
+
+
+def check_confinement(query: str, lo: int, hi: int) -> ConfinementResult:
+    """Is ``query[lo:hi]`` syntactically confined in ``query``?"""
+    if lo > hi or lo < 0 or hi > len(query):
+        raise ValueError(f"bad span [{lo}, {hi}) for query of length {len(query)}")
+    if lo == hi:
+        return ConfinementResult(True, reason="empty substring")
+    try:
+        tokens = tokenize(query)
+    except SqlLexError as exc:
+        return ConfinementResult(False, reason=f"query does not lex: {exc}")
+
+    inside = _inside_one_token(tokens, lo, hi)
+    if inside is not None:
+        if _confined_within_token(inside, lo, hi):
+            return ConfinementResult(
+                True, nonterminal=inside.symbol, reason="inside a single token"
+            )
+        return ConfinementResult(
+            False,
+            reason=f"covers a delimiter of a {inside.symbol} token",
+        )
+
+    aligned = _token_span(tokens, lo, hi)
+    if aligned is None:
+        return ConfinementResult(
+            False, reason="substring does not align with token boundaries"
+        )
+    k1, k2 = aligned
+    symbols = [token.symbol for token in tokens]
+    pre, mid, post = symbols[:k1], symbols[k1:k2], symbols[k2:]
+    grammar = sql_grammar()
+    for candidate in grammar.nonterminals():
+        if not parse_sentential_form(grammar, candidate, mid):
+            continue
+        if parse_sentential_form(grammar, grammar.start, pre + [candidate] + post):
+            return ConfinementResult(True, nonterminal=candidate)
+    # A single whole token (e.g. one NUMBER) confined under itself:
+    if len(mid) == 1 and parse_sentential_form(
+        grammar, grammar.start, pre + mid + post
+    ):
+        return ConfinementResult(True, nonterminal=mid[0])
+    return ConfinementResult(False, reason="no covering nonterminal")
+
+
+def is_attack(query: str, lo: int, hi: int) -> bool:
+    """Definition 2.3 for one untrusted span: attack ⇔ not confined."""
+    return not check_confinement(query, lo, hi).confined
+
+
+def _inside_one_token(tokens: list[Token], lo: int, hi: int) -> Token | None:
+    """The single token that *properly* contains the span, if any."""
+    for token in tokens:
+        start, end = token.position, token.position + len(token.text)
+        if start <= lo and hi <= end and (start < lo or hi < end):
+            return token
+    return None
+
+
+def _confined_within_token(token: Token, lo: int, hi: int) -> bool:
+    """Is a proper sub-span of this token syntactically confined?
+
+    In a character-level SQL grammar, the *content* characters of string
+    literals, numbers, identifiers, and comment bodies are each derivable
+    from a character nonterminal, so spans within them are confined.  A
+    span that covers a *delimiter* (the quote of a string, the backquote
+    of a quoted identifier) or part of a keyword/operator is not.
+    """
+    start, end = token.position, token.position + len(token.text)
+    if token.symbol == "STRING" or token.text.startswith("`"):
+        return lo >= start + 1 and hi <= end - 1
+    if token.symbol in ("NUMBER", "IDENT"):
+        return True
+    if token.symbol == "COMMENT":
+        marker = 2 if token.text.startswith("--") else 1
+        return lo >= start + marker
+    return False
+
+
+def _token_span(tokens: list[Token], lo: int, hi: int) -> tuple[int, int] | None:
+    """Token index range [k1, k2) covered by chars [lo, hi), or None if the
+    span cuts a token in half.  Surrounding whitespace is tolerated."""
+    k1 = None
+    k2 = None
+    for index, token in enumerate(tokens):
+        start, end = token.position, token.position + len(token.text)
+        if end <= lo:
+            continue
+        if start >= hi:
+            break
+        # token overlaps the span: must be fully inside
+        if start < lo or end > hi:
+            return None
+        if k1 is None:
+            k1 = index
+        k2 = index + 1
+    if k1 is None:
+        return None
+    return k1, k2

@@ -1,0 +1,174 @@
+"""The reference SQL grammar (token level).
+
+This is the grammar ``G`` of Definition 2.2/2.3: a query is an *attack*
+if some untrusted substring is not derivable from a single nonterminal
+(i.e. not syntactically confined).  The derivability fallback check
+(§3.2.2) asks whether an untrusted subgrammar maps into this grammar
+under Definition 3.2.
+
+The subset covers every query form the evaluation corpus generates:
+SELECT (with WHERE / ORDER BY / LIMIT / joins / unions), INSERT, UPDATE,
+DELETE, DROP TABLE, boolean and arithmetic expressions, ``IN`` lists,
+``LIKE``, ``IS [NOT] NULL``, function calls, and qualified columns.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.lang.earley import TokenGrammar, parse_sentential_form
+
+
+@lru_cache(maxsize=1)
+def sql_grammar() -> TokenGrammar:
+    g = TokenGrammar("query_list")
+
+    # -- statements --------------------------------------------------------
+    g.add("query_list", ["query"])
+    g.add("query_list", ["query", ";"])
+    g.add("query_list", ["query", ";", "query_list"])
+    for statement in (
+        "select_stmt",
+        "insert_stmt",
+        "update_stmt",
+        "delete_stmt",
+        "drop_stmt",
+    ):
+        g.add("query", [statement])
+
+    g.add("select_stmt", ["select_core"])
+    g.add("select_stmt", ["select_core", "UNION", "select_stmt"])
+    g.add("select_stmt", ["select_core", "UNION", "ALL", "select_stmt"])
+    g.add(
+        "select_core",
+        [
+            "SELECT",
+            "distinct_opt",
+            "select_items",
+            "FROM",
+            "table_refs",
+            "where_opt",
+            "group_opt",
+            "order_opt",
+            "limit_opt",
+        ],
+    )
+    g.add("distinct_opt", [])
+    g.add("distinct_opt", ["DISTINCT"])
+    g.add("select_items", ["*"])
+    g.add("select_items", ["select_item_list"])
+    g.add("select_item_list", ["select_item"])
+    g.add("select_item_list", ["select_item", ",", "select_item_list"])
+    g.add("select_item", ["expr"])
+    g.add("select_item", ["expr", "AS", "IDENT"])
+
+    g.add("table_refs", ["table_ref"])
+    g.add("table_refs", ["table_ref", ",", "table_refs"])
+    g.add("table_ref", ["IDENT"])
+    g.add("table_ref", ["IDENT", "IDENT"])
+    g.add("table_ref", ["IDENT", "AS", "IDENT"])
+    g.add("table_ref", ["table_ref", "join_kind", "IDENT", "ON", "expr"])
+    g.add("join_kind", ["JOIN"])
+    g.add("join_kind", ["INNER", "JOIN"])
+    g.add("join_kind", ["LEFT", "JOIN"])
+    g.add("join_kind", ["LEFT", "OUTER", "JOIN"])
+    g.add("join_kind", ["RIGHT", "JOIN"])
+
+    g.add("where_opt", [])
+    g.add("where_opt", ["WHERE", "expr"])
+    g.add("group_opt", [])
+    g.add("group_opt", ["GROUP", "BY", "column_list"])
+    g.add("group_opt", ["GROUP", "BY", "column_list", "HAVING", "expr"])
+    g.add("order_opt", [])
+    g.add("order_opt", ["ORDER", "BY", "order_items"])
+    g.add("order_items", ["order_item"])
+    g.add("order_items", ["order_item", ",", "order_items"])
+    g.add("order_item", ["expr", "direction_opt"])
+    g.add("direction_opt", [])
+    g.add("direction_opt", ["ASC"])
+    g.add("direction_opt", ["DESC"])
+    g.add("limit_opt", [])
+    g.add("limit_opt", ["LIMIT", "signed_number"])
+    g.add("limit_opt", ["LIMIT", "signed_number", ",", "signed_number"])
+    g.add("limit_opt", ["LIMIT", "signed_number", "OFFSET", "signed_number"])
+    # PHP arithmetic abstracts to a possibly-signed number; accepting the
+    # sign here keeps LIMIT contexts parseable (MySQL would reject the
+    # negative value at runtime, which is an error, not an injection).
+    g.add("signed_number", ["NUMBER"])
+    g.add("signed_number", ["-", "NUMBER"])
+
+    g.add("column_list", ["column"])
+    g.add("column_list", ["column", ",", "column_list"])
+
+    g.add(
+        "insert_stmt",
+        ["INSERT", "INTO", "IDENT", "insert_columns_opt", "VALUES", "value_rows"],
+    )
+    g.add("insert_columns_opt", [])
+    g.add("insert_columns_opt", ["(", "column_list", ")"])
+    g.add("value_rows", ["(", "expr_list", ")"])
+    g.add("value_rows", ["(", "expr_list", ")", ",", "value_rows"])
+
+    g.add("update_stmt", ["UPDATE", "IDENT", "SET", "assignments", "where_opt", "limit_opt"])
+    g.add("assignments", ["assignment"])
+    g.add("assignments", ["assignment", ",", "assignments"])
+    g.add("assignment", ["column", "=", "expr"])
+
+    g.add("delete_stmt", ["DELETE", "FROM", "IDENT", "where_opt", "order_opt", "limit_opt"])
+
+    g.add("drop_stmt", ["DROP", "TABLE", "IDENT"])
+
+    # -- expressions --------------------------------------------------------
+    g.add("expr", ["or_expr"])
+    g.add("or_expr", ["or_expr", "OR", "and_expr"])
+    g.add("or_expr", ["and_expr"])
+    g.add("and_expr", ["and_expr", "AND", "not_expr"])
+    g.add("and_expr", ["not_expr"])
+    g.add("not_expr", ["NOT", "not_expr"])
+    g.add("not_expr", ["comparison"])
+    g.add("comparison", ["additive"])
+    g.add("comparison", ["additive", "comp_op", "additive"])
+    g.add("comparison", ["additive", "LIKE", "additive"])
+    g.add("comparison", ["additive", "NOT", "LIKE", "additive"])
+    g.add("comparison", ["additive", "IS", "NULL"])
+    g.add("comparison", ["additive", "IS", "NOT", "NULL"])
+    g.add("comparison", ["additive", "IN", "(", "expr_list", ")"])
+    g.add("comparison", ["additive", "NOT", "IN", "(", "expr_list", ")"])
+    g.add("comparison", ["additive", "BETWEEN", "additive", "AND", "additive"])
+    for op in ("=", "!=", "<>", "<", ">", "<=", ">="):
+        g.add("comp_op", [op])
+    g.add("additive", ["additive", "+", "multiplicative"])
+    g.add("additive", ["additive", "-", "multiplicative"])
+    g.add("additive", ["multiplicative"])
+    g.add("multiplicative", ["multiplicative", "*", "primary"])
+    g.add("multiplicative", ["multiplicative", "/", "primary"])
+    g.add("multiplicative", ["multiplicative", "%", "primary"])
+    g.add("multiplicative", ["primary"])
+    g.add("primary", ["literal"])
+    g.add("primary", ["column"])
+    g.add("primary", ["(", "expr", ")"])
+    g.add("primary", ["function_call"])
+    g.add("primary", ["-", "primary"])
+    g.add("literal", ["NUMBER"])
+    g.add("literal", ["STRING"])
+    g.add("literal", ["NULL"])
+    g.add("column", ["IDENT"])
+    g.add("column", ["IDENT", ".", "IDENT"])
+    g.add("function_call", ["IDENT", "(", ")"])
+    g.add("function_call", ["IDENT", "(", "expr_list", ")"])
+    g.add("function_call", ["IDENT", "(", "*", ")"])
+    g.add("function_call", ["IDENT", "(", "DISTINCT", "expr", ")"])
+    g.add("expr_list", ["expr"])
+    g.add("expr_list", ["expr", ",", "expr_list"])
+    return g
+
+
+def parses_as_query(symbols: list[str]) -> bool:
+    """Does the token sequence parse as a complete query (or query list)?"""
+    return parse_sentential_form(sql_grammar(), "query_list", symbols)
+
+
+#: Nonterminals an untrusted substring is conventionally allowed to fill
+#: (web applications intend inputs to be literals/values; the analysis'
+#: fallback check permits any single nonterminal, per the paper).
+LITERAL_NONTERMINALS = ("literal", "NUMBER", "STRING")

@@ -1,0 +1,146 @@
+"""A lexer for the SQL subset used by the reference grammar.
+
+The policy-conformance analysis needs SQL at two levels: character level
+(quote-parity checks) and token level (the Definition 3.2 derivability
+check).  This lexer produces the token symbols the reference grammar in
+:mod:`repro.sql.grammar` is written over:
+
+* keywords — the token symbol is the uppercase keyword itself
+  (``"SELECT"``, ``"WHERE"``, …),
+* ``IDENT`` — bare or backquoted identifiers,
+* ``NUMBER`` — integer/decimal literals,
+* ``STRING`` — single- or double-quoted literals with ``''``/``\\'``
+  escapes,
+* punctuation — the token symbol is the punctuation text (``"("``,
+  ``","``, ``"="``, ``"<="``, …),
+* ``COMMENT`` — ``--``/``#`` to end of input (the classic injection
+  tail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE AND OR NOT NULL INSERT INTO VALUES UPDATE SET DELETE
+    DROP TABLE CREATE ORDER BY GROUP HAVING LIMIT OFFSET ASC DESC LIKE IN
+    IS BETWEEN UNION ALL DISTINCT JOIN INNER LEFT RIGHT OUTER ON AS
+    """.split()
+)
+
+MULTI_CHAR_OPS = ("<=", ">=", "<>", "!=")
+SINGLE_CHAR_OPS = "()=<>,.;*+-/%"
+
+IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+IDENT_CHARS = IDENT_START | frozenset("0123456789")
+DIGIT_CHARS = frozenset("0123456789")
+
+
+class SqlLexError(ValueError):
+    """Raised when the input is not lexically well-formed SQL."""
+
+
+@dataclass(frozen=True)
+class Token:
+    symbol: str  # the grammar symbol ("SELECT", "IDENT", "(", …)
+    text: str    # the matched source text
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`SqlLexError` on malformed input
+    (most importantly: an unterminated string literal)."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        char = text[i]
+        if char in " \t\r\n\f\v":
+            i += 1
+            continue
+        if text.startswith("--", i) or char == "#":
+            # comment to end of line (or end of input)
+            end = text.find("\n", i)
+            end = n if end == -1 else end
+            tokens.append(Token("COMMENT", text[i:end], i))
+            i = end
+            continue
+        if char in "'\"":
+            i = _lex_string(text, i, tokens)
+            continue
+        if char == "`":
+            end = text.find("`", i + 1)
+            if end == -1:
+                raise SqlLexError(f"unterminated backquoted identifier at {i}")
+            tokens.append(Token("IDENT", text[i : end + 1], i))
+            i = end + 1
+            continue
+        if char in DIGIT_CHARS or (
+            char == "." and i + 1 < n and text[i + 1] in DIGIT_CHARS
+        ):
+            i = _lex_number(text, i, tokens)
+            continue
+        if char in IDENT_START:
+            start = i
+            while i < n and text[i] in IDENT_CHARS:
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            symbol = upper if upper in KEYWORDS else "IDENT"
+            tokens.append(Token(symbol, word, start))
+            continue
+        two = text[i : i + 2]
+        if two in MULTI_CHAR_OPS:
+            tokens.append(Token(two, two, i))
+            i += 2
+            continue
+        if char in SINGLE_CHAR_OPS:
+            tokens.append(Token(char, char, i))
+            i += 1
+            continue
+        raise SqlLexError(f"unexpected character {char!r} at {i}")
+    return tokens
+
+
+def _lex_string(text: str, start: int, tokens: list[Token]) -> int:
+    quote = text[start]
+    i = start + 1
+    n = len(text)
+    while i < n:
+        char = text[i]
+        if char == "\\" and i + 1 < n:
+            i += 2
+            continue
+        if char == quote:
+            if i + 1 < n and text[i + 1] == quote:  # '' escape
+                i += 2
+                continue
+            tokens.append(Token("STRING", text[start : i + 1], start))
+            return i + 1
+        i += 1
+    raise SqlLexError(f"unterminated string literal at {start}")
+
+
+def _lex_number(text: str, start: int, tokens: list[Token]) -> int:
+    i = start
+    n = len(text)
+    while i < n and text[i] in DIGIT_CHARS:
+        i += 1
+    if i < n and text[i] == ".":
+        i += 1
+        while i < n and text[i] in DIGIT_CHARS:
+            i += 1
+    tokens.append(Token("NUMBER", text[start:i], start))
+    return i
+
+
+def token_symbols(text: str, drop_comments: bool = True) -> list[str]:
+    """Just the grammar symbols of ``text``'s tokens."""
+    return [
+        token.symbol
+        for token in tokenize(text)
+        if not (drop_comments and token.symbol == "COMMENT")
+    ]

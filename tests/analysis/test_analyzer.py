@@ -1,0 +1,99 @@
+"""Tests for the top-level driver and the CLI."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.analyzer import analyze_page, analyze_project, entry_pages
+from repro.analysis.cli import main
+
+
+@pytest.fixture
+def project(tmp_path):
+    def write(name, source):
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+
+    write("index.php", "<?php mysql_query('SELECT 1 FROM t');")
+    write(
+        "vuln.php",
+        "<?php mysql_query(\"SELECT * FROM t WHERE a='{$_GET['a']}'\");",
+    )
+    write("includes/lib.php", "<?php function helper($x) { return $x; }")
+    write("lib/other.php", "<?php $unused = 1;")
+    return tmp_path
+
+
+class TestEntryPages:
+    def test_top_level_pages_selected(self, project):
+        names = [p.name for p in entry_pages(project)]
+        assert "index.php" in names and "vuln.php" in names
+
+    def test_library_dirs_excluded(self, project):
+        names = [p.name for p in entry_pages(project)]
+        assert "lib.php" not in names
+        assert "other.php" not in names
+
+    def test_e107_style_dirs_excluded(self, tmp_path):
+        (tmp_path / "e107_handlers").mkdir()
+        (tmp_path / "e107_handlers" / "core.php").write_text("<?php $x=1;")
+        (tmp_path / "page.php").write_text("<?php $y=1;")
+        names = [p.name for p in entry_pages(tmp_path)]
+        assert names == ["page.php"]
+
+
+class TestAnalyzeProject:
+    def test_report_shape(self, project):
+        report = analyze_project(project, "demo")
+        assert report.name == "demo"
+        assert report.files == 4
+        assert report.lines > 0
+        assert len(report.direct_violations) == 1
+        assert not report.verified
+
+    def test_clean_project_verifies(self, tmp_path):
+        (tmp_path / "a.php").write_text("<?php mysql_query('SELECT 1 FROM t');")
+        report = analyze_project(tmp_path)
+        assert report.verified
+        assert "VERIFIED" in report.render()
+
+    def test_render_contains_counts(self, project):
+        text = analyze_project(project, "demo").render()
+        assert "direct violations: 1" in text
+
+
+class TestAnalyzePage:
+    def test_single_page(self, project):
+        reports, analysis = analyze_page(project, "vuln.php")
+        assert len(reports) == 1
+        assert not reports[0].verified
+
+    def test_absolute_path(self, project):
+        reports, _ = analyze_page(project, project / "index.php")
+        assert reports[0].verified
+
+
+class TestCli:
+    def test_reports_violation_exit_code(self, project, capsys):
+        code = main([str(project), "vuln.php"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "VULNERABLE" in out
+
+    def test_verified_exit_code(self, project, capsys):
+        code = main([str(project), "index.php"])
+        assert code == 0
+        assert "verified: no SQLCIV reports" in capsys.readouterr().out
+
+    def test_all_pages_default(self, project, capsys):
+        code = main([str(project)])
+        assert code == 1
+
+    def test_verbose_shows_verified(self, project, capsys):
+        main([str(project), "index.php", "--verbose"])
+        assert "verified" in capsys.readouterr().out
+
+    def test_bad_root(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([str(tmp_path / "nope")])

@@ -1,0 +1,103 @@
+"""Differential tests for the quote-parity automata against the reference."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import quotes
+
+
+def texts():
+    return st.text(alphabet="a'\\b0", max_size=12)
+
+
+class TestReference:
+    def test_counting(self):
+        assert quotes.count_unescaped_quotes("") == 0
+        assert quotes.count_unescaped_quotes("'") == 1
+        assert quotes.count_unescaped_quotes("\\'") == 0
+        assert quotes.count_unescaped_quotes("''") == 2
+        assert quotes.count_unescaped_quotes("\\\\'") == 1  # escaped backslash
+        assert quotes.count_unescaped_quotes("a'b'c") == 2
+
+
+class TestOddQuotes:
+    @given(texts())
+    @settings(max_examples=300, deadline=None)
+    def test_matches_reference(self, text):
+        expected = quotes.count_unescaped_quotes(text) % 2 == 1
+        assert quotes.odd_unescaped_quotes().accepts_string(text) == expected
+
+    def test_attack_payload_is_odd(self):
+        assert quotes.odd_unescaped_quotes().accepts_string(
+            "1'; DROP TABLE unp_user; --"
+        )
+
+    def test_escaped_payload_is_even(self):
+        assert not quotes.odd_unescaped_quotes().accepts_string(
+            "1\\'; DROP TABLE unp_user; --"
+        )
+
+
+class TestHasQuote:
+    @given(texts())
+    @settings(max_examples=300, deadline=None)
+    def test_matches_reference(self, text):
+        expected = quotes.count_unescaped_quotes(text) > 0
+        assert quotes.has_unescaped_quote().accepts_string(text) == expected
+
+
+class TestMarkerPositions:
+    def marker_ok(self, text):
+        return quotes.markers_inside_string_literals().accepts_string(text)
+
+    def test_marker_inside_quotes(self):
+        assert self.marker_ok(f"WHERE id='{quotes.MARKER}'")
+
+    def test_marker_outside_quotes(self):
+        assert not self.marker_ok(f"WHERE id={quotes.MARKER}")
+
+    def test_marker_after_closing_quote(self):
+        assert not self.marker_ok(f"WHERE id='x'{quotes.MARKER}")
+
+    def test_two_markers_both_inside(self):
+        assert self.marker_ok(f"a='{quotes.MARKER}' AND b='{quotes.MARKER}'")
+
+    def test_two_markers_one_outside(self):
+        assert not self.marker_ok(f"a='{quotes.MARKER}' AND b={quotes.MARKER}")
+
+    def test_marker_in_escaped_context(self):
+        # backslash immediately before the marker: rejected (conservative)
+        assert not self.marker_ok(f"'\\{quotes.MARKER}'")
+
+    def test_no_marker_any_string_ok(self):
+        assert self.marker_ok("SELECT * FROM t WHERE a='x'")
+        assert self.marker_ok("no quotes at all")
+
+
+class TestNumeric:
+    def test_accepts(self):
+        dfa = quotes.numeric_literals()
+        for text in ("0", "42", "-7", "3.14"):
+            assert dfa.accepts_string(text)
+
+    def test_rejects(self):
+        dfa = quotes.numeric_literals()
+        for text in ("", "1a", "'1'", "1;2", "--", "1 OR 1"):
+            assert not dfa.accepts_string(text)
+
+
+class TestAttackFragments:
+    def test_detects(self):
+        dfa = quotes.non_confinable_substrings()
+        for text in (
+            "1; DROP TABLE users",
+            "1 -- comment",
+            "x UNION SELECT password",
+            "1 OR 1=1",
+            "0; DELETE FROM t",
+        ):
+            assert dfa.accepts_string(text), text
+
+    def test_clean_values_pass(self):
+        dfa = quotes.non_confinable_substrings()
+        for text in ("42", "hello", "user_name", "3.14"):
+            assert not dfa.accepts_string(text), text

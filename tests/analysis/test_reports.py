@@ -1,0 +1,93 @@
+"""Tests for report data structures and rendering."""
+
+from repro.analysis.reports import Finding, HotspotReport, ProjectReport
+from repro.lang.grammar import DIRECT, INDIRECT
+
+
+def make_finding(safe=False, labels=frozenset({DIRECT}), check="odd-quotes"):
+    return Finding(
+        file="app/page.php",
+        line=12,
+        sink="mysql_query",
+        nonterminal="X",
+        labels=labels,
+        check=check,
+        safe=safe,
+        witness="'" if not safe else "",
+        detail="detail text",
+    )
+
+
+class TestFinding:
+    def test_category_direct_dominates(self):
+        finding = make_finding(labels=frozenset({DIRECT, INDIRECT}))
+        assert finding.category == DIRECT
+
+    def test_category_indirect(self):
+        assert make_finding(labels=frozenset({INDIRECT})).category == INDIRECT
+
+    def test_category_unlabeled(self):
+        assert make_finding(labels=frozenset()).category == "unlabeled"
+
+    def test_render_violation(self):
+        text = make_finding().render()
+        assert "VIOLATION" in text
+        assert "page.php:12" in text
+        assert "odd-quotes" in text
+        assert "witness" in text
+
+    def test_render_safe(self):
+        text = make_finding(safe=True).render()
+        assert text.startswith("SAFE")
+        assert "witness" not in text
+
+
+class TestHotspotReport:
+    def test_verified_when_all_safe(self):
+        report = HotspotReport(
+            file="f", line=1, sink="s", findings=[make_finding(safe=True)]
+        )
+        assert report.verified
+        assert report.violations == []
+
+    def test_vulnerable(self):
+        report = HotspotReport(
+            file="f", line=1, sink="s",
+            findings=[make_finding(safe=True), make_finding(safe=False)],
+        )
+        assert not report.verified
+        assert len(report.violations) == 1
+        assert "VULNERABLE" in report.render()
+
+    def test_query_samples_rendered(self):
+        report = HotspotReport(
+            file="f", line=1, sink="s", query_samples=["SELECT 1"]
+        )
+        assert "SELECT 1" in report.render()
+
+
+class TestProjectReport:
+    def test_category_partition(self):
+        spot = HotspotReport(
+            file="f",
+            line=1,
+            sink="s",
+            findings=[
+                make_finding(labels=frozenset({DIRECT})),
+                make_finding(labels=frozenset({INDIRECT}), check="literal-break"),
+            ],
+        )
+        report = ProjectReport(name="demo", hotspots=[spot])
+        assert len(report.direct_violations) == 1
+        assert len(report.indirect_violations) == 1
+        assert not report.verified
+
+    def test_verified_render(self):
+        report = ProjectReport(name="demo")
+        assert report.verified
+        assert "VERIFIED" in report.render()
+
+    def test_render_header_stats(self):
+        report = ProjectReport(name="demo", files=3, lines=120)
+        text = report.render()
+        assert "files=3" in text and "lines=120" in text

@@ -1,0 +1,79 @@
+"""Tests for the SQLCheck-style runtime baseline (the paper's [25])."""
+
+import pytest
+
+from repro.baselines.sqlcheck import (
+    MARK_CLOSE,
+    MARK_OPEN,
+    build_query,
+    check_query,
+    mark,
+    strip_marks,
+)
+
+
+class TestMarking:
+    def test_mark_wraps(self):
+        assert mark("x") == f"{MARK_OPEN}x{MARK_CLOSE}"
+
+    def test_strip_single(self):
+        query, spans = strip_marks(f"SELECT {MARK_OPEN}1{MARK_CLOSE} FROM t")
+        assert query == "SELECT 1 FROM t"
+        assert spans == [(7, 8)]
+
+    def test_strip_multiple(self):
+        marked = build_query("SELECT * FROM t WHERE a='{}' AND b='{}'", "x", "y")
+        query, spans = strip_marks(marked)
+        assert query == "SELECT * FROM t WHERE a='x' AND b='y'"
+        assert len(spans) == 2
+
+    def test_nested_marks_outermost_wins(self):
+        marked = f"{MARK_OPEN}a{MARK_OPEN}b{MARK_CLOSE}c{MARK_CLOSE}"
+        query, spans = strip_marks(marked)
+        assert query == "abc"
+        assert spans == [(0, 3)]
+
+    def test_unbalanced_raises(self):
+        with pytest.raises(ValueError):
+            strip_marks(MARK_OPEN + "oops")
+        with pytest.raises(ValueError):
+            strip_marks("oops" + MARK_CLOSE)
+
+
+class TestRuntimeCheck:
+    def test_benign_value_passes(self):
+        marked = build_query("SELECT * FROM t WHERE id='{}'", "42")
+        assert check_query(marked).safe
+
+    def test_figure2_attack_blocked(self):
+        marked = build_query(
+            "SELECT * FROM `unp_user` WHERE userid='{}'",
+            "1'; DROP TABLE unp_user; --",
+        )
+        result = check_query(marked)
+        assert not result.safe
+        assert result.offending is not None
+
+    def test_tautology_blocked(self):
+        marked = build_query("SELECT * FROM t WHERE id={}", "1 OR 1=1")
+        assert not check_query(marked).safe
+
+    def test_whole_expression_allowed(self):
+        # syntactic confinement permits input that IS a complete node
+        marked = build_query("SELECT * FROM t WHERE {}", "a = 1")
+        assert check_query(marked).safe
+
+    def test_numeric_context(self):
+        assert check_query(build_query("SELECT * FROM t WHERE id={}", "7")).safe
+        assert not check_query(
+            build_query("SELECT * FROM t WHERE id={}", "7; DELETE FROM t")
+        ).safe
+
+    def test_escaped_quote_stays_inside(self):
+        marked = build_query("SELECT * FROM t WHERE a='{}'", "it\\'s")
+        assert check_query(marked).safe
+
+    def test_no_untrusted_input(self):
+        result = check_query("SELECT 1 FROM t")
+        assert result.safe
+        assert result.spans == []

@@ -1,0 +1,106 @@
+"""Tests for the synthetic corpus generators."""
+
+import pytest
+
+from repro.corpus import APPS, build_app, build_corpus
+from repro.corpus.manifest import DIRECT_FALSE, DIRECT_REAL, INDIRECT
+from repro.php.parser import parse
+
+#: the paper's Table 1 anatomy per app directory
+EXPECTED = {
+    "e107": dict(files=741, direct_real=1, direct_false=0, indirect=4),
+    "eve_activity_tracker": dict(files=8, direct_real=4, direct_false=0, indirect=1),
+    "tiger_php_news": dict(files=16, direct_real=0, direct_false=3, indirect=2),
+    "utopia_news_pro": dict(files=25, direct_real=14, direct_false=2, indirect=12),
+    "warp_cms": dict(files=42, direct_real=0, direct_false=0, indirect=0),
+}
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    root = tmp_path_factory.mktemp("corpus")
+    manifests = build_corpus(root)
+    return root, dict(zip([d for _, d in APPS], manifests))
+
+
+class TestStructure:
+    def test_all_apps_built(self, corpus):
+        root, manifests = corpus
+        for _, app_dir in APPS:
+            assert (root / app_dir).is_dir()
+
+    @pytest.mark.parametrize("app_dir", list(EXPECTED))
+    def test_file_counts_match_paper(self, corpus, app_dir):
+        root, _ = corpus
+        files = list((root / app_dir).rglob("*.php"))
+        assert len(files) == EXPECTED[app_dir]["files"]
+
+    @pytest.mark.parametrize("app_dir", list(EXPECTED))
+    def test_seed_counts_match_paper(self, corpus, app_dir):
+        _, manifests = corpus
+        manifest = manifests[app_dir]
+        expected = EXPECTED[app_dir]
+        assert manifest.expected_direct_real == expected["direct_real"]
+        assert manifest.expected_direct_false == expected["direct_false"]
+        assert manifest.expected_indirect == expected["indirect"]
+
+    def test_totals_match_paper(self, corpus):
+        _, manifests = corpus
+        totals = [
+            sum(m.count(kind) for m in manifests.values())
+            for kind in (DIRECT_REAL, DIRECT_FALSE, INDIRECT)
+        ]
+        # Note: the paper's Table 1 totals row prints "19 5 17", but its
+        # per-app indirect column sums to 19 (4+1+2+12+0).  We reproduce
+        # the per-app values; the discrepancy is documented in
+        # EXPERIMENTS.md.
+        assert totals == [19, 5, 19]
+
+    def test_line_counts_same_order_as_paper(self, corpus):
+        root, _ = corpus
+        paper_lines = {
+            "e107": 132_850,
+            "eve_activity_tracker": 905,
+            "tiger_php_news": 7_961,
+            "utopia_news_pro": 5_611,
+            "warp_cms": 23_003,
+        }
+        for app_dir, expected in paper_lines.items():
+            measured = sum(
+                len(path.read_text().splitlines())
+                for path in (root / app_dir).rglob("*.php")
+            )
+            assert 0.5 * expected <= measured <= 1.5 * expected, (
+                app_dir,
+                measured,
+            )
+
+
+class TestWellFormedness:
+    def test_every_file_parses(self, corpus):
+        root, _ = corpus
+        failures = []
+        for path in root.rglob("*.php"):
+            try:
+                parse(path.read_text(), str(path))
+            except Exception as exc:  # noqa: BLE001 - collecting all failures
+                failures.append(f"{path}: {exc}")
+        assert not failures, failures[:5]
+
+    def test_seed_pages_exist(self, corpus):
+        root, manifests = corpus
+        for (_, app_dir), manifest in zip(APPS, manifests.values()):
+            for seed in manifest.seeds:
+                assert (root / app_dir / seed.page).is_file(), (
+                    app_dir,
+                    seed.page,
+                )
+
+    def test_build_app_single(self, tmp_path):
+        manifest = build_app(tmp_path, "eve_activity_tracker")
+        assert manifest.expected_direct_real == 4
+        assert (tmp_path / "eve_activity_tracker" / "index.php").is_file()
+
+    def test_build_app_unknown(self, tmp_path):
+        with pytest.raises(KeyError):
+            build_app(tmp_path, "no_such_app")

@@ -1,0 +1,134 @@
+"""Unit tests for the Table 1 classification logic (report ↔ manifest)."""
+
+from repro.analysis.reports import Finding, HotspotReport, ProjectReport
+from repro.corpus.manifest import (
+    AppManifest,
+    DIRECT_FALSE,
+    DIRECT_REAL,
+    INDIRECT,
+    Seed,
+)
+from repro.evaluation.table1 import classify
+from repro.lang.grammar import DIRECT as DIRECT_LABEL, INDIRECT as INDIRECT_LABEL
+
+
+def violation(page, category):
+    labels = frozenset({DIRECT_LABEL if category == "direct" else INDIRECT_LABEL})
+    return Finding(
+        file=f"/app/{page}",
+        line=1,
+        sink="mysql_query",
+        nonterminal="X",
+        labels=labels,
+        check="odd-quotes",
+        safe=False,
+    )
+
+
+def report_with(violations):
+    spots = [
+        HotspotReport(file=f"/app/{page}", line=1, sink="s", findings=[v])
+        for page, v in violations
+    ]
+    return ProjectReport(name="demo", files=1, lines=1, hotspots=spots)
+
+
+class TestClassify:
+    def test_real_direct_matched(self):
+        manifest = AppManifest(
+            name="demo", seeds=[Seed("a.php", DIRECT_REAL, "x")]
+        )
+        report = report_with([("a.php", violation("a.php", "direct"))])
+        row = classify(report, manifest)
+        assert row.direct_real == 1
+        assert row.clean
+
+    def test_false_positive_classified(self):
+        manifest = AppManifest(
+            name="demo", seeds=[Seed("fp.php", DIRECT_FALSE, "x")]
+        )
+        report = report_with([("fp.php", violation("fp.php", "direct"))])
+        row = classify(report, manifest)
+        assert row.direct_false == 1
+        assert row.direct_real == 0
+        assert row.clean
+
+    def test_indirect_matched(self):
+        manifest = AppManifest(name="demo", seeds=[Seed("i.php", INDIRECT, "x")])
+        report = report_with([("i.php", violation("i.php", "indirect"))])
+        row = classify(report, manifest)
+        assert row.indirect == 1
+        assert row.clean
+
+    def test_unexpected_report_flagged(self):
+        manifest = AppManifest(name="demo", seeds=[])
+        report = report_with([("surprise.php", violation("surprise.php", "direct"))])
+        row = classify(report, manifest)
+        assert row.unexpected == ["direct:surprise.php"]
+        assert not row.clean
+
+    def test_missed_seed_flagged(self):
+        manifest = AppManifest(
+            name="demo", seeds=[Seed("missed.php", DIRECT_REAL, "x")]
+        )
+        report = report_with([])
+        row = classify(report, manifest)
+        assert row.missed == ["direct:missed.php"]
+        assert not row.clean
+
+    def test_page_counted_once_despite_multiple_hotspots(self):
+        manifest = AppManifest(
+            name="demo", seeds=[Seed("a.php", DIRECT_REAL, "x")]
+        )
+        report = report_with(
+            [
+                ("a.php", violation("a.php", "direct")),
+                ("a.php", violation("a.php", "direct")),
+            ]
+        )
+        row = classify(report, manifest)
+        assert row.direct_real == 1
+        assert row.clean
+
+    def test_mixed_categories_same_page(self):
+        manifest = AppManifest(
+            name="demo",
+            seeds=[
+                Seed("a.php", DIRECT_REAL, "x"),
+                Seed("a.php", INDIRECT, "y"),
+            ],
+        )
+        report = report_with(
+            [
+                ("a.php", violation("a.php", "direct")),
+                ("a.php", violation("a.php", "indirect")),
+            ]
+        )
+        row = classify(report, manifest)
+        assert row.direct_real == 1
+        assert row.indirect == 1
+        assert row.clean
+
+
+class TestRenderTable:
+    def test_render_includes_paper_rows(self):
+        from repro.evaluation.table1 import Row, render_table
+
+        rows = [
+            Row(
+                name="EVE Activity Tracker (1.0)",
+                files=8,
+                lines=851,
+                nonterminals=74,
+                productions=90,
+                string_seconds=0.1,
+                check_seconds=0.1,
+                direct_real=4,
+                direct_false=0,
+                indirect=1,
+            )
+        ]
+        text = render_table(rows)
+        assert "EVE Activity Tracker" in text
+        assert "(paper)" in text
+        assert "false positive rate" in text

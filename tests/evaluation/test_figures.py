@@ -1,0 +1,58 @@
+"""Tests for the figure-regeneration module (Figures 2, 4, 5, 6, 8)."""
+
+from repro.evaluation import figures
+
+
+class TestFigure2:
+    def test_vulnerability_reported(self):
+        result = figures.figure2()
+        assert not result["verified"]
+        assert "odd-quotes" in result["violations"]
+
+    def test_attack_derivable_and_unconfined(self):
+        result = figures.figure2()
+        assert result["attack_query_derivable"]
+        assert not result["attack_confined"]
+
+    def test_witness_nonempty(self):
+        assert figures.figure2()["witness"]
+
+
+class TestFigure4:
+    def test_direct_label_present(self):
+        result = figures.figure4()
+        assert result["direct_labeled"] >= 1
+
+    def test_samples_reflect_digit_refinement(self):
+        result = figures.figure4()
+        assert result["samples"]
+        for sample in result["samples"]:
+            assert any(c.isdigit() for c in sample), sample
+
+    def test_dump_readable(self):
+        assert "->" in figures.figure4()["dump"]
+
+
+class TestFigure5:
+    def test_dataflow_grammar(self):
+        result = figures.figure5()
+        assert result["derives_s"]
+
+    def test_single_append_no_double(self):
+        # both branches append exactly one "s" to the untrusted value;
+        # Σ* absorbs anything, so check the branch structure in the dump
+        result = figures.figure5()
+        assert "φ" in result["dump"] or "cat" in result["dump"]
+
+
+class TestFigure6:
+    def test_cases(self):
+        cases = figures.figure6()["cases"]
+        assert cases == {"A''B": "A'B", "''''": "''", "'": "'", "A'B": "A'B"}
+
+
+class TestFigure8:
+    def test_explode_pieces(self):
+        derives = figures.figure8()["derives"]
+        assert derives["a"] and derives["b"] and derives["c"]
+        assert not derives["a,b"]

@@ -1,0 +1,213 @@
+"""Tests for sentential-form Earley parsing and Definition 3.2 derivability."""
+
+import pytest
+
+from repro.lang.earley import (
+    Derivability,
+    TokenGrammar,
+    derivability,
+    parse_sentential_form,
+)
+
+
+def expr_grammar():
+    """A small arithmetic grammar (tokens: NUM, +, *, (, ))."""
+    g = TokenGrammar("expr")
+    g.add("expr", ["expr", "+", "term"])
+    g.add("expr", ["term"])
+    g.add("term", ["term", "*", "factor"])
+    g.add("term", ["factor"])
+    g.add("factor", ["(", "expr", ")"])
+    g.add("factor", ["NUM"])
+    return g
+
+
+def sql_like_grammar():
+    """A miniature SQL-flavored grammar for confinement-style tests."""
+    g = TokenGrammar("query")
+    g.add("query", ["SELECT", "cols", "FROM", "IDENT", "where"])
+    g.add("where", [])
+    g.add("where", ["WHERE", "cond"])
+    g.add("cond", ["IDENT", "=", "value"])
+    g.add("cond", ["cond", "AND", "cond"])
+    g.add("cols", ["*"])
+    g.add("cols", ["IDENT"])
+    g.add("value", ["NUM"])
+    g.add("value", ["STR"])
+    return g
+
+
+class TestTokenGrammar:
+    def test_nonterminals_and_terminals(self):
+        g = expr_grammar()
+        assert g.is_nonterminal("expr")
+        assert not g.is_nonterminal("NUM")
+        assert g.terminals() == {"NUM", "+", "*", "(", ")"}
+
+    def test_add_dedups(self):
+        g = TokenGrammar("s")
+        g.add("s", ["a"])
+        g.add("s", ["a"])
+        assert g.productions["s"] == [("a",)]
+
+    def test_nullable(self):
+        g = TokenGrammar("s")
+        g.add("s", ["a", "b"])
+        g.add("a", [])
+        g.add("b", ["a"])
+        assert g.nullable() == {"s", "a", "b"}
+
+
+class TestEarleyTerminalStrings:
+    @pytest.mark.parametrize(
+        "tokens,expected",
+        [
+            (["NUM"], True),
+            (["NUM", "+", "NUM"], True),
+            (["NUM", "+", "NUM", "*", "NUM"], True),
+            (["(", "NUM", "+", "NUM", ")", "*", "NUM"], True),
+            (["NUM", "+"], False),
+            (["+", "NUM"], False),
+            ([], False),
+            (["(", "NUM"], False),
+        ],
+    )
+    def test_expr(self, tokens, expected):
+        g = expr_grammar()
+        assert parse_sentential_form(g, "expr", tokens) == expected
+
+    def test_left_recursion(self):
+        g = expr_grammar()
+        tokens = ["NUM"] + ["+", "NUM"] * 10
+        assert parse_sentential_form(g, "expr", tokens)
+
+    def test_nullable_rules(self):
+        g = sql_like_grammar()
+        assert parse_sentential_form(
+            g, "query", ["SELECT", "*", "FROM", "IDENT"]
+        )
+        assert parse_sentential_form(
+            g,
+            "query",
+            ["SELECT", "*", "FROM", "IDENT", "WHERE", "IDENT", "=", "NUM"],
+        )
+
+    def test_all_nullable_input_empty(self):
+        g = TokenGrammar("s")
+        g.add("s", ["a", "a"])
+        g.add("a", [])
+        assert parse_sentential_form(g, "s", [])
+
+
+class TestSententialForms:
+    """Inputs may contain grammar nonterminals — the Thiemann trick."""
+
+    def test_nonterminal_matches_itself(self):
+        g = expr_grammar()
+        assert parse_sentential_form(g, "expr", ["term"])
+        assert parse_sentential_form(g, "expr", ["expr", "+", "term"])
+        assert parse_sentential_form(g, "expr", ["factor", "*", "NUM"])
+
+    def test_nonterminal_in_context(self):
+        g = sql_like_grammar()
+        form = ["SELECT", "*", "FROM", "IDENT", "WHERE", "cond"]
+        assert parse_sentential_form(g, "query", form)
+
+    def test_wrong_position_rejected(self):
+        g = sql_like_grammar()
+        assert not parse_sentential_form(
+            g, "query", ["SELECT", "cond", "FROM", "IDENT"]
+        )
+
+    def test_match_classes(self):
+        g = expr_grammar()
+        classes = {"X": frozenset({"NUM", "term"})}
+        assert parse_sentential_form(g, "expr", ["X", "+", "X"], classes)
+        classes_bad = {"X": frozenset({"+"})}
+        assert not parse_sentential_form(g, "expr", ["X"], classes_bad)
+
+
+class TestDerivability:
+    def test_trivially_derivable(self):
+        gen = TokenGrammar("g0")
+        gen.add("g0", ["NUM"])
+        result = derivability(gen, expr_grammar(), "g0")
+        assert result.derivable
+        assert result.mapping["g0"] in {"expr", "term", "factor", "NUM"}
+
+    def test_structure_derivable(self):
+        # g0 -> g0 + g1 | g1 ; g1 -> NUM   maps onto expr/term
+        gen = TokenGrammar("g0")
+        gen.add("g0", ["g0", "+", "g1"])
+        gen.add("g0", ["g1"])
+        gen.add("g1", ["NUM"])
+        result = derivability(gen, expr_grammar(), "g0")
+        assert result.derivable
+        assert result.mapping["g0"] == "expr"
+
+    def test_not_derivable_bad_terminal(self):
+        gen = TokenGrammar("g0")
+        gen.add("g0", ["DROP"])
+        result = derivability(gen, expr_grammar(), "g0")
+        assert not result.derivable
+        assert "DROP" in result.reason
+
+    def test_not_derivable_bad_structure(self):
+        # NUM + with a dangling operator is no sentential form of expr
+        gen = TokenGrammar("g0")
+        gen.add("g0", ["NUM", "+"])
+        result = derivability(gen, expr_grammar(), "g0")
+        assert not result.derivable
+
+    def test_allowed_roots_restriction(self):
+        gen = TokenGrammar("g0")
+        gen.add("g0", ["NUM"])
+        result = derivability(
+            gen, expr_grammar(), "g0", allowed_roots=["factor"]
+        )
+        assert result.derivable
+        assert result.mapping["g0"] == "factor"
+        result2 = derivability(gen, expr_grammar(), "g0", allowed_roots=["+"])
+        assert not result2.derivable
+
+    def test_value_confinement_sql_style(self):
+        """An untrusted piece deriving NUM|STR is confined under `value`."""
+        gen = TokenGrammar("u")
+        gen.add("u", ["NUM"])
+        gen.add("u", ["STR"])
+        result = derivability(gen, sql_like_grammar(), "u")
+        assert result.derivable
+        assert result.mapping["u"] == "value"
+
+    def test_injection_shape_not_derivable(self):
+        """`NUM AND IDENT = NUM` spans beyond one nonterminal: not confined
+        under value (it is a cond-context escape)."""
+        gen = TokenGrammar("u")
+        gen.add("u", ["NUM"])
+        gen.add("u", ["NUM", "AND", "IDENT", "=", "NUM"])
+        result = derivability(
+            gen, sql_like_grammar(), "u", allowed_roots=["value"]
+        )
+        assert not result.derivable
+
+    def test_cyclic_generated_grammar(self):
+        gen = TokenGrammar("u")
+        gen.add("u", ["u", "AND", "u"])
+        gen.add("u", ["IDENT", "=", "NUM"])
+        result = derivability(gen, sql_like_grammar(), "u")
+        assert result.derivable
+        assert result.mapping["u"] == "cond"
+
+    def test_lemma_3_3_language_inclusion(self):
+        """Spot-check Lemma 3.3: derivable ⇒ language inclusion."""
+        gen = TokenGrammar("g0")
+        gen.add("g0", ["g0", "+", "g1"])
+        gen.add("g0", ["g1"])
+        gen.add("g1", ["NUM"])
+        ref = expr_grammar()
+        result = derivability(gen, ref, "g0")
+        assert result.derivable
+        # every short string of gen must be accepted by ref from F(g0)
+        samples = [["NUM"], ["NUM", "+", "NUM"], ["NUM", "+", "NUM", "+", "NUM"]]
+        for sample in samples:
+            assert parse_sentential_form(ref, result.mapping["g0"], sample)

@@ -1,0 +1,245 @@
+"""Tests for NFA/DFA construction, determinization, and Boolean algebra."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.charset import CharSet, DIGITS
+from repro.lang.fsa import DFA, NFA
+
+
+def nfa_strategy(depth=3):
+    """Random regular languages over {a, b} built from the combinators."""
+    leaves = st.sampled_from(
+        [
+            NFA.from_string("a"),
+            NFA.from_string("b"),
+            NFA.from_string("ab"),
+            NFA.epsilon_language(),
+            NFA.from_charset(CharSet.of("ab")),
+        ]
+    )
+    return st.recursive(
+        leaves,
+        lambda inner: st.one_of(
+            st.tuples(inner, inner).map(lambda t: t[0].union(t[1])),
+            st.tuples(inner, inner).map(lambda t: t[0].concat(t[1])),
+            inner.map(lambda n: n.star()),
+        ),
+        max_leaves=depth,
+    )
+
+
+def ab_strings():
+    return st.text(alphabet="ab", max_size=6)
+
+
+class TestPrimitives:
+    def test_nothing(self):
+        nfa = NFA.nothing()
+        assert not nfa.accepts_string("")
+        assert not nfa.accepts_string("a")
+
+    def test_epsilon_language(self):
+        nfa = NFA.epsilon_language()
+        assert nfa.accepts_string("")
+        assert not nfa.accepts_string("a")
+
+    def test_from_string(self):
+        nfa = NFA.from_string("abc")
+        assert nfa.accepts_string("abc")
+        assert not nfa.accepts_string("ab")
+        assert not nfa.accepts_string("abcd")
+        assert not nfa.accepts_string("")
+
+    def test_from_empty_string(self):
+        assert NFA.from_string("").accepts_string("")
+
+    def test_from_charset(self):
+        nfa = NFA.from_charset(DIGITS)
+        assert nfa.accepts_string("7")
+        assert not nfa.accepts_string("a")
+        assert not nfa.accepts_string("77")
+
+    def test_any_string(self):
+        nfa = NFA.any_string()
+        for text in ("", "x", "hello world", "'; DROP TABLE users; --"):
+            assert nfa.accepts_string(text)
+
+
+class TestCombinators:
+    def test_union(self):
+        nfa = NFA.from_string("cat").union(NFA.from_string("dog"))
+        assert nfa.accepts_string("cat")
+        assert nfa.accepts_string("dog")
+        assert not nfa.accepts_string("catdog")
+
+    def test_concat(self):
+        nfa = NFA.from_string("ab").concat(NFA.from_string("cd"))
+        assert nfa.accepts_string("abcd")
+        assert not nfa.accepts_string("ab")
+
+    def test_star(self):
+        nfa = NFA.from_string("ab").star()
+        for text in ("", "ab", "abab", "ababab"):
+            assert nfa.accepts_string(text)
+        assert not nfa.accepts_string("aba")
+
+    def test_plus(self):
+        nfa = NFA.from_string("a").plus()
+        assert not nfa.accepts_string("")
+        assert nfa.accepts_string("a")
+        assert nfa.accepts_string("aaa")
+
+    def test_optional(self):
+        nfa = NFA.from_string("a").optional()
+        assert nfa.accepts_string("")
+        assert nfa.accepts_string("a")
+        assert not nfa.accepts_string("aa")
+
+    def test_repeat_exact(self):
+        nfa = NFA.from_string("a").repeat(2, 2)
+        assert nfa.accepts_string("aa")
+        assert not nfa.accepts_string("a")
+        assert not nfa.accepts_string("aaa")
+
+    def test_repeat_range(self):
+        nfa = NFA.from_string("a").repeat(1, 3)
+        assert [nfa.accepts_string("a" * n) for n in range(5)] == [
+            False,
+            True,
+            True,
+            True,
+            False,
+        ]
+
+    def test_repeat_unbounded(self):
+        nfa = NFA.from_string("a").repeat(2, None)
+        assert not nfa.accepts_string("a")
+        assert nfa.accepts_string("aaaaa")
+
+    def test_reverse(self):
+        nfa = NFA.from_string("abc").reverse()
+        assert nfa.accepts_string("cba")
+        assert not nfa.accepts_string("abc")
+
+
+class TestDeterminize:
+    def test_preserves_language(self):
+        nfa = NFA.from_string("a").star().concat(NFA.from_string("b"))
+        dfa = nfa.determinize()
+        for text in ("b", "ab", "aaab"):
+            assert dfa.accepts_string(text)
+        for text in ("", "a", "ba", "abb"):
+            assert not dfa.accepts_string(text)
+
+    def test_charset_split(self):
+        # Two overlapping charset edges force alphabet refinement.
+        nfa = NFA.from_charset(CharSet.range("a", "m")).union(
+            NFA.from_charset(CharSet.range("g", "z"))
+        )
+        dfa = nfa.determinize()
+        for char in "agmz":
+            assert dfa.accepts_string(char)
+        assert not dfa.accepts_string("A")
+
+    @given(nfa_strategy(), ab_strings())
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_nfa(self, nfa, text):
+        assert nfa.accepts_string(text) == nfa.determinize().accepts_string(text)
+
+
+class TestDFAOperations:
+    def test_shortest_string(self):
+        dfa = NFA.from_string("abc").union(NFA.from_string("xy")).determinize()
+        assert dfa.shortest_string() == "xy"
+
+    def test_shortest_string_empty_language(self):
+        assert NFA.nothing().determinize().shortest_string() is None
+
+    def test_shortest_string_epsilon(self):
+        assert NFA.epsilon_language().determinize().shortest_string() == ""
+
+    def test_is_empty(self):
+        assert NFA.nothing().is_empty()
+        assert not NFA.from_string("a").is_empty()
+
+    def test_complement(self):
+        dfa = NFA.from_string("ab").determinize().complement()
+        assert not dfa.accepts_string("ab")
+        for text in ("", "a", "b", "abc", "'"):
+            assert dfa.accepts_string(text)
+
+    def test_intersect(self):
+        evens = NFA.from_charset(CharSet.of("ab")).repeat(2, 2).star().determinize()
+        starts_a = (
+            NFA.from_string("a").concat(NFA.from_charset(CharSet.of("ab")).star())
+        ).determinize()
+        both = evens.intersect(starts_a)
+        assert both.accepts_string("ab")
+        assert both.accepts_string("aaaa")
+        assert not both.accepts_string("a")
+        assert not both.accepts_string("ba")
+
+    def test_subset(self):
+        a_plus = NFA.from_string("a").plus().determinize()
+        a_star = NFA.from_string("a").star().determinize()
+        assert a_plus.is_subset_of(a_star)
+        assert not a_star.is_subset_of(a_plus)
+
+    def test_run_string(self):
+        dfa = NFA.from_string("abc").determinize()
+        mid = dfa.run_string(dfa.start, "ab")
+        assert mid is not None
+        assert dfa.run_string(mid, "c") in dfa.accepts
+        assert dfa.run_string(dfa.start, "zz") is None
+
+    @given(nfa_strategy(), ab_strings())
+    @settings(max_examples=40, deadline=None)
+    def test_complement_flips_membership(self, nfa, text):
+        dfa = nfa.determinize()
+        assert dfa.accepts_string(text) != dfa.complement().accepts_string(text)
+
+    @given(nfa_strategy(), nfa_strategy(), ab_strings())
+    @settings(max_examples=40, deadline=None)
+    def test_intersection_semantics(self, nfa1, nfa2, text):
+        both = nfa1.determinize().intersect(nfa2.determinize())
+        expected = nfa1.accepts_string(text) and nfa2.accepts_string(text)
+        assert both.accepts_string(text) == expected
+
+
+class TestMinimize:
+    def test_minimize_preserves_language(self):
+        nfa = NFA.from_string("ab").union(NFA.from_string("ab"))
+        dfa = nfa.determinize().minimize()
+        assert dfa.accepts_string("ab")
+        assert not dfa.accepts_string("a")
+
+    def test_minimize_shrinks(self):
+        # (a|b)*b built redundantly
+        sigma = NFA.from_charset(CharSet.of("ab"))
+        nfa = sigma.star().concat(NFA.from_string("b"))
+        big = nfa.determinize()
+        small = big.minimize()
+        assert small.num_states <= big.num_states
+        for text in ("b", "ab", "bb", "aab"):
+            assert small.accepts_string(text)
+        for text in ("", "a", "ba"):
+            assert not small.accepts_string(text)
+
+    def test_minimize_empty_language(self):
+        dfa = NFA.nothing().determinize().minimize()
+        assert dfa.is_empty()
+
+    @given(nfa_strategy(), ab_strings())
+    @settings(max_examples=40, deadline=None)
+    def test_minimize_language_equal(self, nfa, text):
+        dfa = nfa.determinize()
+        assert dfa.accepts_string(text) == dfa.minimize().accepts_string(text)
+
+    def test_live_states_prunes_dead(self):
+        dfa = DFA()
+        s0, s1, s2 = dfa.new_state(), dfa.new_state(), dfa.new_state()
+        dfa.start = s0
+        dfa.accepts = {s1}
+        dfa.add_edge(s0, CharSet.of("a"), s1)
+        dfa.add_edge(s0, CharSet.of("b"), s2)  # s2 is a trap
+        assert dfa.live_states() == {s0, s1}

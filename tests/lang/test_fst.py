@@ -1,0 +1,166 @@
+"""Tests for finite-state transducers, incl. differential tests vs. Python."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.charset import CharSet, DIGITS
+from repro.lang.fst import (
+    COPY,
+    FST,
+    LOWER,
+    UPPER,
+    map_marker_charset,
+    render_output,
+)
+
+
+class TestIdentity:
+    @given(st.text(max_size=20))
+    def test_identity(self, text):
+        assert FST.identity().apply_once(text) == text
+
+
+class TestCharMap:
+    def test_replace_chars(self):
+        fst = FST.replace_chars(CharSet.of("'"), "''")
+        assert fst.apply_once("it's") == "it''s"
+
+    def test_delete_chars(self):
+        fst = FST.delete_chars(DIGITS)
+        assert fst.apply_once("a1b2c3") == "abc"
+
+    def test_escape_chars_is_addslashes(self):
+        fst = FST.escape_chars(CharSet.of("'\"\\"))
+        assert fst.apply_once("a'b\"c\\d") == "a\\'b\\\"c\\\\d"
+
+    def test_lowercase(self):
+        assert FST.lowercase().apply_once("SeLeCt 1") == "select 1"
+
+    def test_uppercase(self):
+        assert FST.uppercase().apply_once("drop?") == "DROP?"
+
+    def test_first_mapping_wins(self):
+        fst = FST.char_map(
+            [(CharSet.of("ab"), ("x",)), (CharSet.of("bc"), ("y",))]
+        )
+        assert fst.apply_once("abc") == "xxy"
+
+    def test_no_default_copy_deletes(self):
+        fst = FST.char_map([(DIGITS, (COPY,))], default_copy=False)
+        assert fst.apply_once("a1b2") == "12"
+
+
+class TestReplaceString:
+    def test_figure6(self):
+        """The paper's Figure 6: str_replace("''", "'", $B)."""
+        fst = FST.replace_string("''", "'")
+        assert fst.apply_once("a''b") == "a'b"
+        assert fst.apply_once("''''") == "''"
+        assert fst.apply_once("'") == "'"
+        assert fst.apply_once("x") == "x"
+
+    def test_trailing_partial_match_flushed(self):
+        fst = FST.replace_string("ab", "X")
+        assert fst.apply_once("za") == "za"
+        assert fst.apply_once("zab") == "zX"
+
+    def test_overlapping_pattern_nonoverlapping_semantics(self):
+        fst = FST.replace_string("aa", "b")
+        assert fst.apply_once("aaa") == "ba"
+        assert fst.apply_once("aaaa") == "bb"
+
+    def test_self_border_pattern(self):
+        fst = FST.replace_string("aba", "X")
+        # Leftmost non-overlapping: "ababa" -> "X" + "ba"
+        assert fst.apply_once("ababa") == "Xba"
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            FST.replace_string("", "x")
+
+    PATTERNS = ["''", "ab", "aa", "aba", "<script>", "--", "x"]
+
+    @given(
+        st.sampled_from(PATTERNS),
+        st.text(max_size=3),
+        st.text(alphabet="ab'<script>-x", max_size=20),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_python_replace(self, pattern, replacement, subject):
+        fst = FST.replace_string(pattern, replacement)
+        assert fst.apply_once(subject) == subject.replace(pattern, replacement)
+
+
+class TestCollapseClass:
+    def test_run_collapsed_once(self):
+        fst = FST.collapse_class(DIGITS, "#")
+        assert fst.apply_once("ab123cd45") == "ab#cd#"
+
+    def test_no_class_chars(self):
+        fst = FST.collapse_class(DIGITS, "#")
+        assert fst.apply_once("abc") == "abc"
+
+    def test_whole_string_is_run(self):
+        fst = FST.collapse_class(DIGITS, "#")
+        assert fst.apply_once("123") == "#"
+
+    @given(st.text(alphabet="ab12", max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_re_sub(self, text):
+        import re
+
+        fst = FST.collapse_class(DIGITS, "N")
+        assert fst.apply_once(text) == re.sub(r"[0-9]+", "N", text)
+
+
+class TestOutputs:
+    def test_render_output(self):
+        assert render_output(("a", COPY, "b"), "X") == "aXb"
+        assert render_output((LOWER,), "Q") == "q"
+        assert render_output((UPPER,), "q") == "Q"
+
+    def test_map_marker_literal(self):
+        assert map_marker_charset("lit", DIGITS) == "lit"
+
+    def test_map_marker_copy(self):
+        assert map_marker_charset(COPY, DIGITS) == DIGITS
+
+    def test_map_marker_lower(self):
+        result = map_marker_charset(LOWER, CharSet.range("A", "C"))
+        assert result == CharSet.range("a", "c")
+
+    def test_map_marker_lower_mixed(self):
+        mixed = CharSet.of("A1")
+        result = map_marker_charset(LOWER, mixed)
+        assert "a" in result and "1" in result and "A" not in result
+
+    def test_map_marker_upper(self):
+        result = map_marker_charset(UPPER, CharSet.of("ax!"))
+        assert "A" in result and "X" in result and "!" in result
+
+
+class TestApplySemantics:
+    def test_apply_to_string_empty_input(self):
+        assert FST.identity().apply_to_string("") == {""}
+
+    def test_rejecting_fst(self):
+        fst = FST()
+        q0 = fst.new_state()
+        fst.add_transition(q0, DIGITS, (COPY,), q0)
+        assert fst.apply_to_string("x") == set()
+
+    def test_accept_states_filter(self):
+        fst = FST()
+        q0, q1 = fst.new_state(), fst.new_state()
+        fst.add_transition(q0, CharSet.of("a"), (COPY,), q1)
+        fst.add_transition(q1, CharSet.of("a"), (COPY,), q0)
+        fst.accepts = {q0}
+        assert fst.apply_to_string("a") == set()
+        assert fst.apply_to_string("aa") == {"aa"}
+
+    def test_nondeterministic_outputs(self):
+        fst = FST()
+        q0 = fst.new_state()
+        fst.add_transition(q0, CharSet.of("a"), ("x",), q0)
+        fst.add_transition(q0, CharSet.of("a"), ("y",), q0)
+        assert fst.apply_to_string("aa") == {"xx", "xy", "yx", "yy"}

@@ -1,0 +1,80 @@
+"""Tests for dynamic-include resolution (paper §4)."""
+
+from repro.analysis.absdom import GrammarBuilder
+from repro.lang.charset import CharSet
+from repro.php.includes import IncludeResolver
+
+
+def make_project(tmp_path, names):
+    for name in names:
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("<?php // stub")
+    return IncludeResolver(tmp_path)
+
+
+class TestLayoutScan:
+    def test_finds_php_files(self, tmp_path):
+        resolver = make_project(tmp_path, ["a.php", "sub/b.php", "c.txt"])
+        names = [p.name for p in resolver.project_files()]
+        assert "a.php" in names and "b.php" in names
+        assert "c.txt" not in names
+
+    def test_inc_and_tpl_included(self, tmp_path):
+        resolver = make_project(tmp_path, ["x.inc", "y.tpl"])
+        assert len(resolver.project_files()) == 2
+
+    def test_candidate_names_relative_forms(self, tmp_path):
+        resolver = make_project(tmp_path, ["sub/lib.php"])
+        names = resolver.candidate_names(tmp_path)
+        assert "sub/lib.php" in names
+        assert "./sub/lib.php" in names
+
+
+class TestResolution:
+    def test_literal_path(self, tmp_path):
+        resolver = make_project(tmp_path, ["lib.php", "other.php"])
+        builder = GrammarBuilder()
+        value = builder.literal("lib.php")
+        files = resolver.resolve(builder.grammar, value.nt, tmp_path)
+        assert [f.name for f in files] == ["lib.php"]
+
+    def test_prefix_pattern_selects_matching_files(self, tmp_path):
+        """The paper's example: include('lan_' . $choice . '.php')."""
+        resolver = make_project(
+            tmp_path,
+            ["lang/lan_en.php", "lang/lan_de.php", "lang/other.php"],
+        )
+        builder = GrammarBuilder()
+        choice = builder.join([builder.literal("en"), builder.literal("de")])
+        path_value = builder.concat_all(
+            [builder.literal("lang/lan_"), choice, builder.literal(".php")]
+        )
+        files = resolver.resolve(builder.grammar, path_value.nt, tmp_path)
+        assert sorted(f.name for f in files) == ["lan_de.php", "lan_en.php"]
+
+    def test_sigma_star_choice_resolved_by_layout(self, tmp_path):
+        """Unknown $choice: the directory layout IS the specification."""
+        resolver = make_project(
+            tmp_path,
+            ["lang/lan_en.php", "lang/lan_fr.php", "elsewhere/readme.php"],
+        )
+        builder = GrammarBuilder()
+        path_value = builder.concat_all(
+            [builder.literal("lang/lan_"), builder.any_string(), builder.literal(".php")]
+        )
+        files = resolver.resolve(builder.grammar, path_value.nt, tmp_path)
+        assert sorted(f.name for f in files) == ["lan_en.php", "lan_fr.php"]
+
+    def test_no_match(self, tmp_path):
+        resolver = make_project(tmp_path, ["a.php"])
+        builder = GrammarBuilder()
+        value = builder.literal("missing.php")
+        assert resolver.resolve(builder.grammar, value.nt, tmp_path) == []
+
+    def test_current_dir_relative(self, tmp_path):
+        resolver = make_project(tmp_path, ["sub/page.php", "sub/lib.php"])
+        builder = GrammarBuilder()
+        value = builder.literal("lib.php")
+        files = resolver.resolve(builder.grammar, value.nt, tmp_path / "sub")
+        assert [f.name for f in files] == ["lib.php"]

@@ -1,0 +1,110 @@
+"""Tests for the PHP lexer."""
+
+import pytest
+
+from repro.php.lexer import PhpLexError, lex
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in lex(source) if t.kind != "EOF"]
+
+
+class TestModes:
+    def test_pure_html(self):
+        assert kinds("<h1>hello</h1>") == [("INLINE_HTML", "<h1>hello</h1>")]
+
+    def test_php_only(self):
+        assert kinds("<?php $x = 1;") == [
+            ("VARIABLE", "x"),
+            ("OP", "="),
+            ("NUMBER", "1"),
+            ("OP", ";"),
+        ]
+
+    def test_mixed(self):
+        tokens = kinds("<a><?php echo $x; ?></a>")
+        assert tokens[0] == ("INLINE_HTML", "<a>")
+        assert ("KEYWORD", "echo") in tokens
+        assert tokens[-1] == ("INLINE_HTML", "</a>")
+
+    def test_close_tag_inserts_semicolon(self):
+        tokens = kinds("<?php echo $x ?>done")
+        assert ("OP", ";") in tokens
+
+    def test_short_echo_tag(self):
+        tokens = kinds("<?= $x ?>")
+        assert tokens[0] == ("KEYWORD", "echo")
+
+
+class TestVariablesAndIdents:
+    def test_variable(self):
+        assert kinds("<?php $userid;")[0] == ("VARIABLE", "userid")
+
+    def test_keywords_case_insensitive(self):
+        assert kinds("<?php IF (1) {}")[0] == ("KEYWORD", "if")
+
+    def test_ident_preserves_case(self):
+        assert ("IDENT", "unp_msg") in kinds("<?php unp_msg();")
+
+    def test_superglobal(self):
+        assert kinds("<?php $_GET;")[0] == ("VARIABLE", "_GET")
+
+
+class TestStrings:
+    def test_single_quoted_literal(self):
+        assert kinds("<?php 'a$b\\n';")[0] == ("SQ_STRING", "a$b\\n")
+
+    def test_single_quote_escapes(self):
+        assert kinds(r"<?php 'it\'s';")[0] == ("SQ_STRING", "it's")
+
+    def test_double_quoted_raw_body(self):
+        assert kinds('<?php "a $x b";')[0] == ("DQ_STRING", "a $x b")
+
+    def test_double_quoted_with_braces(self):
+        assert kinds('<?php "v={$a[1]}";')[0] == ("DQ_STRING", "v={$a[1]}")
+
+    def test_escaped_quote_in_double(self):
+        assert kinds(r'<?php "a\"b";')[0] == ("DQ_STRING", 'a\\"b')
+
+    def test_unterminated_raises(self):
+        with pytest.raises(PhpLexError):
+            lex("<?php 'oops")
+        with pytest.raises(PhpLexError):
+            lex('<?php "oops')
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("text", ["0", "42", "3.14", "0xFF"])
+    def test_number(self, text):
+        assert kinds(f"<?php {text};")[0] == ("NUMBER", text)
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("<?php // note\n$x;")[0] == ("VARIABLE", "x")
+
+    def test_hash_comment(self):
+        assert kinds("<?php # note\n$x;")[0] == ("VARIABLE", "x")
+
+    def test_block_comment(self):
+        assert kinds("<?php /* a\nb */ $x;")[0] == ("VARIABLE", "x")
+
+    def test_comment_before_close_tag(self):
+        tokens = kinds("<?php $x; // c ?>after")
+        assert tokens[-1] == ("INLINE_HTML", "after")
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(PhpLexError):
+            lex("<?php /* oops")
+
+
+class TestOperators:
+    def test_compound_ops(self):
+        tokens = kinds("<?php $a .= $b; $c->d; $e === $f;")
+        values = [v for k, v in tokens if k == "OP"]
+        assert ".=" in values and "->" in values and "===" in values
+
+    def test_lines_tracked(self):
+        tokens = lex("<?php $a;\n$b;\n$c;")
+        variables = [t for t in tokens if t.kind == "VARIABLE"]
+        assert [t.line for t in variables] == [1, 2, 3]

@@ -1,0 +1,332 @@
+"""Tests for the PHP parser, including the paper's Figure 2 verbatim."""
+
+import pytest
+
+from repro.php import ast
+from repro.php.parser import PhpParseError, parse
+
+
+def parse_stmts(code):
+    return parse(f"<?php {code}").body.statements
+
+
+def parse_expr(code):
+    (stmt,) = parse_stmts(code + ";")
+    assert isinstance(stmt, ast.ExprStmt)
+    return stmt.expr
+
+
+class TestExpressions:
+    def test_assignment(self):
+        expr = parse_expr("$x = 1")
+        assert isinstance(expr, ast.Assign)
+        assert expr.target.name == "x"
+        assert expr.value.value == 1
+
+    def test_concat_assignment(self):
+        expr = parse_expr("$q .= 'a'")
+        assert expr.op == ".="
+
+    def test_concat_chain(self):
+        expr = parse_expr("'a' . $b . 'c'")
+        assert isinstance(expr, ast.BinOp) and expr.op == "."
+        assert isinstance(expr.left, ast.BinOp)
+
+    def test_precedence_concat_vs_comparison(self):
+        expr = parse_expr("$a . 'x' == $b")
+        assert expr.op == "=="
+        assert expr.left.op == "."
+
+    def test_ternary(self):
+        expr = parse_expr("$a ? $b : $c")
+        assert isinstance(expr, ast.Ternary)
+        assert expr.if_true is not None
+
+    def test_short_ternary(self):
+        expr = parse_expr("$a ?: $c")
+        assert isinstance(expr, ast.Ternary)
+        assert expr.if_true is None
+
+    def test_assignment_in_ternary_branches(self):
+        expr = parse_expr("isset($_GET['u']) ? $u = $_GET['u'] : $u = ''")
+        assert isinstance(expr, ast.Ternary)
+        assert isinstance(expr.condition, ast.IssetExpr)
+        assert isinstance(expr.if_true, ast.Assign)
+        assert isinstance(expr.if_false, ast.Assign)
+
+    def test_array_dim(self):
+        expr = parse_expr("$_GET['userid']")
+        assert isinstance(expr, ast.ArrayDim)
+        assert expr.base.name == "_GET"
+        assert expr.index.value == "userid"
+
+    def test_array_push(self):
+        expr = parse_expr("$a[] = 1")
+        assert isinstance(expr.target, ast.ArrayDim)
+        assert expr.target.index is None
+
+    def test_method_call(self):
+        expr = parse_expr("$DB->query($sql)")
+        assert isinstance(expr, ast.MethodCall)
+        assert expr.name == "query"
+        assert expr.obj.name == "DB"
+
+    def test_prop_access(self):
+        expr = parse_expr("$user->name")
+        assert isinstance(expr, ast.Prop)
+
+    def test_function_call(self):
+        expr = parse_expr("eregi('[0-9]+', $userid)")
+        assert isinstance(expr, ast.Call)
+        assert expr.name == "eregi"
+        assert len(expr.args) == 2
+
+    def test_nested_calls(self):
+        expr = parse_expr("addslashes(trim($x))")
+        assert expr.args[0].name == "trim"
+
+    def test_negation(self):
+        expr = parse_expr("!eregi('a', $b)")
+        assert isinstance(expr, ast.UnaryOp) and expr.op == "!"
+
+    def test_comparison_ops(self):
+        for op in ("==", "!=", "===", "!==", "<", ">", "<=", ">="):
+            expr = parse_expr(f"$a {op} $b")
+            assert expr.op == op
+
+    def test_logical_keywords(self):
+        expr = parse_expr("$a or die('x')")
+        assert expr.op == "||"
+        assert expr.right.name == "exit"
+
+    def test_cast(self):
+        expr = parse_expr("(int)$x")
+        assert isinstance(expr, ast.Cast) and expr.kind == "int"
+
+    def test_parens_not_cast(self):
+        expr = parse_expr("($x)")
+        assert isinstance(expr, ast.Var)
+
+    def test_suppress(self):
+        expr = parse_expr("@mysql_query($q)")
+        assert isinstance(expr, ast.Suppress)
+
+    def test_increment(self):
+        expr = parse_expr("$i++")
+        assert isinstance(expr, ast.Assign) and expr.op == "+="
+
+    def test_array_literal(self):
+        expr = parse_expr("array('a' => 1, 2)")
+        assert isinstance(expr, ast.ArrayLit)
+        assert expr.items[0][0].value == "a"
+        assert expr.items[1][0] is None
+
+    def test_new(self):
+        expr = parse_expr("new Database($host)")
+        assert isinstance(expr, ast.New)
+        assert expr.class_name == "Database"
+
+    def test_static_call(self):
+        expr = parse_expr("DB::query($x)")
+        assert isinstance(expr, ast.StaticCall)
+
+    def test_constants(self):
+        assert parse_expr("true").value is True
+        assert parse_expr("null").value is None
+        assert isinstance(parse_expr("MY_CONST"), ast.ConstFetch)
+
+
+class TestInterpolation:
+    def test_plain_string(self):
+        expr = parse_expr('"hello"')
+        assert isinstance(expr, ast.Literal)
+        assert expr.value == "hello"
+
+    def test_simple_var(self):
+        expr = parse_expr('"id=$userid!"')
+        assert isinstance(expr, ast.Interp)
+        kinds = [type(p).__name__ for p in expr.parts]
+        assert kinds == ["Literal", "Var", "Literal"]
+        assert expr.parts[0].value == "id="
+        assert expr.parts[2].value == "!"
+
+    def test_array_access(self):
+        expr = parse_expr('"v=$row[name]"')
+        dim = expr.parts[1]
+        assert isinstance(dim, ast.ArrayDim)
+        assert dim.index.value == "name"
+
+    def test_prop_access(self):
+        expr = parse_expr('"n=$user->name"')
+        assert isinstance(expr.parts[1], ast.Prop)
+
+    def test_complex_braces(self):
+        expr = parse_expr('"v={$row[\'a\']}end"')
+        assert expr.parts[0].value == "v="
+        assert isinstance(expr.parts[1], ast.ArrayDim)
+        assert expr.parts[1].index.value == "a"
+        assert expr.parts[2].value == "end"
+
+    def test_escapes(self):
+        expr = parse_expr(r'"a\n\t\$x\""')
+        assert expr.value == 'a\n\t$x"'
+
+    def test_escaped_dollar_not_interpolated(self):
+        expr = parse_expr(r'"\$notvar"')
+        assert isinstance(expr, ast.Literal)
+
+
+class TestStatements:
+    def test_if_elseif_else(self):
+        (stmt,) = parse_stmts(
+            "if ($a) { echo 1; } elseif ($b) { echo 2; } else { echo 3; }"
+        )
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.elifs) == 1
+        assert stmt.orelse is not None
+
+    def test_else_if_two_words(self):
+        (stmt,) = parse_stmts("if ($a) {} else if ($b) {}")
+        assert len(stmt.elifs) == 1
+
+    def test_if_without_braces(self):
+        (stmt,) = parse_stmts("if ($a) echo 1; else echo 2;")
+        assert isinstance(stmt.then.statements[0], ast.Echo)
+
+    def test_while(self):
+        (stmt,) = parse_stmts("while ($r = fetch()) { echo $r; }")
+        assert isinstance(stmt, ast.While)
+        assert isinstance(stmt.condition, ast.Assign)
+
+    def test_do_while(self):
+        (stmt,) = parse_stmts("do { $i++; } while ($i < 3);")
+        assert isinstance(stmt, ast.DoWhile)
+
+    def test_for(self):
+        (stmt,) = parse_stmts("for ($i = 0; $i < 10; $i++) { echo $i; }")
+        assert isinstance(stmt, ast.For)
+        assert stmt.condition.op == "<"
+
+    def test_foreach(self):
+        (stmt,) = parse_stmts("foreach ($rows as $k => $v) { echo $v; }")
+        assert isinstance(stmt, ast.Foreach)
+        assert stmt.key_var.name == "k"
+
+    def test_foreach_value_only(self):
+        (stmt,) = parse_stmts("foreach ($rows as $v) {}")
+        assert stmt.key_var is None
+
+    def test_switch(self):
+        (stmt,) = parse_stmts(
+            "switch ($a) { case 1: echo 1; break; default: echo 2; }"
+        )
+        assert isinstance(stmt, ast.Switch)
+        assert len(stmt.cases) == 2
+        assert stmt.cases[1][0] is None
+
+    def test_function_def(self):
+        (stmt,) = parse_stmts("function f($a, $b = 'x') { return $a . $b; }")
+        assert isinstance(stmt, ast.FunctionDef)
+        assert stmt.params[1].default.value == "x"
+
+    def test_class_def(self):
+        (stmt,) = parse_stmts(
+            "class DB { var $conn; function query($sql) { return $sql; } }"
+        )
+        assert isinstance(stmt, ast.ClassDef)
+        assert stmt.methods[0].name == "query"
+        assert stmt.properties[0][0] == "conn"
+
+    def test_include_forms(self):
+        stmts = parse_stmts(
+            "include 'a.php'; include_once('b.php'); require 'c.php'; require_once 'd.php';"
+        )
+        assert all(isinstance(s, ast.Include) for s in stmts)
+        assert stmts[1].once and stmts[3].once
+        assert stmts[2].required
+
+    def test_dynamic_include(self):
+        (stmt,) = parse_stmts("include('lang_' . $choice . '.php');")
+        assert isinstance(stmt, ast.Include)
+        assert isinstance(stmt.path, ast.BinOp)
+
+    def test_global(self):
+        (stmt,) = parse_stmts("global $DB, $USER;")
+        assert stmt.names == ["DB", "USER"]
+
+    def test_exit(self):
+        (stmt,) = parse_stmts("exit;")
+        assert stmt.expr.name == "exit"
+
+    def test_echo_multiple(self):
+        (stmt,) = parse_stmts("echo $a, $b;")
+        assert len(stmt.values) == 2
+
+    def test_return(self):
+        (stmt,) = parse_stmts("return $x;")
+        assert isinstance(stmt, ast.Return)
+
+    def test_return_void(self):
+        (stmt,) = parse_stmts("return;")
+        assert stmt.value is None
+
+    def test_error_reporting(self):
+        with pytest.raises(PhpParseError):
+            parse_stmts("if ($a {")
+
+
+class TestFigure2:
+    """The paper's running example parses and has the expected shape."""
+
+    CODE = """<?php
+isset($_GET['userid']) ?
+    $userid = $_GET['userid'] : $userid = '';
+if ($USER['groupid'] != 1)
+{
+    // permission denied
+    unp_msg($gp_permserror);
+    exit;
+}
+if ($userid == '')
+{
+    unp_msg($gp_invalidrequest);
+    exit;
+}
+if (!eregi('[0-9]+', $userid))
+{
+    unp_msg('You entered an invalid user ID.');
+    exit;
+}
+$getuser = $DB->query("SELECT * FROM `unp_user` WHERE userid='$userid'");
+if (!$DB->is_single_row($getuser))
+{
+    unp_msg('You entered an invalid user ID.');
+    exit;
+}
+"""
+
+    def test_parses(self):
+        tree = parse(self.CODE, "useredit.php")
+        statements = tree.body.statements
+        assert len(statements) == 6
+
+    def test_query_hotspot_shape(self):
+        tree = parse(self.CODE)
+        assign = tree.body.statements[4].expr
+        assert isinstance(assign, ast.Assign)
+        call = assign.value
+        assert isinstance(call, ast.MethodCall) and call.name == "query"
+        interp = call.args[0]
+        assert isinstance(interp, ast.Interp)
+        assert isinstance(interp.parts[1], ast.Var)
+        assert interp.parts[1].name == "userid"
+
+    def test_walk_finds_eregi(self):
+        tree = parse(self.CODE)
+        calls = [n for n in ast.walk(tree) if isinstance(n, ast.Call)]
+        assert any(c.name == "eregi" for c in calls)
+
+    def test_line_numbers(self):
+        tree = parse(self.CODE)
+        query_stmt = tree.body.statements[4]
+        assert query_stmt.line == 20

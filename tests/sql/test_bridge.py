@@ -1,0 +1,153 @@
+"""Tests for the char-level → token-level grammar bridge."""
+
+import pytest
+
+from repro.lang.charset import CharSet, DIGITS
+from repro.lang.earley import parse_sentential_form
+from repro.lang.grammar import Grammar, Lit
+from repro.sql.bridge import TokenizationFailure, grammar_to_tokens, tokens_can_merge
+from repro.sql.grammar import sql_grammar
+
+
+class TestAtomicAbstraction:
+    def test_digit_loop_is_number(self):
+        g = Grammar()
+        s, num = g.fresh("S"), g.fresh("NUM")
+        g.add(num, (DIGITS,))
+        g.add(num, (DIGITS, num))
+        g.add(s, (Lit("SELECT * FROM t WHERE id = "), num))
+        tokens = grammar_to_tokens(g, s)
+        forms = tokens.productions[tokens.start]
+        assert all("NUMBER" in rhs for rhs in forms)
+        assert parse_sentential_form(sql_grammar(), "query_list", list(forms[0]))
+
+    def test_quoted_string_nonterminal(self):
+        g = Grammar()
+        s, string = g.fresh("S"), g.fresh("STR")
+        inner = g.fresh("INNER")
+        g.add(inner, ())
+        g.add(inner, (CharSet.of("ab"), inner))
+        g.add(string, (Lit("'"), inner, Lit("'")))
+        g.add(s, (Lit("SELECT * FROM t WHERE name = "), string))
+        tokens = grammar_to_tokens(g, s)
+        forms = tokens.productions[tokens.start]
+        assert any("STRING" in rhs for rhs in forms)
+
+    def test_ident_abstraction(self):
+        g = Grammar()
+        col = g.fresh("COL")
+        g.add(col, (Lit("userid"),))
+        g.add(col, (Lit("name"),))
+        s = g.fresh("S")
+        g.add(s, (Lit("SELECT "), col, Lit(" FROM t")))
+        tokens = grammar_to_tokens(g, s)
+        forms = tokens.productions[tokens.start]
+        assert forms == [("SELECT", "IDENT", "FROM", "IDENT")]
+
+    def test_keyword_language_not_ident(self):
+        g = Grammar()
+        kw = g.fresh("KW")
+        g.add(kw, (Lit("DROP"),))
+        s = g.fresh("S")
+        g.add(s, (Lit("SELECT "), kw, Lit(" FROM t")))
+        tokens = grammar_to_tokens(g, s)
+        # DROP must come through as the DROP keyword, not IDENT
+        # (the finite language is enumerated and lexed wholesale)
+        assert tokens.productions[tokens.start] == [
+            ("SELECT", "DROP", "FROM", "IDENT")
+        ]
+
+
+class TestBoundaries:
+    def test_adjacent_digits_fail(self):
+        g = Grammar()
+        s = g.fresh("S")
+        g.add(s, (Lit("SELECT "), DIGITS, DIGITS, Lit(" FROM t")))
+        with pytest.raises(TokenizationFailure):
+            grammar_to_tokens(g, s)
+
+    def test_literal_digit_then_charset_fails(self):
+        g = Grammar()
+        s, digits = g.fresh("S"), g.fresh("D")
+        g.add(digits, (DIGITS,))
+        g.add(digits, (DIGITS, digits))
+        g.add(s, (Lit("LIMIT 1"), digits))
+        with pytest.raises(TokenizationFailure):
+            grammar_to_tokens(g, s)
+
+    def test_finite_digit_suffix_lexes_wholesale(self):
+        g = Grammar()
+        s = g.fresh("S")
+        g.add(s, (Lit("LIMIT 1"), DIGITS))
+        tokens = grammar_to_tokens(g, s)
+        assert ("LIMIT", "NUMBER") in tokens.productions[tokens.start]
+
+    def test_unterminated_quote_fails(self):
+        g = Grammar()
+        s = g.fresh("S")
+        g.add(s, (Lit("WHERE name='"), DIGITS))
+        with pytest.raises(TokenizationFailure):
+            grammar_to_tokens(g, s)
+
+    def test_comment_literal_fails(self):
+        g = Grammar()
+        s = g.fresh("S")
+        g.add(s, (Lit("SELECT 1 -- hidden"),))
+        with pytest.raises(TokenizationFailure):
+            grammar_to_tokens(g, s)
+
+    def test_clean_boundaries_pass(self):
+        g = Grammar()
+        s = g.fresh("S")
+        g.add(s, (Lit("SELECT * FROM t WHERE id = "), DIGITS, Lit(" AND x = 1")))
+        tokens = grammar_to_tokens(g, s)
+        form = tokens.productions[tokens.start][0]
+        assert parse_sentential_form(sql_grammar(), "query_list", list(form))
+
+    def test_nullable_middle_checked(self):
+        g = Grammar()
+        s, empty, digits = g.fresh("S"), g.fresh("E"), g.fresh("D")
+        g.add(empty, ())
+        g.add(digits, (DIGITS,))
+        g.add(digits, (DIGITS, digits))
+        g.add(s, (Lit("SELECT x"), empty, digits))
+        with pytest.raises(TokenizationFailure):
+            grammar_to_tokens(g, s)
+
+
+class TestMergePredicate:
+    @pytest.mark.parametrize(
+        "a,b,merges",
+        [
+            ("a", "b", True),
+            ("1", "2", True),
+            ("a", "1", True),
+            ("-", "-", True),
+            ("<", "=", True),
+            ("!", "=", True),
+            ("<", ">", True),
+            ("'", "'", True),
+            ("1", ".", True),
+            (".", "5", True),
+            ("\\", "x", True),
+            (")", "(", False),
+            ("1", " ", False),
+            ("=", "1", False),
+            ("'", "a", False),
+        ],
+    )
+    def test_pairs(self, a, b, merges):
+        assert tokens_can_merge(CharSet.of(a), CharSet.of(b)) == merges
+
+
+class TestSpecialHoles:
+    def test_hole_becomes_token(self):
+        g = Grammar()
+        s, hole = g.fresh("S"), g.fresh("X")
+        g.add(s, (Lit("SELECT * FROM t WHERE id = "), hole))
+        tokens = grammar_to_tokens(g, s, special={hole: "HOLE"})
+        assert ("SELECT", "*", "FROM", "IDENT", "WHERE", "IDENT", "=", "HOLE") in (
+            tokens.productions[tokens.start]
+        )
+        assert tokens.is_nonterminal("HOLE")
+        assert tokens.productions["HOLE"] == []

@@ -1,0 +1,97 @@
+"""Tests for Definition 2.2 syntactic confinement on concrete queries."""
+
+import pytest
+
+from repro.sql.confinement import check_confinement, is_attack
+
+
+def span_of(query: str, sub: str) -> tuple[int, int]:
+    lo = query.index(sub)
+    return lo, lo + len(sub)
+
+
+class TestConfinedCases:
+    def test_value_inside_quotes(self):
+        query = "SELECT * FROM u WHERE userid='42'"
+        result = check_confinement(query, *span_of(query, "42"))
+        assert result.confined
+
+    def test_whole_string_literal(self):
+        query = "SELECT * FROM u WHERE userid='42'"
+        result = check_confinement(query, *span_of(query, "'42'"))
+        assert result.confined
+
+    def test_numeric_literal(self):
+        query = "SELECT * FROM u WHERE userid=42"
+        result = check_confinement(query, *span_of(query, "42"))
+        assert result.confined
+
+    def test_full_expression(self):
+        query = "SELECT * FROM u WHERE userid=42 AND a=1"
+        result = check_confinement(query, *span_of(query, "userid=42"))
+        assert result.confined
+
+    def test_empty_substring(self):
+        query = "SELECT * FROM u"
+        assert check_confinement(query, 3, 3).confined
+
+    def test_partial_string_content(self):
+        # substring strictly inside one STRING token
+        query = "SELECT * FROM u WHERE name='abcdef'"
+        result = check_confinement(query, *span_of(query, "cde"))
+        assert result.confined
+
+
+class TestAttackCases:
+    def test_figure2_attack(self):
+        """Section 2.1.1: the canonical Utopia News Pro attack."""
+        payload = "1'; DROP TABLE unp_user; --"
+        query = f"SELECT * FROM `unp_user` WHERE userid='{payload}'"
+        assert is_attack(query, *span_of(query, payload))
+
+    def test_or_one_equals_one(self):
+        payload = "1' OR '1'='1"
+        query = f"SELECT * FROM u WHERE id='{payload}'"
+        assert is_attack(query, *span_of(query, payload))
+
+    def test_unquoted_tautology(self):
+        payload = "1 OR 1=1"
+        query = f"SELECT * FROM u WHERE id={payload}"
+        # The query parses as (id=1) OR (1=1): the payload spans parts of
+        # two expression nodes, so no single nonterminal covers it — the
+        # classic tautology attack IS a syntactic-confinement violation.
+        assert is_attack(query, *span_of(query, payload))
+
+    def test_whole_condition_confined(self):
+        # By contrast, a payload aligning with a full condition node is
+        # confined (the policy is purely syntactic).
+        query = "SELECT * FROM u WHERE 1=1"
+        result = check_confinement(query, *span_of(query, "1=1"))
+        assert result.confined
+
+    def test_unquoted_statement_injection(self):
+        payload = "1; DROP TABLE u"
+        query = f"SELECT * FROM u WHERE id={payload}"
+        assert is_attack(query, *span_of(query, payload))
+
+    def test_misaligned_span(self):
+        query = "SELECT * FROM u WHERE id='abc'"
+        # span covering quote + part of next token's text
+        lo = query.index("'abc'")
+        assert is_attack(query, lo, lo + 2)
+
+    def test_query_that_fails_to_lex(self):
+        query = "SELECT * FROM u WHERE id='unterminated"
+        lo = query.index("unterminated")
+        assert is_attack(query, lo, len(query))
+
+
+class TestResultDetails:
+    def test_nonterminal_reported(self):
+        query = "SELECT * FROM u WHERE userid=42"
+        result = check_confinement(query, *span_of(query, "42"))
+        assert result.nonterminal is not None
+
+    def test_bad_span_raises(self):
+        with pytest.raises(ValueError):
+            check_confinement("SELECT 1", 5, 2)

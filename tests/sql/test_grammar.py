@@ -1,0 +1,117 @@
+"""Tests for the reference SQL grammar."""
+
+import pytest
+
+from repro.lang.earley import parse_sentential_form
+from repro.sql.grammar import parses_as_query, sql_grammar
+from repro.sql.lexer import token_symbols
+
+
+def accepts(sql: str) -> bool:
+    return parses_as_query(token_symbols(sql))
+
+
+class TestSelect:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT * FROM users",
+            "SELECT id, name FROM users",
+            "SELECT * FROM users WHERE id = 1",
+            "SELECT * FROM `unp_user` WHERE userid='42'",
+            "SELECT DISTINCT name FROM users",
+            "SELECT * FROM a, b WHERE a.id = b.id",
+            "SELECT * FROM news ORDER BY `date` DESC LIMIT 1",
+            "SELECT * FROM t WHERE a = 1 AND b = 'x' OR NOT c < 3",
+            "SELECT * FROM t WHERE name LIKE 'a%'",
+            "SELECT * FROM t WHERE x IS NULL",
+            "SELECT * FROM t WHERE x IS NOT NULL",
+            "SELECT * FROM t WHERE id IN (1, 2, 3)",
+            "SELECT * FROM t WHERE id BETWEEN 1 AND 9",
+            "SELECT COUNT(*) FROM t",
+            "SELECT MAX(score) FROM t GROUP BY team",
+            "SELECT * FROM t GROUP BY a HAVING COUNT(*) > 2",
+            "SELECT * FROM a JOIN b ON a.id = b.id",
+            "SELECT * FROM a LEFT JOIN b ON a.id = b.id WHERE b.x = 1",
+            "SELECT 1 FROM t UNION SELECT 2 FROM u",
+            "SELECT 1 FROM t UNION ALL SELECT 2 FROM u",
+            "SELECT * FROM t LIMIT 10, 20",
+            "SELECT * FROM t LIMIT 10 OFFSET 20",
+            "SELECT * FROM t WHERE price > 1.5 * 2",
+            "SELECT * FROM t WHERE a = -1",
+            "SELECT u.name AS n FROM users u",
+        ],
+    )
+    def test_valid(self, sql):
+        assert accepts(sql), sql
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT FROM users",
+            "SELECT * users",
+            "SELECT * FROM WHERE x = 1",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t ORDER",
+            "FROM users SELECT *",
+        ],
+    )
+    def test_invalid(self, sql):
+        assert not accepts(sql), sql
+
+
+class TestOtherStatements:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "INSERT INTO t VALUES (1, 'a', NULL)",
+            "INSERT INTO t (a, b) VALUES (1, 2)",
+            "INSERT INTO t VALUES (1), (2)",
+            "UPDATE t SET a = 1",
+            "UPDATE t SET a = 1, b = 'x' WHERE id = 3",
+            "DELETE FROM t",
+            "DELETE FROM t WHERE id = 1 LIMIT 1",
+            "DROP TABLE users",
+        ],
+    )
+    def test_valid(self, sql):
+        assert accepts(sql), sql
+
+    def test_statement_sequence(self):
+        assert accepts("SELECT * FROM t; DROP TABLE t")
+        assert accepts("SELECT * FROM t; DROP TABLE t;")
+
+    def test_attack_query_parses_as_sequence(self):
+        """The Figure 2 attack is a *valid* query sequence — the attack is
+        detected by confinement, not by parse failure."""
+        attack = "SELECT * FROM `unp_user` WHERE userid='1'; DROP TABLE unp_user"
+        assert accepts(attack)
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "INSERT t VALUES (1)",
+            "UPDATE SET a = 1",
+            "DROP users",
+            "DELETE t",
+        ],
+    )
+    def test_invalid(self, sql):
+        assert not accepts(sql), sql
+
+
+class TestSententialForms:
+    def test_literal_in_where(self):
+        g = sql_grammar()
+        form = token_symbols("SELECT * FROM t WHERE id =") + ["literal"]
+        assert parse_sentential_form(g, "query_list", form)
+
+    def test_expr_in_where(self):
+        g = sql_grammar()
+        form = token_symbols("SELECT * FROM t WHERE") + ["expr"]
+        assert parse_sentential_form(g, "query_list", form)
+
+    def test_literal_not_a_table(self):
+        g = sql_grammar()
+        form = token_symbols("SELECT * FROM") + ["literal"]
+        assert not parse_sentential_form(g, "query_list", form)

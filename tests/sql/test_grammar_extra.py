@@ -1,0 +1,93 @@
+"""Additional SQL grammar coverage: forms the corpus and checks rely on."""
+
+import pytest
+
+from repro.sql.grammar import parses_as_query, sql_grammar
+from repro.sql.lexer import token_symbols
+
+
+def accepts(sql: str) -> bool:
+    return parses_as_query(token_symbols(sql))
+
+
+class TestSignedLimit:
+    def test_negative_limit_accepted(self):
+        # accepted by the grammar (the analysis abstracts PHP arithmetic
+        # as possibly-signed); MySQL rejects it at runtime
+        assert accepts("SELECT * FROM t LIMIT -1, 25")
+
+    def test_signed_offset_form(self):
+        assert accepts("SELECT * FROM t LIMIT 5 OFFSET -2")
+
+
+class TestRealisticCorpusQueries:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT * FROM `unp_user` WHERE userid='42'",
+            "UPDATE `unp_user` SET lastvisit='1699999999' WHERE username='bob'",
+            "INSERT INTO `unp_news` (`date`, `subject`) VALUES ('1', 'hi')",
+            "DELETE FROM `unp_session` WHERE token='abc' LIMIT 1",
+            "SELECT * FROM `tiger_news` WHERE id=7",
+            "SELECT pilot, COUNT(*) AS n FROM activity GROUP BY pilot"
+            " ORDER BY n DESC LIMIT 10",
+            "UPDATE `e107_news_stats` SET hits=hits+1 WHERE category='x'",
+            "SELECT * FROM `warp_pages` ORDER BY title ASC LIMIT 0, 25",
+            "SELECT * FROM news WHERE subject LIKE '%a%' ORDER BY `date` DESC",
+        ],
+    )
+    def test_accepts(self, sql):
+        assert accepts(sql), sql
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT * FROM `t` WHERE",        # dangling WHERE
+            "UPDATE SET x=1",                  # missing table
+            "INSERT `t` VALUES (1)",           # missing INTO
+            "SELECT * FROM t LIMIT 'x'",       # non-numeric limit
+            "SELECT * FROM t ORDER BY",        # dangling ORDER BY
+        ],
+    )
+    def test_rejects(self, sql):
+        assert not accepts(sql), sql
+
+
+class TestMultiStatement:
+    def test_injection_shape_is_valid_sequence(self):
+        assert accepts("SELECT * FROM t WHERE id='1'; DROP TABLE t; --")
+        # …but only because the comment swallows the trailing quote; the
+        # *confinement* check is what flags it, not parseability
+
+    def test_three_statements(self):
+        assert accepts("SELECT 1 FROM a; SELECT 2 FROM b; DROP TABLE c")
+
+
+class TestGrammarInternals:
+    def test_start_symbol(self):
+        assert sql_grammar().start == "query_list"
+
+    def test_every_nonterminal_productive(self):
+        g = sql_grammar()
+        # simple productivity fixpoint over the token grammar
+        productive = set()
+        changed = True
+        while changed:
+            changed = False
+            for nt, rules in g.productions.items():
+                if nt in productive:
+                    continue
+                for rhs in rules:
+                    if all(
+                        (s not in g.productions) or (s in productive) for s in rhs
+                    ):
+                        productive.add(nt)
+                        changed = True
+                        break
+        assert productive == set(g.productions)
+
+    def test_nullable_set_sane(self):
+        g = sql_grammar()
+        nullable = g.nullable()
+        assert "where_opt" in nullable
+        assert "query" not in nullable

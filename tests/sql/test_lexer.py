@@ -1,0 +1,138 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.sql.lexer import SqlLexError, Token, token_symbols, tokenize
+
+
+class TestBasics:
+    def test_simple_select(self):
+        assert token_symbols("SELECT * FROM users") == [
+            "SELECT",
+            "*",
+            "FROM",
+            "IDENT",
+        ]
+
+    def test_case_insensitive_keywords(self):
+        assert token_symbols("select * from users") == [
+            "SELECT",
+            "*",
+            "FROM",
+            "IDENT",
+        ]
+
+    def test_where_clause(self):
+        symbols = token_symbols("SELECT a FROM t WHERE id = 42")
+        assert symbols == [
+            "SELECT",
+            "IDENT",
+            "FROM",
+            "IDENT",
+            "WHERE",
+            "IDENT",
+            "=",
+            "NUMBER",
+        ]
+
+    def test_positions(self):
+        tokens = tokenize("a = 1")
+        assert [t.position for t in tokens] == [0, 2, 4]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("   \t\n") == []
+
+
+class TestStrings:
+    def test_single_quoted(self):
+        tokens = tokenize("'hello'")
+        assert tokens == [Token("STRING", "'hello'", 0)]
+
+    def test_double_quoted(self):
+        assert token_symbols('"hi"') == ["STRING"]
+
+    def test_backslash_escape(self):
+        assert token_symbols(r"'it\'s'") == ["STRING"]
+
+    def test_doubled_quote_escape(self):
+        tokens = tokenize("'it''s'")
+        assert len(tokens) == 1
+        assert tokens[0].symbol == "STRING"
+        assert tokens[0].text == "'it''s'"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(SqlLexError):
+            tokenize("SELECT 'oops")
+
+    def test_injection_breaks_out(self):
+        """The Figure 2 attack query lexes with the payload escaping quotes."""
+        query = "SELECT * FROM `unp_user` WHERE userid='1'; DROP TABLE unp_user; --'"
+        symbols = token_symbols(query, drop_comments=False)
+        assert "DROP" in symbols
+        assert "COMMENT" in symbols
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("text", ["0", "42", "3.14", "10.", ".5"])
+    def test_number_forms(self, text):
+        assert token_symbols(text) == ["NUMBER"]
+
+    def test_number_then_ident(self):
+        assert token_symbols("1 x") == ["NUMBER", "IDENT"]
+
+
+class TestIdentifiers:
+    def test_plain(self):
+        assert token_symbols("user_id") == ["IDENT"]
+
+    def test_backquoted(self):
+        tokens = tokenize("`unp user`")
+        assert tokens[0].symbol == "IDENT"
+        assert tokens[0].text == "`unp user`"
+
+    def test_unterminated_backquote(self):
+        with pytest.raises(SqlLexError):
+            tokenize("`oops")
+
+    def test_keyword_prefix_is_ident(self):
+        assert token_symbols("selector") == ["IDENT"]
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("<=", ["<="]),
+            (">=", [">="]),
+            ("<>", ["<>"]),
+            ("!=", ["!="]),
+            ("a<b", ["IDENT", "<", "IDENT"]),
+            ("(a, b)", ["(", "IDENT", ",", "IDENT", ")"]),
+            ("t.col", ["IDENT", ".", "IDENT"]),
+            ("a+b-c", ["IDENT", "+", "IDENT", "-", "IDENT"]),
+        ],
+    )
+    def test_operator(self, text, expected):
+        assert token_symbols(text) == expected
+
+    def test_unknown_char(self):
+        with pytest.raises(SqlLexError):
+            tokenize("a @ b")
+
+
+class TestComments:
+    def test_dash_dash(self):
+        symbols = token_symbols("SELECT 1 -- comment", drop_comments=False)
+        assert symbols == ["SELECT", "NUMBER", "COMMENT"]
+
+    def test_hash(self):
+        symbols = token_symbols("SELECT 1 # note", drop_comments=False)
+        assert symbols[-1] == "COMMENT"
+
+    def test_comment_to_newline(self):
+        symbols = token_symbols("-- c\nSELECT 1", drop_comments=False)
+        assert symbols == ["COMMENT", "SELECT", "NUMBER"]
+
+    def test_drop_comments_default(self):
+        assert token_symbols("SELECT 1 -- x") == ["SELECT", "NUMBER"]

@@ -48,6 +48,10 @@ class GrammarBuilder:
         self.widen_strategy = widen_strategy
         self._counter = itertools.count()
         self._literal_cache: dict[str, Nonterminal] = {}
+        #: soundness-audit hook (an AuditTrail); every widening — the one
+        #: chokepoint where the analysis trades precision for size — is
+        #: reported here so verdicts can carry a precision caveat
+        self.audit = None
 
     def _scoped(self, value: StrVal, hint: str) -> tuple[Grammar, StrVal]:
         """The operand's subgrammar, widening oversized operands first."""
@@ -192,6 +196,8 @@ class GrammarBuilder:
         approximation ([21] in the paper) — keeps literal skeletons at
         roughly the original grammar size.
         """
+        if self.audit is not None:
+            self.audit.record_widening(hint)
         if self.widen_strategy == "mohri-nederhof":
             from repro.lang.approx import is_strongly_regular, mohri_nederhof
 

@@ -3,28 +3,87 @@
 Mirrors the paper's Figure 3 workflow: per entry page, run the
 string-taint analysis (phase 1), then the policy-conformance checks
 (phase 2), and aggregate into a :class:`ProjectReport` with the same
-shape as a Table 1 row.
+shape as a Table 1 row.  With ``audit=True`` each page additionally
+runs the soundness audit (:mod:`repro.analysis.audit`): every hotspot
+verdict is stamped with a confidence level and the report carries the
+deduplicated diagnostics for unmodeled or widened constructs.
 """
 
 from __future__ import annotations
 
+import re
 import time
 from pathlib import Path
 
 from .absdom import GrammarBuilder
+from .audit import AuditTrail, audit_page
 from .policy import check_hotspot
 from .reports import HotspotReport, ProjectReport
 from .stringtaint import StringTaintAnalysis
 
 
 def analyze_page(
-    project_root: str | Path, entry: str | Path
+    project_root: str | Path, entry: str | Path, audit: AuditTrail | None = None
 ) -> tuple[list[HotspotReport], StringTaintAnalysis]:
     """Analyze one top-level page; returns its hotspot reports."""
-    analysis = StringTaintAnalysis(project_root)
+    analysis = StringTaintAnalysis(project_root, audit=audit)
     result = analysis.analyze_file(entry)
     reports = [check_hotspot(result.grammar, spot) for spot in result.hotspots]
     return reports, analysis
+
+
+def audit_entry(project_root: str | Path, entry: str | Path):
+    """Analyze one page with the soundness audit attached.
+
+    Returns ``(hotspot_reports, analysis_result, audit_report)``; every
+    hotspot report is stamped with the page's confidence level.
+    """
+    trail = AuditTrail()
+    analysis = StringTaintAnalysis(project_root, audit=trail)
+    result = analysis.analyze_file(entry)
+    reports = [check_hotspot(result.grammar, spot) for spot in result.hotspots]
+    page_audit = audit_page(result)
+    for report in reports:
+        report.confidence = page_audit.confidence
+    return reports, result, page_audit
+
+
+_PHP_OPEN = re.compile(r"<\?(?:php\b|=)?")
+_DEFINED_GUARD = re.compile(r"if\s*\(\s*!\s*defined\s*\(", re.IGNORECASE)
+
+
+def _leading_code(text: str) -> str:
+    """The first PHP code in ``text``, past the open tag, whitespace and
+    comments (``//``, ``#``, ``/* */``)."""
+    match = _PHP_OPEN.search(text)
+    if match is None:
+        return ""
+    code = text[match.end() :]
+    while True:
+        code = code.lstrip()
+        if code.startswith("//") or code.startswith("#"):
+            newline = code.find("\n")
+            if newline == -1:
+                return ""
+            code = code[newline + 1 :]
+        elif code.startswith("/*"):
+            end = code.find("*/")
+            if end == -1:
+                return ""
+            code = code[end + 2 :]
+        else:
+            return code
+
+
+def has_include_guard(path: Path) -> bool:
+    """True if the file opens with an ``if (!defined(...))`` guard — the
+    classic marker of an include-only library file (it dies unless some
+    constant was defined by the including page)."""
+    try:
+        head = path.read_text(errors="replace")[:4096]
+    except OSError:
+        return False
+    return bool(_DEFINED_GUARD.match(_leading_code(head)))
 
 
 def entry_pages(project_root: str | Path) -> list[Path]:
@@ -51,12 +110,14 @@ def entry_pages(project_root: str | Path) -> list[Path]:
             for marker in library_markers
         ):
             continue
+        if has_include_guard(path):
+            continue
         pages.append(path)
     return pages
 
 
 def analyze_project(
-    project_root: str | Path, name: str | None = None
+    project_root: str | Path, name: str | None = None, audit: bool = False
 ) -> ProjectReport:
     """Analyze a whole application: every entry page, one report."""
     root = Path(project_root)
@@ -79,24 +140,42 @@ def analyze_project(
 
     parse_cache: dict = {}
     resolver = IncludeResolver(root)
+    seen_diagnostics: set = set()
 
     for page in entry_pages(root):
         started = time.perf_counter()
+        trail = AuditTrail() if audit else None
         analysis = StringTaintAnalysis(
-            root, parse_cache=parse_cache, resolver=resolver
+            root, parse_cache=parse_cache, resolver=resolver, audit=trail
         )
         result = analysis.analyze_file(page)
         string_seconds += time.perf_counter() - started
-        report.parse_errors.extend(result.parse_errors)
+        for error in result.parse_errors:
+            if error not in report.parse_errors:
+                report.parse_errors.append(error)
 
         started = time.perf_counter()
+        page_hotspots = []
         for spot in result.hotspots:
             scope = result.grammar.subgrammar(spot.query.nt)
             total_nonterminals += len(scope.productions)
             total_productions += scope.num_productions()
-            report.hotspots.append(check_hotspot(result.grammar, spot))
+            page_hotspots.append(check_hotspot(result.grammar, spot))
         check_seconds += time.perf_counter() - started
 
+        if audit:
+            page_audit = audit_page(result)
+            # a hotspot's verdict is only as trustworthy as the weakest
+            # construct on its page's include closure
+            for spot_report in page_hotspots:
+                spot_report.confidence = page_audit.confidence
+            for diagnostic in page_audit.diagnostics:
+                if diagnostic.key not in seen_diagnostics:
+                    seen_diagnostics.add(diagnostic.key)
+                    report.diagnostics.append(diagnostic)
+        report.hotspots.extend(page_hotspots)
+
+    report.diagnostics.sort(key=lambda d: (d.file, d.line, d.kind, d.name))
     report.grammar_nonterminals = total_nonterminals
     report.grammar_productions = total_productions
     report.string_analysis_seconds = string_seconds

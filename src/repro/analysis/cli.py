@@ -2,15 +2,33 @@
 
 Mirrors the workflow of the paper's tool: point it at a PHP web
 application, get either bug reports or "verified".
+
+Exit codes:
+
+* ``0`` — verified, and (when auditing) every page was fully modeled:
+  the soundness theorem applies without caveats;
+* ``1`` — at least one SQLCIV violation was reported;
+* ``2`` — usage error (argparse);
+* ``3`` — verified, but the audit found soundness caveats (``eval``,
+  unresolved dynamic includes, unmodeled builtins, …): "no report" is
+  conditional on those constructs being benign.  Only ``--audit`` /
+  ``--json`` runs can exit 3.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
-from .analyzer import analyze_page, analyze_project, entry_pages
+from .analyzer import analyze_page, audit_entry, entry_pages
+from .reports import SOUND, SOUND_MODULO_WIDENING, UNSOUND_CAVEATS
+
+EXIT_VERIFIED = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2          # argparse's own convention
+EXIT_CAVEATS = 3
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -36,6 +54,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also check echo/print sinks for cross-site scripting",
     )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help=(
+            "run the soundness audit: flag every unmodeled or widened "
+            "construct and attach a confidence level to each verdict"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON document (implies --audit) instead of text",
+    )
     args = parser.parse_args(argv)
 
     root = Path(args.root)
@@ -47,15 +78,41 @@ def main(argv: list[str] | None = None) -> int:
     else:
         pages = entry_pages(root)
 
+    auditing = args.audit or args.json
     any_violation = False
+    any_escape = False
+    pages_json: list[dict] = []
     for page in pages:
-        reports, analysis = analyze_page(root, page)
+        if auditing:
+            reports, result, page_audit = audit_entry(root, page)
+            parse_errors = result.parse_errors
+            any_escape |= bool(page_audit.escapes)
+        else:
+            reports, analysis = analyze_page(root, page)
+            parse_errors = analysis.parse_errors
+            page_audit = None
+        any_violation |= any(not r.verified for r in reports)
+
+        if args.json:
+            pages_json.append(
+                {
+                    "page": str(page),
+                    "verified": all(r.verified for r in reports),
+                    "confidence": (
+                        page_audit.confidence if page_audit else SOUND
+                    ),
+                    "hotspots": [r.as_dict() for r in reports],
+                    "audit": page_audit.as_dict() if page_audit else None,
+                    "parse_errors": list(parse_errors),
+                }
+            )
+            continue
+
         for report in reports:
             if report.verified and not args.verbose:
                 continue
             print(report.render())
             print()
-        any_violation |= any(not r.verified for r in reports)
         if args.xss:
             from .xss import analyze_page_xss
 
@@ -67,11 +124,47 @@ def main(argv: list[str] | None = None) -> int:
                 for finding in xss_report.findings:
                     print("  " + finding.render().replace("\n", "\n  "))
                 any_violation |= not xss_report.verified
-        for error in analysis.parse_errors:
+        if page_audit is not None and (
+            args.verbose or page_audit.confidence != SOUND
+        ):
+            print(page_audit.render())
+            print()
+        for error in parse_errors:
             print(f"warning: {error}", file=sys.stderr)
-    if not any_violation:
-        print("verified: no SQLCIV reports")
-    return 1 if any_violation else 0
+
+    if args.json:
+        confidences = {p["confidence"] for p in pages_json}
+        if any_escape:
+            overall = UNSOUND_CAVEATS
+        elif SOUND_MODULO_WIDENING in confidences:
+            overall = SOUND_MODULO_WIDENING
+        else:
+            overall = SOUND
+        print(
+            json.dumps(
+                {
+                    "root": str(root),
+                    "verified": not any_violation,
+                    "confidence": overall,
+                    "pages": pages_json,
+                },
+                indent=2,
+            )
+        )
+    elif not any_violation:
+        if any_escape:
+            print(
+                "verified with caveats: no SQLCIV reports, but the audit "
+                "found soundness holes (see diagnostics)"
+            )
+        else:
+            print("verified: no SQLCIV reports")
+
+    if any_violation:
+        return EXIT_VIOLATIONS
+    if auditing and any_escape:
+        return EXIT_CAVEATS
+    return EXIT_VERIFIED
 
 
 if __name__ == "__main__":

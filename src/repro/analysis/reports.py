@@ -6,6 +6,18 @@ from dataclasses import dataclass, field
 
 from repro.lang.grammar import DIRECT, INDIRECT
 
+#: Confidence vocabulary for a verdict, attached by the soundness audit
+#: (:mod:`repro.analysis.audit`).  ``SOUND`` — every construct on the
+#: page's include closure is modeled exactly; Theorem 3.4 applies as
+#: stated.  ``SOUND_MODULO_WIDENING`` — some constructs were
+#: over-approximated (still sound, but extra false positives possible).
+#: ``UNSOUND_CAVEATS`` — at least one construct *escaped* the model
+#: (eval, variable-variable, unresolved dynamic include, …): a
+#: "verified" verdict is conditional on those holes being benign.
+SOUND = "sound"
+SOUND_MODULO_WIDENING = "sound-modulo-widening"
+UNSOUND_CAVEATS = "unsound-caveats"
+
 
 @dataclass
 class Finding:
@@ -48,6 +60,21 @@ class Finding:
             lines.append(f"  {self.detail}")
         return "\n".join(lines)
 
+    def as_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "sink": self.sink,
+            "nonterminal": self.nonterminal,
+            "labels": sorted(self.labels),
+            "category": self.category,
+            "check": self.check,
+            "safe": self.safe,
+            "witness": self.witness,
+            "example_query": self.example_query,
+            "detail": self.detail,
+        }
+
 
 @dataclass
 class HotspotReport:
@@ -56,6 +83,9 @@ class HotspotReport:
     sink: str
     findings: list[Finding] = field(default_factory=list)
     query_samples: list[str] = field(default_factory=list)
+    #: stamped by the soundness audit; SOUND when no audit ran (the
+    #: pre-audit behaviour, kept for drop-in compatibility)
+    confidence: str = SOUND
 
     @property
     def violations(self) -> list[Finding]:
@@ -67,12 +97,26 @@ class HotspotReport:
 
     def render(self) -> str:
         status = "verified" if self.verified else "VULNERABLE"
-        lines = [f"hotspot {self.file}:{self.line} ({self.sink}): {status}"]
+        head = f"hotspot {self.file}:{self.line} ({self.sink}): {status}"
+        if self.confidence != SOUND:
+            head += f" [{self.confidence}]"
+        lines = [head]
         for sample in self.query_samples[:3]:
             lines.append(f"  query ∋ {sample!r}")
         for finding in self.findings:
             lines.append("  " + finding.render().replace("\n", "\n  "))
         return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "sink": self.sink,
+            "verified": self.verified,
+            "confidence": self.confidence,
+            "query_samples": self.query_samples[:3],
+            "findings": [f.as_dict() for f in self.findings],
+        }
 
 
 @dataclass
@@ -88,6 +132,9 @@ class ProjectReport:
     check_seconds: float = 0.0
     hotspots: list[HotspotReport] = field(default_factory=list)
     parse_errors: list[str] = field(default_factory=list)
+    #: soundness-audit diagnostics (:class:`repro.analysis.audit.Diagnostic`)
+    #: over the whole project, deduplicated by source location
+    diagnostics: list = field(default_factory=list)
 
     @property
     def direct_violations(self) -> list[Finding]:
@@ -111,7 +158,26 @@ class ProjectReport:
     def verified(self) -> bool:
         return all(spot.verified for spot in self.hotspots)
 
-    def render(self) -> str:
+    @property
+    def escaped_diagnostics(self) -> list:
+        return [d for d in self.diagnostics if d.classification == "escaped"]
+
+    @property
+    def widened_diagnostics(self) -> list:
+        return [d for d in self.diagnostics if d.classification == "widened"]
+
+    @property
+    def confidence(self) -> str:
+        """The weakest confidence over the audit diagnostics."""
+        if self.escaped_diagnostics:
+            return UNSOUND_CAVEATS
+        if self.widened_diagnostics or any(
+            spot.confidence != SOUND for spot in self.hotspots
+        ):
+            return SOUND_MODULO_WIDENING
+        return SOUND
+
+    def render(self, audit: bool = False) -> str:
         lines = [
             f"== {self.name} ==",
             f"files={self.files} lines={self.lines} "
@@ -121,9 +187,34 @@ class ProjectReport:
             f"direct violations: {len(self.direct_violations)}, "
             f"indirect reports: {len(self.indirect_violations)}",
         ]
+        if self.diagnostics:
+            lines.append(
+                f"audit: {len(self.escaped_diagnostics)} soundness hole(s), "
+                f"{len(self.widened_diagnostics)} widening(s); "
+                f"confidence: {self.confidence}"
+            )
         for spot in self.hotspots:
             if not spot.verified:
                 lines.append(spot.render())
+        if audit:
+            for diagnostic in self.diagnostics:
+                lines.append(diagnostic.render())
         if self.verified:
             lines.append("VERIFIED: no SQLCIV reports")
         return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "files": self.files,
+            "lines": self.lines,
+            "grammar_nonterminals": self.grammar_nonterminals,
+            "grammar_productions": self.grammar_productions,
+            "string_analysis_seconds": self.string_analysis_seconds,
+            "check_seconds": self.check_seconds,
+            "verified": self.verified,
+            "confidence": self.confidence,
+            "hotspots": [spot.as_dict() for spot in self.hotspots],
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+            "parse_errors": list(self.parse_errors),
+        }

@@ -50,6 +50,16 @@ class AnalysisResult:
     hotspots: list[Hotspot]
     parse_errors: list[str] = field(default_factory=list)
     files_analyzed: list[str] = field(default_factory=list)
+    #: the entry page this result belongs to
+    page: str = ""
+    #: parsed ASTs of the include closure, keyed by absolute path — what
+    #: the soundness audit (:mod:`repro.analysis.audit`) inventories
+    trees: dict[str, ast.File] = field(default_factory=dict)
+    #: lower-cased names of user functions seen anywhere in the closure
+    known_functions: frozenset[str] = frozenset()
+    #: the run-time :class:`~repro.analysis.audit.AuditTrail`, when one
+    #: was attached to the interpreter
+    audit_trail: object | None = None
 
     @property
     def grammar(self) -> Grammar:
@@ -89,22 +99,34 @@ class StringTaintAnalysis:
         builder: GrammarBuilder | None = None,
         parse_cache: dict | None = None,
         resolver: IncludeResolver | None = None,
+        audit=None,
     ) -> None:
         self.project_root = Path(project_root)
         self.builder = builder or GrammarBuilder()
         self.resolver = resolver or IncludeResolver(self.project_root)
+        # soundness-audit instrumentation (an AuditTrail, or None); the
+        # builder shares it so grammar-level widenings get attributed
+        self.audit = audit
+        if audit is not None:
+            self.builder.audit = audit
         self.hotspots: list[Hotspot] = []
         self.functions: dict[str, ast.FunctionDef] = {}
         self.classes: dict[str, ast.ClassDef] = {}
         self.parse_errors: list[str] = []
         self.files_analyzed: list[str] = []
+        self.trees: dict[str, ast.File] = {}
         self._included_once: set[Path] = set()
+        # files currently being interpreted: breaks include cycles (a
+        # dynamic include whose path language matches the includer)
+        self._include_stack: list[str] = []
         self._call_stack: list[str] = []
         self._return_collectors: list[list[Value]] = []
         # ASTs can be shared across the per-page analyses of one project
         # (the paper's §5.3 memoization observation); interpretation state
-        # cannot, but parsing dominates I/O on large apps.
-        self._parse_cache: dict[Path, ast.File | None] = (
+        # cannot, but parsing dominates I/O on large apps.  Entries are
+        # (tree, error) pairs so cache hits still report parse failures
+        # and still count toward the page's include closure.
+        self._parse_cache: dict[Path, tuple[ast.File | None, str | None]] = (
             parse_cache if parse_cache is not None else {}
         )
         self.globals = Env()
@@ -125,31 +147,45 @@ class StringTaintAnalysis:
             hotspots=self.hotspots,
             parse_errors=self.parse_errors,
             files_analyzed=self.files_analyzed,
+            page=str(entry_path),
+            trees=dict(self.trees),
+            known_functions=frozenset(self.functions),
+            audit_trail=self.audit,
         )
 
     def _parse(self, path: Path) -> ast.File | None:
         if path in self._parse_cache:
-            return self._parse_cache[path]
-        tree: ast.File | None
-        try:
-            source = path.read_text()
-            tree = parse(source, str(path))
-            self.files_analyzed.append(str(path))
-        except (OSError, PhpParseError, ValueError) as exc:
-            self.parse_errors.append(str(exc))
-            tree = None
-        self._parse_cache[path] = tree
+            tree, error = self._parse_cache[path]
+        else:
+            try:
+                source = path.read_text()
+                tree, error = parse(source, str(path)), None
+            except (OSError, PhpParseError, ValueError) as exc:
+                tree, error = None, str(exc)
+            self._parse_cache[path] = (tree, error)
+        # per-page bookkeeping happens on cache hits too: this page's
+        # include closure (and its parse failures) must be complete for
+        # the soundness audit, regardless of which page parsed first
+        key = str(path)
+        if tree is not None:
+            if key not in self.trees:
+                self.trees[key] = tree
+                self.files_analyzed.append(key)
+        elif error is not None and error not in self.parse_errors:
+            self.parse_errors.append(error)
         return tree
 
     def _interpret_file(self, tree: ast.File, env: Env) -> None:
         previous = self.current_file
         self.current_file = tree.path
+        self._include_stack.append(tree.path)
         try:
             self._collect_definitions(tree.body)
             self._exec_block(tree.body, env)
         except _Terminated:
             pass
         finally:
+            self._include_stack.pop()
             self.current_file = previous
 
     def _collect_definitions(self, block: ast.Block) -> None:
@@ -166,6 +202,8 @@ class StringTaintAnalysis:
             self._exec(stmt, env)
 
     def _exec(self, stmt: ast.Stmt, env: Env) -> None:
+        if self.audit is not None and stmt.line:
+            self.audit.location = (self.current_file, stmt.line)
         method = getattr(self, f"_exec_{type(stmt).__name__}", None)
         if method is not None:
             method(stmt, env)
@@ -371,7 +409,12 @@ class StringTaintAnalysis:
         path_value = self.builder.to_str(self.eval(stmt.path, env))
         current_dir = Path(self.current_file).parent if self.current_file else self.project_root
         files = self.resolver.resolve(
-            self.builder.grammar, path_value.nt, current_dir
+            self.builder.grammar,
+            path_value.nt,
+            current_dir,
+            audit=self.audit,
+            site=(self.current_file, stmt.line),
+            literal=isinstance(stmt.path, ast.Literal),
         )
         pending = []
         for file in files:
@@ -379,7 +422,7 @@ class StringTaintAnalysis:
                 continue
             self._included_once.add(file)
             tree = self._parse(file)
-            if tree is not None:
+            if tree is not None and tree.path not in self._include_stack:
                 pending.append(tree)
         if not pending:
             return
@@ -761,6 +804,24 @@ class StringTaintAnalysis:
                 result.elements[key] = value
         return result
 
+    def _eval_VarVar(self, expr: ast.VarVar, env: Env) -> Value:
+        # which variable this reads is unknown: Σ* (the audit flags the
+        # site as escaped — a *write* through $$x is invisible to us)
+        self.eval(expr.name_expr, env)
+        return self.builder.any_string(hint="varvar")
+
+    def _eval_DynCall(self, expr: ast.DynCall, env: Env) -> Value:
+        # callee unknown: Σ* carrying the arguments' taint, like any
+        # unmodeled call (the audit flags the site as escaped)
+        self.eval(expr.target, env)
+        arg_values = [self.eval(arg, env) for arg in expr.args]
+        result = self.builder.any_string(hint="dyncall")
+        for value in arg_values:
+            if isinstance(value, StrVal):
+                for label in self.builder.labels_of(value):
+                    self.builder.grammar.add_label(result.nt, label)
+        return result
+
     def _eval_ConstFetch(self, expr: ast.ConstFetch, env: Env) -> Value:
         if expr.name in self.constants:
             return self.constants[expr.name]
@@ -801,6 +862,20 @@ class StringTaintAnalysis:
             for arg in expr.args:
                 self.eval(arg, env)
             return self.builder.literal("")
+        if name in ("include", "include_once", "require", "require_once"):
+            # include in expression position ($ok = include $page;):
+            # same semantics as the statement form — the included file
+            # must be analyzed, not treated as an unknown call
+            self._exec_Include(
+                ast.Include(
+                    path=expr.args[0] if expr.args else None,
+                    once=name.endswith("_once"),
+                    required=name.startswith("require"),
+                    line=expr.line,
+                ),
+                env,
+            )
+            return self.builder.literal("1")
         arg_values = [self.eval(arg, env) for arg in expr.args]
 
         if name == "define" and len(expr.args) >= 2:
@@ -832,12 +907,25 @@ class StringTaintAnalysis:
         if user is not None:
             return self._call_function(user, expr.args, env, arg_values=arg_values)
 
-        # builtin models
-        modeled = builtins.model_call(name, self.builder, arg_values, expr.args)
+        # builtin models; the audit call-context pins widenings that
+        # happen inside a handler to this call site
+        if self.audit is not None:
+            self.audit.call_context = (name, self.current_file, expr.line)
+        try:
+            modeled = builtins.model_call(
+                name, self.builder, arg_values, expr.args, audit=self.audit
+            )
+        finally:
+            if self.audit is not None:
+                self.audit.call_context = None
         if modeled is not None:
             return modeled
 
         # unknown: Σ* carrying the arguments' taint (sound flow-through)
+        if self.audit is not None and name not in builtins.PREDICATE_FUNCTIONS:
+            # predicates have no string result to model — the refinement
+            # machinery (not this fallthrough) is their model
+            self.audit.record_unknown_call(name, self.current_file, expr.line)
         result = self.builder.any_string(hint=f"call.{name}")
         for value in arg_values:
             if isinstance(value, StrVal):
@@ -899,6 +987,9 @@ class StringTaintAnalysis:
             definition.name.lower() in self._call_stack
             or len(self._call_stack) >= MAX_CALL_DEPTH
         ):
+            if self.audit is not None:
+                file, line = self.audit.location
+                self.audit.record_recursion(definition.name, file, line)
             result = self.builder.any_string(hint=f"rec.{definition.name}")
             values = arg_values or [self.eval(a, caller_env) for a in arg_nodes]
             for value in values:

@@ -37,6 +37,11 @@ class Row:
     indirect: int
     unexpected: list[str] = field(default_factory=list)
     missed: list[str] = field(default_factory=list)
+    # soundness-audit column: how many constructs escaped the model /
+    # were widened, and the resulting confidence for the app's verdicts
+    escaped: int = 0
+    widened: int = 0
+    confidence: str = "sound"
 
     @property
     def clean(self) -> bool:
@@ -87,18 +92,28 @@ def classify(report: ProjectReport, manifest: AppManifest) -> Row:
         indirect=indirect,
         unexpected=unexpected,
         missed=missed,
+        escaped=len(report.escaped_diagnostics),
+        widened=len(report.widened_diagnostics),
+        confidence=report.confidence,
     )
 
 
-def run_table1(corpus_root: str | Path | None = None) -> list[Row]:
-    """Build (if needed) and analyze the whole corpus; return Table 1 rows."""
+def run_table1(
+    corpus_root: str | Path | None = None, audit: bool = True
+) -> list[Row]:
+    """Build (if needed) and analyze the whole corpus; return Table 1 rows.
+
+    The audit adds an audit column (escapes/widenings per app) without
+    touching how violations are counted; pass ``audit=False`` for the
+    bare paper table.
+    """
     import tempfile
 
     root = Path(corpus_root) if corpus_root else Path(tempfile.mkdtemp(prefix="corpus-"))
     manifests = build_corpus(root)
     rows = []
     for manifest, (_, app_dir) in zip(manifests, APPS):
-        report = analyze_project(root / app_dir, manifest.name)
+        report = analyze_project(root / app_dir, manifest.name, audit=audit)
         rows.append(classify(report, manifest))
     return rows
 
@@ -131,16 +146,19 @@ PAPER_TABLE1 = {
 def render_table(rows: list[Row]) -> str:
     header = (
         f"{'Name':38} {'Files':>5} {'Lines':>8} {'|V|':>8} {'|R|':>9} "
-        f"{'t_str':>7} {'t_chk':>7} {'Real':>4} {'False':>5} {'Indir':>5}"
+        f"{'t_str':>7} {'t_chk':>7} {'Real':>4} {'False':>5} {'Indir':>5} "
+        f"{'Audit':>9}"
     )
     lines = [header, "-" * len(header)]
     totals = [0, 0, 0]
     for row in rows:
+        audit_cell = f"{row.escaped}E/{row.widened}W"
         lines.append(
             f"{row.name:38} {row.files:>5} {row.lines:>8} "
             f"{row.nonterminals:>8} {row.productions:>9} "
             f"{row.string_seconds:>6.1f}s {row.check_seconds:>6.1f}s "
-            f"{row.direct_real:>4} {row.direct_false:>5} {row.indirect:>5}"
+            f"{row.direct_real:>4} {row.direct_false:>5} {row.indirect:>5} "
+            f"{audit_cell:>9}"
         )
         paper = PAPER_TABLE1.get(row.name)
         if paper:

@@ -159,6 +159,28 @@ class ConstFetch(Expr):
     name: str = ""
 
 
+@dataclass
+class VarVar(Expr):
+    """A variable-variable: ``$$name`` or ``${expr}``.
+
+    The analysis cannot track which variable this reads or writes, so
+    the soundness audit classifies every occurrence as *escaped*.
+    """
+
+    name_expr: Expr = None
+
+
+@dataclass
+class DynCall(Expr):
+    """A call through a variable: ``$f(...)``, ``$handlers[$op](...)``.
+
+    The callee is not statically resolved — an audit *escape*.
+    """
+
+    target: Expr = None
+    args: list[Expr] = field(default_factory=list)
+
+
 # ---------------------------------------------------------------------------
 # Statements
 # ---------------------------------------------------------------------------

@@ -513,6 +513,8 @@ def _widen_handler(taint_args: tuple[int, ...] = (0,)) -> Handler:
         joined = builder.join(subjects, "args")
         return builder.widen(joined, "▽")
 
+    # the audit pass distinguishes "modeled by widening" from exact models
+    handler.widens = True
     return handler
 
 
@@ -695,15 +697,35 @@ NO_EFFECT = frozenset(
 )
 
 
+#: Builtins whose *only* model is the sound widening fallback — the call
+#: succeeds but the result is a charset-closure over-approximation.  The
+#: soundness audit reports these as ``widened`` (precision caveats, not
+#: soundness holes).  Handlers that widen only on dynamic arguments
+#: (``str_replace`` with a non-literal pattern, …) are caught at run time
+#: through :meth:`GrammarBuilder.widen`'s audit hook instead.
+WIDENING_BUILTINS = frozenset(
+    name for name, handler in BUILTINS.items() if getattr(handler, "widens", False)
+)
+
+
 def model_call(
     name: str,
     builder: GrammarBuilder,
     values: list[Value | None],
     nodes: list[ast.Expr],
+    audit=None,
 ) -> Value | None:
-    """Apply the model for builtin ``name``; None if no model exists."""
+    """Apply the model for builtin ``name``; None if no model exists.
+
+    When an :class:`~repro.analysis.audit.AuditTrail` is supplied, every
+    call that falls through to the widening fallback records the builtin's
+    *name* (not just the fact of widening), so the audit can report
+    "N calls to widened builtins: …" per page.
+    """
     handler = BUILTINS.get(name)
     if handler is not None:
+        if audit is not None and getattr(handler, "widens", False):
+            audit.record_builtin_widening(name)
         return handler(builder, values, nodes)
     if name in NO_EFFECT:
         return builder.literal("")
@@ -713,6 +735,16 @@ def model_call(
 # ---------------------------------------------------------------------------
 # predicates (branch refinement languages)
 # ---------------------------------------------------------------------------
+
+
+#: boolean predicates the branch refinement (§3.1.2) understands; their
+#: *return value* needs no string model, so a call is never "unknown"
+PREDICATE_FUNCTIONS = frozenset(
+    """
+    preg_match preg_match_all ereg eregi is_numeric ctype_digit
+    ctype_alnum ctype_alpha ctype_xdigit is_int is_integer in_array
+    """.split()
+)
 
 
 def predicate_language(call: ast.Call) -> tuple[ast.Expr, Pattern | NFA] | None:

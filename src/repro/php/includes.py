@@ -56,8 +56,21 @@ class IncludeResolver:
         path_nt: Nonterminal,
         current_dir: str | Path,
         limit: int = 64,
+        audit=None,
+        site: tuple[str, int] | None = None,
+        literal: bool = False,
     ) -> list[Path]:
-        """Files whose names the include-argument grammar can generate."""
+        """Files whose names the include-argument grammar can generate.
+
+        ``audit``/``site``/``literal`` are the soundness-audit hooks: when
+        an :class:`~repro.analysis.audit.AuditTrail` is given, the outcome
+        of this resolution (how many candidate files the include-argument
+        language matched, and whether the argument was a source literal)
+        is recorded against the include site so the audit pass can tell a
+        *widened* dynamic include (resolved to ≥1 project file, every
+        alternative analyzed) from an *escaped* one (resolved to nothing —
+        the included code is invisible to the analysis).
+        """
         current = Path(current_dir)
         names = self.candidate_names(current)
         # Fast path: the argument is a finite set of short literals.
@@ -65,11 +78,16 @@ class IncludeResolver:
         exact = [names[text] for text in literals if text in names]
         if exact and len(literals) < 8:
             # finite small language fully sampled: that IS the answer
-            return sorted(set(exact))
-        scope = grammar.subgrammar(path_nt)
-        matches = {
-            file
-            for text, file in names.items()
-            if scope.generates(path_nt, text)
-        }
-        return sorted(matches)[:limit]
+            resolved = sorted(set(exact))
+        else:
+            scope = grammar.subgrammar(path_nt)
+            matches = {
+                file
+                for text, file in names.items()
+                if scope.generates(path_nt, text)
+            }
+            resolved = sorted(matches)[:limit]
+        if audit is not None:
+            file, line = site if site is not None else ("", 0)
+            audit.record_include(file, line, literal, len(resolved))
+        return resolved

@@ -530,6 +530,11 @@ class Parser:
                 index = None if self.at_op("]") else self.expression()
                 self.expect("OP", "]")
                 expr = ast.ArrayDim(base=expr, index=index, line=token.line)
+            elif token.value == "(" and isinstance(
+                expr, (ast.Var, ast.VarVar, ast.ArrayDim, ast.Prop)
+            ):
+                # $f(...) / $handlers[$op](...): a dynamic call
+                expr = ast.DynCall(target=expr, args=self._args(), line=token.line)
             elif token.value == "->":
                 self.take()
                 if self.at("IDENT") or self.at("KEYWORD"):
@@ -586,6 +591,15 @@ class Parser:
         if token.kind == "DQ_STRING":
             self.take()
             return expand_interpolation(token.value, line, self.path)
+        if token.kind == "OP" and token.value == "$":
+            # $$name / ${expr}: a variable-variable
+            self.take()
+            if self.at_op("{"):
+                self.take()
+                inner = self.expression()
+                self.expect("OP", "}")
+                return ast.VarVar(name_expr=inner, line=line)
+            return ast.VarVar(name_expr=self._primary(), line=line)
         if token.kind == "OP" and token.value == "(":
             self.take()
             inner = self.expression()

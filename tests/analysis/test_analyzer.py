@@ -4,7 +4,12 @@ import textwrap
 
 import pytest
 
-from repro.analysis.analyzer import analyze_page, analyze_project, entry_pages
+from repro.analysis.analyzer import (
+    analyze_page,
+    analyze_project,
+    entry_pages,
+    has_include_guard,
+)
 from repro.analysis.cli import main
 
 
@@ -41,6 +46,36 @@ class TestEntryPages:
         (tmp_path / "page.php").write_text("<?php $y=1;")
         names = [p.name for p in entry_pages(tmp_path)]
         assert names == ["page.php"]
+
+    def test_defined_guard_excluded(self, tmp_path):
+        """The if (!defined(...)) guard the docstring promises: a guarded
+        file at top level is an include-only library, not an entry page."""
+        (tmp_path / "config.php").write_text(
+            "<?php\n"
+            "if (!defined('IN_APP')) { die('no direct access'); }\n"
+            "$dsn = 'mysql:host=localhost';\n"
+        )
+        (tmp_path / "page.php").write_text("<?php $y=1;")
+        names = [p.name for p in entry_pages(tmp_path)]
+        assert names == ["page.php"]
+
+    def test_guard_detected_past_comments(self, tmp_path):
+        guarded = tmp_path / "lib.php"
+        guarded.write_text(
+            "<?php\n"
+            "// direct-access protection\n"
+            "/* multi\n   line */\n"
+            "if ( ! defined ( 'SECURITY' ) ) exit;\n"
+        )
+        assert has_include_guard(guarded)
+
+    def test_defined_elsewhere_is_not_a_guard(self, tmp_path):
+        page = tmp_path / "page.php"
+        page.write_text(
+            "<?php\n$x = 1;\nif (!defined('LATER')) { define('LATER', 1); }\n"
+        )
+        assert not has_include_guard(page)
+        assert [p.name for p in entry_pages(tmp_path)] == ["page.php"]
 
 
 class TestAnalyzeProject:

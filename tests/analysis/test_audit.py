@@ -1,0 +1,234 @@
+"""End-to-end tests for the soundness-audit pass and its CLI surface."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.analyzer import analyze_project, audit_entry
+from repro.analysis.audit import AuditTrail, audit_page
+from repro.analysis.cli import main
+from repro.analysis.reports import (
+    SOUND,
+    SOUND_MODULO_WIDENING,
+    UNSOUND_CAVEATS,
+)
+from repro.analysis.stringtaint import StringTaintAnalysis
+
+
+def write(root, name, source):
+    path = root / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def audit_of(root, entry):
+    _, _, report = audit_entry(root, entry)
+    return report
+
+
+def diagnostic_kinds(report):
+    return {d.kind for d in report.diagnostics}
+
+
+class TestEscapeClasses:
+    """One fixture page per escape class from the issue."""
+
+    def test_eval(self, tmp_path):
+        write(tmp_path, "page.php", "<?php eval($_GET['c']);")
+        report = audit_of(tmp_path, "page.php")
+        assert report.confidence == UNSOUND_CAVEATS
+        assert "eval" in diagnostic_kinds(report)
+
+    def test_variable_variable(self, tmp_path):
+        write(tmp_path, "page.php", "<?php $$k = $_GET['v']; echo $$k;")
+        report = audit_of(tmp_path, "page.php")
+        assert report.confidence == UNSOUND_CAVEATS
+        assert "variable-variable" in diagnostic_kinds(report)
+
+    def test_unresolved_dynamic_include(self, tmp_path):
+        # the include argument matches no project file: a genuine hole
+        write(tmp_path, "page.php", "<?php include $_GET['p'] . '.txt';")
+        report = audit_of(tmp_path, "page.php")
+        assert report.confidence == UNSOUND_CAVEATS
+        escaped = [d for d in report.escapes if d.kind == "dynamic-include"]
+        assert escaped and escaped[0].line == 1
+
+    def test_resolved_dynamic_include_is_only_widened(self, tmp_path):
+        write(tmp_path, "lang_en.php", "<?php $t = 'hello';")
+        write(tmp_path, "lang_de.php", "<?php $t = 'hallo';")
+        write(
+            tmp_path,
+            "page.php",
+            "<?php $l = $_GET['l'] == 'de' ? 'de' : 'en';\n"
+            "include 'lang_' . $l . '.php';",
+        )
+        report = audit_of(tmp_path, "page.php")
+        include_diags = [
+            d for d in report.diagnostics if d.kind == "dynamic-include"
+        ]
+        assert include_diags
+        assert all(d.classification == "widened" for d in include_diags)
+        assert report.confidence == SOUND_MODULO_WIDENING
+
+    def test_unknown_builtin(self, tmp_path):
+        write(tmp_path, "page.php", "<?php mysql_connect('localhost');")
+        report = audit_of(tmp_path, "page.php")
+        assert report.confidence == UNSOUND_CAVEATS
+        assert report.unmodeled_builtins.get("mysql_connect") == 1
+
+    def test_parse_error(self, tmp_path):
+        write(tmp_path, "page.php", "<?php include 'broken.php';")
+        write(tmp_path, "broken.php", "<?php klasse Foo {{{")
+        report = audit_of(tmp_path, "page.php")
+        assert report.confidence == UNSOUND_CAVEATS
+        parse_diags = [
+            d for d in report.diagnostics if d.kind == "parse-error"
+        ]
+        assert parse_diags
+        assert parse_diags[0].file.endswith("broken.php")
+
+
+class TestFullyModeled:
+    SOURCE = """<?php
+        require 'db.php';
+        $id = mysql_real_escape_string($_GET['id']);
+        mysql_query("SELECT * FROM t WHERE id = '" . $id . "'");
+    """
+
+    def test_zero_escapes_and_sound(self, tmp_path):
+        write(tmp_path, "page.php", self.SOURCE)
+        write(tmp_path, "db.php", "<?php $db = 1;")
+        report = audit_of(tmp_path, "page.php")
+        assert report.escapes == []
+        assert report.confidence == SOUND
+
+    def test_hotspots_stamped_sound(self, tmp_path):
+        write(tmp_path, "page.php", self.SOURCE)
+        write(tmp_path, "db.php", "<?php $db = 1;")
+        hotspots, _, _ = audit_entry(tmp_path, "page.php")
+        assert hotspots and all(h.confidence == SOUND for h in hotspots)
+
+
+class TestWidenings:
+    def test_widening_builtin_names_recorded(self, tmp_path):
+        write(
+            tmp_path,
+            "page.php",
+            "<?php $q = urldecode($_GET['q']);\n"
+            "mysql_query('SELECT 1 FROM t');",
+        )
+        report = audit_of(tmp_path, "page.php")
+        assert report.confidence == SOUND_MODULO_WIDENING
+        widened = [d for d in report.widenings if d.name == "urldecode"]
+        assert widened and widened[0].kind == "widened-builtin"
+
+    def test_hotspot_confidence_downgraded(self, tmp_path):
+        write(
+            tmp_path,
+            "page.php",
+            "<?php $q = urldecode('a%20b');\nmysql_query('SELECT 1 FROM t');",
+        )
+        hotspots, _, _ = audit_entry(tmp_path, "page.php")
+        assert hotspots[0].confidence == SOUND_MODULO_WIDENING
+
+    def test_include_closure_audited_across_cache(self, tmp_path):
+        """A second page whose include was parsed (and cached) by the
+        first page still gets the library's constructs in its audit."""
+        write(tmp_path, "lib.php", "<?php eval($_GET['c']);")
+        write(tmp_path, "a.php", "<?php include 'lib.php';")
+        write(tmp_path, "b.php", "<?php include 'lib.php';")
+        cache = {}
+        reports = []
+        for page in ("a.php", "b.php"):
+            trail = AuditTrail()
+            analysis = StringTaintAnalysis(
+                tmp_path, parse_cache=cache, audit=trail
+            )
+            reports.append(audit_page(analysis.analyze_file(page)))
+        assert all(r.confidence == UNSOUND_CAVEATS for r in reports)
+        assert all("eval" in diagnostic_kinds(r) for r in reports)
+
+
+class TestProjectReport:
+    def test_diagnostics_deduplicated_across_pages(self, tmp_path):
+        write(tmp_path, "lib.php", "<?php eval($_GET['c']);")
+        write(tmp_path, "a.php", "<?php include 'lib.php';")
+        write(tmp_path, "b.php", "<?php include 'lib.php';")
+        report = analyze_project(tmp_path, audit=True)
+        evals = [d for d in report.diagnostics if d.kind == "eval"]
+        assert len(evals) == 1
+        assert report.confidence == UNSOUND_CAVEATS
+
+    def test_audit_off_keeps_report_shape(self, tmp_path):
+        write(tmp_path, "a.php", "<?php eval($x);")
+        report = analyze_project(tmp_path)
+        assert report.diagnostics == []
+        assert report.confidence == SOUND
+
+    def test_audit_does_not_change_verdicts(self, tmp_path):
+        write(
+            tmp_path,
+            "vuln.php",
+            "<?php mysql_query(\"SELECT * FROM t WHERE a='{$_GET['a']}'\");",
+        )
+        plain = analyze_project(tmp_path)
+        audited = analyze_project(tmp_path, audit=True)
+        assert len(plain.direct_violations) == len(audited.direct_violations)
+        assert plain.verified == audited.verified
+
+    def test_render_mentions_audit(self, tmp_path):
+        write(tmp_path, "a.php", "<?php eval($x);")
+        text = analyze_project(tmp_path, audit=True).render(audit=True)
+        assert "soundness hole" in text
+        assert "eval" in text
+
+
+class TestCliAudit:
+    def test_exit_3_on_verified_with_caveats(self, tmp_path, capsys):
+        write(tmp_path, "page.php", "<?php eval($_GET['c']);")
+        code = main([str(tmp_path), "--audit"])
+        assert code == 3
+        assert "verified with caveats" in capsys.readouterr().out
+
+    def test_exit_0_when_sound(self, tmp_path, capsys):
+        write(tmp_path, "page.php", "<?php mysql_query('SELECT 1 FROM t');")
+        assert main([str(tmp_path), "--audit"]) == 0
+
+    def test_violations_still_exit_1(self, tmp_path, capsys):
+        write(
+            tmp_path,
+            "page.php",
+            "<?php eval($x);\n"
+            "mysql_query(\"SELECT * FROM t WHERE a='{$_GET['a']}'\");",
+        )
+        assert main([str(tmp_path), "--audit"]) == 1
+
+    def test_no_audit_flag_never_exits_3(self, tmp_path, capsys):
+        write(tmp_path, "page.php", "<?php eval($_GET['c']);")
+        assert main([str(tmp_path)]) == 0
+
+    def test_json_output(self, tmp_path, capsys):
+        write(
+            tmp_path,
+            "page.php",
+            "<?php $q = urldecode($_GET['q']);\n"
+            "mysql_query(\"SELECT * FROM t WHERE a='{$_GET['a']}'\");",
+        )
+        code = main([str(tmp_path), "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert data["verified"] is False
+        hotspots = [h for p in data["pages"] for h in p["hotspots"]]
+        assert hotspots
+        assert all("confidence" in h for h in hotspots)
+        assert data["pages"][0]["audit"]["diagnostics"]
+
+    def test_json_confidence_aggregation(self, tmp_path, capsys):
+        write(tmp_path, "a.php", "<?php mysql_query('SELECT 1 FROM t');")
+        write(tmp_path, "b.php", "<?php eval($_GET['c']);")
+        code = main([str(tmp_path), "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 3
+        assert data["confidence"] == UNSOUND_CAVEATS

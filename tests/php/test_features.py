@@ -1,0 +1,139 @@
+"""Tests for the soundness-audit construct inventory."""
+
+import pytest
+
+from repro.php import features
+from repro.php.features import ESCAPED, MODELED, WIDENED, inventory_file
+from repro.php.parser import parse
+
+
+def inventory(source, known=frozenset()):
+    return inventory_file(parse(source, "page.php"), known)
+
+
+def kinds(feats, classification=None):
+    return [
+        f.kind
+        for f in feats
+        if classification is None or f.classification == classification
+    ]
+
+
+class TestEscapes:
+    def test_eval_is_escaped(self):
+        feats = inventory("<?php eval($code);")
+        (feat,) = features.escapes(feats)
+        assert feat.kind == "eval"
+        assert feat.name == "eval"
+        assert feat.line == 1
+
+    def test_create_function_is_escaped(self):
+        feats = inventory("<?php $f = create_function('$a', 'return $a;');")
+        assert "eval" in kinds(features.escapes(feats))
+
+    def test_variable_variable_is_escaped(self):
+        feats = inventory("<?php $$name = $_GET['v'];")
+        assert "variable-variable" in kinds(features.escapes(feats))
+
+    def test_brace_variable_variable_is_escaped(self):
+        feats = inventory("<?php echo ${'prefix_' . $x};")
+        assert "variable-variable" in kinds(features.escapes(feats))
+
+    def test_dynamic_call_through_variable_is_escaped(self):
+        feats = inventory("<?php $f = 'handler'; $f($input);")
+        assert "dynamic-call" in kinds(features.escapes(feats))
+
+    def test_call_user_func_is_escaped(self):
+        feats = inventory("<?php call_user_func($cb, $x);")
+        assert "dynamic-call" in kinds(features.escapes(feats))
+
+    def test_extract_is_escaped(self):
+        feats = inventory("<?php extract($_REQUEST);")
+        assert "extract" in kinds(features.escapes(feats))
+
+    def test_preg_replace_e_modifier_is_escaped(self):
+        feats = inventory(
+            "<?php preg_replace('/(\\w+)/e', 'strtoupper($1)', $s);"
+        )
+        assert "preg-replace-eval" in kinds(features.escapes(feats))
+
+    def test_preg_replace_without_e_is_not_escaped(self):
+        feats = inventory("<?php preg_replace('/\\w+/', 'x', $s);")
+        assert "preg-replace-eval" not in kinds(feats)
+
+    def test_unknown_builtin_is_escaped(self):
+        feats = inventory("<?php some_exotic_builtin($x);")
+        (feat,) = features.escapes(feats)
+        assert feat.kind == "unknown-builtin"
+        assert feat.name == "some_exotic_builtin"
+
+    def test_dynamic_include_is_escaped_statically(self):
+        feats = inventory("<?php include 'lang_' . $lang . '.php';")
+        assert "dynamic-include" in kinds(features.escapes(feats))
+
+
+class TestModeled:
+    def test_fully_modeled_page_has_zero_escapes(self):
+        feats = inventory(
+            """<?php
+            include 'db.php';
+            $id = mysql_real_escape_string($_GET['id']);
+            $q = "SELECT * FROM t WHERE id = '" . $id . "'";
+            mysql_query($q);
+            echo htmlspecialchars($id);
+            """
+        )
+        assert features.escapes(feats) == []
+
+    def test_literal_include_is_modeled(self):
+        feats = inventory("<?php require_once 'config.php';")
+        assert kinds(feats) == ["include"]
+        assert feats[0].classification == MODELED
+
+    def test_known_user_function_is_modeled(self):
+        feats = inventory("<?php sanitize($x);", known=frozenset({"sanitize"}))
+        assert feats[0].classification == MODELED
+        assert feats[0].kind == "user-function"
+
+    def test_unknown_user_function_is_escaped_without_known_set(self):
+        feats = inventory("<?php sanitize($x);")
+        assert feats[0].classification == ESCAPED
+
+    def test_sink_and_source_are_modeled(self):
+        feats = inventory(
+            "<?php $r = mysql_query('SELECT 1'); $row = mysql_fetch_assoc($r);"
+        )
+        assert [f.classification for f in feats] == [MODELED, MODELED]
+        assert sorted(kinds(feats)) == ["sink", "source"]
+
+    def test_literal_predicate_is_modeled(self):
+        feats = inventory("<?php if (preg_match('/^\\d+$/', $x)) { $y = 1; }")
+        assert feats[0].kind == "predicate"
+        assert feats[0].classification == MODELED
+
+
+class TestWidened:
+    def test_widening_builtin_is_widened(self):
+        feats = inventory("<?php $x = urldecode($_GET['q']);")
+        (feat,) = features.widenings(feats)
+        assert feat.kind == "widened-builtin"
+        assert feat.name == "urldecode"
+
+    def test_dynamic_predicate_pattern_is_widened(self):
+        feats = inventory("<?php if (preg_match($pat, $x)) { $y = 1; }")
+        assert feats[0].kind == "predicate"
+        assert feats[0].classification == WIDENED
+
+
+class TestFeatureRecords:
+    def test_lines_are_recorded(self):
+        feats = inventory("<?php\n$a = 1;\neval($x);\n")
+        (feat,) = features.escapes(feats)
+        assert feat.line == 3
+        assert feat.file == "page.php"
+
+    def test_pattern_flag_extraction(self):
+        assert features._pattern_flags("/abc/ie") == "ie"
+        assert features._pattern_flags("{abc}e") == "e"
+        assert features._pattern_flags("/abc/") == ""
+        assert features._pattern_flags("") == ""

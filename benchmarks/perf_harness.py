@@ -1,0 +1,181 @@
+"""Wall-clock benchmark of the parallel driver and the on-disk cache.
+
+Runs every corpus application through the ``sqlciv`` CLI in four
+configurations —
+
+* ``serial``         — ``--jobs 1``, no cache (the baseline path),
+* ``parallel``       — ``--jobs N`` (default: one per core),
+* ``cache_cold``     — ``--jobs 1 --cache-dir`` on an empty cache,
+* ``cache_warm``     — the same command again on the now-populated cache
+
+— asserting after each app that all four emit the **same verdicts**
+(the ``--json`` documents, minus the ``perf`` block, must match), and
+writes the timing table to ``BENCH_table1.json`` at the repository
+root.  Each configuration is a fresh subprocess, so in-process memos
+(verdict cache, image cache, parse cache) are genuinely cold every
+time; only the ``--cache-dir`` state carries over to the warm run.
+
+The warm run's perf counters quantify how much phase-2 work the disk
+cache avoids: ``policy.checks_avoided`` counts hotspot cascades served
+from cached page results, and ``policy.check_cascades`` counts cascades
+actually executed.
+
+Usage::
+
+    python benchmarks/perf_harness.py [--jobs N] [--apps eve_activity_tracker ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_APPS = [
+    "eve_activity_tracker",
+    "tiger_php_news",
+    "utopia_news_pro",
+    "warp_cms",
+    "e107",
+]
+
+
+def run_cli(app_root: Path, jobs: int, cache_dir: Path | None = None):
+    """One fresh-process CLI run; returns (wall_seconds, json_doc, exit)."""
+    command = [
+        sys.executable,
+        "-m",
+        "repro.analysis.cli",
+        str(app_root),
+        "--json",
+        "--profile",
+        "--jobs",
+        str(jobs),
+    ]
+    if cache_dir is not None:
+        command += ["--cache-dir", str(cache_dir)]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    started = time.perf_counter()
+    proc = subprocess.run(command, capture_output=True, text=True, env=env)
+    wall = time.perf_counter() - started
+    if proc.returncode not in (0, 1, 3):
+        raise RuntimeError(
+            f"sqlciv failed ({proc.returncode}): {proc.stderr[-2000:]}"
+        )
+    return wall, json.loads(proc.stdout), proc.returncode
+
+
+def verdicts(document: dict) -> dict:
+    """The comparable part of a --json document (perf/timing stripped)."""
+    return {key: value for key, value in document.items() if key != "perf"}
+
+
+def bench_app(name: str, jobs: int) -> dict:
+    from repro.corpus import build_app
+
+    with tempfile.TemporaryDirectory(prefix=f"bench-{name}-") as tmp:
+        build_app(Path(tmp), name)
+        app_root = Path(tmp) / name
+        cache_dir = Path(tmp) / "cache"
+
+        serial_wall, serial_doc, serial_exit = run_cli(app_root, jobs=1)
+        parallel_wall, parallel_doc, _ = run_cli(app_root, jobs=jobs)
+        cold_wall, cold_doc, _ = run_cli(app_root, jobs=1, cache_dir=cache_dir)
+        warm_wall, warm_doc, _ = run_cli(app_root, jobs=1, cache_dir=cache_dir)
+
+        for label, doc in (
+            ("parallel", parallel_doc),
+            ("cache_cold", cold_doc),
+            ("cache_warm", warm_doc),
+        ):
+            if verdicts(doc) != verdicts(serial_doc):
+                raise AssertionError(
+                    f"{name}: {label} run diverged from the serial run"
+                )
+
+        warm_counters = warm_doc.get("perf", {}).get("counters", {})
+        cold_counters = cold_doc.get("perf", {}).get("counters", {})
+        avoided = warm_counters.get("policy.checks_avoided", 0)
+        executed = warm_counters.get("policy.check_cascades", 0)
+        total = avoided + executed
+        return {
+            "app": name,
+            "pages": len(serial_doc["pages"]),
+            "hotspots": sum(len(p["hotspots"]) for p in serial_doc["pages"]),
+            "verified": serial_doc["verified"],
+            "exit_code": serial_exit,
+            "wall_seconds": {
+                "serial": round(serial_wall, 3),
+                "parallel": round(parallel_wall, 3),
+                "cache_cold": round(cold_wall, 3),
+                "cache_warm": round(warm_wall, 3),
+            },
+            "parallel_speedup": round(serial_wall / parallel_wall, 2),
+            "warm_speedup": round(cold_wall / warm_wall, 2),
+            "phase2_cascades_cold": cold_counters.get("policy.check_cascades", 0),
+            "phase2_cascades_warm": executed,
+            "phase2_avoided_warm": avoided,
+            "phase2_avoided_fraction": round(avoided / total, 3) if total else None,
+        }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=max(2, os.cpu_count() or 2),
+        help=(
+            "worker count for the parallel configuration (default: one "
+            "per core, at least 2 so the pool is actually exercised; "
+            "real speedup of course needs >1 core — see cpu_count in "
+            "the output)"
+        ),
+    )
+    parser.add_argument(
+        "--apps", nargs="*", default=DEFAULT_APPS,
+        help="corpus applications to benchmark",
+    )
+    parser.add_argument(
+        "--output", default=str(REPO_ROOT / "BENCH_table1.json"),
+        help="where to write the timing table",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+    rows = []
+    for name in args.apps:
+        print(f"benchmarking {name} ...", flush=True)
+        row = bench_app(name, args.jobs)
+        rows.append(row)
+        print(
+            f"  serial {row['wall_seconds']['serial']}s"
+            f"  parallel {row['wall_seconds']['parallel']}s"
+            f" ({row['parallel_speedup']}x)"
+            f"  warm-cache {row['wall_seconds']['cache_warm']}s"
+            f" ({row['warm_speedup']}x,"
+            f" {row['phase2_avoided_warm']} cascades avoided)",
+            flush=True,
+        )
+
+    table = {
+        "benchmark": "parallel page analysis + content-addressed caching",
+        "jobs": args.jobs,
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+        "apps": rows,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(table, indent=2) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,16 +7,32 @@ shape as a Table 1 row.  With ``audit=True`` each page additionally
 runs the soundness audit (:mod:`repro.analysis.audit`): every hotspot
 verdict is stamped with a confidence level and the report carries the
 deduplicated diagnostics for unmodeled or widened constructs.
+
+Pages are independent ``main``\\ s (paper §5.3), which makes the driver
+embarrassingly parallel: :func:`run_pages` fans entry pages out over a
+``ProcessPoolExecutor`` (``jobs > 1``) and merges the per-page
+:class:`PageResult` records back **in page order**, so the aggregate
+report is deterministic — byte-identical to a serial run — regardless
+of worker scheduling.  ``jobs=1`` keeps the exact single-process path
+(shared parse cache and include resolver across pages).  An optional
+on-disk cache (:mod:`repro.analysis.diskcache`) makes repeat runs over
+an unchanged corpus near-instant.
 """
 
 from __future__ import annotations
 
+import os
 import re
 import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
 from pathlib import Path
 
-from .absdom import GrammarBuilder
-from .audit import AuditTrail, audit_page
+from repro.perf import PERF
+from repro.php.includes import IncludeResolver
+
+from .audit import AuditReport, AuditTrail, audit_page
+from .diskcache import DiskCache, project_state_hash
 from .policy import check_hotspot
 from .reports import HotspotReport, ProjectReport
 from .stringtaint import StringTaintAnalysis
@@ -86,7 +102,9 @@ def has_include_guard(path: Path) -> bool:
     return bool(_DEFINED_GUARD.match(_leading_code(head)))
 
 
-def entry_pages(project_root: str | Path) -> list[Path]:
+def entry_pages(
+    project_root: str | Path, php_files: list[Path] | None = None
+) -> list[Path]:
     """Top-level pages of a web application: the .php files that are not
     obviously include-only libraries.
 
@@ -95,10 +113,16 @@ def entry_pages(project_root: str | Path) -> list[Path]:
     live in ``includes/``/``lib/``-style directories or start with an
     ``if (!defined(...))`` guard — matches how the corpus (and the real
     applications it mirrors) is laid out.
+
+    ``php_files`` lets the caller share one directory scan between the
+    file census and the page listing (:func:`analyze_project` passes its
+    own ``rglob`` result instead of walking the tree twice).
     """
     root = Path(project_root)
+    if php_files is None:
+        php_files = sorted(root.rglob("*.php"))
     pages = []
-    for path in sorted(root.rglob("*.php")):
+    for path in php_files:
         rel = path.relative_to(root)
         library_markers = (
             "includes", "include", "lib", "libs", "languages", "handlers",
@@ -116,68 +140,270 @@ def entry_pages(project_root: str | Path) -> list[Path]:
     return pages
 
 
+@dataclass
+class PageResult:
+    """Everything one page's analysis produces, in picklable form.
+
+    This is the unit shipped back from parallel workers and stored in the
+    on-disk page cache, so it must stay free of live analysis state
+    (grammars, ASTs, environments).
+    """
+
+    page: str
+    reports: list[HotspotReport] = field(default_factory=list)
+    parse_errors: list[str] = field(default_factory=list)
+    audit: AuditReport | None = None
+    #: grammar-size tallies over the page's hotspot subgrammars
+    nonterminals: int = 0
+    productions: int = 0
+    string_seconds: float = 0.0
+    check_seconds: float = 0.0
+    #: True when served from the on-disk page cache (timings are the
+    #: original run's, not this run's)
+    from_cache: bool = False
+    #: worker-side perf delta (parallel runs only; folded into the
+    #: driver's recorder and cleared by :func:`run_pages`)
+    perf: dict | None = None
+
+    @property
+    def verified(self) -> bool:
+        return all(report.verified for report in self.reports)
+
+
+def _analyze_one_page(
+    project_root: Path,
+    page: str | Path,
+    audit: bool,
+    parse_cache: dict,
+    resolver: IncludeResolver,
+    disk_cache: DiskCache | None,
+) -> PageResult:
+    """The two-phase analysis of a single entry page."""
+    started = time.perf_counter()
+    trail = AuditTrail() if audit else None
+    analysis = StringTaintAnalysis(
+        project_root,
+        parse_cache=parse_cache,
+        resolver=resolver,
+        audit=trail,
+        disk_cache=disk_cache,
+    )
+    with PERF.timer("phase1.string_analysis"):
+        result = analysis.analyze_file(page)
+    string_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    reports: list[HotspotReport] = []
+    nonterminals = 0
+    productions = 0
+    with PERF.timer("phase2.checks"):
+        for spot in result.hotspots:
+            scope = result.grammar.subgrammar(spot.query.nt)
+            nonterminals += len(scope.productions)
+            productions += scope.num_productions()
+            PERF.gauge("grammar.hotspot_productions.max", scope.num_productions())
+            reports.append(check_hotspot(result.grammar, spot))
+    check_seconds = time.perf_counter() - started
+
+    page_audit = None
+    if audit:
+        page_audit = audit_page(result)
+        # a hotspot's verdict is only as trustworthy as the weakest
+        # construct on its page's include closure
+        for report in reports:
+            report.confidence = page_audit.confidence
+    PERF.incr("pages.analyzed")
+    return PageResult(
+        page=str(page),
+        reports=reports,
+        parse_errors=list(result.parse_errors),
+        audit=page_audit,
+        nonterminals=nonterminals,
+        productions=productions,
+        string_seconds=string_seconds,
+        check_seconds=check_seconds,
+    )
+
+
+def _page_result(
+    project_root: Path,
+    page: str | Path,
+    audit: bool,
+    parse_cache: dict,
+    resolver: IncludeResolver | None,
+    disk_cache: DiskCache | None,
+    project_state: str | None,
+) -> PageResult:
+    """One page, consulting the on-disk page cache when available."""
+    key = None
+    if disk_cache is not None and project_state is not None:
+        try:
+            rel = str(Path(page).relative_to(project_root))
+        except ValueError:
+            rel = str(page)
+        key = DiskCache.page_key(project_state, str(project_root), rel, audit)
+        cached = disk_cache.load("page", key)
+        if isinstance(cached, PageResult):
+            # every hotspot whose cascade we skipped is phase-2 work
+            # the cache paid for once and amortizes forever
+            PERF.incr("policy.checks_avoided", len(cached.reports))
+            PERF.incr("pages.from_disk_cache")
+            cached.from_cache = True
+            cached.perf = None
+            return cached
+    if resolver is None:
+        resolver = IncludeResolver(project_root)
+    result = _analyze_one_page(
+        project_root, page, audit, parse_cache, resolver, disk_cache
+    )
+    if disk_cache is not None and key is not None:
+        disk_cache.store("page", key, result)
+    return result
+
+
+# -- parallel workers ---------------------------------------------------------
+
+_WORKER_STATE: dict = {}
+
+
+def _init_page_worker(
+    root: str, audit: bool, cache_dir: str | None, project_state: str | None
+) -> None:
+    _WORKER_STATE["root"] = Path(root)
+    _WORKER_STATE["audit"] = audit
+    _WORKER_STATE["parse_cache"] = {}
+    _WORKER_STATE["resolver"] = IncludeResolver(root)
+    _WORKER_STATE["disk_cache"] = DiskCache(cache_dir) if cache_dir else None
+    _WORKER_STATE["project_state"] = project_state
+
+
+def _page_worker(page: str) -> PageResult:
+    before = PERF.snapshot()
+    result = _page_result(
+        _WORKER_STATE["root"],
+        page,
+        _WORKER_STATE["audit"],
+        _WORKER_STATE["parse_cache"],
+        _WORKER_STATE["resolver"],
+        _WORKER_STATE["disk_cache"],
+        _WORKER_STATE["project_state"],
+    )
+    result.perf = PERF.diff(before)
+    return result
+
+
+def resolve_jobs(jobs: int | None, pages: int | None = None) -> int:
+    """``None``/``0`` means "use every core"; never more jobs than pages."""
+    if not jobs or jobs < 1:
+        jobs = os.cpu_count() or 1
+    if pages is not None:
+        jobs = max(1, min(jobs, pages))
+    return jobs
+
+
+def run_pages(
+    project_root: str | Path,
+    pages: list[str | Path],
+    audit: bool = False,
+    jobs: int | None = 1,
+    cache_dir: str | Path | None = None,
+) -> list[PageResult]:
+    """Analyze ``pages`` and return their results **in input order**.
+
+    ``jobs=1`` is today's exact serial path: pages run in-process and
+    share one parse cache and include resolver.  ``jobs>1`` fans pages
+    out to worker processes (each with its own caches); because a page's
+    analysis is a pure function of the project tree, the per-page
+    results are identical either way, and merging in input order makes
+    the whole run order-insensitive to worker completion.
+    """
+    root = Path(project_root)
+    disk_cache = DiskCache(cache_dir) if cache_dir else None
+    project_state = None
+    if disk_cache is not None:
+        with PERF.timer("disk.project_state_hash"):
+            project_state = project_state_hash(root)
+    jobs = resolve_jobs(jobs, len(pages))
+    if jobs <= 1:
+        parse_cache: dict = {}
+        resolver = IncludeResolver(root)
+        return [
+            _page_result(
+                root, page, audit, parse_cache, resolver, disk_cache, project_state
+            )
+            for page in pages
+        ]
+    with PERF.timer("parallel.fanout"):
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_page_worker,
+            initargs=(
+                str(root),
+                audit,
+                str(cache_dir) if cache_dir else None,
+                project_state,
+            ),
+        ) as pool:
+            # batching amortizes per-task IPC; results still come back in
+            # input order
+            chunksize = max(1, len(pages) // (jobs * 4))
+            results = list(
+                pool.map(
+                    _page_worker,
+                    [str(page) for page in pages],
+                    chunksize=chunksize,
+                )
+            )
+    for result in results:
+        if result.perf is not None:
+            PERF.merge(result.perf)
+            result.perf = None
+    return results
+
+
 def analyze_project(
-    project_root: str | Path, name: str | None = None, audit: bool = False
+    project_root: str | Path,
+    name: str | None = None,
+    audit: bool = False,
+    jobs: int | None = 1,
+    cache_dir: str | Path | None = None,
 ) -> ProjectReport:
-    """Analyze a whole application: every entry page, one report."""
+    """Analyze a whole application: every entry page, one report.
+
+    The report is deterministic in ``jobs``: parallel runs merge page
+    results in page order, so hotspot ordering, diagnostic dedup, and
+    summed tallies match the serial run exactly.
+    """
     root = Path(project_root)
     report = ProjectReport(name=name or root.name)
 
-    php_files = list(root.rglob("*.php"))
-    report.files = len(php_files)
-    report.lines = sum(
-        len(path.read_text().splitlines()) for path in php_files
-    )
-
-    total_nonterminals = 0
-    total_productions = 0
-    string_seconds = 0.0
-    check_seconds = 0.0
-
-    # shared across pages: parsed ASTs and the directory-layout scan
-    # (the paper's §5.3 memoization suggestion)
-    from repro.php.includes import IncludeResolver
-
-    parse_cache: dict = {}
-    resolver = IncludeResolver(root)
-    seen_diagnostics: set = set()
-
-    for page in entry_pages(root):
-        started = time.perf_counter()
-        trail = AuditTrail() if audit else None
-        analysis = StringTaintAnalysis(
-            root, parse_cache=parse_cache, resolver=resolver, audit=trail
+    # one directory scan feeds both the file census and the page listing
+    with PERF.timer("scan"):
+        php_files = sorted(root.rglob("*.php"))
+        report.files = len(php_files)
+        report.lines = sum(
+            len(path.read_text(errors="replace").splitlines())
+            for path in php_files
         )
-        result = analysis.analyze_file(page)
-        string_seconds += time.perf_counter() - started
-        for error in result.parse_errors:
+        pages = entry_pages(root, php_files=php_files)
+
+    results = run_pages(root, pages, audit=audit, jobs=jobs, cache_dir=cache_dir)
+
+    seen_diagnostics: set = set()
+    for page_result in results:
+        for error in page_result.parse_errors:
             if error not in report.parse_errors:
                 report.parse_errors.append(error)
-
-        started = time.perf_counter()
-        page_hotspots = []
-        for spot in result.hotspots:
-            scope = result.grammar.subgrammar(spot.query.nt)
-            total_nonterminals += len(scope.productions)
-            total_productions += scope.num_productions()
-            page_hotspots.append(check_hotspot(result.grammar, spot))
-        check_seconds += time.perf_counter() - started
-
-        if audit:
-            page_audit = audit_page(result)
-            # a hotspot's verdict is only as trustworthy as the weakest
-            # construct on its page's include closure
-            for spot_report in page_hotspots:
-                spot_report.confidence = page_audit.confidence
-            for diagnostic in page_audit.diagnostics:
+        report.grammar_nonterminals += page_result.nonterminals
+        report.grammar_productions += page_result.productions
+        report.string_analysis_seconds += page_result.string_seconds
+        report.check_seconds += page_result.check_seconds
+        if page_result.audit is not None:
+            for diagnostic in page_result.audit.diagnostics:
                 if diagnostic.key not in seen_diagnostics:
                     seen_diagnostics.add(diagnostic.key)
                     report.diagnostics.append(diagnostic)
-        report.hotspots.extend(page_hotspots)
+        report.hotspots.extend(page_result.reports)
 
     report.diagnostics.sort(key=lambda d: (d.file, d.line, d.kind, d.name))
-    report.grammar_nonterminals = total_nonterminals
-    report.grammar_productions = total_productions
-    report.string_analysis_seconds = string_seconds
-    report.check_seconds = check_seconds
     return report

@@ -3,6 +3,12 @@
 Mirrors the workflow of the paper's tool: point it at a PHP web
 application, get either bug reports or "verified".
 
+Pages are analyzed through :func:`repro.analysis.analyzer.run_pages`,
+so ``--jobs N`` fans them out over worker processes and ``--cache-dir``
+enables the on-disk result cache — neither changes any output or exit
+code: results are merged in page order, so a parallel or cache-served
+run renders byte-for-byte what a serial cold run renders.
+
 Exit codes:
 
 * ``0`` — verified, and (when auditing) every page was fully modeled:
@@ -22,7 +28,9 @@ import json
 import sys
 from pathlib import Path
 
-from .analyzer import analyze_page, audit_entry, entry_pages
+from repro.perf import PERF, render_table
+
+from .analyzer import entry_pages, run_pages
 from .reports import SOUND, SOUND_MODULO_WIDENING, UNSOUND_CAVEATS
 
 EXIT_VERIFIED = 0
@@ -67,43 +75,74 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="emit one JSON document (implies --audit) instead of text",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "analyze N pages in parallel (default: one per CPU core); "
+            "--jobs 1 runs everything in-process"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=(
+            "cache parsed ASTs and per-page results in DIR, keyed by "
+            "content hashes; repeat runs over an unchanged project are "
+            "near-instant and always reproduce the uncached verdicts"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print a per-phase timing and cache-counter table to stderr "
+            "(with --json, also embed it under a \"perf\" key)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     root = Path(args.root)
     if not root.is_dir():
         parser.error(f"{root} is not a directory")
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 1 (or 0 for one per CPU core)")
 
     if args.pages:
         pages = [root / page for page in args.pages]
     else:
         pages = entry_pages(root)
 
+    PERF.reset()
     auditing = args.audit or args.json
+    results = run_pages(
+        root, pages, audit=auditing, jobs=args.jobs, cache_dir=args.cache_dir
+    )
+
     any_violation = False
     any_escape = False
     pages_json: list[dict] = []
-    for page in pages:
-        if auditing:
-            reports, result, page_audit = audit_entry(root, page)
-            parse_errors = result.parse_errors
+    for page_result in results:
+        reports = page_result.reports
+        page_audit = page_result.audit
+        if page_audit is not None:
             any_escape |= bool(page_audit.escapes)
-        else:
-            reports, analysis = analyze_page(root, page)
-            parse_errors = analysis.parse_errors
-            page_audit = None
         any_violation |= any(not r.verified for r in reports)
 
         if args.json:
             pages_json.append(
                 {
-                    "page": str(page),
+                    "page": page_result.page,
                     "verified": all(r.verified for r in reports),
                     "confidence": (
                         page_audit.confidence if page_audit else SOUND
                     ),
                     "hotspots": [r.as_dict() for r in reports],
                     "audit": page_audit.as_dict() if page_audit else None,
-                    "parse_errors": list(parse_errors),
+                    "parse_errors": list(page_result.parse_errors),
                 }
             )
             continue
@@ -116,7 +155,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.xss:
             from .xss import analyze_page_xss
 
-            for xss_report in analyze_page_xss(root, page):
+            for xss_report in analyze_page_xss(root, page_result.page):
                 if xss_report.verified and not args.verbose:
                     continue
                 status = "verified" if xss_report.verified else "XSS"
@@ -129,7 +168,7 @@ def main(argv: list[str] | None = None) -> int:
         ):
             print(page_audit.render())
             print()
-        for error in parse_errors:
+        for error in page_result.parse_errors:
             print(f"warning: {error}", file=sys.stderr)
 
     if args.json:
@@ -140,17 +179,15 @@ def main(argv: list[str] | None = None) -> int:
             overall = SOUND_MODULO_WIDENING
         else:
             overall = SOUND
-        print(
-            json.dumps(
-                {
-                    "root": str(root),
-                    "verified": not any_violation,
-                    "confidence": overall,
-                    "pages": pages_json,
-                },
-                indent=2,
-            )
-        )
+        document = {
+            "root": str(root),
+            "verified": not any_violation,
+            "confidence": overall,
+            "pages": pages_json,
+        }
+        if args.profile:
+            document["perf"] = PERF.snapshot()
+        print(json.dumps(document, indent=2))
     elif not any_violation:
         if any_escape:
             print(
@@ -159,6 +196,9 @@ def main(argv: list[str] | None = None) -> int:
             )
         else:
             print("verified: no SQLCIV reports")
+
+    if args.profile:
+        print(render_table(PERF.snapshot()), file=sys.stderr)
 
     if any_violation:
         return EXIT_VIOLATIONS

@@ -1,0 +1,135 @@
+"""On-disk content-addressed caches (the CLI's ``--cache-dir``).
+
+Two stores, both keyed by content hashes salted with
+:data:`~repro.perf.ANALYZER_CACHE_VERSION` (bumping the version orphans
+every old entry, so semantics changes can never replay stale results):
+
+* ``ast/`` — parsed :class:`repro.php.ast.File` trees (or the parse
+  error), keyed by the SHA-256 of the file's bytes.  Survives edits to
+  *other* files: only the changed file reparses.
+* ``page/`` — whole per-page analysis results
+  (:class:`repro.analysis.analyzer.PageResult`), keyed by the page path
+  **plus a hash of every resolver-visible file in the project**.  A
+  page's result depends not just on its own include closure but on the
+  project layout itself (dynamic include resolution intersects the
+  include argument's language with the set of on-disk paths, paper §4),
+  so any file change conservatively invalidates all page entries —
+  repeat runs over an unchanged corpus are near-instant, and a changed
+  corpus can never serve a stale verdict.
+
+Entries are pickles written atomically (tmp file + rename); a corrupt or
+unreadable entry is treated as a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+
+from repro.perf import ANALYZER_CACHE_VERSION, PERF
+
+#: extensions the include resolver scans — part of the project state
+RESOLVER_EXTENSIONS = (".php", ".inc", ".html", ".tpl")
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def project_state_hash(project_root: str | Path) -> str:
+    """Hash of every resolver-visible file's (relative path, content).
+
+    This is the conservative dependency key for per-page results: it
+    changes when any file an analysis *could* observe changes — content
+    of any include candidate, or the file layout the dynamic-include
+    resolver treats as part of the specification.
+    """
+    root = Path(project_root)
+    digest = hashlib.sha256(ANALYZER_CACHE_VERSION.encode())
+    entries = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in filenames:
+            if filename.endswith(RESOLVER_EXTENSIONS):
+                path = Path(dirpath) / filename
+                entries.append(path)
+    for path in sorted(entries):
+        rel = path.relative_to(root).as_posix()
+        try:
+            data = path.read_bytes()
+        except OSError:
+            data = b"<unreadable>"
+        digest.update(rel.encode("utf-8", errors="replace"))
+        digest.update(b"\0")
+        digest.update(content_hash(data).encode())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+class DiskCache:
+    """A directory of pickled cache entries, organized by kind."""
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.root = Path(cache_dir)
+        for kind in ("ast", "page"):
+            (self.root / kind).mkdir(parents=True, exist_ok=True)
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / kind / f"{key}.pkl"
+
+    def load(self, kind: str, key: str):
+        """The stored object, or None on miss/corruption (counted)."""
+        path = self._path(kind, key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            PERF.incr(f"disk.{kind}.misses")
+            return None
+        PERF.incr(f"disk.{kind}.hits")
+        return value
+
+    def store(self, kind: str, key: str, value) -> None:
+        path = self._path(kind, key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+            PERF.incr(f"disk.{kind}.stores")
+        except (OSError, pickle.PicklingError):
+            PERF.incr(f"disk.{kind}.store_errors")
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    # -- key builders -------------------------------------------------------
+
+    @staticmethod
+    def ast_key(source_bytes: bytes, path: str) -> str:
+        # the absolute path is part of the key because parsed trees (and
+        # the diagnostics derived from them) embed it; two byte-identical
+        # files at different locations are different cache entries
+        digest = hashlib.sha256(ANALYZER_CACHE_VERSION.encode())
+        digest.update(b"ast\0")
+        digest.update(path.encode("utf-8", errors="replace"))
+        digest.update(b"\0")
+        digest.update(source_bytes)
+        return digest.hexdigest()
+
+    @staticmethod
+    def page_key(project_state: str, root: str, rel_page: str, audit: bool) -> str:
+        # ``root`` (absolute) is in the key for the same reason as above:
+        # stored reports carry absolute file names
+        digest = hashlib.sha256(ANALYZER_CACHE_VERSION.encode())
+        digest.update(b"page\0")
+        digest.update(project_state.encode())
+        digest.update(b"\0")
+        digest.update(root.encode("utf-8", errors="replace"))
+        digest.update(b"\0")
+        digest.update(rel_page.encode("utf-8", errors="replace"))
+        digest.update(b"\0audit=1" if audit else b"\0audit=0")
+        return digest.hexdigest()

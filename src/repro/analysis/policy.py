@@ -27,7 +27,7 @@ C5 ``derivability``     — fallback (§3.2.2): tokenize the query grammar
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import OrderedDict
 
 from repro.lang.earley import (
     candidate_fixpoint,
@@ -37,6 +37,7 @@ from repro.lang.earley import (
 )
 from repro.lang.grammar import Grammar, Lit, Nonterminal
 from repro.lang.intersect import intersect, intersection_is_empty
+from repro.perf import PERF
 from repro.sql.bridge import TokenizationFailure, grammar_to_tokens
 from repro.sql.grammar import sql_grammar
 
@@ -47,26 +48,106 @@ from .stringtaint import Hotspot
 HOLE_TOKEN = "⟨X⟩"
 
 
-def check_hotspot(grammar: Grammar, hotspot: Hotspot) -> HotspotReport:
-    """Run the full check cascade for one hotspot."""
+class VerdictCache:
+    """Content-addressed memo over phase-2 verdicts (bounded LRU).
+
+    Keyed by the canonical fingerprint of a hotspot's trimmed labeled
+    subgrammar (:meth:`repro.lang.grammar.Grammar.fingerprint`).  The
+    paper's evaluation (§5.3) analyzes every entry page as a separate
+    ``main`` and relies on memoization to keep whole-application runs
+    tractable: structurally identical query subgrammars recur across
+    pages via shared includes, and Definition 3.2's outcome is a function
+    of the (trimmed, labeled) grammar alone — so one cascade run answers
+    every recurrence.  See DESIGN.md "Content-addressed caching" for the
+    soundness argument.
+
+    Values store findings *abstractly* — the labeled nonterminal is
+    recorded by canonical index, not by name — so a hit can be replayed
+    against a different page's grammar objects and still report that
+    page's own nonterminal names.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        self.maxsize = maxsize
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> dict | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: str, value: dict) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            PERF.incr("policy.verdict_cache.evictions")
+        PERF.gauge("policy.verdict_cache.size", len(self._entries))
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: Process-wide phase-2 memo.  Serial runs share it across every page;
+#: parallel runs get one per worker process.
+VERDICT_CACHE = VerdictCache()
+
+
+def check_hotspot(
+    grammar: Grammar, hotspot: Hotspot, cache: VerdictCache | None = None
+) -> HotspotReport:
+    """Run the full check cascade for one hotspot (memoized).
+
+    ``cache`` defaults to the process-wide :data:`VERDICT_CACHE`; pass an
+    explicit :class:`VerdictCache` to isolate, or construct one with
+    ``maxsize=0``-style behaviour by passing a fresh instance per call.
+    """
+    if cache is None:
+        cache = VERDICT_CACHE
     report = HotspotReport(file=hotspot.file, line=hotspot.line, sink=hotspot.sink)
     root = hotspot.query.nt
     scope = grammar.subgrammar(root).trim(root)
+    with PERF.timer("phase2.fingerprint"):
+        order = scope.canonical_order(root)
+        key = scope.fingerprint(root, order=order)
+    PERF.gauge("policy.scope_productions.max", scope.num_productions())
+    cached = cache.get(key)
+    if cached is not None:
+        PERF.incr("policy.verdict_cache.hits")
+        return _report_from_cached(cached, report, order)
+    PERF.incr("policy.verdict_cache.misses")
+    with PERF.timer("phase2.cascade"):
+        _run_cascade(scope, root, hotspot, report)
+    cache.put(key, _cached_from_report(report, order))
+    return report
+
+
+def _run_cascade(
+    scope: Grammar, root: Nonterminal, hotspot: Hotspot, report: HotspotReport
+) -> list[Nonterminal]:
+    """The uncached cascade; fills ``report`` and returns, parallel to
+    ``report.findings``, the labeled nonterminal each finding is about."""
+    PERF.incr("policy.check_cascades")
     report.query_samples = scope.sample_strings(root, limit=3)
     maximal = maximal_labeled(scope, root)
-    findings = []
+    findings: list[tuple[Nonterminal, Finding]] = []
     for labeled in maximal:
         finding = check_nonterminal(scope, root, labeled, hotspot, others=maximal)
         if not finding.safe and finding.witness and not finding.example_query:
             finding.example_query = _example_query(
                 scope, root, labeled, maximal, finding.witness
             )
-        findings.append(finding)
+        findings.append((labeled, finding))
     # One untrusted source can appear as several automaton-state-split
     # nonterminals after refinement; they describe the same substring set
     # piecewise, so collapse findings with the same verdict shape.
     seen: dict[tuple, int] = {}
-    for finding in findings:
+    kept_nts: list[Nonterminal] = []
+    for labeled, finding in findings:
         key = (finding.category, finding.check, finding.safe)
         if key in seen:
             kept = report.findings[seen[key]]
@@ -75,6 +156,60 @@ def check_hotspot(grammar: Grammar, hotspot: Hotspot) -> HotspotReport:
             continue
         seen[key] = len(report.findings)
         report.findings.append(finding)
+        kept_nts.append(labeled)
+    report._finding_nts = kept_nts  # consumed by _cached_from_report
+    return kept_nts
+
+
+def _cached_from_report(report: HotspotReport, order: list[Nonterminal]) -> dict:
+    index = {nt: i for i, nt in enumerate(order)}
+    kept_nts = getattr(report, "_finding_nts", [])
+    entry_findings = []
+    for position, finding in enumerate(report.findings):
+        labeled = kept_nts[position] if position < len(kept_nts) else None
+        entry_findings.append(
+            {
+                "nt_index": index.get(labeled),
+                "nt_name": finding.nonterminal,
+                "labels": sorted(finding.labels),
+                "check": finding.check,
+                "safe": finding.safe,
+                "witness": finding.witness,
+                "example_query": finding.example_query,
+                "detail": finding.detail,
+            }
+        )
+    return {
+        "query_samples": list(report.query_samples),
+        "findings": entry_findings,
+    }
+
+
+def _report_from_cached(
+    cached: dict, report: HotspotReport, order: list[Nonterminal]
+) -> HotspotReport:
+    report.query_samples = list(cached["query_samples"])
+    for entry in cached["findings"]:
+        nt_index = entry["nt_index"]
+        name = (
+            order[nt_index].name
+            if nt_index is not None and nt_index < len(order)
+            else entry["nt_name"]
+        )
+        report.findings.append(
+            Finding(
+                file=report.file,
+                line=report.line,
+                sink=report.sink,
+                nonterminal=name,
+                labels=frozenset(entry["labels"]),
+                check=entry["check"],
+                safe=entry["safe"],
+                witness=entry["witness"],
+                example_query=entry["example_query"],
+                detail=entry["detail"],
+            )
+        )
     return report
 
 
@@ -83,8 +218,13 @@ def maximal_labeled(scope: Grammar, root: Nonterminal) -> list[Nonterminal]:
 
     Computed on the SCC condensation so that cycles of labeled
     nonterminals still yield representatives (soundness: every untrusted
-    substring occurrence is covered by some maximal labeled node)."""
-    labeled = [nt for nt in scope.productions if scope.has_label(nt)]
+    substring occurrence is covered by some maximal labeled node).
+
+    Candidates are walked in *canonical* (BFS-from-root) order so two
+    structurally identical subgrammars — the situation the verdict cache
+    keys on — produce findings in the same order no matter which page
+    built them."""
+    labeled = [nt for nt in scope.canonical_order(root) if scope.has_label(nt)]
     if not labeled:
         return []
     reach = {nt: scope.reachable(nt) for nt in labeled}
@@ -287,7 +427,12 @@ def _contexts_grammar(
             return neutral
         return symbol
 
-    for nt, rules in scope.productions.items():
+    # canonical order, not dict order: the verdict cache replays results
+    # across structurally identical scopes, so everything downstream of
+    # this construction (sampling order in _example_query in particular)
+    # must be a function of the canonical structure alone
+    for nt in scope.canonical_order(root):
+        rules = scope.productions.get(nt, ())
         if nt in replaced_nts:
             # severed: the context language treats these purely as markers
             result.productions.setdefault(nt, [])

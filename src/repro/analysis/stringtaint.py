@@ -23,6 +23,7 @@ from repro.lang.charset import CharSet
 from repro.lang.fsa import NFA
 from repro.lang.grammar import DIRECT, Grammar, INDIRECT, Nonterminal
 from repro.lang.regex import Pattern, search_language
+from repro.perf import PERF
 from repro.php import ast, builtins
 from repro.php.includes import IncludeResolver
 from repro.php.parser import PhpParseError, parse
@@ -100,6 +101,7 @@ class StringTaintAnalysis:
         parse_cache: dict | None = None,
         resolver: IncludeResolver | None = None,
         audit=None,
+        disk_cache=None,
     ) -> None:
         self.project_root = Path(project_root)
         self.builder = builder or GrammarBuilder()
@@ -129,6 +131,9 @@ class StringTaintAnalysis:
         self._parse_cache: dict[Path, tuple[ast.File | None, str | None]] = (
             parse_cache if parse_cache is not None else {}
         )
+        #: optional :class:`repro.analysis.diskcache.DiskCache` — parsed
+        #: trees keyed by content hash survive across runs (``--cache-dir``)
+        self.disk_cache = disk_cache
         self.globals = Env()
         self.constants: dict[str, Value] = {}
         self.current_file = ""
@@ -155,13 +160,10 @@ class StringTaintAnalysis:
 
     def _parse(self, path: Path) -> ast.File | None:
         if path in self._parse_cache:
+            PERF.incr("parse.memory_hits")
             tree, error = self._parse_cache[path]
         else:
-            try:
-                source = path.read_text()
-                tree, error = parse(source, str(path)), None
-            except (OSError, PhpParseError, ValueError) as exc:
-                tree, error = None, str(exc)
+            tree, error = self._parse_uncached(path)
             self._parse_cache[path] = (tree, error)
         # per-page bookkeeping happens on cache hits too: this page's
         # include closure (and its parse failures) must be complete for
@@ -174,6 +176,29 @@ class StringTaintAnalysis:
         elif error is not None and error not in self.parse_errors:
             self.parse_errors.append(error)
         return tree
+
+    def _parse_uncached(self, path: Path) -> tuple[ast.File | None, str | None]:
+        """Read + parse one file, consulting the on-disk AST cache."""
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            PERF.incr("parse.files")
+            return None, str(exc)
+        if self.disk_cache is not None:
+            ast_key = self.disk_cache.ast_key(data, str(path))
+            entry = self.disk_cache.load("ast", ast_key)
+            if entry is not None:
+                return entry
+        try:
+            with PERF.timer("parse"):
+                source = data.decode("utf-8")
+                tree, error = parse(source, str(path)), None
+        except (PhpParseError, ValueError) as exc:
+            tree, error = None, str(exc)
+        PERF.incr("parse.files")
+        if self.disk_cache is not None:
+            self.disk_cache.store("ast", ast_key, (tree, error))
+        return tree, error
 
     def _interpret_file(self, tree: ast.File, env: Env) -> None:
         previous = self.current_file

@@ -23,6 +23,7 @@ intersection/image algorithms handle them natively.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from collections import deque
 from dataclasses import dataclass
@@ -171,7 +172,12 @@ class Grammar:
             for nt in self.reachable(root)
             if nt in productive
         }
-        for nt in keep:
+        # sorted by uid (= creation order): keeps the production-dict
+        # insertion order deterministic across runs and processes, which
+        # downstream ordering (maximal_labeled, canonical fingerprints,
+        # report rendering) depends on.  Identity-based set iteration
+        # would leak memory addresses into report ordering.
+        for nt in sorted(keep):
             for rhs in self.productions.get(nt, ()):
                 if all(
                     is_terminal(s) or s in keep for s in rhs
@@ -190,12 +196,73 @@ class Grammar:
         """The grammar restricted to symbols reachable from ``root``."""
         result = Grammar(root)
         keep = self.reachable(root)
-        for nt in keep:
+        for nt in sorted(keep):  # uid order: deterministic across processes
             for rhs in self.productions.get(nt, ()):
                 result.add(nt, rhs)
             result.productions.setdefault(nt, [])
         result.copy_labels_from(self, keep)
         return result
+
+    def structural_copy(self) -> "Grammar":
+        """A shallow structural copy: fresh production/label containers,
+        shared :class:`Nonterminal` objects and rhs tuples.  Mutating the
+        copy (``add``, ``add_label``) never touches the original — this is
+        what the content-addressed caches hand out so cache entries stay
+        immutable."""
+        result = Grammar(self.start)
+        result.productions = {nt: list(rules) for nt, rules in self.productions.items()}
+        result.labels = {nt: set(labels) for nt, labels in self.labels.items()}
+        return result
+
+    # -- content addressing -------------------------------------------------
+
+    def canonical_order(self, root: Nonterminal) -> list[Nonterminal]:
+        """Nonterminals reachable from ``root`` in canonical (BFS over
+        production insertion order) order.  Position in this list is a
+        nonterminal's *canonical index* — stable across processes and
+        independent of names, uids, and memory addresses."""
+        order = [root]
+        seen = {root}
+        queue = deque([root])
+        while queue:
+            nt = queue.popleft()
+            for rhs in self.productions.get(nt, ()):
+                for ref in self.rhs_nonterminals(rhs):
+                    if ref not in seen:
+                        seen.add(ref)
+                        order.append(ref)
+                        queue.append(ref)
+        return order
+
+    def canonical_form(self, root: Nonterminal, order: list[Nonterminal] | None = None) -> str:
+        """A name-independent serialization of the grammar rooted at
+        ``root``: nonterminals are renamed to their canonical index, and
+        productions are listed in insertion order with taint labels.
+
+        Two grammars have equal canonical forms iff they are isomorphic
+        as *labeled, production-ordered* grammars — same language, same
+        taint labeling, and the same deterministic behaviour under every
+        downstream algorithm that walks productions in order.  That is
+        the invariant the content-addressed verdict/image caches rely on
+        (see DESIGN.md "Content-addressed caching").
+        """
+        if order is None:
+            order = self.canonical_order(root)
+        index = {nt: i for i, nt in enumerate(order)}
+        pieces: list[str] = []
+        for i, nt in enumerate(order):
+            labels = ",".join(sorted(self.labels.get(nt, ())))
+            pieces.append(f"N{i}[{labels}]:")
+            for rhs in self.productions.get(nt, ()):
+                pieces.append(
+                    "->" + " ".join(_canonical_symbol(s, index) for s in rhs)
+                )
+        return "\n".join(pieces)
+
+    def fingerprint(self, root: Nonterminal, order: list[Nonterminal] | None = None) -> str:
+        """SHA-256 content address of :meth:`canonical_form`."""
+        form = self.canonical_form(root, order=order)
+        return hashlib.sha256(form.encode("utf-8")).hexdigest()
 
     def cyclic_nonterminals(self) -> set[Nonterminal]:
         """Nonterminals on a reference cycle (Tarjan SCC, iterative)."""
@@ -297,7 +364,9 @@ class Grammar:
                     choices.add("'")
                 if "-" in symbol:
                     choices.add("-")
-                for char in choices:
+                # sorted: set iteration over strings is hash-seed
+                # dependent, and samples must not vary across processes
+                for char in sorted(choices):
                     expanded = form[:idx] + (Lit(char),) + form[idx + 1 :]
                     if expanded not in seen_forms:
                         seen_forms.add(expanded)
@@ -452,6 +521,15 @@ class Grammar:
         if len(order) > limit:
             lines.append(f"… ({len(order) - limit} more nonterminals)")
         return "\n".join(lines)
+
+
+def _canonical_symbol(symbol: Symbol, index: dict[Nonterminal, int]) -> str:
+    if isinstance(symbol, Lit):
+        return "L" + repr(symbol.text)
+    if isinstance(symbol, CharSet):
+        # raw intervals, not repr() (which truncates past 8 intervals)
+        return "C" + ";".join(f"{lo}-{hi}" for lo, hi in symbol.intervals)
+    return f"N{index[symbol]}"
 
 
 def _show_symbol(symbol: Symbol) -> str:

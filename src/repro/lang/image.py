@@ -15,11 +15,61 @@ Because FSTs may be nondeterministic, a literal terminal can map to a
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import OrderedDict, defaultdict
+
+from repro.perf import PERF
 
 from .charset import CharSet
 from .fst import FST, FSTExplosion, Output, map_marker_charset, render_output
 from .grammar import Grammar, Lit, Nonterminal, Rhs, Symbol, is_terminal
+
+
+class ImageCache:
+    """Content-addressed memo over transducer images (bounded LRU).
+
+    Keyed by ``(id(fst), input-subgrammar fingerprint)``: the image of a
+    grammar under an FST is a pure function of the two, and sanitizer
+    FSTs (``addslashes``, ``str_replace`` models, …) are applied to the
+    same include-derived subgrammars over and over across a project's
+    pages.  Entries keep a strong reference to the FST, so a live entry's
+    ``id(fst)`` can never be recycled for a different transducer.
+
+    Hits hand out a :meth:`~repro.lang.grammar.Grammar.structural_copy`
+    — callers (``GrammarBuilder._absorb``, the explosion fallback's
+    ``add_label``) may mutate what they receive, and the cached original
+    must stay pristine.
+    """
+
+    def __init__(self, maxsize: int = 512) -> None:
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, tuple] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, fst: FST, fingerprint: str) -> tuple[Grammar, Nonterminal] | None:
+        entry = self._entries.get((id(fst), fingerprint))
+        if entry is None or entry[0] is not fst:
+            return None
+        self._entries.move_to_end((id(fst), fingerprint))
+        _, grammar, start = entry
+        return grammar.structural_copy(), start
+
+    def put(
+        self, fst: FST, fingerprint: str, grammar: Grammar, start: Nonterminal
+    ) -> None:
+        self._entries[(id(fst), fingerprint)] = (fst, grammar, start)
+        if len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            PERF.incr("image.cache.evictions")
+        PERF.gauge("image.cache.size", len(self._entries))
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: Process-wide image memo (one per worker in parallel runs).
+IMAGE_CACHE = ImageCache()
 
 
 def _lit_runs(
@@ -76,13 +126,39 @@ def fst_image(
 
     Returns ``(result, start)``, trimmed, with labels propagated to
     every triple of a labeled nonterminal (the FST analogue of
-    Theorem 3.1).
+    Theorem 3.1).  Memoized in :data:`IMAGE_CACHE` by
+    ``(FST identity, input fingerprint)``; only successful constructions
+    are cached (an :class:`FSTExplosion` re-raises every time and the
+    caller's widening fallback handles it).
     """
+    with PERF.timer("image.fingerprint"):
+        fingerprint = grammar.fingerprint(root)
+    cached = IMAGE_CACHE.get(fst, fingerprint)
+    if cached is not None:
+        PERF.incr("image.cache.hits")
+        return cached
+    PERF.incr("image.cache.misses")
+    with PERF.timer("image.construct"):
+        result, start = _fst_image_uncached(grammar, root, fst)
+    IMAGE_CACHE.put(fst, fingerprint, result, start)
+    # hand the first caller a copy too: the cached original must never
+    # be reachable from mutating callers
+    return result.structural_copy(), start
+
+
+def _fst_image_uncached(
+    grammar: Grammar, root: Nonterminal, fst: FST
+) -> tuple[Grammar, Nonterminal]:
     normalized = grammar.normalized(root)
     states = list(range(fst.num_states))
 
     # ---- pair fixpoint (which (p, q) are realizable per nonterminal) ----
     pairs: dict[Nonterminal, set[tuple[int, int]]] = defaultdict(set)
+    # Call-local memos, freed when this construction returns: their size
+    # is bounded by (distinct literals in the input subgrammar) × states,
+    # so no global bound is needed — but their high-water marks are
+    # reported through the perf gauges below so a pathological grammar
+    # shows up in --profile instead of as silent memory growth.
     lit_cache: dict[tuple[int, str, int], dict[int, set[str]]] = {}
 
     def lit_runs(text: str, p: int) -> dict[int, set[str]]:
@@ -134,7 +210,9 @@ def fst_image(
 
     worklist = list(rules)
     queued = set(worklist)
+    iterations = 0
     while worklist:
+        iterations += 1
         lhs = worklist.pop()
         queued.discard(lhs)
         added = False
@@ -148,6 +226,9 @@ def fst_image(
                 if parent not in queued:
                     queued.add(parent)
                     worklist.append(parent)
+    PERF.incr("image.fixpoint_iterations", iterations)
+    PERF.gauge("image.lit_cache.max_size", len(lit_cache))
+    PERF.gauge("image.term_cache.max_size", len(term_cache))
 
     # ---- materialize the output grammar ---------------------------------
     result = Grammar()

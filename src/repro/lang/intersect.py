@@ -24,6 +24,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable
 
+from repro.perf import PERF
+
 from .charset import CharSet
 from .fsa import DFA
 from .grammar import Grammar, Lit, Nonterminal, Rhs, Symbol, is_terminal
@@ -38,6 +40,10 @@ class _PairTable:
         self.dfa = dfa
         self.states = sorted(dfa.live_states())
         self.pairs: dict[Nonterminal, set[tuple[int, int]]] = defaultdict(set)
+        # Instance-local memo, freed with the table (one table per
+        # intersection query): at most (distinct literal texts) × states
+        # entries, so it needs no eviction policy — its high-water mark
+        # is surfaced via the perf gauge recorded in _solve().
         self._lit_cache: dict[tuple[str, int], int | None] = {}
         self._solve()
 
@@ -121,7 +127,9 @@ class _PairTable:
 
         worklist = list(rules)
         queued = set(worklist)
+        iterations = 0
         while worklist:
+            iterations += 1
             lhs = worklist.pop()
             queued.discard(lhs)
             added = False
@@ -135,6 +143,8 @@ class _PairTable:
                     if parent not in queued:
                         queued.add(parent)
                         worklist.append(parent)
+        PERF.incr("intersect.fixpoint_iterations", iterations)
+        PERF.gauge("intersect.lit_cache.max_size", len(self._lit_cache))
 
 
 def intersection_is_empty(grammar: Grammar, root: Nonterminal, dfa: DFA) -> bool:

@@ -1,0 +1,147 @@
+"""Tests for the parallel page driver and the on-disk result cache.
+
+The contract under test: ``--jobs N`` and ``--cache-dir`` are pure
+performance knobs — byte-identical output, identical exit codes,
+identical verdicts — and the perf counters actually record the work
+they claim to avoid.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.analyzer import analyze_project, entry_pages, run_pages
+from repro.corpus import build_app
+from repro.perf import PERF
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def app_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("parallel-app")
+    build_app(root, "eve_activity_tracker")
+    return root / "eve_activity_tracker"
+
+
+def run_cli(*argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis.cli", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+def report_signature(report):
+    """A report's comparable content: everything except wall-clock."""
+    data = report.as_dict()
+    data.pop("string_analysis_seconds", None)
+    data.pop("check_seconds", None)
+    return data
+
+
+class TestParallelEquivalence:
+    def test_json_output_byte_identical(self, app_root):
+        """The headline guarantee: ``--jobs 4`` renders byte-for-byte
+        what ``--jobs 1`` renders (fresh interpreters, so this also
+        covers hash-seed independence)."""
+        serial = run_cli(str(app_root), "--json", "--jobs", "1")
+        parallel = run_cli(str(app_root), "--json", "--jobs", "4")
+        assert serial.stdout == parallel.stdout
+        assert serial.returncode == parallel.returncode
+
+    def test_audit_text_output_and_exit_identical(self, app_root):
+        serial = run_cli(str(app_root), "--audit", "-v", "--jobs", "1")
+        parallel = run_cli(str(app_root), "--audit", "-v", "--jobs", "4")
+        assert serial.stdout == parallel.stdout
+        assert serial.returncode == parallel.returncode
+
+    def test_analyze_project_report_identical(self, app_root):
+        serial = analyze_project(app_root, audit=True, jobs=1)
+        parallel = analyze_project(app_root, audit=True, jobs=2)
+        assert report_signature(serial) == report_signature(parallel)
+
+    def test_run_pages_preserves_input_order(self, app_root):
+        pages = entry_pages(app_root)
+        assert len(pages) > 1
+        results = run_pages(app_root, pages, jobs=2)
+        assert [r.page for r in results] == [str(p) for p in pages]
+
+    def test_parallel_perf_deltas_merged(self, app_root):
+        pages = entry_pages(app_root)
+        PERF.reset()
+        results = run_pages(app_root, pages, jobs=2)
+        counters = PERF.snapshot()["counters"]
+        # worker-side counters came home and the per-result deltas are
+        # consumed, not double-counted
+        assert counters.get("pages.analyzed") == len(pages)
+        assert all(r.perf is None for r in results)
+
+
+class TestDiskCache:
+    def test_warm_rerun_byte_identical(self, app_root, tmp_path):
+        cache = tmp_path / "cache"
+        cold = run_cli(str(app_root), "--json", "--jobs", "1",
+                       "--cache-dir", str(cache))
+        warm = run_cli(str(app_root), "--json", "--jobs", "1",
+                       "--cache-dir", str(cache))
+        bare = run_cli(str(app_root), "--json", "--jobs", "1")
+        assert cold.stdout == warm.stdout == bare.stdout
+        assert cold.returncode == warm.returncode == bare.returncode
+
+    def test_warm_rerun_skips_phase2(self, app_root, tmp_path):
+        """The acceptance metric: on a warm cache, page results come off
+        disk and no check cascade re-runs."""
+        cache = tmp_path / "cache"
+        run_cli(str(app_root), "--json", "--jobs", "1",
+                "--cache-dir", str(cache))
+        warm = run_cli(str(app_root), "--json", "--profile", "--jobs", "1",
+                       "--cache-dir", str(cache))
+        counters = json.loads(warm.stdout)["perf"]["counters"]
+        assert counters.get("pages.from_disk_cache", 0) > 0
+        assert counters.get("policy.checks_avoided", 0) > 0
+        assert counters.get("policy.check_cascades", 0) == 0
+
+    def test_edit_invalidates_page_results(self, tmp_path):
+        """Changing any resolver-visible file must invalidate cached page
+        results (the conservative project-state key)."""
+        build_app(tmp_path, "eve_activity_tracker")
+        app = tmp_path / "eve_activity_tracker"
+        cache = tmp_path / "cache"
+        run_cli(str(app), "--json", "--cache-dir", str(cache))
+        victim = next(iter(sorted(app.rglob("*.php"))))
+        victim.write_text(victim.read_text() + "\n// touched\n")
+        after = run_cli(str(app), "--json", "--profile",
+                        "--cache-dir", str(cache))
+        counters = json.loads(after.stdout)["perf"]["counters"]
+        assert counters.get("pages.from_disk_cache", 0) == 0
+        assert counters.get("policy.check_cascades", 0) > 0
+
+
+class TestCensus:
+    def test_non_utf8_file_does_not_crash(self, tmp_path):
+        """The file census must survive legacy-encoded sources."""
+        (tmp_path / "index.php").write_text(
+            "<?php $q = 'SELECT 1'; mysql_query($q); ?>"
+        )
+        (tmp_path / "legacy.php").write_bytes(
+            b"<?php // caf\xe9 na\xefve latin-1 comment\n$x = 1;\n?>"
+        )
+        report = analyze_project(tmp_path)
+        assert report.files == 2
+        assert report.lines > 0
+
+    def test_entry_pages_accepts_precomputed_listing(self, tmp_path):
+        (tmp_path / "index.php").write_text("<?php echo 1; ?>")
+        includes = tmp_path / "includes"
+        includes.mkdir()
+        (includes / "db.php").write_text("<?php $db = 1; ?>")
+        listing = sorted(tmp_path.rglob("*.php"))
+        assert entry_pages(tmp_path, php_files=listing) == entry_pages(tmp_path)

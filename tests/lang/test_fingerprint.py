@@ -1,0 +1,147 @@
+"""Tests for the canonical grammar fingerprint (the cache key of the
+phase-2 verdict memo and the FST-image memo).
+
+The fingerprint must be a pure function of grammar *structure* — stable
+across processes, independent of nonterminal names and uids — and must
+separate near-miss grammars (one literal, one label, or one production
+different) so a cache hit can never replay the wrong verdict.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.lang.charset import CharSet
+from repro.lang.grammar import DIRECT, Grammar, INDIRECT, Lit
+
+
+def query_grammar(name_prefix=""):
+    """Q → 'SELECT ' V; V → 'x' | [0-9] — a miniature query grammar."""
+    g = Grammar()
+    q = g.fresh(name_prefix + "Q")
+    v = g.fresh(name_prefix + "V")
+    g.start = q
+    g.add(q, (Lit("SELECT "), v))
+    g.add(v, (Lit("x"),))
+    g.add(v, (CharSet.of("0123456789"),))
+    g.add_label(v, DIRECT)
+    return g, q
+
+
+class TestStability:
+    def test_names_and_uids_do_not_matter(self):
+        a, root_a = query_grammar()
+        b, root_b = query_grammar("renamed_")
+        # b's nonterminals have different names AND different uids
+        assert a.fingerprint(root_a) == b.fingerprint(root_b)
+
+    def test_repeated_calls_agree(self):
+        g, root = query_grammar()
+        assert g.fingerprint(root) == g.fingerprint(root)
+
+    def test_explicit_order_matches_default(self):
+        g, root = query_grammar()
+        order = g.canonical_order(root)
+        assert g.fingerprint(root, order=order) == g.fingerprint(root)
+
+    def test_structural_copy_same_fingerprint(self):
+        g, root = query_grammar()
+        copy = g.structural_copy()
+        assert copy.fingerprint(root) == g.fingerprint(root)
+        # and mutating the copy must not leak back
+        copy.add(root, (Lit("extra"),))
+        assert copy.fingerprint(root) != g.fingerprint(root)
+        fresh, fresh_root = query_grammar()
+        assert g.fingerprint(root) == fresh.fingerprint(fresh_root)
+
+    def test_stable_across_processes(self):
+        """The key property for the on-disk and cross-worker caches:
+        a fresh interpreter (new hash seed, new uid counter, new object
+        addresses) computes the same fingerprint."""
+        g, root = query_grammar()
+        repo_root = Path(__file__).resolve().parents[2]
+        script = textwrap.dedent(
+            """
+            from tests.lang.test_fingerprint import query_grammar
+            g, root = query_grammar("other_")
+            print(g.fingerprint(root))
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(repo_root), str(repo_root / "src")]
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=repo_root,
+            env=env,
+        )
+        assert out.stdout.strip() == g.fingerprint(root)
+
+
+class TestSeparation:
+    """Near-miss grammars must not collide."""
+
+    def test_different_literal(self):
+        a, root_a = query_grammar()
+        b, root_b = query_grammar()
+        b.add(root_b, (Lit("DELETE "),))
+        assert a.fingerprint(root_a) != b.fingerprint(root_b)
+
+    def test_different_label(self):
+        a, root_a = query_grammar()
+        b, root_b = query_grammar()
+        # flip the taint label on the same structure
+        (v_b,) = [nt for nt in b.canonical_order(root_b) if b.has_label(nt)]
+        b.labels[v_b] = {INDIRECT}
+        assert a.fingerprint(root_a) != b.fingerprint(root_b)
+
+    def test_missing_label(self):
+        a, root_a = query_grammar()
+        b, root_b = query_grammar()
+        b.labels.clear()
+        assert a.fingerprint(root_a) != b.fingerprint(root_b)
+
+    def test_different_charset(self):
+        a, root_a = query_grammar()
+        b, root_b = query_grammar()
+        (v_b,) = [
+            nt for nt in b.canonical_order(root_b) if nt is not root_b
+        ]
+        b.productions[v_b] = [
+            rhs
+            if not any(isinstance(s, CharSet) for s in rhs)
+            else (CharSet.of("012345678"),)
+            for rhs in b.productions[v_b]
+        ]
+        assert a.fingerprint(root_a) != b.fingerprint(root_b)
+
+    def test_production_order_is_significant(self):
+        """Two grammars whose nonterminals list the same alternatives in
+        a different order are different derivation structures; keeping
+        them distinct is the conservative choice."""
+        a = Grammar()
+        s = a.fresh("S")
+        a.start = s
+        a.add(s, (Lit("x"),))
+        a.add(s, (Lit("y"),))
+
+        b = Grammar()
+        t = b.fresh("S")
+        b.start = t
+        b.add(t, (Lit("y"),))
+        b.add(t, (Lit("x"),))
+        assert a.fingerprint(s) != b.fingerprint(t)
+
+    def test_root_scoping(self):
+        """Only the part reachable from the root participates."""
+        a, root_a = query_grammar()
+        b, root_b = query_grammar()
+        junk = b.fresh("unreachable")
+        b.add(junk, (Lit("junk"),))
+        assert a.fingerprint(root_a) == b.fingerprint(root_b)

@@ -21,6 +21,8 @@ from repro.lang.grammar import DIRECT, Grammar, INDIRECT, Lit, Nonterminal, Symb
 from repro.lang.image import fst_image, regular_image
 from repro.lang.intersect import intersect
 from repro.lang.regex import Pattern, search_language
+from repro.perf import PERF
+from repro.trace import TRACE
 
 from .values import ArrVal, StrVal, Value
 
@@ -52,6 +54,54 @@ class GrammarBuilder:
         #: chokepoint where the analysis trades precision for size — is
         #: reported here so verdicts can carry a precision caveat
         self.audit = None
+        #: provenance context, kept current by the interpreter exactly
+        #: like ``AuditTrail.location``/``call_context``: the statement
+        #: site being interpreted, and the builtin call (if any) whose
+        #: model is running.  Consumed by the origin events below.
+        self.site: tuple[str, int] = ("", 0)
+        self.call_name: str | None = None
+
+    # -- provenance -----------------------------------------------------------
+
+    def _origin_event(self, kind: str, name: str, **extra) -> dict:
+        file, line = self.site
+        event = {"kind": kind, "name": name, "file": file, "line": line}
+        event.update(extra)
+        return event
+
+    def _prov_sample(self, nt: Nonterminal) -> str:
+        """A short non-empty example string of ``L(nt)`` (or "")."""
+        with PERF.timer("provenance.samples"):
+            for text in self.grammar.sample_strings(nt, limit=3, max_len=48):
+                if text:
+                    return text
+        return ""
+
+    def taint_through(
+        self,
+        result: StrVal,
+        operands: Iterable[Value],
+        name: str,
+        kind: str = "flow",
+    ) -> StrVal:
+        """Sound flow-through: ``result`` (a fresh Σ*) inherits every
+        operand label, and — new for provenance — a dataflow edge plus a
+        ``flow`` event so the chain from source to sink survives the
+        structural disconnect (the fresh Σ* has no production referencing
+        the operands)."""
+        tainted_inputs: list[Nonterminal] = []
+        for value in operands:
+            if isinstance(value, StrVal):
+                labels = self.labels_of(value)
+                if labels:
+                    for label in labels:
+                        self.grammar.add_label(result.nt, label)
+                    tainted_inputs.append(value.nt)
+        if tainted_inputs:
+            self.grammar.set_origin(
+                result.nt, self._origin_event(kind, name), inputs=tainted_inputs
+            )
+        return result
 
     def _scoped(self, value: StrVal, hint: str) -> tuple[Grammar, StrVal]:
         """The operand's subgrammar, widening oversized operands first."""
@@ -80,6 +130,9 @@ class GrammarBuilder:
         self.grammar.add(nt, (CharSet.any_char(), nt))
         if label:
             self.grammar.add_label(nt, label)
+            self.grammar.set_origin(
+                nt, self._origin_event("source", hint, label=label)
+            )
         return StrVal(nt)
 
     def charset_star(self, charset: CharSet, hint: str = "C*") -> StrVal:
@@ -159,9 +212,15 @@ class GrammarBuilder:
         The result grammar is imported into the builder's grammar under a
         fresh nonterminal; labels carry over per Theorem 3.1.
         """
-        scope, value = self._scoped(value, hint)
-        refined, start = intersect(scope, value.nt, dfa)
-        return self._absorb(refined, start, hint)
+        with TRACE.span("intersect", op=hint) as span:
+            scope, value = self._scoped(value, hint)
+            span.set("operand_productions", scope.num_productions())
+            refined, start = intersect(scope, value.nt, dfa)
+        result = self._absorb(refined, start, hint, operand=value.nt)
+        self.grammar.set_origin(
+            result.nt, self._origin_event("refine", hint), inputs=(value.nt,)
+        )
+        return result
 
     def refine_regex(self, value: StrVal, pattern: Pattern, positive: bool) -> StrVal:
         """Refine by a ``preg_match``-style predicate outcome.
@@ -176,16 +235,29 @@ class GrammarBuilder:
 
     def image(self, value: StrVal, fst: FST, hint: str = "fx") -> StrVal:
         """Transducer image; widens the operand first if it would blow up."""
-        scope, value = self._scoped(value, hint)
-        try:
-            imaged, start = fst_image(scope, value.nt, fst)
-        except FSTExplosion:
-            imaged, start = regular_image(
-                self.grammar.charset_closure(value.nt), fst
-            )
-            for label in self.labels_of(value):
-                imaged.add_label(start, label)
-        return self._absorb(imaged, start, hint)
+        with TRACE.span("image", op=hint) as span:
+            scope, value = self._scoped(value, hint)
+            span.set("operand_productions", scope.num_productions())
+            before_sample = self._prov_sample(value.nt)
+            try:
+                imaged, start = fst_image(scope, value.nt, fst)
+            except FSTExplosion:
+                span.set("explosion_fallback", True)
+                imaged, start = regular_image(
+                    self.grammar.charset_closure(value.nt), fst
+                )
+                for label in self.labels_of(value):
+                    imaged.add_label(start, label)
+        result = self._absorb(imaged, start, hint, operand=value.nt)
+        event = self._origin_event(
+            "sanitizer",
+            self.call_name or hint,
+            op=hint,
+            before=before_sample,
+            after=self._prov_sample(result.nt),
+        )
+        self.grammar.set_origin(result.nt, event, inputs=(value.nt,))
+        return result
 
     def widen(self, value: StrVal, hint: str = "▽") -> StrVal:
         """Regular over-approximation of the value (keeps taint).
@@ -204,13 +276,24 @@ class GrammarBuilder:
             scope = self.grammar.subgrammar(value.nt)
             if not is_strongly_regular(scope, value.nt):
                 approx, root = mohri_nederhof(scope, value.nt)
-                return self._absorb(approx, root, hint)
+                result = self._absorb(approx, root, hint, operand=value.nt)
+                self.grammar.set_origin(
+                    result.nt,
+                    self._origin_event("widen", hint, strategy="mohri-nederhof"),
+                    inputs=(value.nt,),
+                )
+                return result
             # already regular: fall through to the closure bound (the
             # caller widens because of *size*, which MN would not reduce)
         closure = self.grammar.charset_closure(value.nt)
         widened = self.charset_star(closure, hint)
         for label in self.labels_of(value):
             self.grammar.add_label(widened.nt, label)
+        self.grammar.set_origin(
+            widened.nt,
+            self._origin_event("widen", hint, strategy="closure"),
+            inputs=(value.nt,),
+        )
         return widened
 
     def substring_language(self, value: StrVal, hint: str = "sub") -> StrVal:
@@ -218,9 +301,22 @@ class GrammarBuilder:
         widened = self.widen(value, hint)
         return widened
 
-    def _absorb(self, other: Grammar, start: Nonterminal, hint: str) -> StrVal:
+    def _absorb(
+        self,
+        other: Grammar,
+        start: Nonterminal,
+        hint: str,
+        operand: Nonterminal | None = None,
+    ) -> StrVal:
         """Import another grammar's productions (they use fresh NT objects,
-        so a plain merge is safe) and alias its start."""
+        so a plain merge is safe) and alias its start.
+
+        ``operand`` is the nonterminal the absorbed grammar was computed
+        *from* (intersection/image/widening input).  Every labeled
+        nonterminal of the product construction — the state-split copies
+        of the operand's untrusted sources — gets a ``prov_inputs`` edge
+        back to it, so provenance traced from a split copy still reaches
+        the original source site."""
         for nt, rules in other.productions.items():
             for rhs in rules:
                 self.grammar.add(nt, rhs)
@@ -228,6 +324,8 @@ class GrammarBuilder:
         for nt, labels in other.labels.items():
             for label in labels:
                 self.grammar.add_label(nt, label)
+            if labels and operand is not None:
+                self.grammar.add_prov_inputs(nt, (operand,))
         alias = self.fresh(hint)
         self.grammar.add(alias, (start,))
         self.grammar.copy_labels(start, alias)

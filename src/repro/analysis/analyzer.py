@@ -30,6 +30,7 @@ from pathlib import Path
 
 from repro.perf import PERF
 from repro.php.includes import IncludeResolver
+from repro.trace import TRACE
 
 from .audit import AuditReport, AuditTrail, audit_page
 from .diskcache import DiskCache, project_state_hash
@@ -164,6 +165,11 @@ class PageResult:
     #: worker-side perf delta (parallel runs only; folded into the
     #: driver's recorder and cleared by :func:`run_pages`)
     perf: dict | None = None
+    #: this page's span tree (:meth:`repro.trace.Span.to_dict` form) when
+    #: ``--trace`` is on; recorded wherever the page actually ran and
+    #: reassembled by the driver in page order, so a parallel run's trace
+    #: has the same tree shape as a serial run's
+    trace: dict | None = None
 
     @property
     def verified(self) -> bool:
@@ -188,26 +194,35 @@ def _analyze_one_page(
         audit=trail,
         disk_cache=disk_cache,
     )
-    with PERF.timer("phase1.string_analysis"):
-        result = analysis.analyze_file(page)
+    with TRACE.span("phase1") as phase1_span:
+        with PERF.timer("phase1.string_analysis"):
+            result = analysis.analyze_file(page)
+        phase1_span.set("hotspots", len(result.hotspots))
+        phase1_span.set(
+            "grammar_nonterminals", len(result.grammar.productions)
+        )
+        phase1_span.set("grammar_productions", result.grammar.num_productions())
     string_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
     reports: list[HotspotReport] = []
     nonterminals = 0
     productions = 0
-    with PERF.timer("phase2.checks"):
-        for spot in result.hotspots:
-            scope = result.grammar.subgrammar(spot.query.nt)
-            nonterminals += len(scope.productions)
-            productions += scope.num_productions()
-            PERF.gauge("grammar.hotspot_productions.max", scope.num_productions())
-            reports.append(check_hotspot(result.grammar, spot))
+    with TRACE.span("phase2") as phase2_span:
+        with PERF.timer("phase2.checks"):
+            for spot in result.hotspots:
+                scope = result.grammar.subgrammar(spot.query.nt)
+                nonterminals += len(scope.productions)
+                productions += scope.num_productions()
+                PERF.gauge("grammar.hotspot_productions.max", scope.num_productions())
+                reports.append(check_hotspot(result.grammar, spot))
+        phase2_span.set("hotspots", len(reports))
     check_seconds = time.perf_counter() - started
 
     page_audit = None
     if audit:
-        page_audit = audit_page(result)
+        with TRACE.span("audit"):
+            page_audit = audit_page(result)
         # a hotspot's verdict is only as trustworthy as the weakest
         # construct on its page's include closure
         for report in reports:
@@ -234,7 +249,30 @@ def _page_result(
     disk_cache: DiskCache | None,
     project_state: str | None,
 ) -> PageResult:
-    """One page, consulting the on-disk page cache when available."""
+    """One page, consulting the on-disk page cache when available.
+
+    Always the page-span boundary: the span tree for this page is
+    recorded here (a fresh root span whether the result was analyzed or
+    served from disk) and shipped in ``PageResult.trace``."""
+    with TRACE.capture("page", page=str(page)) as page_span:
+        result = _page_result_inner(
+            project_root, page, audit, parse_cache, resolver, disk_cache,
+            project_state, page_span,
+        )
+    result.trace = page_span.to_dict() if TRACE.enabled else None
+    return result
+
+
+def _page_result_inner(
+    project_root: Path,
+    page: str | Path,
+    audit: bool,
+    parse_cache: dict,
+    resolver: IncludeResolver | None,
+    disk_cache: DiskCache | None,
+    project_state: str | None,
+    page_span,
+) -> PageResult:
     key = None
     if disk_cache is not None and project_state is not None:
         try:
@@ -250,6 +288,7 @@ def _page_result(
             PERF.incr("pages.from_disk_cache")
             cached.from_cache = True
             cached.perf = None
+            page_span.set("from_cache", True)
             return cached
     if resolver is None:
         resolver = IncludeResolver(project_root)
@@ -267,7 +306,11 @@ _WORKER_STATE: dict = {}
 
 
 def _init_page_worker(
-    root: str, audit: bool, cache_dir: str | None, project_state: str | None
+    root: str,
+    audit: bool,
+    cache_dir: str | None,
+    project_state: str | None,
+    trace_enabled: bool = False,
 ) -> None:
     _WORKER_STATE["root"] = Path(root)
     _WORKER_STATE["audit"] = audit
@@ -275,6 +318,9 @@ def _init_page_worker(
     _WORKER_STATE["resolver"] = IncludeResolver(root)
     _WORKER_STATE["disk_cache"] = DiskCache(cache_dir) if cache_dir else None
     _WORKER_STATE["project_state"] = project_state
+    # workers record their own page span trees; the driver reassembles
+    # them in page order so the run tree is scheduling-independent
+    TRACE.configure(trace_enabled)
 
 
 def _page_worker(page: str) -> PageResult:
@@ -342,6 +388,7 @@ def run_pages(
                 audit,
                 str(cache_dir) if cache_dir else None,
                 project_state,
+                TRACE.enabled,
             ),
         ) as pool:
             # batching amortizes per-task IPC; results still come back in

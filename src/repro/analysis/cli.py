@@ -9,6 +9,12 @@ enables the on-disk result cache — neither changes any output or exit
 code: results are merged in page order, so a parallel or cache-served
 run renders byte-for-byte what a serial cold run renders.
 
+Observability (see README "Observability"): ``--sarif FILE`` writes the
+findings with their taint-chain codeFlows as SARIF 2.1.0, ``--trace
+FILE`` records the per-page span tree as JSON lines, and ``--log-level``
+controls the stderr diagnostics routed through :mod:`logging` — stdout
+carries only the report (or the single ``--json`` document).
+
 Exit codes:
 
 * ``0`` — verified, and (when auditing) every page was fully modeled:
@@ -25,13 +31,26 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from pathlib import Path
 
+from repro import trace
 from repro.perf import PERF, render_table
+from repro.trace import TRACE
 
 from .analyzer import entry_pages, run_pages
 from .reports import SOUND, SOUND_MODULO_WIDENING, UNSOUND_CAVEATS
+from .sarif import write_sarif
+
+log = logging.getLogger(__name__)
+
+#: ``--log-level`` vocabulary.  ``quiet`` still lets genuine errors out.
+LOG_LEVELS = {
+    "quiet": logging.ERROR,
+    "info": logging.INFO,
+    "debug": logging.DEBUG,
+}
 
 EXIT_VERIFIED = 0
 EXIT_VIOLATIONS = 1
@@ -103,7 +122,40 @@ def main(argv: list[str] | None = None) -> int:
             "(with --json, also embed it under a \"perf\" key)"
         ),
     )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help=(
+            "write the violations as a SARIF 2.1.0 log to FILE, with each "
+            "finding's taint chain rendered as a codeFlow"
+        ),
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help=(
+            "record a span tree per page (parse, includes, phase 1, FST "
+            "images, intersections, phase 2 checks) and write it as JSON "
+            "lines to FILE; the tree shape is identical for serial, "
+            "parallel, and cache-served runs"
+        ),
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=sorted(LOG_LEVELS),
+        default="info",
+        help=(
+            "diagnostic verbosity on stderr (default: info); stdout carries "
+            "only the report / --json document either way"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    logging.basicConfig(
+        stream=sys.stderr,
+        level=LOG_LEVELS[args.log_level],
+        format="%(levelname)s %(name)s: %(message)s",
+    )
 
     root = Path(args.root)
     if not root.is_dir():
@@ -117,6 +169,7 @@ def main(argv: list[str] | None = None) -> int:
         pages = entry_pages(root)
 
     PERF.reset()
+    TRACE.configure(bool(args.trace))
     auditing = args.audit or args.json
     results = run_pages(
         root, pages, audit=auditing, jobs=args.jobs, cache_dir=args.cache_dir
@@ -169,7 +222,7 @@ def main(argv: list[str] | None = None) -> int:
             print(page_audit.render())
             print()
         for error in page_result.parse_errors:
-            print(f"warning: {error}", file=sys.stderr)
+            log.warning("%s", error)
 
     if args.json:
         confidences = {p["confidence"] for p in pages_json}
@@ -196,6 +249,17 @@ def main(argv: list[str] | None = None) -> int:
             )
         else:
             print("verified: no SQLCIV reports")
+
+    if args.sarif:
+        write_sarif(args.sarif, root, results)
+        log.info("SARIF log written to %s", args.sarif)
+    if args.trace:
+        trace.write_run(
+            args.trace,
+            [r.trace for r in results if r.trace is not None],
+            attrs={"root": str(root), "jobs": args.jobs},
+        )
+        log.info("trace written to %s", args.trace)
 
     if args.profile:
         print(render_table(PERF.snapshot()), file=sys.stderr)

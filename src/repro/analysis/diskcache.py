@@ -24,11 +24,14 @@ unreadable entry is treated as a miss, never an error.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 from pathlib import Path
 
 from repro.perf import ANALYZER_CACHE_VERSION, PERF
+
+log = logging.getLogger(__name__)
 
 #: extensions the include resolver scans — part of the project state
 RESOLVER_EXTENSIONS = (".php", ".inc", ".html", ".tpl")
@@ -87,8 +90,10 @@ class DiskCache:
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
             PERF.incr(f"disk.{kind}.misses")
+            log.debug("disk cache miss: %s/%s", kind, key[:16])
             return None
         PERF.incr(f"disk.{kind}.hits")
+        log.debug("disk cache hit: %s/%s", kind, key[:16])
         return value
 
     def store(self, kind: str, key: str, value) -> None:
@@ -99,8 +104,10 @@ class DiskCache:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
             PERF.incr(f"disk.{kind}.stores")
-        except (OSError, pickle.PicklingError):
+        except (OSError, pickle.PicklingError) as exc:
             PERF.incr(f"disk.{kind}.store_errors")
+            log.warning("disk cache store failed for %s/%s: %s",
+                        kind, key[:16], exc)
             try:
                 tmp.unlink(missing_ok=True)
             except OSError:

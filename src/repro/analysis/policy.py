@@ -40,8 +40,10 @@ from repro.lang.intersect import intersect, intersection_is_empty
 from repro.perf import PERF
 from repro.sql.bridge import TokenizationFailure, grammar_to_tokens
 from repro.sql.grammar import sql_grammar
+from repro.trace import TRACE
 
 from . import quotes
+from .provenance import trace_provenance
 from .reports import Finding, HotspotReport
 from .stringtaint import Hotspot
 
@@ -110,20 +112,53 @@ def check_hotspot(
         cache = VERDICT_CACHE
     report = HotspotReport(file=hotspot.file, line=hotspot.line, sink=hotspot.sink)
     root = hotspot.query.nt
-    scope = grammar.subgrammar(root).trim(root)
-    with PERF.timer("phase2.fingerprint"):
-        order = scope.canonical_order(root)
-        key = scope.fingerprint(root, order=order)
-    PERF.gauge("policy.scope_productions.max", scope.num_productions())
-    cached = cache.get(key)
-    if cached is not None:
-        PERF.incr("policy.verdict_cache.hits")
-        return _report_from_cached(cached, report, order)
-    PERF.incr("policy.verdict_cache.misses")
-    with PERF.timer("phase2.cascade"):
-        _run_cascade(scope, root, hotspot, report)
-    cache.put(key, _cached_from_report(report, order))
+    with TRACE.span(
+        "hotspot", file=hotspot.file, line=hotspot.line, sink=hotspot.sink
+    ) as span:
+        scope = grammar.subgrammar(root).trim(root)
+        with PERF.timer("phase2.fingerprint"):
+            order = scope.canonical_order(root)
+            key = scope.fingerprint(root, order=order)
+        PERF.gauge("policy.scope_productions.max", scope.num_productions())
+        span.set("scope_productions", scope.num_productions())
+        span.set("fingerprint", key[:16])
+        cached = cache.get(key)
+        if cached is not None:
+            PERF.incr("policy.verdict_cache.hits")
+            span.set("verdict_cache", "hit")
+            _report_from_cached(cached, report, order)
+        else:
+            PERF.incr("policy.verdict_cache.misses")
+            span.set("verdict_cache", "miss")
+            with PERF.timer("phase2.cascade"):
+                _run_cascade(scope, root, hotspot, report)
+            cache.put(key, _cached_from_report(report, order))
+        # provenance is attached *after* both paths, from the hitting
+        # page's grammar: cached verdicts re-bind to this page's source
+        # sites and sanitizer calls exactly like witnesses re-bind to
+        # its nonterminal names
+        _attach_provenance(grammar, report)
     return report
+
+
+def _attach_provenance(grammar: Grammar, report: HotspotReport) -> None:
+    """Derive each finding's taint chain from the page grammar.
+
+    Consumes ``report._finding_nts`` (set by :func:`_run_cascade` on the
+    miss path and by :func:`_report_from_cached` on the hit path) and
+    removes it afterwards, keeping reports free of live grammar objects
+    — they travel through pickles (disk cache, worker processes)."""
+    kept_nts = getattr(report, "_finding_nts", None)
+    if kept_nts is None:
+        return
+    with PERF.timer("phase2.provenance"):
+        for finding, labeled in zip(report.findings, kept_nts):
+            if labeled is None:
+                continue
+            finding.provenance = trace_provenance(
+                grammar, labeled, check=finding.check
+            )
+    del report._finding_nts
 
 
 def _run_cascade(
@@ -189,13 +224,16 @@ def _report_from_cached(
     cached: dict, report: HotspotReport, order: list[Nonterminal]
 ) -> HotspotReport:
     report.query_samples = list(cached["query_samples"])
+    bound_nts: list[Nonterminal | None] = []
     for entry in cached["findings"]:
         nt_index = entry["nt_index"]
-        name = (
-            order[nt_index].name
+        bound = (
+            order[nt_index]
             if nt_index is not None and nt_index < len(order)
-            else entry["nt_name"]
+            else None
         )
+        bound_nts.append(bound)
+        name = bound.name if bound is not None else entry["nt_name"]
         report.findings.append(
             Finding(
                 file=report.file,
@@ -210,6 +248,7 @@ def _report_from_cached(
                 detail=entry["detail"],
             )
         )
+    report._finding_nts = bound_nts  # consumed by _attach_provenance
     return report
 
 
@@ -457,10 +496,17 @@ def _example_query(
     """A full query string with the witness substring spliced into one of
     its contexts — the "here is the attack" line of the bug report."""
     context = _contexts_grammar(scope, root, labeled, others)
-    for sample in context.sample_strings(root, limit=6, max_len=300):
+    samples = context.sample_strings(root, limit=6, max_len=300)
+    for sample in samples:
         if quotes.MARKER in sample:
             return sample.replace(quotes.MARKER, witness).replace(NEUTRAL, "data")
-    return ""
+    # The sampling horizon can miss every marker-placing derivation (the
+    # context grammar is big or the marker sits behind long literals).
+    # Rather than an empty example, show a marker-free query with the
+    # witness appended — still a string the report reader can act on.
+    if samples:
+        return samples[0].replace(NEUTRAL, "data") + witness
+    return witness
 
 
 def _witness(scope: Grammar, labeled: Nonterminal, dfa) -> str:

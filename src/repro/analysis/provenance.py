@@ -1,0 +1,148 @@
+"""Finding provenance: the taint chain behind every verdict.
+
+Phase 1 already *computes* the path from an untrusted source to a
+hotspot — every source birth, transducer image, refinement, and
+widening is a grammar construction — but until now the chain was thrown
+away once the labels had propagated.  This module reconstructs it:
+
+* :mod:`repro.analysis.absdom` records an **origin event** (a plain
+  dict) on each nonterminal minted by a provenance-relevant operation,
+  plus explicit dataflow edges (``Grammar.prov_inputs``) where the
+  productions alone cannot show the operand (an absorbed image grammar
+  is structurally disconnected from its input);
+* :func:`trace_provenance` walks productions ∪ ``prov_inputs`` from a
+  finding's labeled nonterminal and assembles the events into a
+  :class:`Provenance` record — source sites first, then the operations
+  between source and sink in application order.
+
+The walk is **deterministic**: BFS over production insertion order
+(exactly the canonical order the verdict cache keys on), so the same
+page grammar always yields the same chain, byte for byte — that is what
+makes cold/warm and serial/parallel SARIF output identical.
+
+Crucially the provenance is *re-derived from the hitting page's
+grammar* whenever a verdict-memo entry is replayed (the memo stores
+findings abstractly, by canonical index), so a verdict computed on
+``pageA.php`` and replayed on ``pageB.php`` reports ``pageB``'s own
+files, lines, and sanitizer sites — the same re-binding the witness
+machinery already does for nonterminal names.
+
+Event vocabulary (``kind``): ``source`` (untrusted birth — superglobal
+or database fetch), ``sanitizer`` (FST image), ``refine`` (CFG∩FSA
+refinement from a conditional), ``widen`` (charset-closure or
+Mohri-Nederhof over-approximation), ``flow`` (taint carried through an
+unmodeled call).  Events carry ``file``/``line`` of the statement being
+interpreted when the operation ran, and sanitizer events carry small
+``before``/``after`` sample strings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.lang.grammar import Grammar, Nonterminal
+
+#: events contributing to ``Provenance.sources``
+SOURCE_KINDS = ("source",)
+#: hard cap on the steps kept per finding (chains through widened
+#: loops can reach every operation on the page; the head of the chain —
+#: closest to the source — is the actionable part)
+MAX_STEPS = 16
+#: hard cap on nonterminals visited (provenance must stay cheap even on
+#: pathological grammars; the cap is far above any corpus page)
+MAX_VISITED = 50_000
+
+
+@dataclass
+class Provenance:
+    """The taint chain for one finding, in picklable/JSON-able form."""
+
+    #: labeled nonterminal the finding is about (page-local name)
+    nonterminal: str = ""
+    #: the C1–C5 check that fired
+    check: str = ""
+    #: untrusted births reaching the nonterminal: each
+    #: ``{"kind": "source", "name": "_GET", "label": "direct",
+    #:   "file": ..., "line": ...}``
+    sources: list[dict] = field(default_factory=list)
+    #: operations between the sources and the hotspot, source-side
+    #: first: ``{"kind": "sanitizer", "name": "addslashes", ...}``
+    steps: list[dict] = field(default_factory=list)
+    #: True when ``steps`` was cut at :data:`MAX_STEPS`
+    truncated: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "nonterminal": self.nonterminal,
+            "check": self.check,
+            "sources": [dict(event) for event in self.sources],
+            "steps": [dict(event) for event in self.steps],
+            "truncated": self.truncated,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Provenance":
+        return cls(
+            nonterminal=data.get("nonterminal", ""),
+            check=data.get("check", ""),
+            sources=[dict(e) for e in data.get("sources", ())],
+            steps=[dict(e) for e in data.get("steps", ())],
+            truncated=bool(data.get("truncated", False)),
+        )
+
+
+def trace_provenance(
+    grammar: Grammar, labeled: Nonterminal, check: str = ""
+) -> Provenance:
+    """The provenance chain reaching ``labeled`` in ``grammar``.
+
+    BFS from the labeled nonterminal over production references and
+    ``prov_inputs`` edges, in production insertion order — the same
+    deterministic order as :meth:`Grammar.canonical_order`.  The BFS
+    runs sink→source, so collected operation events are reversed to
+    read source→sink; duplicate events (one sanitizer call produces
+    many image triples) keep their first occurrence.
+    """
+    provenance = Provenance(nonterminal=labeled.name, check=check)
+    seen = {labeled}
+    queue = deque([labeled])
+    sources: list[dict] = []
+    ops: list[dict] = []
+    seen_source_keys: set[tuple] = set()
+    seen_op_keys: set[tuple] = set()
+    visited = 0
+    while queue and visited < MAX_VISITED:
+        visited += 1
+        nt = queue.popleft()
+        event = grammar.origins.get(nt)
+        if event is not None:
+            key = (
+                event.get("kind"), event.get("name"), event.get("label"),
+                event.get("file"), event.get("line"),
+            )
+            if event.get("kind") in SOURCE_KINDS:
+                if key not in seen_source_keys:
+                    seen_source_keys.add(key)
+                    sources.append(event)
+            elif key not in seen_op_keys:
+                seen_op_keys.add(key)
+                ops.append(event)
+        successors: list[Nonterminal] = []
+        for rhs in grammar.productions.get(nt, ()):
+            for ref in grammar.rhs_nonterminals(rhs):
+                successors.append(ref)
+        successors.extend(grammar.prov_inputs.get(nt, ()))
+        for ref in successors:
+            if ref not in seen:
+                seen.add(ref)
+                queue.append(ref)
+    # BFS walked sink-side outward; present operations source-side first
+    ops.reverse()
+    provenance.sources = sources
+    if len(ops) > MAX_STEPS:
+        provenance.steps = ops[:MAX_STEPS]
+        provenance.truncated = True
+    else:
+        provenance.steps = ops
+    return provenance

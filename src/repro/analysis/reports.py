@@ -35,6 +35,11 @@ class Finding:
     witness: str = ""  # an offending untrusted substring, when unsafe
     example_query: str = ""  # a full query embedding the witness
     detail: str = ""
+    #: the taint chain behind this verdict
+    #: (:class:`repro.analysis.provenance.Provenance`, or None) —
+    #: always re-derived from the *hitting* page's grammar, so names and
+    #: sites are page-local even when the verdict came from the memo
+    provenance: object | None = None
 
     @property
     def category(self) -> str:
@@ -58,6 +63,18 @@ class Finding:
             lines.append(f"  example query: {self.example_query!r}")
         if self.detail:
             lines.append(f"  {self.detail}")
+        if self.provenance is not None and not self.safe:
+            for event in self.provenance.sources:
+                label = event.get("label", "")
+                lines.append(
+                    f"  source: {event.get('name', '?')} [{label}] at "
+                    f"{event.get('file', '?')}:{event.get('line', '?')}"
+                )
+            for event in self.provenance.steps:
+                lines.append(
+                    f"  via {event.get('kind', '?')} {event.get('name', '?')} "
+                    f"at {event.get('file', '?')}:{event.get('line', '?')}"
+                )
         return "\n".join(lines)
 
     def as_dict(self) -> dict:
@@ -73,6 +90,9 @@ class Finding:
             "witness": self.witness,
             "example_query": self.example_query,
             "detail": self.detail,
+            "provenance": (
+                self.provenance.as_dict() if self.provenance is not None else None
+            ),
         }
 
 

@@ -1,0 +1,191 @@
+"""A vendored validation schema for the SARIF 2.1.0 output we emit.
+
+The build environment is offline, so the official OASIS schema
+(``sarif-schema-2.1.0.json``, ~400 KB) cannot be fetched at test time
+and vendoring it wholesale would bloat the repository.  This module is a
+**faithful subset** of that schema, transcribed by hand from the SARIF
+2.1.0 specification (§3, "sarifLog" through "threadFlowLocation"):
+every construct :mod:`repro.analysis.sarif` emits is pinned down with
+the spec's exact required properties, types, and enums, and unknown
+properties stay open exactly where the full schema leaves them open —
+so a document that validates against the official schema validates here,
+and the structural mistakes a SARIF consumer would trip over (missing
+``message.text``, a ``level`` outside the enum, a ``threadFlow`` without
+locations, a bad ``startLine``) are rejected.
+
+Kept as a Python dict (not a ``.json`` data file) so it travels with the
+package under any install layout without package-data configuration.
+"""
+
+from __future__ import annotations
+
+_MESSAGE = {
+    "type": "object",
+    "properties": {
+        "text": {"type": "string"},
+        "markdown": {"type": "string"},
+    },
+    "anyOf": [{"required": ["text"]}, {"required": ["id"]}],
+}
+
+_ARTIFACT_LOCATION = {
+    "type": "object",
+    "properties": {
+        "uri": {"type": "string"},
+        "uriBaseId": {"type": "string"},
+        "index": {"type": "integer", "minimum": -1},
+    },
+}
+
+_REGION = {
+    "type": "object",
+    "properties": {
+        "startLine": {"type": "integer", "minimum": 1},
+        "startColumn": {"type": "integer", "minimum": 1},
+        "endLine": {"type": "integer", "minimum": 1},
+        "endColumn": {"type": "integer", "minimum": 1},
+    },
+}
+
+_PHYSICAL_LOCATION = {
+    "type": "object",
+    "properties": {
+        "artifactLocation": _ARTIFACT_LOCATION,
+        "region": _REGION,
+    },
+    "anyOf": [{"required": ["artifactLocation"]}, {"required": ["address"]}],
+}
+
+_LOCATION = {
+    "type": "object",
+    "properties": {
+        "physicalLocation": _PHYSICAL_LOCATION,
+        "message": _MESSAGE,
+    },
+}
+
+_THREAD_FLOW_LOCATION = {
+    "type": "object",
+    "properties": {
+        "location": _LOCATION,
+        "nestingLevel": {"type": "integer", "minimum": 0},
+        "executionOrder": {"type": "integer", "minimum": -1},
+    },
+}
+
+_THREAD_FLOW = {
+    "type": "object",
+    "required": ["locations"],
+    "properties": {
+        "message": _MESSAGE,
+        "locations": {
+            "type": "array",
+            "minItems": 1,
+            "items": _THREAD_FLOW_LOCATION,
+        },
+    },
+}
+
+_CODE_FLOW = {
+    "type": "object",
+    "required": ["threadFlows"],
+    "properties": {
+        "message": _MESSAGE,
+        "threadFlows": {
+            "type": "array",
+            "minItems": 1,
+            "items": _THREAD_FLOW,
+        },
+    },
+}
+
+_REPORTING_DESCRIPTOR = {
+    "type": "object",
+    "required": ["id"],
+    "properties": {
+        "id": {"type": "string"},
+        "name": {"type": "string"},
+        "shortDescription": _MESSAGE,
+        "fullDescription": _MESSAGE,
+        "helpUri": {"type": "string", "format": "uri"},
+        "defaultConfiguration": {
+            "type": "object",
+            "properties": {
+                "level": {
+                    "enum": ["none", "note", "warning", "error"],
+                },
+                "enabled": {"type": "boolean"},
+            },
+        },
+    },
+}
+
+_RESULT = {
+    "type": "object",
+    "required": ["message"],
+    "properties": {
+        "ruleId": {"type": "string"},
+        "ruleIndex": {"type": "integer", "minimum": -1},
+        "kind": {
+            "enum": [
+                "notApplicable", "pass", "fail", "review", "open",
+                "informational",
+            ],
+        },
+        "level": {"enum": ["none", "note", "warning", "error"]},
+        "message": _MESSAGE,
+        "locations": {"type": "array", "items": _LOCATION},
+        "codeFlows": {"type": "array", "items": _CODE_FLOW},
+        "partialFingerprints": {
+            "type": "object",
+            "additionalProperties": {"type": "string"},
+        },
+        "properties": {"type": "object"},
+    },
+}
+
+_TOOL_COMPONENT = {
+    "type": "object",
+    "required": ["name"],
+    "properties": {
+        "name": {"type": "string"},
+        "version": {"type": "string"},
+        "semanticVersion": {"type": "string"},
+        "informationUri": {"type": "string", "format": "uri"},
+        "rules": {"type": "array", "items": _REPORTING_DESCRIPTOR},
+    },
+}
+
+_RUN = {
+    "type": "object",
+    "required": ["tool"],
+    "properties": {
+        "tool": {
+            "type": "object",
+            "required": ["driver"],
+            "properties": {"driver": _TOOL_COMPONENT},
+        },
+        "results": {"type": "array", "items": _RESULT},
+        "originalUriBaseIds": {
+            "type": "object",
+            "additionalProperties": _ARTIFACT_LOCATION,
+        },
+        "columnKind": {"enum": ["utf16CodeUnits", "unicodeCodePoints"]},
+        "properties": {"type": "object"},
+    },
+}
+
+#: The validation schema for a SARIF 2.1.0 log file (subset — see module
+#: docstring).  Draft-07 vocabulary, which the bundled ``jsonschema``
+#: understands out of the box.
+SARIF_2_1_0_SCHEMA: dict = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "SARIF 2.1.0 (vendored subset)",
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "$schema": {"type": "string", "format": "uri"},
+        "version": {"enum": ["2.1.0"]},
+        "runs": {"type": "array", "items": _RUN},
+    },
+}

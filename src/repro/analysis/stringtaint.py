@@ -16,6 +16,7 @@ query's nonterminal.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -25,6 +26,7 @@ from repro.lang.grammar import DIRECT, Grammar, INDIRECT, Nonterminal
 from repro.lang.regex import Pattern, search_language
 from repro.perf import PERF
 from repro.php import ast, builtins
+from repro.trace import TRACE
 from repro.php.includes import IncludeResolver
 from repro.php.parser import PhpParseError, parse
 
@@ -33,6 +35,8 @@ from .absdom import GrammarBuilder
 from .values import ArrVal, ObjVal, StrVal, Value
 
 MAX_CALL_DEPTH = 8
+
+log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -159,12 +163,14 @@ class StringTaintAnalysis:
         )
 
     def _parse(self, path: Path) -> ast.File | None:
-        if path in self._parse_cache:
-            PERF.incr("parse.memory_hits")
-            tree, error = self._parse_cache[path]
-        else:
-            tree, error = self._parse_uncached(path)
-            self._parse_cache[path] = (tree, error)
+        with TRACE.span("parse", file=str(path)) as span:
+            if path in self._parse_cache:
+                PERF.incr("parse.memory_hits")
+                span.set("cache", "memory")
+                tree, error = self._parse_cache[path]
+            else:
+                tree, error = self._parse_uncached(path)
+                self._parse_cache[path] = (tree, error)
         # per-page bookkeeping happens on cache hits too: this page's
         # include closure (and its parse failures) must be complete for
         # the soundness audit, regardless of which page parsed first
@@ -188,7 +194,9 @@ class StringTaintAnalysis:
             ast_key = self.disk_cache.ast_key(data, str(path))
             entry = self.disk_cache.load("ast", ast_key)
             if entry is not None:
+                TRACE.annotate("cache", "disk")
                 return entry
+        TRACE.annotate("cache", "miss")
         try:
             with PERF.timer("parse"):
                 source = data.decode("utf-8")
@@ -227,8 +235,12 @@ class StringTaintAnalysis:
             self._exec(stmt, env)
 
     def _exec(self, stmt: ast.Stmt, env: Env) -> None:
-        if self.audit is not None and stmt.line:
-            self.audit.location = (self.current_file, stmt.line)
+        if stmt.line:
+            # provenance context: origin events minted while this
+            # statement is interpreted carry its site
+            self.builder.site = (self.current_file, stmt.line)
+            if self.audit is not None:
+                self.audit.location = (self.current_file, stmt.line)
         method = getattr(self, f"_exec_{type(stmt).__name__}", None)
         if method is not None:
             method(stmt, env)
@@ -316,9 +328,7 @@ class StringTaintAnalysis:
             )
         else:
             element = self.builder.any_string(hint="elem")
-            if isinstance(subject, StrVal):
-                for label in self.builder.labels_of(subject):
-                    self.builder.grammar.add_label(element.nt, label)
+            self.builder.taint_through(element, [subject], "foreach")
             key_value = self.builder.any_string(hint="key")
         if stmt.key_var is not None:
             self._assign_to(stmt.key_var, key_value, env)
@@ -431,36 +441,44 @@ class StringTaintAnalysis:
             env.set(name, value)
 
     def _exec_Include(self, stmt: ast.Include, env: Env) -> None:
-        path_value = self.builder.to_str(self.eval(stmt.path, env))
-        current_dir = Path(self.current_file).parent if self.current_file else self.project_root
-        files = self.resolver.resolve(
-            self.builder.grammar,
-            path_value.nt,
-            current_dir,
-            audit=self.audit,
-            site=(self.current_file, stmt.line),
-            literal=isinstance(stmt.path, ast.Literal),
-        )
-        pending = []
-        for file in files:
-            if stmt.once and file in self._included_once:
-                continue
-            self._included_once.add(file)
-            tree = self._parse(file)
-            if tree is not None and tree.path not in self._include_stack:
-                pending.append(tree)
-        if not pending:
-            return
-        if len(pending) == 1:
-            self._interpret_file(pending[0], env)
-            return
-        # several candidate files: each is an *alternative* execution
-        branch_envs = []
-        for tree in pending:
-            branch = env.copy()
-            self._interpret_file(tree, branch)
-            branch_envs.append(branch)
-        env.variables = self._merge_envs(branch_envs).variables
+        with TRACE.span(
+            "include", file=self.current_file, line=stmt.line
+        ) as span:
+            path_value = self.builder.to_str(self.eval(stmt.path, env))
+            current_dir = Path(self.current_file).parent if self.current_file else self.project_root
+            files = self.resolver.resolve(
+                self.builder.grammar,
+                path_value.nt,
+                current_dir,
+                audit=self.audit,
+                site=(self.current_file, stmt.line),
+                literal=isinstance(stmt.path, ast.Literal),
+            )
+            span.set("resolved", len(files))
+            log.debug(
+                "include at %s:%s resolved to %d file(s)",
+                self.current_file, stmt.line, len(files),
+            )
+            pending = []
+            for file in files:
+                if stmt.once and file in self._included_once:
+                    continue
+                self._included_once.add(file)
+                tree = self._parse(file)
+                if tree is not None and tree.path not in self._include_stack:
+                    pending.append(tree)
+            if not pending:
+                return
+            if len(pending) == 1:
+                self._interpret_file(pending[0], env)
+                return
+            # several candidate files: each is an *alternative* execution
+            branch_envs = []
+            for tree in pending:
+                branch = env.copy()
+                self._interpret_file(tree, branch)
+                branch_envs.append(branch)
+            env.variables = self._merge_envs(branch_envs).variables
 
     def _exec_FunctionDef(self, stmt: ast.FunctionDef, env: Env) -> None:
         self.functions.setdefault(stmt.name.lower(), stmt)
@@ -676,9 +694,7 @@ class StringTaintAnalysis:
             char_value = self.builder.charset_star(
                 self.builder.grammar.charset_closure(base.nt), "char"
             )
-            for lab in self.builder.labels_of(base):
-                self.builder.grammar.add_label(char_value.nt, lab)
-            return char_value
+            return self.builder.taint_through(char_value, [base], "str-index")
         return self.builder.literal("")
 
     def _static_key(self, index: ast.Expr | None, env: Env) -> str | None:
@@ -841,11 +857,7 @@ class StringTaintAnalysis:
         self.eval(expr.target, env)
         arg_values = [self.eval(arg, env) for arg in expr.args]
         result = self.builder.any_string(hint="dyncall")
-        for value in arg_values:
-            if isinstance(value, StrVal):
-                for label in self.builder.labels_of(value):
-                    self.builder.grammar.add_label(result.nt, label)
-        return result
+        return self.builder.taint_through(result, arg_values, "dyncall")
 
     def _eval_ConstFetch(self, expr: ast.ConstFetch, env: Env) -> Value:
         if expr.name in self.constants:
@@ -933,14 +945,17 @@ class StringTaintAnalysis:
             return self._call_function(user, expr.args, env, arg_values=arg_values)
 
         # builtin models; the audit call-context pins widenings that
-        # happen inside a handler to this call site
+        # happen inside a handler to this call site, and the builder's
+        # call_name names the sanitizer in provenance events
         if self.audit is not None:
             self.audit.call_context = (name, self.current_file, expr.line)
+        self.builder.call_name = name
         try:
             modeled = builtins.model_call(
                 name, self.builder, arg_values, expr.args, audit=self.audit
             )
         finally:
+            self.builder.call_name = None
             if self.audit is not None:
                 self.audit.call_context = None
         if modeled is not None:
@@ -952,11 +967,7 @@ class StringTaintAnalysis:
             # machinery (not this fallthrough) is their model
             self.audit.record_unknown_call(name, self.current_file, expr.line)
         result = self.builder.any_string(hint=f"call.{name}")
-        for value in arg_values:
-            if isinstance(value, StrVal):
-                for label in self.builder.labels_of(value):
-                    self.builder.grammar.add_label(result.nt, label)
-        return result
+        return self.builder.taint_through(result, arg_values, f"call.{name}")
 
     def _eval_MethodCall(self, expr: ast.MethodCall, env: Env) -> Value:
         obj = self.eval(expr.obj, env)
@@ -975,11 +986,9 @@ class StringTaintAnalysis:
                         method, expr.args, env, arg_values=arg_values, this=obj
                     )
         result = self.builder.any_string(hint=f"method.{expr.name}")
-        for value in arg_values:
-            if isinstance(value, StrVal):
-                for label in self.builder.labels_of(value):
-                    self.builder.grammar.add_label(result.nt, label)
-        return result
+        return self.builder.taint_through(
+            result, arg_values, f"method.{expr.name}"
+        )
 
     def _eval_StaticCall(self, expr: ast.StaticCall, env: Env) -> Value:
         arg_values = [self.eval(arg, env) for arg in expr.args]
@@ -1017,11 +1026,9 @@ class StringTaintAnalysis:
                 self.audit.record_recursion(definition.name, file, line)
             result = self.builder.any_string(hint=f"rec.{definition.name}")
             values = arg_values or [self.eval(a, caller_env) for a in arg_nodes]
-            for value in values:
-                if isinstance(value, StrVal):
-                    for label in self.builder.labels_of(value):
-                        self.builder.grammar.add_label(result.nt, label)
-            return result
+            return self.builder.taint_through(
+                result, values, f"rec.{definition.name}"
+            )
         if arg_values is None:
             arg_values = [self.eval(arg, caller_env) for arg in arg_nodes]
         local = Env()
@@ -1059,6 +1066,9 @@ class StringTaintAnalysis:
         if sink_index >= len(arg_values):
             return
         query = self.builder.to_str(arg_values[sink_index])
+        log.debug(
+            "hotspot %s at %s:%s", sink_name, self.current_file, call.line
+        )
         self.hotspots.append(
             Hotspot(
                 file=self.current_file,

@@ -79,6 +79,21 @@ class Grammar:
         self.start = start
         self.productions: dict[Nonterminal, list[Rhs]] = {}
         self.labels: dict[Nonterminal, set[str]] = {}
+        #: provenance side-tables (:mod:`repro.analysis.provenance`).
+        #: ``origins`` maps a nonterminal to the *event* that minted it —
+        #: an untrusted-source birth, a sanitizer/FST image, a
+        #: refinement, a widening — as a plain picklable dict.
+        #: ``prov_inputs`` records dataflow edges the productions alone
+        #: cannot show: an operation like a transducer image absorbs a
+        #: structurally fresh grammar, so its result nonterminal has no
+        #: production path back to the operand; the edge lives here.
+        #: Both are deliberately excluded from :meth:`canonical_form`
+        #: (and hence :meth:`fingerprint`): provenance describes *where
+        #: in the program* a grammar came from, which must not perturb
+        #: content-addressed caching, and is re-derived per page when a
+        #: cached verdict is replayed.
+        self.origins: dict[Nonterminal, dict] = {}
+        self.prov_inputs: dict[Nonterminal, tuple[Nonterminal, ...]] = {}
 
     # -- construction -----------------------------------------------------
 
@@ -97,6 +112,27 @@ class Grammar:
     def add_label(self, nt: Nonterminal, label: str) -> None:
         self.labels.setdefault(nt, set()).add(label)
         self.productions.setdefault(nt, [])
+
+    def set_origin(
+        self,
+        nt: Nonterminal,
+        event: dict,
+        inputs: Sequence[Nonterminal] = (),
+    ) -> None:
+        """Record the provenance event that produced ``nt`` (first writer
+        wins: a nonterminal is minted by exactly one operation) and the
+        operand nonterminals it consumed."""
+        self.origins.setdefault(nt, event)
+        if inputs:
+            self.add_prov_inputs(nt, inputs)
+
+    def add_prov_inputs(
+        self, nt: Nonterminal, inputs: Sequence[Nonterminal]
+    ) -> None:
+        current = self.prov_inputs.get(nt, ())
+        fresh = tuple(i for i in inputs if i not in current)
+        if fresh:
+            self.prov_inputs[nt] = current + fresh
 
     def copy_labels(self, src: Nonterminal, dst: Nonterminal) -> None:
         """The paper's TAINTIF: dst inherits every label of src."""
@@ -212,6 +248,8 @@ class Grammar:
         result = Grammar(self.start)
         result.productions = {nt: list(rules) for nt, rules in self.productions.items()}
         result.labels = {nt: set(labels) for nt, labels in self.labels.items()}
+        result.origins = dict(self.origins)
+        result.prov_inputs = dict(self.prov_inputs)
         return result
 
     # -- content addressing -------------------------------------------------

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import OrderedDict, defaultdict
 
 from repro.perf import PERF
+from repro.trace import TRACE
 
 from .charset import CharSet
 from .fst import FST, FSTExplosion, Output, map_marker_charset, render_output
@@ -136,8 +137,10 @@ def fst_image(
     cached = IMAGE_CACHE.get(fst, fingerprint)
     if cached is not None:
         PERF.incr("image.cache.hits")
+        TRACE.annotate("cache", "hit")
         return cached
     PERF.incr("image.cache.misses")
+    TRACE.annotate("cache", "miss")
     with PERF.timer("image.construct"):
         result, start = _fst_image_uncached(grammar, root, fst)
     IMAGE_CACHE.put(fst, fingerprint, result, start)

@@ -306,3 +306,48 @@ class TestFigure2EndToEnd:
             "'1'; DROP TABLE unp_user; --'"
         )
         assert result.grammar.generates(result.hotspots[0].query.nt, attack)
+
+
+class TestExampleQueryFallback:
+    def test_fallback_when_marker_unreachable(self):
+        """Regression: when no sampled context string contains the quote
+        marker, _example_query must still return an actionable string —
+        a marker-free sample with the witness appended — never "" (and
+        never the old None-ish empty report line)."""
+        from repro.analysis.policy import _example_query
+        from repro.lang.grammar import DIRECT, Grammar, Lit
+
+        grammar = Grammar()
+        root = grammar.fresh("query")
+        labeled = grammar.fresh("evil")
+        # the labeled nonterminal never occurs in any rhs, so the context
+        # grammar places no marker anywhere
+        grammar.add(root, (Lit("SELECT 1"),))
+        grammar.add(labeled, (Lit("'"),))
+        grammar.add_label(labeled, DIRECT)
+        example = _example_query(grammar, root, labeled, [labeled], "'")
+        assert example == "SELECT 1'"
+
+    def test_fallback_without_any_sample_returns_witness(self):
+        from repro.analysis.policy import _example_query
+        from repro.lang.grammar import DIRECT, Grammar
+
+        grammar = Grammar()
+        root = grammar.fresh("query")   # no productions: nothing to sample
+        labeled = grammar.fresh("evil")
+        grammar.add_label(labeled, DIRECT)
+        example = _example_query(grammar, root, labeled, [labeled], "'")
+        assert example == "'"
+
+    def test_marker_path_still_preferred(self, check):
+        """When the marker is reachable the spliced query is unchanged by
+        the fallback (the existing corpus behaviour)."""
+        (report,) = check(
+            """\
+            <?php
+            $id = $_GET['id'];
+            mysql_query("SELECT * FROM t WHERE id='$id'");
+            """
+        )
+        example = report.violations[0].example_query
+        assert example.startswith("SELECT * FROM t WHERE id='")

@@ -1,0 +1,157 @@
+"""Tests for the SARIF 2.1.0 exporter and its determinism guarantees."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.analyzer import entry_pages, run_pages
+from repro.analysis.sarif import (
+    RULES,
+    results_to_sarif,
+    render_sarif,
+    validate_sarif,
+)
+from repro.corpus import build_app
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def app_root(tmp_path_factory):
+    root = tmp_path_factory.mktemp("sarif-app")
+    build_app(root, "eve_activity_tracker")
+    return root / "eve_activity_tracker"
+
+
+@pytest.fixture(scope="module")
+def app_sarif(app_root):
+    results = run_pages(app_root, entry_pages(app_root), jobs=1)
+    return results_to_sarif(app_root, results)
+
+
+def run_cli(*argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis.cli", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+class TestDocumentShape:
+    def test_validates_against_schema(self, app_sarif):
+        pytest.importorskip("jsonschema")
+        assert validate_sarif(app_sarif) == []
+
+    def test_version_and_driver(self, app_sarif):
+        assert app_sarif["version"] == "2.1.0"
+        driver = app_sarif["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "sqlciv"
+        assert [r["id"] for r in driver["rules"]] == [r["id"] for r in RULES]
+
+    def test_results_only_for_violations(self, app_sarif):
+        results = app_sarif["runs"][0]["results"]
+        # eve_activity_tracker seeds 4 direct + 1 indirect violation
+        assert len(results) == 5
+        levels = [r["level"] for r in results]
+        assert levels.count("error") == 4
+        assert levels.count("warning") == 1
+
+    def test_every_result_has_code_flow_from_source(self, app_sarif):
+        for result in app_sarif["runs"][0]["results"]:
+            (flow,) = result["codeFlows"]
+            (thread,) = flow["threadFlows"]
+            locations = thread["locations"]
+            assert len(locations) >= 2  # at least source + sink
+            first = locations[0]["location"]["message"]["text"]
+            assert first.startswith("untrusted source ")
+
+    def test_uris_are_root_relative(self, app_sarif):
+        run = app_sarif["runs"][0]
+        base = run["originalUriBaseIds"]["SRCROOT"]["uri"]
+        assert base.startswith("file://") and base.endswith("/")
+        for result in run["results"]:
+            artifact = result["locations"][0]["physicalLocation"][
+                "artifactLocation"
+            ]
+            assert artifact["uriBaseId"] == "SRCROOT"
+            assert not artifact["uri"].startswith("/")
+
+    def test_rule_ids_resolve_into_catalog(self, app_sarif):
+        driver_rules = app_sarif["runs"][0]["tool"]["driver"]["rules"]
+        for result in app_sarif["runs"][0]["results"]:
+            assert driver_rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_schema_rejects_malformed(self):
+        pytest.importorskip("jsonschema")
+        assert validate_sarif({"version": "2.1.0"})  # missing runs
+        assert validate_sarif(
+            {"version": "2.1.0",
+             "runs": [{"tool": {"driver": {"name": "x"}},
+                       "results": [{"message": {"text": "m"},
+                                    "level": "fatal"}]}]}
+        )  # bad level enum
+
+
+class TestDeterminism:
+    def test_serial_parallel_byte_identical(self, app_root, tmp_path):
+        serial = tmp_path / "serial.sarif"
+        parallel = tmp_path / "parallel.sarif"
+        run_cli(str(app_root), "--jobs", "1", "--sarif", str(serial))
+        run_cli(str(app_root), "--jobs", "4", "--sarif", str(parallel))
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_cold_warm_cache_byte_identical(self, app_root, tmp_path):
+        """Disk-cache-served findings re-derive provenance bound to the
+        hitting page, so warm SARIF is byte-for-byte the cold SARIF."""
+        cache = tmp_path / "cache"
+        cold = tmp_path / "cold.sarif"
+        warm = tmp_path / "warm.sarif"
+        run_cli(str(app_root), "--jobs", "1", "--cache-dir", str(cache),
+                "--sarif", str(cold))
+        warm_run = run_cli(str(app_root), "--jobs", "1", "--profile",
+                           "--cache-dir", str(cache), "--sarif", str(warm))
+        assert cold.read_bytes() == warm.read_bytes()
+        assert "pages.from_disk_cache" in warm_run.stderr
+
+    def test_render_is_pure(self, app_root):
+        results = run_pages(app_root, entry_pages(app_root), jobs=1)
+        assert render_sarif(app_root, results) == render_sarif(
+            app_root, results
+        )
+
+
+class TestCliIntegration:
+    def test_sarif_flag_writes_valid_json(self, tmp_path):
+        (tmp_path / "page.php").write_text(
+            textwrap.dedent(
+                """\
+                <?php
+                $id = $_GET['id'];
+                mysql_query("SELECT * FROM t WHERE id='$id'");
+                """
+            )
+        )
+        out = tmp_path / "out.sarif"
+        proc = run_cli(str(tmp_path), "--sarif", str(out))
+        assert proc.returncode == 1
+        doc = json.loads(out.read_text())
+        (result,) = doc["runs"][0]["results"]
+        assert result["ruleId"] == "odd-quotes"
+        assert result["level"] == "error"
+
+    def test_stdout_stays_clean_with_log_level(self, tmp_path):
+        """--json stdout must remain a single JSON document even with
+        diagnostics enabled; chatter goes to stderr via logging."""
+        (tmp_path / "page.php").write_text("<?php include $x; ?>")
+        proc = run_cli(str(tmp_path), "--json", "--log-level", "debug")
+        json.loads(proc.stdout)  # parses as one document
+        quiet = run_cli(str(tmp_path), "--json", "--log-level", "quiet")
+        assert quiet.stdout == proc.stdout

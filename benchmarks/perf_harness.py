@@ -1,19 +1,29 @@
-"""Wall-clock benchmark of the parallel driver and the on-disk cache.
+"""Wall-clock benchmark of the parallel driver, the on-disk cache, and
+the analysis daemon.
 
 Runs every corpus application through the ``sqlciv`` CLI in four
-configurations —
+batch configurations —
 
 * ``serial``         — ``--jobs 1``, no cache (the baseline path),
 * ``parallel``       — ``--jobs N`` (default: one per core),
 * ``cache_cold``     — ``--jobs 1 --cache-dir`` on an empty cache,
 * ``cache_warm``     — the same command again on the now-populated cache
 
-— asserting after each app that all four emit the **same verdicts**
-(the ``--json`` documents, minus the ``perf`` block, must match), and
-writes the timing table to ``BENCH_table1.json`` at the repository
-root.  Each configuration is a fresh subprocess, so in-process memos
-(verdict cache, image cache, parse cache) are genuinely cold every
-time; only the ``--cache-dir`` state carries over to the warm run.
+— plus a ``sqlciv serve`` daemon scenario measuring the per-request
+wall of three requests against one resident process:
+
+* ``daemon_cold``    — first ``analyze`` (every page analyzed),
+* ``daemon_warm``    — second ``analyze`` (every page replayed from memo),
+* ``daemon_edit``    — ``analyze`` after touching **one** file and
+  sending ``invalidate`` (only that file's dependents re-analyzed)
+
+— asserting after each app that all configurations emit the **same
+verdicts** (the ``--json`` documents, minus the ``perf`` block, must
+match), and writes the timing table to ``BENCH_table1.json`` at the
+repository root.  Each batch configuration is a fresh subprocess, so
+in-process memos (verdict cache, image cache, parse cache) are
+genuinely cold every time; only the ``--cache-dir`` state carries over
+to the warm run, and only the daemon scenario keeps memos resident.
 
 The warm run's perf counters quantify how much phase-2 work the disk
 cache avoids: ``policy.checks_avoided`` counts hotspot cascades served
@@ -77,6 +87,68 @@ def verdicts(document: dict) -> dict:
     return {key: value for key, value in document.items() if key != "perf"}
 
 
+def bench_daemon(app_root: Path, serial_doc: dict) -> dict:
+    """Cold / warm / post-single-edit request walls against one
+    ``sqlciv serve`` process (README "Server mode")."""
+    from repro.server.client import ServerClient
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.analysis.cli", "serve",
+         str(app_root), "--port", "0", "--log-level", "quiet"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True, env=env,
+    )
+    try:
+        ready = json.loads(proc.stdout.readline())
+        port = int(ready["listening"].rsplit(":", 1)[1])
+        with ServerClient(port=port).connect(retry_seconds=10.0) as client:
+            started = time.perf_counter()
+            cold = client.analyze()
+            cold_wall = time.perf_counter() - started
+
+            started = time.perf_counter()
+            warm = client.analyze()
+            warm_wall = time.perf_counter() - started
+
+            # single edit: prefer a leaf page nothing else includes
+            # (style.php in the eve corpus app), else the first page
+            pages = [Path(p["page"]) for p in cold["document"]["pages"]]
+            target = next(
+                (p for p in pages if p.name == "style.php"), pages[0]
+            )
+            target.write_text(target.read_text() + "\n")
+            rel = target.relative_to(app_root).as_posix()
+            client.invalidate([rel])
+            started = time.perf_counter()
+            edited = client.analyze()
+            edit_wall = time.perf_counter() - started
+
+            client.shutdown()
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    for label, response in (("cold", cold), ("warm", warm)):
+        if verdicts(response["document"]) != verdicts(serial_doc):
+            raise AssertionError(
+                f"daemon {label} run diverged from the serial run"
+            )
+    if warm["pages_reanalyzed"] != 0:
+        raise AssertionError("daemon warm run re-analyzed pages")
+    return {
+        "daemon_cold": round(cold_wall, 3),
+        "daemon_warm": round(warm_wall, 3),
+        "daemon_edit": round(edit_wall, 3),
+        "edited_file": rel,
+        "pages_total": cold["pages_total"],
+        "pages_reanalyzed_after_edit": edited["pages_reanalyzed"],
+        "clean_exit": proc.returncode == 0,
+    }
+
+
 def bench_app(name: str, jobs: int) -> dict:
     from repro.corpus import build_app
 
@@ -100,6 +172,8 @@ def bench_app(name: str, jobs: int) -> dict:
                     f"{name}: {label} run diverged from the serial run"
                 )
 
+        daemon = bench_daemon(app_root, serial_doc)
+
         warm_counters = warm_doc.get("perf", {}).get("counters", {})
         cold_counters = cold_doc.get("perf", {}).get("counters", {})
         avoided = warm_counters.get("policy.checks_avoided", 0)
@@ -116,6 +190,16 @@ def bench_app(name: str, jobs: int) -> dict:
                 "parallel": round(parallel_wall, 3),
                 "cache_cold": round(cold_wall, 3),
                 "cache_warm": round(warm_wall, 3),
+                "daemon_cold": daemon["daemon_cold"],
+                "daemon_warm": daemon["daemon_warm"],
+                "daemon_edit": daemon["daemon_edit"],
+            },
+            "daemon": {
+                "edited_file": daemon["edited_file"],
+                "pages_reanalyzed_after_edit":
+                    daemon["pages_reanalyzed_after_edit"],
+                "pages_total": daemon["pages_total"],
+                "clean_exit": daemon["clean_exit"],
             },
             "parallel_speedup": round(serial_wall / parallel_wall, 2),
             "warm_speedup": round(cold_wall / warm_wall, 2),
@@ -163,9 +247,20 @@ def main(argv: list[str] | None = None) -> int:
             f" {row['phase2_avoided_warm']} cascades avoided)",
             flush=True,
         )
+        print(
+            f"  daemon cold {row['wall_seconds']['daemon_cold']}s"
+            f"  warm {row['wall_seconds']['daemon_warm']}s"
+            f"  post-edit {row['wall_seconds']['daemon_edit']}s"
+            f" ({row['daemon']['pages_reanalyzed_after_edit']}/"
+            f"{row['daemon']['pages_total']} pages re-analyzed)",
+            flush=True,
+        )
 
     table = {
-        "benchmark": "parallel page analysis + content-addressed caching",
+        "benchmark": (
+            "parallel page analysis + content-addressed caching + "
+            "incremental analysis daemon"
+        ),
         "jobs": args.jobs,
         "python": sys.version.split()[0],
         "cpu_count": os.cpu_count(),

@@ -170,10 +170,35 @@ class PageResult:
     #: reassembled by the driver in page order, so a parallel run's trace
     #: has the same tree shape as a serial run's
     trace: dict | None = None
+    #: the page's file-dependency closure, as sorted project-relative
+    #: POSIX paths: every file whose *content* can influence this page's
+    #: grammar (entry page + transitive include closure, parse failures
+    #: and include-once-skipped alternatives included).  Persisted with
+    #: the result so the analysis server can rebuild its dependency
+    #: graph from cached entries (:mod:`repro.server.depgraph`)
+    deps: list[str] = field(default_factory=list)
+    #: True when the page's verdicts also depend on the project *layout*
+    #: (a dynamic or unresolved include): file additions/removals must
+    #: invalidate it even when no file in ``deps`` changed
+    layout_sensitive: bool = False
 
     @property
     def verified(self) -> bool:
         return all(report.verified for report in self.reports)
+
+
+def _relative_deps(dep_files, project_root: Path) -> list[str]:
+    """Sorted project-relative POSIX form of a page's dependency closure
+    (paths outside the root — possible with symlinked includes — stay
+    absolute so they still compare equal across runs)."""
+    rels = set()
+    for dep in dep_files:
+        path = Path(dep)
+        try:
+            rels.add(path.relative_to(project_root).as_posix())
+        except ValueError:
+            rels.add(path.as_posix())
+    return sorted(rels)
 
 
 def _analyze_one_page(
@@ -237,6 +262,8 @@ def _analyze_one_page(
         productions=productions,
         string_seconds=string_seconds,
         check_seconds=check_seconds,
+        deps=_relative_deps(result.dep_files, Path(project_root)),
+        layout_sensitive=result.layout_sensitive,
     )
 
 
@@ -353,6 +380,8 @@ def run_pages(
     audit: bool = False,
     jobs: int | None = 1,
     cache_dir: str | Path | None = None,
+    cache_max_mb: float | None = None,
+    parse_cache: dict | None = None,
 ) -> list[PageResult]:
     """Analyze ``pages`` and return their results **in input order**.
 
@@ -362,16 +391,23 @@ def run_pages(
     analysis is a pure function of the project tree, the per-page
     results are identical either way, and merging in input order makes
     the whole run order-insensitive to worker completion.
+
+    ``cache_max_mb`` caps the on-disk cache (LRU-by-atime pruning, see
+    :meth:`DiskCache.prune`).  ``parse_cache`` lets a long-lived caller
+    (the analysis server) keep parsed ASTs warm across calls; it is only
+    consulted on the serial path — parallel workers hold their own — and
+    the caller is responsible for evicting entries for changed files.
     """
     root = Path(project_root)
-    disk_cache = DiskCache(cache_dir) if cache_dir else None
+    disk_cache = DiskCache(cache_dir, max_mb=cache_max_mb) if cache_dir else None
     project_state = None
     if disk_cache is not None:
         with PERF.timer("disk.project_state_hash"):
             project_state = project_state_hash(root)
     jobs = resolve_jobs(jobs, len(pages))
     if jobs <= 1:
-        parse_cache: dict = {}
+        if parse_cache is None:
+            parse_cache = {}
         resolver = IncludeResolver(root)
         return [
             _page_result(
@@ -414,6 +450,7 @@ def analyze_project(
     audit: bool = False,
     jobs: int | None = 1,
     cache_dir: str | Path | None = None,
+    cache_max_mb: float | None = None,
 ) -> ProjectReport:
     """Analyze a whole application: every entry page, one report.
 
@@ -434,7 +471,10 @@ def analyze_project(
         )
         pages = entry_pages(root, php_files=php_files)
 
-    results = run_pages(root, pages, audit=audit, jobs=jobs, cache_dir=cache_dir)
+    results = run_pages(
+        root, pages, audit=audit, jobs=jobs, cache_dir=cache_dir,
+        cache_max_mb=cache_max_mb,
+    )
 
     seen_diagnostics: set = set()
     for page_result in results:

@@ -40,7 +40,7 @@ from repro.perf import PERF, render_table
 from repro.trace import TRACE
 
 from .analyzer import entry_pages, run_pages
-from .reports import SOUND, SOUND_MODULO_WIDENING, UNSOUND_CAVEATS
+from .reports import SOUND, UNSOUND_CAVEATS, json_document
 from .sarif import write_sarif
 
 log = logging.getLogger(__name__)
@@ -59,12 +59,26 @@ EXIT_CAVEATS = 3
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # server-mode subcommands ride on the same entry point: everything
+    # else is the classic batch analyzer
+    if argv and argv[0] == "serve":
+        from repro.server.daemon import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "client":
+        from repro.server.client import client_main
+
+        return client_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="sqlciv",
         description=(
             "Grammar-based static detection of SQL command injection "
             "vulnerabilities in PHP web applications "
-            "(reproduction of Wassermann & Su, PLDI 2007)."
+            "(reproduction of Wassermann & Su, PLDI 2007).  "
+            "`sqlciv serve` runs the persistent analysis daemon and "
+            "`sqlciv client` talks to it (see README 'Server mode')."
         ),
     )
     parser.add_argument("root", help="project root directory")
@@ -112,6 +126,15 @@ def main(argv: list[str] | None = None) -> int:
             "cache parsed ASTs and per-page results in DIR, keyed by "
             "content hashes; repeat runs over an unchanged project are "
             "near-instant and always reproduce the uncached verdicts"
+        ),
+    )
+    parser.add_argument(
+        "--cache-max-mb",
+        type=float,
+        metavar="MB",
+        help=(
+            "cap the --cache-dir size; past the cap, least-recently-used "
+            "entries are pruned (LRU by access time)"
         ),
     )
     parser.add_argument(
@@ -172,33 +195,29 @@ def main(argv: list[str] | None = None) -> int:
     TRACE.configure(bool(args.trace))
     auditing = args.audit or args.json
     results = run_pages(
-        root, pages, audit=auditing, jobs=args.jobs, cache_dir=args.cache_dir
+        root, pages, audit=auditing, jobs=args.jobs, cache_dir=args.cache_dir,
+        cache_max_mb=args.cache_max_mb,
     )
 
     any_violation = False
     any_escape = False
-    pages_json: list[dict] = []
-    for page_result in results:
+    if args.json:
+        # the same document builder the analysis server replays from its
+        # memo — shared so server-mode output is byte-identical (README
+        # "Server mode")
+        document = json_document(root, results)
+        any_violation = not document["verified"]
+        any_escape = document["confidence"] == UNSOUND_CAVEATS
+        if args.profile:
+            document["perf"] = PERF.snapshot()
+        print(json.dumps(document, indent=2))
+
+    for page_result in [] if args.json else results:
         reports = page_result.reports
         page_audit = page_result.audit
         if page_audit is not None:
             any_escape |= bool(page_audit.escapes)
         any_violation |= any(not r.verified for r in reports)
-
-        if args.json:
-            pages_json.append(
-                {
-                    "page": page_result.page,
-                    "verified": all(r.verified for r in reports),
-                    "confidence": (
-                        page_audit.confidence if page_audit else SOUND
-                    ),
-                    "hotspots": [r.as_dict() for r in reports],
-                    "audit": page_audit.as_dict() if page_audit else None,
-                    "parse_errors": list(page_result.parse_errors),
-                }
-            )
-            continue
 
         for report in reports:
             if report.verified and not args.verbose:
@@ -224,24 +243,7 @@ def main(argv: list[str] | None = None) -> int:
         for error in page_result.parse_errors:
             log.warning("%s", error)
 
-    if args.json:
-        confidences = {p["confidence"] for p in pages_json}
-        if any_escape:
-            overall = UNSOUND_CAVEATS
-        elif SOUND_MODULO_WIDENING in confidences:
-            overall = SOUND_MODULO_WIDENING
-        else:
-            overall = SOUND
-        document = {
-            "root": str(root),
-            "verified": not any_violation,
-            "confidence": overall,
-            "pages": pages_json,
-        }
-        if args.profile:
-            document["perf"] = PERF.snapshot()
-        print(json.dumps(document, indent=2))
-    elif not any_violation:
+    if not args.json and not any_violation:
         if any_escape:
             print(
                 "verified with caveats: no SQLCIV reports, but the audit "

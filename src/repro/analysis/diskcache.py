@@ -71,12 +71,25 @@ def project_state_hash(project_root: str | Path) -> str:
 
 
 class DiskCache:
-    """A directory of pickled cache entries, organized by kind."""
+    """A directory of pickled cache entries, organized by kind.
 
-    def __init__(self, cache_dir: str | Path) -> None:
+    ``max_mb`` (the CLI's ``--cache-max-mb``) caps the cache's total
+    size: when the cap is exceeded the least-recently-*used* entries are
+    pruned (LRU by atime — every hit refreshes the entry's atime
+    explicitly, so the policy holds even on ``noatime`` mounts).  A
+    long-lived analysis daemon can then keep one cache directory forever
+    without it growing without bound.  The on-disk layout is unchanged
+    from the uncapped cache — capped and uncapped runs share entries.
+    """
+
+    def __init__(self, cache_dir: str | Path, max_mb: float | None = None) -> None:
         self.root = Path(cache_dir)
+        self.max_bytes = int(max_mb * 1024 * 1024) if max_mb else None
+        self._stored_since_prune = 0
         for kind in ("ast", "page"):
             (self.root / kind).mkdir(parents=True, exist_ok=True)
+        if self.max_bytes is not None:
+            self.prune()
 
     def _path(self, kind: str, key: str) -> Path:
         return self.root / kind / f"{key}.pkl"
@@ -92,6 +105,12 @@ class DiskCache:
             PERF.incr(f"disk.{kind}.misses")
             log.debug("disk cache miss: %s/%s", kind, key[:16])
             return None
+        try:
+            # mark the entry recently-used for LRU pruning, even on
+            # mounts where reads don't update atime
+            os.utime(path)
+        except OSError:
+            pass
         PERF.incr(f"disk.{kind}.hits")
         log.debug("disk cache hit: %s/%s", kind, key[:16])
         return value
@@ -112,6 +131,53 @@ class DiskCache:
                 tmp.unlink(missing_ok=True)
             except OSError:
                 pass
+            return
+        if self.max_bytes is not None:
+            try:
+                self._stored_since_prune += path.stat().st_size
+            except OSError:
+                pass
+            # amortize the directory walk: prune after writing ~1/16 of
+            # the cap (but at least 64 KiB) rather than on every store
+            if self._stored_since_prune >= max(self.max_bytes // 16, 65536):
+                self.prune()
+
+    def prune(self) -> int:
+        """Evict least-recently-used entries until the cache fits
+        ``max_bytes``; returns how many entries were removed."""
+        if self.max_bytes is None:
+            return 0
+        self._stored_since_prune = 0
+        entries: list[tuple[float, int, Path]] = []
+        total = 0
+        for kind in ("ast", "page"):
+            for path in (self.root / kind).glob("*.pkl"):
+                try:
+                    status = path.stat()
+                except OSError:
+                    continue
+                entries.append((status.st_atime, status.st_size, path))
+                total += status.st_size
+        if total <= self.max_bytes:
+            return 0
+        entries.sort(key=lambda entry: (entry[0], entry[2]))
+        removed = 0
+        for _atime, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        if removed:
+            PERF.incr("disk.evictions", removed)
+            log.info(
+                "disk cache pruned: %d entries evicted, %d bytes kept "
+                "(cap %d)", removed, total, self.max_bytes,
+            )
+        return removed
 
     # -- key builders -------------------------------------------------------
 

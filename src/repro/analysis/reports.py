@@ -238,3 +238,44 @@ class ProjectReport:
             "diagnostics": [d.as_dict() for d in self.diagnostics],
             "parse_errors": list(self.parse_errors),
         }
+
+
+def json_document(root, page_results) -> dict:
+    """The CLI's ``--json`` document for a list of per-page results.
+
+    One function shared by the batch CLI and the analysis server, so a
+    server-mode ``analyze`` response is *byte-identical* (after the same
+    ``json.dumps``) to a cold CLI run over the same tree — key order,
+    page order, and the overall-confidence fold all live here.
+    """
+    any_escape = False
+    pages = []
+    for page_result in page_results:
+        page_audit = page_result.audit
+        if page_audit is not None:
+            any_escape |= bool(page_audit.escapes)
+        pages.append(
+            {
+                "page": page_result.page,
+                "verified": all(r.verified for r in page_result.reports),
+                "confidence": (
+                    page_audit.confidence if page_audit else SOUND
+                ),
+                "hotspots": [r.as_dict() for r in page_result.reports],
+                "audit": page_audit.as_dict() if page_audit else None,
+                "parse_errors": list(page_result.parse_errors),
+            }
+        )
+    confidences = {p["confidence"] for p in pages}
+    if any_escape:
+        overall = UNSOUND_CAVEATS
+    elif SOUND_MODULO_WIDENING in confidences:
+        overall = SOUND_MODULO_WIDENING
+    else:
+        overall = SOUND
+    return {
+        "root": str(root),
+        "verified": all(p["verified"] for p in pages),
+        "confidence": overall,
+        "pages": pages,
+    }

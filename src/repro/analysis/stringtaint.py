@@ -65,6 +65,19 @@ class AnalysisResult:
     #: the run-time :class:`~repro.analysis.audit.AuditTrail`, when one
     #: was attached to the interpreter
     audit_trail: object | None = None
+    #: every file this page's analysis observed (absolute-path strings):
+    #: the entry page, every parsed or parse-failed file, and every file
+    #: an include resolved to even if interpretation then skipped it.
+    #: This is the page's file-dependency closure — the exact set whose
+    #: contents can influence the page's grammar (see
+    #: :mod:`repro.server.depgraph`)
+    dep_files: frozenset[str] = frozenset()
+    #: True when the page's dependencies go beyond ``dep_files`` content:
+    #: some include argument was dynamic (its resolution intersects the
+    #: *project layout*, paper §4) or resolved to no file at all (a file
+    #: created later could satisfy it) — such a page must be re-analyzed
+    #: whenever resolver-visible files are added or removed
+    layout_sensitive: bool = False
 
     @property
     def grammar(self) -> Grammar:
@@ -121,6 +134,10 @@ class StringTaintAnalysis:
         self.parse_errors: list[str] = []
         self.files_analyzed: list[str] = []
         self.trees: dict[str, ast.File] = {}
+        # the page's file-dependency closure + layout sensitivity (see
+        # AnalysisResult.dep_files / .layout_sensitive)
+        self.dep_files: set[str] = set()
+        self.layout_sensitive = False
         self._included_once: set[Path] = set()
         # files currently being interpreted: breaks include cycles (a
         # dynamic include whose path language matches the includer)
@@ -160,9 +177,14 @@ class StringTaintAnalysis:
             trees=dict(self.trees),
             known_functions=frozenset(self.functions),
             audit_trail=self.audit,
+            dep_files=frozenset(self.dep_files),
+            layout_sensitive=self.layout_sensitive,
         )
 
     def _parse(self, path: Path) -> ast.File | None:
+        # every file we so much as try to read is a dependency of this
+        # page — parse failures included (the failure is reported)
+        self.dep_files.add(str(path))
         with TRACE.span("parse", file=str(path)) as span:
             if path in self._parse_cache:
                 PERF.incr("parse.memory_hits")
@@ -453,7 +475,13 @@ class StringTaintAnalysis:
                 audit=self.audit,
                 site=(self.current_file, stmt.line),
                 literal=isinstance(stmt.path, ast.Literal),
+                deps=self.dep_files,
             )
+            # a dynamic include's resolution — and a failed one's — is a
+            # function of the project layout itself, not just of the
+            # resolved files' contents: adding/removing files can change it
+            if not isinstance(stmt.path, ast.Literal) or not files:
+                self.layout_sensitive = True
             span.set("resolved", len(files))
             log.debug(
                 "include at %s:%s resolved to %d file(s)",

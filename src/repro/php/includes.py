@@ -59,6 +59,7 @@ class IncludeResolver:
         audit=None,
         site: tuple[str, int] | None = None,
         literal: bool = False,
+        deps: set[str] | None = None,
     ) -> list[Path]:
         """Files whose names the include-argument grammar can generate.
 
@@ -70,6 +71,12 @@ class IncludeResolver:
         *widened* dynamic include (resolved to ≥1 project file, every
         alternative analyzed) from an *escaped* one (resolved to nothing —
         the included code is invisible to the analysis).
+
+        ``deps`` is the caller's file-dependency accumulator (the basis of
+        the analysis server's incremental invalidation): every resolved
+        file is added to it, even files the interpreter then skips for
+        ``include_once``/cycle reasons — a skipped alternative is still
+        part of the page's specification.
         """
         current = Path(current_dir)
         names = self.candidate_names(current)
@@ -90,4 +97,6 @@ class IncludeResolver:
         if audit is not None:
             file, line = site if site is not None else ("", 0)
             audit.record_include(file, line, literal, len(resolved))
+        if deps is not None:
+            deps.update(str(file) for file in resolved)
         return resolved

@@ -1,0 +1,25 @@
+"""The persistent analysis server (``sqlciv serve`` / ``sqlciv client``).
+
+A long-running daemon that keeps every in-process memo warm — parsed
+ASTs, the fingerprint-keyed verdict memo, the FST-image memo — and
+re-analyzes only what an edit can actually affect, driven by a per-page
+file-dependency graph recorded during include resolution:
+
+* :mod:`repro.server.depgraph` — the dependency graph and its precise
+  invalidation semantics (content edits, additions, deletions);
+* :mod:`repro.server.protocol` — the line-delimited JSON wire protocol;
+* :mod:`repro.server.daemon` — the request dispatcher and socket server;
+* :mod:`repro.server.client` — a thin client library + CLI subcommand.
+"""
+
+from .client import ServerClient, ServerError
+from .depgraph import DependencyGraph
+from .protocol import PROTOCOL_VERSION, ProtocolError
+
+__all__ = [
+    "DependencyGraph",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServerClient",
+    "ServerError",
+]

@@ -1,0 +1,246 @@
+"""Client for the analysis daemon: a library class + ``sqlciv client``.
+
+Library use::
+
+    from repro.server import ServerClient
+
+    with ServerClient(socket_path="/run/sqlciv.sock").connect() as client:
+        response = client.analyze()
+        print(response["pages_reanalyzed"], "pages re-analyzed")
+
+CLI use mirrors the batch tool (``sqlciv client … analyze`` prints the
+exact ``--json`` document and exits with the same 0/1/3 contract)::
+
+    sqlciv client --socket /run/sqlciv.sock analyze --sarif out.sarif
+    sqlciv client --socket /run/sqlciv.sock invalidate includes/db.php
+    sqlciv client --socket /run/sqlciv.sock status
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+import time
+from pathlib import Path
+
+from . import protocol
+
+
+class ServerError(Exception):
+    """An error response from the daemon (or a dead connection)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ServerClient:
+    """One connection to a daemon; requests are correlated by id."""
+
+    def __init__(
+        self,
+        socket_path: str | Path | None = None,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        timeout: float = 600.0,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise ValueError("exactly one of socket_path or port is required")
+        self.socket_path = str(socket_path) if socket_path else None
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._id = 0
+
+    # -- connection --------------------------------------------------------
+
+    def connect(self, retry_seconds: float = 0.0) -> "ServerClient":
+        """Connect, optionally retrying for up to ``retry_seconds`` —
+        the idiom for scripts that just forked the daemon."""
+        deadline = time.monotonic() + retry_seconds
+        while True:
+            try:
+                self._sock = self._create_socket()
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+        self._sock.settimeout(self.timeout)
+        self._file = self._sock.makefile("rwb")
+        return self
+
+    def _create_socket(self) -> socket.socket:
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.connect(self.socket_path)
+        else:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        return sock
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServerClient":
+        if self._sock is None:
+            self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- requests ----------------------------------------------------------
+
+    def request(self, op: str, **params):
+        """Send one request, return the ``result`` object; raises
+        :class:`ServerError` on an error response."""
+        if self._file is None:
+            self.connect()
+        self._id += 1
+        payload = {"id": self._id, "op": op}
+        payload.update(
+            {key: value for key, value in params.items() if value is not None}
+        )
+        self._file.write(protocol.encode(payload))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServerError("disconnected", "daemon closed the connection")
+        response = protocol.decode_response(line)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServerError(
+                error.get("code", "unknown"), error.get("message", "")
+            )
+        return response.get("result")
+
+    # -- convenience wrappers ---------------------------------------------
+
+    def analyze(self, pages=None, audit=None, sarif=None):
+        return self.request("analyze", pages=pages, audit=audit, sarif=sarif)
+
+    def invalidate(self, paths):
+        return self.request("invalidate", paths=list(paths))
+
+    def status(self):
+        return self.request("status")
+
+    def metrics(self):
+        return self.request("metrics")
+
+    def ping(self):
+        return self.request("ping")
+
+    def shutdown(self):
+        return self.request("shutdown")
+
+
+def client_main(argv: list[str] | None = None) -> int:
+    """The ``sqlciv client`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="sqlciv client",
+        description="Talk to a running sqlciv analysis daemon.",
+    )
+    parser.add_argument("--socket", metavar="PATH",
+                        help="daemon unix socket path")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, metavar="N")
+    parser.add_argument("--timeout", type=float, default=600.0, metavar="S")
+    parser.add_argument("--retry-seconds", type=float, default=0.0,
+                        metavar="S",
+                        help="keep retrying the connection for up to S "
+                             "seconds (for scripts that just started the "
+                             "daemon)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze = commands.add_parser(
+        "analyze", help="analyze pages (default: the whole project); "
+                        "prints the same JSON document as `sqlciv --json`"
+    )
+    analyze.add_argument("pages", nargs="*",
+                         help="project-relative entry pages (default: all)")
+    analyze.add_argument("--sarif", metavar="FILE",
+                         help="also write the SARIF 2.1.0 log to FILE")
+    analyze.add_argument("--no-audit", action="store_true",
+                         help="skip the soundness audit (faster; the "
+                              "document then differs from `sqlciv --json`, "
+                              "which always audits)")
+
+    invalidate = commands.add_parser(
+        "invalidate", help="tell the daemon these files changed on disk"
+    )
+    invalidate.add_argument("paths", nargs="+")
+
+    for name, help_text in (
+        ("status", "one-line daemon state as JSON"),
+        ("metrics", "perf counters/timers/gauges as JSON"),
+        ("ping", "liveness check"),
+        ("shutdown", "stop the daemon"),
+    ):
+        commands.add_parser(name, help=help_text)
+
+    args = parser.parse_args(argv)
+    if (args.socket is None) == (args.port is None):
+        parser.error("exactly one of --socket or --port is required")
+
+    client = ServerClient(
+        socket_path=args.socket, host=args.host, port=args.port,
+        timeout=args.timeout,
+    )
+    try:
+        client.connect(retry_seconds=args.retry_seconds)
+    except OSError as exc:
+        print(f"cannot reach daemon: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        with client:
+            if args.command == "analyze":
+                result = client.analyze(
+                    pages=args.pages or None,
+                    audit=False if args.no_audit else None,
+                    sarif=True if args.sarif else None,
+                )
+                print(json.dumps(result["document"], indent=2))
+                if args.sarif:
+                    Path(args.sarif).write_text(
+                        result["sarif"] + "\n", encoding="utf-8"
+                    )
+                print(
+                    f"{result['pages_reanalyzed']} page(s) re-analyzed, "
+                    f"{result['pages_replayed']} replayed from memo",
+                    file=sys.stderr,
+                )
+                return int(result["exit_code"])
+            if args.command == "invalidate":
+                result = client.invalidate(args.paths)
+                print(json.dumps(result, indent=2))
+                return 0
+            result = client.request(args.command)
+            print(json.dumps(result, indent=2))
+            return 0
+    except ServerError as exc:
+        print(f"daemon error — {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(client_main())

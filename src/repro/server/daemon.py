@@ -1,0 +1,478 @@
+"""The analysis daemon: ``sqlciv serve <root> --socket /run/sqlciv.sock``.
+
+A long-running process that answers :mod:`repro.server.protocol`
+requests over a Unix or TCP socket.  What staying resident buys:
+
+* the **parsed-AST store** (the serial driver's parse cache) survives
+  across requests, evicted per-file on ``invalidate``;
+* the fingerprint-keyed **verdict memo** and the **FST-image memo** are
+  process-global, so repeated grammar shapes are recognized across
+  requests and across pages;
+* each page's last :class:`~repro.analysis.analyzer.PageResult` is
+  memoized, and an ``invalidate`` re-queues *only* the pages whose
+  file-dependency closure the change intersects
+  (:mod:`repro.server.depgraph`) — everything else replays its verdict.
+
+Results are built by the same code path as the batch CLI
+(:func:`repro.analysis.reports.json_document`,
+:func:`repro.analysis.sarif.render_sarif`), merged in page order, so an
+``analyze`` response is byte-identical to a cold ``sqlciv --json`` /
+``--sarif`` run over the same tree.
+
+Concurrency: connections are handled in threads, but analysis state is
+guarded by one lock — concurrent ``analyze`` requests queue, and each
+batch runs through the existing :func:`~repro.analysis.analyzer.run_pages`
+pool (``--jobs``).  A request that arrives while an equivalent batch is
+running simply replays the then-fresh memo.
+
+Staleness contract: the daemon trusts ``invalidate`` notifications.
+Edits it was never told about are *not* picked up for memoized pages
+(they are picked up for re-queued pages, which re-read the tree); run
+with ``--cache-dir`` if you also want the conservative whole-project
+hash as a second line of defense for cross-restart reuse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import os
+import socketserver
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.perf import PERF
+from repro.analysis.analyzer import PageResult, entry_pages, run_pages
+from repro.analysis.diskcache import RESOLVER_EXTENSIONS
+from repro.analysis.reports import UNSOUND_CAVEATS, json_document
+from repro.analysis.sarif import render_sarif
+
+from . import protocol
+from .depgraph import DependencyGraph
+
+log = logging.getLogger(__name__)
+
+DEPGRAPH_FILENAME = "depgraph.json"
+
+
+class AnalysisDaemon:
+    """Protocol dispatcher + incremental analysis state (socket-free, so
+    tests can drive it in-process and the socket layer stays thin)."""
+
+    def __init__(
+        self,
+        project_root: str | Path,
+        jobs: int | None = 1,
+        cache_dir: str | Path | None = None,
+        cache_max_mb: float | None = None,
+    ) -> None:
+        self.root = Path(project_root)
+        if not self.root.is_dir():
+            raise NotADirectoryError(f"{self.root} is not a directory")
+        self._abs_root = Path(os.path.abspath(self.root))
+        self.jobs = jobs if jobs and jobs >= 1 else 1
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.cache_max_mb = cache_max_mb
+        self.lock = threading.RLock()
+        self.started = time.time()
+        self.stopping = False
+        #: (relative page, audit flag) → memoized PageResult
+        self._memo: dict[tuple[str, bool], PageResult] = {}
+        #: absolute path → (tree, error); shared with run_pages on the
+        #: serial path, evicted per-file on invalidate
+        self._parse_cache: dict = {}
+        self.depgraph = DependencyGraph()
+        if self.cache_dir is not None:
+            persisted = DependencyGraph.load(
+                self.cache_dir / DEPGRAPH_FILENAME, root=str(self.root)
+            )
+            if persisted is not None:
+                self.depgraph = persisted
+                log.info(
+                    "loaded persisted dependency graph: %d pages, %d files",
+                    len(persisted.pages()), len(persisted.files()),
+                )
+
+    # -- path helpers ------------------------------------------------------
+
+    def _rel(self, path: str | Path) -> str:
+        try:
+            return Path(path).relative_to(self.root).as_posix()
+        except ValueError:
+            return Path(path).as_posix()
+
+    def _normalize(self, raw: str) -> str | None:
+        """Project-relative POSIX form of a client-supplied path, or
+        None when it is outside the project root (``..`` components are
+        collapsed first, so traversal can't sneak back in)."""
+        candidate = Path(raw)
+        if not candidate.is_absolute():
+            candidate = self._abs_root / candidate
+        normalized = Path(os.path.normpath(str(candidate)))
+        try:
+            return normalized.relative_to(self._abs_root).as_posix()
+        except ValueError:
+            return None
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch_line(self, line: bytes | str) -> tuple[dict, bool]:
+        """One request line → (response object, stop-serving flag)."""
+        try:
+            request = protocol.parse_request(line)
+        except protocol.ProtocolError as exc:
+            PERF.incr("server.requests.malformed")
+            return (
+                protocol.error_response(exc.request_id, exc.code, str(exc)),
+                False,
+            )
+        request_id, op, params = request["id"], request["op"], request["params"]
+        PERF.incr(f"server.requests.{op}")
+        handler = getattr(self, f"op_{op}")
+        with self.lock:
+            try:
+                result = handler(params)
+            except protocol.ProtocolError as exc:
+                return (
+                    protocol.error_response(request_id, exc.code, str(exc)),
+                    False,
+                )
+            except Exception as exc:  # never let a bug kill the daemon
+                log.exception("op %s failed", op)
+                PERF.incr("server.requests.internal_error")
+                return (
+                    protocol.error_response(
+                        request_id,
+                        protocol.INTERNAL_ERROR,
+                        f"{type(exc).__name__}: {exc}",
+                    ),
+                    False,
+                )
+        return protocol.ok_response(request_id, result), op == "shutdown"
+
+    # -- operations --------------------------------------------------------
+
+    def op_analyze(self, params: dict) -> dict:
+        audit = bool(params.get("audit", True))
+        requested = params.get("pages")
+        with PERF.timer("server.analyze"):
+            if requested is None:
+                pages = entry_pages(self.root)
+            else:
+                pages = []
+                for raw in requested:
+                    rel = self._normalize(raw)
+                    if rel is None:
+                        raise protocol.ProtocolError(
+                            protocol.INVALID_PARAMS,
+                            f"page {raw!r} is outside the project root",
+                        )
+                    page = self.root / rel
+                    if not page.is_file():
+                        raise protocol.ProtocolError(
+                            protocol.INVALID_PARAMS,
+                            f"page {raw!r} does not exist",
+                        )
+                    pages.append(page)
+            keys = [(self._rel(page), audit) for page in pages]
+            stale = [
+                page for page, key in zip(pages, keys) if key not in self._memo
+            ]
+            if stale:
+                fresh = run_pages(
+                    self.root,
+                    stale,
+                    audit=audit,
+                    jobs=self.jobs,
+                    cache_dir=self.cache_dir,
+                    cache_max_mb=self.cache_max_mb,
+                    parse_cache=self._parse_cache,
+                )
+                for result in fresh:
+                    rel = self._rel(result.page)
+                    self._memo[(rel, audit)] = result
+                    self.depgraph.record(
+                        rel, result.deps, result.layout_sensitive
+                    )
+                self._persist_depgraph()
+            PERF.incr("server.pages.reanalyzed", len(stale))
+            PERF.incr("server.pages.replayed", len(pages) - len(stale))
+            results = [self._memo[key] for key in keys]
+            document = json_document(self.root, results)
+            response = {
+                "document": document,
+                "pages_total": len(pages),
+                "pages_reanalyzed": len(stale),
+                "pages_replayed": len(pages) - len(stale),
+                "exit_code": self._exit_code(document, audit),
+            }
+            if params.get("sarif"):
+                response["sarif"] = render_sarif(self.root, results)
+        return response
+
+    @staticmethod
+    def _exit_code(document: dict, audit: bool) -> int:
+        """The batch CLI's exit-code contract, for clients to mirror."""
+        if not document["verified"]:
+            return 1
+        if audit and document["confidence"] == UNSOUND_CAVEATS:
+            return 3
+        return 0
+
+    def op_invalidate(self, params: dict) -> dict:
+        changed: list[str] = []
+        added: list[str] = []
+        deleted: list[str] = []
+        ignored: list[str] = []
+        for raw in params["paths"]:
+            rel = self._normalize(raw)
+            if rel is None:
+                log.info(
+                    "invalidate: %s is outside the project root — ignored", raw
+                )
+                ignored.append(raw)
+                continue
+            if not rel.endswith(RESOLVER_EXTENSIONS):
+                log.info(
+                    "invalidate: %s is not resolver-visible — ignored", raw
+                )
+                ignored.append(raw)
+                continue
+            if not (self.root / rel).exists():
+                deleted.append(rel)
+            elif self.depgraph.knows_file(rel):
+                changed.append(rel)
+            else:
+                # exists but was never a recorded dependency: treat as an
+                # addition (it may re-route include-name resolution)
+                added.append(rel)
+        affected = self.depgraph.affected_by(
+            changed=changed, added=added, deleted=deleted
+        )
+        for rel in affected:
+            self._memo.pop((rel, True), None)
+            self._memo.pop((rel, False), None)
+        for rel in deleted:
+            # a deleted entry page can't be re-analyzed; drop it entirely
+            if rel in set(self.depgraph.pages()):
+                self.depgraph.forget(rel)
+                self._memo.pop((rel, True), None)
+                self._memo.pop((rel, False), None)
+        for rel in changed + added + deleted:
+            self._parse_cache.pop(self.root / rel, None)
+        PERF.incr("server.pages.invalidated", len(affected))
+        if affected:
+            log.info(
+                "invalidate: %d changed, %d added, %d deleted → %d page(s) "
+                "re-queued", len(changed), len(added), len(deleted),
+                len(affected),
+            )
+        return {
+            "invalidated_pages": sorted(affected),
+            "changed": sorted(changed),
+            "added": sorted(added),
+            "deleted": sorted(deleted),
+            "ignored": ignored,
+        }
+
+    def op_status(self, params: dict) -> dict:
+        memoized = {rel for rel, _audit in self._memo}
+        return {
+            "protocol": protocol.PROTOCOL_VERSION,
+            "root": str(self.root),
+            "pid": os.getpid(),
+            "uptime_seconds": round(time.time() - self.started, 3),
+            "jobs": self.jobs,
+            "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+            "memoized_pages": len(memoized),
+            "parse_cache_entries": len(self._parse_cache),
+            "depgraph": {
+                "pages": len(self.depgraph.pages()),
+                "files": len(self.depgraph.files()),
+                "layout_sensitive_pages": len(
+                    self.depgraph.layout_sensitive_pages()
+                ),
+            },
+        }
+
+    def op_metrics(self, params: dict) -> dict:
+        return {
+            "uptime_seconds": round(time.time() - self.started, 3),
+            "perf": PERF.snapshot(),
+        }
+
+    def op_ping(self, params: dict) -> dict:
+        return {"pong": True, "protocol": protocol.PROTOCOL_VERSION}
+
+    def op_shutdown(self, params: dict) -> dict:
+        self.stopping = True
+        self._persist_depgraph()
+        log.info("shutdown requested")
+        return {"stopping": True}
+
+    # -- persistence -------------------------------------------------------
+
+    def _persist_depgraph(self) -> None:
+        if self.cache_dir is None:
+            return
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self.depgraph.save(
+                self.cache_dir / DEPGRAPH_FILENAME, root=str(self.root)
+            )
+        except OSError as exc:
+            log.warning("could not persist dependency graph: %s", exc)
+
+
+# -- socket layer -------------------------------------------------------------
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        daemon: AnalysisDaemon = self.server.daemon  # type: ignore[attr-defined]
+        while True:
+            try:
+                line = self.rfile.readline(protocol.MAX_LINE_BYTES)
+            except OSError:
+                break
+            if not line:
+                break
+            if not line.strip():
+                continue
+            if len(line) >= protocol.MAX_LINE_BYTES and not line.endswith(b"\n"):
+                response, stop = (
+                    protocol.error_response(
+                        None, protocol.REQUEST_TOO_LARGE,
+                        f"request exceeds {protocol.MAX_LINE_BYTES} bytes",
+                    ),
+                    True,  # the stream is desynchronized; drop the client
+                )
+            else:
+                response, stop = daemon.dispatch_line(line)
+            try:
+                self.wfile.write(protocol.encode(response))
+                self.wfile.flush()
+            except OSError:
+                break
+            if stop:
+                if daemon.stopping:
+                    # shutdown() blocks until serve_forever() returns, so
+                    # it must run outside this handler thread's accept loop
+                    threading.Thread(
+                        target=self.server.shutdown, daemon=True
+                    ).start()
+                break
+
+
+class _ThreadingTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+if hasattr(socketserver, "ThreadingUnixStreamServer"):
+
+    class _ThreadingUnixServer(socketserver.ThreadingUnixStreamServer):
+        daemon_threads = True
+
+else:  # non-Unix platforms: TCP only
+    _ThreadingUnixServer = None  # type: ignore[assignment]
+
+
+def create_server(
+    daemon: AnalysisDaemon,
+    socket_path: str | Path | None = None,
+    host: str = "127.0.0.1",
+    port: int | None = None,
+):
+    """A ready-to-``serve_forever`` socket server bound to either a Unix
+    socket (``socket_path``) or TCP ``host:port`` (port 0 = ephemeral)."""
+    if socket_path is not None:
+        if _ThreadingUnixServer is None:
+            raise OSError("unix sockets are not supported on this platform")
+        socket_path = Path(socket_path)
+        try:
+            socket_path.unlink()
+        except OSError:
+            pass
+        server = _ThreadingUnixServer(str(socket_path), _RequestHandler)
+    else:
+        server = _ThreadingTCPServer((host, port or 0), _RequestHandler)
+    server.daemon = daemon  # type: ignore[attr-defined]
+    return server
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    """The ``sqlciv serve`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="sqlciv serve",
+        description=(
+            "Run the persistent analysis daemon: keeps every memo warm "
+            "across requests and re-analyzes only the pages an edit can "
+            "affect (see README 'Server mode')."
+        ),
+    )
+    parser.add_argument("root", help="project root directory to serve")
+    parser.add_argument("--socket", metavar="PATH",
+                        help="listen on a unix socket at PATH")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="TCP bind host (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, metavar="N",
+                        help="listen on TCP port N (0 = ephemeral)")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="run_pages worker count per analyze batch")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="on-disk AST/result cache (also persists the "
+                             "dependency graph across restarts)")
+    parser.add_argument("--cache-max-mb", type=float, metavar="MB",
+                        help="cap the on-disk cache; least-recently-used "
+                             "entries are pruned past the cap")
+    parser.add_argument("--log-level", choices=("quiet", "info", "debug"),
+                        default="info")
+    args = parser.parse_args(argv)
+    if args.socket is None and args.port is None:
+        parser.error("one of --socket or --port is required")
+
+    logging.basicConfig(
+        stream=sys.stderr,
+        level={"quiet": logging.ERROR, "info": logging.INFO,
+               "debug": logging.DEBUG}[args.log_level],
+        format="%(levelname)s %(name)s: %(message)s",
+    )
+    try:
+        daemon = AnalysisDaemon(
+            args.root,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            cache_max_mb=args.cache_max_mb,
+        )
+    except NotADirectoryError as exc:
+        parser.error(str(exc))
+    server = create_server(
+        daemon, socket_path=args.socket, host=args.host, port=args.port
+    )
+    if args.socket is not None:
+        address = args.socket
+    else:
+        address = "%s:%d" % server.server_address[:2]
+    # the ready line scripts wait for (stdout, flushed, machine-readable)
+    print(f'{{"listening": "{address}", "pid": {os.getpid()}}}', flush=True)
+    log.info("sqlciv daemon serving %s on %s", daemon.root, address)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        if args.socket is not None:
+            try:
+                Path(args.socket).unlink()
+            except OSError:
+                pass
+    log.info("sqlciv daemon stopped")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(serve_main())

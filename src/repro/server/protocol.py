@@ -1,0 +1,155 @@
+"""The analysis server's wire protocol: line-delimited JSON.
+
+One request per line, one response line per request, over a Unix or TCP
+stream socket.  Requests are JSON objects::
+
+    {"id": 7, "op": "analyze", "pages": ["index.php"], "sarif": true}
+
+``op`` is required; ``id`` is an optional client-chosen correlation
+token (echoed verbatim in the response); every other key is an
+op-specific parameter.  Responses are::
+
+    {"id": 7, "ok": true, "result": {...}}
+    {"id": 7, "ok": false, "error": {"code": "invalid-params", "message": "…"}}
+
+A malformed request never tears down the connection: the daemon answers
+with a structured error (``id`` null when the request was unparsable)
+and keeps reading.  Request validation lives here so the daemon and the
+tests share one definition of "well-formed".
+
+Operations:
+
+``analyze``
+    ``pages`` (optional list of project-relative paths; default: every
+    entry page), ``audit`` (bool, default true — matching the CLI's
+    ``--json``, which always audits), ``sarif`` (bool: also render the
+    SARIF 2.1.0 log).
+``invalidate``
+    ``paths`` (required list): files that changed on disk.  Deleted and
+    out-of-tree paths are legal — see the daemon.
+``status`` / ``metrics`` / ``ping``
+    No parameters.
+``shutdown``
+    No parameters; the response is sent before the daemon stops.
+"""
+
+from __future__ import annotations
+
+import json
+
+PROTOCOL_VERSION = "sqlciv-server/1"
+
+#: requests larger than this are rejected, not buffered forever
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+OPS = frozenset(
+    {"analyze", "invalidate", "status", "metrics", "ping", "shutdown"}
+)
+
+#: error codes a daemon can answer with
+MALFORMED_JSON = "malformed-json"
+INVALID_REQUEST = "invalid-request"
+UNKNOWN_OP = "unknown-op"
+INVALID_PARAMS = "invalid-params"
+INTERNAL_ERROR = "internal-error"
+REQUEST_TOO_LARGE = "request-too-large"
+
+
+class ProtocolError(Exception):
+    """A request the daemon must refuse, with a machine-readable code."""
+
+    def __init__(self, code: str, message: str, request_id=None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.request_id = request_id
+
+
+def _check_id(value):
+    if value is not None and not isinstance(value, (str, int, float)):
+        raise ProtocolError(
+            INVALID_REQUEST, "request id must be a string, number, or null"
+        )
+    return value
+
+
+def parse_request(line: bytes | str) -> dict:
+    """Validate one request line into ``{"id", "op", "params"}``.
+
+    Raises :class:`ProtocolError` (carrying the request id when one was
+    recoverable) instead of letting any json/type error escape.
+    """
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        data = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(MALFORMED_JSON, f"request is not valid JSON: {exc}")
+    if not isinstance(data, dict):
+        raise ProtocolError(INVALID_REQUEST, "request must be a JSON object")
+    request_id = _check_id(data.get("id"))
+    op = data.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError(
+            INVALID_REQUEST, 'request must carry an "op" string',
+            request_id=request_id,
+        )
+    if op not in OPS:
+        raise ProtocolError(
+            UNKNOWN_OP,
+            f"unknown op {op!r}; expected one of {sorted(OPS)}",
+            request_id=request_id,
+        )
+    params = {k: v for k, v in data.items() if k not in ("id", "op")}
+    _validate_params(op, params, request_id)
+    return {"id": request_id, "op": op, "params": params}
+
+
+def _validate_params(op: str, params: dict, request_id) -> None:
+    def fail(message: str):
+        raise ProtocolError(INVALID_PARAMS, message, request_id=request_id)
+
+    def expect_str_list(name: str, value) -> None:
+        if not isinstance(value, list) or not all(
+            isinstance(item, str) for item in value
+        ):
+            fail(f'"{name}" must be a list of strings')
+
+    if op == "analyze":
+        allowed = {"pages", "audit", "sarif"}
+        extra = set(params) - allowed
+        if extra:
+            fail(f"unexpected analyze parameter(s): {sorted(extra)}")
+        if "pages" in params and params["pages"] is not None:
+            expect_str_list("pages", params["pages"])
+        for flag in ("audit", "sarif"):
+            if flag in params and not isinstance(params[flag], bool):
+                fail(f'"{flag}" must be a boolean')
+    elif op == "invalidate":
+        if set(params) != {"paths"}:
+            fail('invalidate takes exactly one parameter: "paths"')
+        expect_str_list("paths", params["paths"])
+    elif params:
+        fail(f"{op} takes no parameters")
+
+
+def ok_response(request_id, result) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id, code: str, message: str) -> dict:
+    return {"id": request_id, "ok": False,
+            "error": {"code": code, "message": message}}
+
+
+def encode(obj: dict) -> bytes:
+    """One wire line: compact JSON + newline (the framing)."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_response(line: bytes | str) -> dict:
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    data = json.loads(line)
+    if not isinstance(data, dict) or "ok" not in data:
+        raise ProtocolError(INVALID_REQUEST, "response is not a protocol object")
+    return data

@@ -1,0 +1,45 @@
+"""Shared helpers for the analysis-server tests: an in-process daemon
+behind a real TCP socket (loopback, ephemeral port), so the tests cover
+the actual wire path without subprocess plumbing."""
+
+import threading
+
+import pytest
+
+from repro.server.client import ServerClient
+from repro.server.daemon import AnalysisDaemon, create_server
+
+
+class DaemonHarness:
+    def __init__(self, project_root, **daemon_kwargs):
+        self.daemon = AnalysisDaemon(project_root, **daemon_kwargs)
+        self.server = create_server(self.daemon, port=0)
+        self.thread = threading.Thread(
+            target=self.server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self.thread.start()
+        self.port = self.server.server_address[1]
+
+    def client(self, **kwargs) -> ServerClient:
+        return ServerClient(port=self.port, **kwargs).connect()
+
+    def stop(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(timeout=5)
+
+
+@pytest.fixture
+def start_daemon():
+    harnesses = []
+
+    def _start(project_root, **daemon_kwargs) -> DaemonHarness:
+        harness = DaemonHarness(project_root, **daemon_kwargs)
+        harnesses.append(harness)
+        return harness
+
+    yield _start
+    for harness in harnesses:
+        harness.stop()

@@ -1,0 +1,124 @@
+"""Dependency-graph correctness: the invalidation rules of
+DESIGN.md §5e, plus persistence round-trips."""
+
+from repro.perf import ANALYZER_CACHE_VERSION
+from repro.server.depgraph import DependencyGraph
+
+
+def build_sample() -> DependencyGraph:
+    graph = DependencyGraph()
+    graph.record("index.php", ["includes/shared.inc"], False)
+    graph.record(
+        "detail.php",
+        ["includes/shared.inc", "includes/detail_only.inc"],
+        False,
+    )
+    graph.record("standalone.php", [], False)
+    graph.record("portal.php", ["includes/shared.inc"], True)  # dynamic include
+    return graph
+
+
+class TestRecording:
+    def test_closure_always_contains_the_page_itself(self):
+        graph = build_sample()
+        assert "standalone.php" in graph.deps_of("standalone.php")
+        assert graph.dependents("index.php") == {"index.php"}
+
+    def test_dependents_reverse_index(self):
+        graph = build_sample()
+        assert graph.dependents("includes/shared.inc") == {
+            "index.php", "detail.php", "portal.php"
+        }
+        assert graph.dependents("includes/detail_only.inc") == {"detail.php"}
+
+    def test_rerecord_replaces_old_closure(self):
+        graph = build_sample()
+        graph.record("detail.php", ["includes/shared.inc"], False)
+        assert graph.dependents("includes/detail_only.inc") == set()
+        assert not graph.knows_file("includes/detail_only.inc")
+
+    def test_forget_removes_every_trace(self):
+        graph = build_sample()
+        graph.forget("portal.php")
+        assert "portal.php" not in graph.pages()
+        assert graph.layout_sensitive_pages() == set()
+        assert graph.dependents("includes/shared.inc") == {
+            "index.php", "detail.php"
+        }
+
+
+class TestInvalidation:
+    def test_edit_of_shared_include_hits_exactly_its_dependents(self):
+        graph = build_sample()
+        affected = graph.affected_by(changed=["includes/shared.inc"])
+        assert affected == {"index.php", "detail.php", "portal.php"}
+
+    def test_edit_of_leaf_include_hits_one_page(self):
+        graph = build_sample()
+        assert graph.affected_by(changed=["includes/detail_only.inc"]) == {
+            "detail.php"
+        }
+
+    def test_edit_of_unknown_file_hits_nothing(self):
+        graph = build_sample()
+        assert graph.affected_by(changed=["notes.html"]) == set()
+
+    def test_deletion_hits_dependents_and_layout_sensitive_pages(self):
+        graph = build_sample()
+        affected = graph.affected_by(deleted=["includes/detail_only.inc"])
+        assert affected == {"detail.php", "portal.php"}
+
+    def test_addition_hits_layout_sensitive_pages(self):
+        graph = build_sample()
+        assert graph.affected_by(added=["includes/new.inc"]) == {"portal.php"}
+
+    def test_addition_with_colliding_basename_hits_name_losers(self):
+        # include-name resolution is first-match-wins over sorted paths:
+        # adding another shared.inc can re-route the name "shared.inc",
+        # so the dependents of the incumbent must re-analyze too
+        graph = build_sample()
+        affected = graph.affected_by(added=["other/shared.inc"])
+        assert affected == {
+            "index.php", "detail.php", "portal.php"  # portal: layout too
+        }
+
+    def test_batched_events_union(self):
+        graph = build_sample()
+        affected = graph.affected_by(
+            changed=["includes/detail_only.inc"], deleted=["standalone.php"]
+        )
+        assert affected == {"detail.php", "standalone.php", "portal.php"}
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        graph = build_sample()
+        target = tmp_path / "depgraph.json"
+        graph.save(target, root="/srv/app")
+        loaded = DependencyGraph.load(target, root="/srv/app")
+        assert loaded is not None
+        assert loaded.pages() == graph.pages()
+        assert loaded.deps_of("detail.php") == graph.deps_of("detail.php")
+        assert loaded.layout_sensitive_pages() == {"portal.php"}
+
+    def test_load_rejects_other_root(self, tmp_path):
+        graph = build_sample()
+        target = tmp_path / "depgraph.json"
+        graph.save(target, root="/srv/app")
+        assert DependencyGraph.load(target, root="/srv/other") is None
+
+    def test_load_rejects_stale_cache_version(self, tmp_path):
+        graph = build_sample()
+        target = tmp_path / "depgraph.json"
+        graph.save(target, root="/srv/app")
+        payload = target.read_text().replace(
+            f'"version": "{ANALYZER_CACHE_VERSION}"', '"version": "0"'
+        )
+        target.write_text(payload)
+        assert DependencyGraph.load(target, root="/srv/app") is None
+
+    def test_load_survives_garbage(self, tmp_path):
+        target = tmp_path / "depgraph.json"
+        target.write_text("{ not json")
+        assert DependencyGraph.load(target) is None
+        assert DependencyGraph.load(tmp_path / "missing.json") is None

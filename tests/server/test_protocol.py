@@ -1,0 +1,111 @@
+"""Protocol round-trip tests: a malformed request must produce a
+structured error on the same connection — never a disconnect — and
+well-formed requests must validate exactly as documented."""
+
+import json
+import socket
+
+import pytest
+
+from repro.server import protocol
+from repro.server.protocol import ProtocolError, parse_request
+
+
+class TestParseRequest:
+    def test_valid_request_round_trip(self):
+        request = parse_request(
+            json.dumps({"id": 7, "op": "analyze", "pages": ["a.php"]})
+        )
+        assert request == {
+            "id": 7, "op": "analyze", "params": {"pages": ["a.php"]}
+        }
+
+    def test_params_exclude_envelope_keys(self):
+        request = parse_request('{"op": "invalidate", "paths": ["x.php"]}')
+        assert request["id"] is None
+        assert request["params"] == {"paths": ["x.php"]}
+
+    @pytest.mark.parametrize("line, code", [
+        ("{not json", protocol.MALFORMED_JSON),
+        ("[1, 2]", protocol.INVALID_REQUEST),
+        ('"just a string"', protocol.INVALID_REQUEST),
+        ('{"id": 1}', protocol.INVALID_REQUEST),
+        ('{"op": 42}', protocol.INVALID_REQUEST),
+        ('{"op": "frobnicate"}', protocol.UNKNOWN_OP),
+        ('{"op": "invalidate"}', protocol.INVALID_PARAMS),
+        ('{"op": "invalidate", "paths": "x.php"}', protocol.INVALID_PARAMS),
+        ('{"op": "invalidate", "paths": [1]}', protocol.INVALID_PARAMS),
+        ('{"op": "analyze", "pages": "a.php"}', protocol.INVALID_PARAMS),
+        ('{"op": "analyze", "audit": "yes"}', protocol.INVALID_PARAMS),
+        ('{"op": "analyze", "bogus": 1}', protocol.INVALID_PARAMS),
+        ('{"op": "ping", "extra": true}', protocol.INVALID_PARAMS),
+        ('{"op": "ping", "id": {"a": 1}}', protocol.INVALID_REQUEST),
+    ])
+    def test_invalid_requests_raise_typed_errors(self, line, code):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request(line)
+        assert excinfo.value.code == code
+
+    def test_error_carries_request_id_when_recoverable(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_request('{"id": "req-9", "op": "nope"}')
+        assert excinfo.value.request_id == "req-9"
+
+    def test_bytes_input_accepted(self):
+        assert parse_request(b'{"op": "ping"}')["op"] == "ping"
+
+    def test_encode_is_one_line(self):
+        wire = protocol.encode({"op": "ping", "id": 1})
+        assert wire.endswith(b"\n")
+        assert wire.count(b"\n") == 1
+
+
+class TestWireErrorHandling:
+    """Malformed traffic against a live daemon: structured error, same
+    connection keeps working."""
+
+    @pytest.fixture
+    def app(self, tmp_path):
+        (tmp_path / "index.php").write_text(
+            "<?php mysql_query('SELECT 1'); ?>"
+        )
+        return tmp_path
+
+    def _raw_exchange(self, port, lines):
+        with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+            stream = sock.makefile("rwb")
+            responses = []
+            for line in lines:
+                stream.write(line)
+                stream.flush()
+                responses.append(json.loads(stream.readline()))
+            return responses
+
+    def test_malformed_then_valid_on_same_connection(self, app, start_daemon):
+        harness = start_daemon(app)
+        garbage_then_ping = [b"this is not json\n", b'{"op": "ping"}\n']
+        error, pong = self._raw_exchange(harness.port, garbage_then_ping)
+        assert error["ok"] is False
+        assert error["id"] is None
+        assert error["error"]["code"] == protocol.MALFORMED_JSON
+        assert pong["ok"] is True
+        assert pong["result"]["pong"] is True
+
+    def test_unknown_op_echoes_id(self, app, start_daemon):
+        harness = start_daemon(app)
+        (response,) = self._raw_exchange(
+            harness.port, [b'{"id": 3, "op": "explode"}\n']
+        )
+        assert response == {
+            "id": 3,
+            "ok": False,
+            "error": response["error"],
+        }
+        assert response["error"]["code"] == protocol.UNKNOWN_OP
+
+    def test_blank_lines_are_skipped(self, app, start_daemon):
+        harness = start_daemon(app)
+        (pong,) = self._raw_exchange(
+            harness.port, [b"\n\n" + b'{"op": "ping"}\n']
+        )
+        assert pong["ok"] is True

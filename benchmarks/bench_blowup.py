@@ -11,7 +11,6 @@ by a threshold) and measure both sides of the trade here.
 import pytest
 
 from repro.analysis.absdom import GrammarBuilder
-from repro.lang.charset import CharSet
 from repro.lang.fst import FST
 
 

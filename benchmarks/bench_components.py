@@ -1,7 +1,6 @@
 """Component micro-benchmarks: the substrate operations the two phases
 are built from (useful for tracking regressions in the hot paths)."""
 
-import pytest
 
 from repro.analysis import quotes
 from repro.analysis.absdom import GrammarBuilder

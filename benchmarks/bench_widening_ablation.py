@@ -11,7 +11,7 @@ query value and asserts the precision difference.
 import pytest
 
 from repro.analysis.absdom import GrammarBuilder
-from repro.lang.grammar import DIRECT, Lit
+from repro.lang.grammar import Lit
 
 
 def loop_built_query(builder: GrammarBuilder):

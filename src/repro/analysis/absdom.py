@@ -17,7 +17,7 @@ from typing import Iterable
 from repro.lang.charset import CharSet
 from repro.lang.fsa import DFA, NFA
 from repro.lang.fst import FST, FSTExplosion
-from repro.lang.grammar import DIRECT, Grammar, INDIRECT, Lit, Nonterminal, Symbol
+from repro.lang.grammar import Grammar, Lit, Nonterminal, Symbol
 from repro.lang.image import fst_image, regular_image
 from repro.lang.intersect import intersect
 from repro.lang.regex import Pattern, search_language

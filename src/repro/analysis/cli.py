@@ -71,6 +71,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.server.client import client_main
 
         return client_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        from repro.oracle.fuzz import fuzz_main
+
+        return fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="sqlciv",
         description=(

@@ -20,10 +20,9 @@ import logging
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.lang.charset import CharSet
 from repro.lang.fsa import NFA
-from repro.lang.grammar import DIRECT, Grammar, INDIRECT, Nonterminal
-from repro.lang.regex import Pattern, search_language
+from repro.lang.grammar import Grammar, INDIRECT, Nonterminal
+from repro.lang.regex import Pattern
 from repro.perf import PERF
 from repro.php import ast, builtins
 from repro.trace import TRACE
@@ -1032,7 +1031,6 @@ class StringTaintAnalysis:
         if shape == "array":
             return ArrVal(default=scalar)
         if shape == "object":
-            obj = ObjVal(class_name="<row>")
             # property reads fall back to Σ*; make them INDIRECT via default
             return ArrVal(default=scalar)
         return scalar

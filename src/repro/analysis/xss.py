@@ -23,7 +23,7 @@ from pathlib import Path
 
 from repro.lang.fsa import DFA, NFA
 from repro.lang.charset import CharSet
-from repro.lang.grammar import Grammar, Nonterminal
+from repro.lang.grammar import Grammar
 from repro.lang.intersect import intersect, intersection_is_empty
 
 from .policy import maximal_labeled

@@ -182,7 +182,6 @@ class TaintOnlyAnalysis:
             self.classes.setdefault(stmt.name, stmt)
 
     def _include(self, stmt: ast.Include, env: dict[str, Taint]) -> None:
-        from repro.analysis.absdom import GrammarBuilder
         from repro.analysis.stringtaint import StringTaintAnalysis
 
         # reuse the grammar machinery only to resolve the path statically

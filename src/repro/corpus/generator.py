@@ -10,10 +10,19 @@ The §5.3 claims need workloads with tunable knobs:
 
 Everything is deterministic (seeded by position, not RNG) so benchmark
 runs are comparable.
+
+:func:`generate_fuzz_page` is the randomized sibling used by the
+differential oracle (``sqlciv fuzz``): it samples pages from construct
+pools covering the analysis subset — input reads, sanitizer chains,
+regex/equality/switch conditionals, concatenation loops, helper
+includes, mixed safe and vulnerable sinks.  All randomness flows
+through the caller's single ``random.Random`` so a seed reproduces the
+corpus byte-for-byte.
 """
 
 from __future__ import annotations
 
+import random
 from pathlib import Path
 
 from .snippets import db_class, formatting_helpers, page_shell
@@ -92,3 +101,271 @@ $DB = new GenDB('localhost', 'gen', 'gen', 'gen');
             )
         )
     return app
+
+
+# ---------------------------------------------------------------------------
+# randomized pages for the differential oracle
+# ---------------------------------------------------------------------------
+
+#: sanitizer expression templates; ``%s`` is the subject expression
+_FUZZ_SANITIZERS = [
+    "addslashes(%s)",
+    "mysql_real_escape_string(%s)",
+    "htmlspecialchars(%s)",
+    "str_replace(\"'\", \"''\", %s)",
+    "preg_replace('/[^0-9a-z]/', '', %s)",
+    "preg_replace('/[^0-9]/', '', %s)",
+    "trim(%s)",
+    "strtolower(%s)",
+    "strtoupper(%s)",
+    "ucfirst(%s)",
+    "substr(%s, 0, 10)",
+    "sprintf('[%%s]', %s)",
+    "str_pad(%s, 6, '_')",
+    "stripslashes(%s)",
+    "strval(intval(%s))",
+]
+
+_FUZZ_GUARDS = [
+    "/^[0-9]+$/",
+    "/^[a-z]+$/",
+    "/^[0-9a-zA-Z_]*$/",
+]
+
+_FUZZ_WORDS = ["red", "blue", "list", "edit", "name", "item", "left", "top"]
+_FUZZ_TABLES = ["users", "items", "log", "posts"]
+_FUZZ_COLUMNS = ["name", "tag", "title", "owner"]
+_FUZZ_PARAMS = ["id", "q", "mode", "tag", "page", "sort"]
+
+
+class _FuzzPage:
+    """Accumulates one sampled page: lines + the live variable pool."""
+
+    def __init__(self, rng: random.Random, helper_count: int) -> None:
+        self.rng = rng
+        self.lines: list[str] = []
+        self.vars: list[str] = []
+        self.counter = 0
+        self.helper_count = helper_count
+
+    def fresh(self) -> str:
+        self.counter += 1
+        return f"v{self.counter}"
+
+    def pick_var(self) -> str:
+        return self.rng.choice(self.vars)
+
+    def word(self) -> str:
+        return self.rng.choice(_FUZZ_WORDS)
+
+    def sanitized(self, subject: str) -> str:
+        return self.rng.choice(_FUZZ_SANITIZERS) % subject
+
+
+def _fz_input(page: _FuzzPage) -> None:
+    rng = page.rng
+    var = page.fresh()
+    key = rng.choice(_FUZZ_PARAMS)
+    source = rng.choice(["_GET", "_GET", "_POST", "_COOKIE", "_REQUEST"])
+    if rng.random() < 0.6:
+        page.lines.append(
+            f"${var} = isset(${source}['{key}']) ? ${source}['{key}'] "
+            f": '{page.word()}';"
+        )
+    else:
+        page.lines.append(f"${var} = ${source}['{key}'];")
+    page.vars.append(var)
+
+
+def _fz_sanitize(page: _FuzzPage) -> None:
+    source = page.pick_var()
+    target = source if page.rng.random() < 0.5 else page.fresh()
+    page.lines.append(f"${target} = {page.sanitized('$' + source)};")
+    if target not in page.vars:
+        page.vars.append(target)
+
+
+def _fz_combine(page: _FuzzPage) -> None:
+    rng = page.rng
+    var = page.fresh()
+    a, b = page.pick_var(), page.pick_var()
+    template = rng.choice(
+        [
+            f"${var} = ${a} . '-{page.word()}-' . ${b};",
+            f"${var} = '{page.word()}:' . ${a};",
+            f"${var} = sprintf('%s/%s', ${a}, ${b});",
+        ]
+    )
+    page.lines.append(template)
+    page.vars.append(var)
+
+
+def _fz_conditional(page: _FuzzPage) -> None:
+    rng = page.rng
+    a = page.pick_var()
+    kind = rng.randrange(4)
+    if kind == 0:
+        guard = rng.choice(_FUZZ_GUARDS)
+        page.lines.extend(
+            [
+                f"if (preg_match('{guard}', ${a})) {{",
+                f"    ${a} = '{page.word()}' . ${a};",
+                "} else {",
+                f"    ${a} = '{page.word()}';",
+                "}",
+            ]
+        )
+    elif kind == 1:
+        lit = page.word()
+        other = page.pick_var()
+        page.lines.extend(
+            [
+                f"if (${a} == '{lit}') {{",
+                f"    ${other} = ${other} . '+';",
+                "} else {",
+                f"    ${a} = {page.sanitized('$' + a)};",
+                "}",
+            ]
+        )
+    elif kind == 2:
+        var = page.fresh()
+        page.lines.append(
+            f"${var} = (${a} == '') ? '{page.word()}' : ${a};"
+        )
+        page.vars.append(var)
+    else:
+        labels = rng.sample(_FUZZ_WORDS, 2)
+        page.lines.extend(
+            [
+                f"switch (${a}) {{",
+                f"case '{labels[0]}':",
+                f"    ${a} = '{labels[0]}_1';",
+                "    break;",
+                f"case '{labels[1]}':",
+                f"    ${a} = '{labels[1]}_2';",
+                "    break;",
+                "default:",
+                f"    ${a} = {page.sanitized('$' + a)};",
+                "}",
+            ]
+        )
+
+
+def _fz_loop(page: _FuzzPage) -> None:
+    rng = page.rng
+    a = page.pick_var()
+    kind = rng.randrange(3)
+    if kind == 0:
+        acc = page.fresh()
+        count = rng.randrange(2, 5)
+        page.lines.extend(
+            [
+                f"${acc} = '';",
+                f"for ($i = 0; $i < {count}; $i = $i + 1) {{",
+                f"    ${acc} = ${acc} . ${a} . ',';",
+                "}",
+            ]
+        )
+        page.vars.append(acc)
+    elif kind == 1:
+        acc = page.fresh()
+        page.lines.extend(
+            [
+                f"${acc} = '';",
+                f"foreach (explode(',', ${a}) as $piece) {{",
+                f"    ${acc} = ${acc} . addslashes($piece) . ';';",
+                "}",
+            ]
+        )
+        page.vars.append(acc)
+    else:
+        var = page.fresh()
+        table = rng.choice(_FUZZ_TABLES)
+        page.lines.extend(
+            [
+                f"${var} = '{page.word()}';",
+                f"$result = mysql_query(\"SELECT a FROM {table}\");",
+                "while ($row = mysql_fetch_assoc($result)) {",
+                f"    ${var} = $row['a'];",
+                "}",
+            ]
+        )
+        page.vars.append(var)
+
+
+def _fz_helper_call(page: _FuzzPage) -> None:
+    if not page.helper_count:
+        return
+    index = page.rng.randrange(page.helper_count)
+    var = page.fresh()
+    page.lines.append(f"${var} = fz_clean{index}(${page.pick_var()});")
+    page.vars.append(var)
+
+
+def _fz_sink(page: _FuzzPage) -> None:
+    rng = page.rng
+    a = page.pick_var()
+    subject = f"${a}" if rng.random() < 0.55 else page.sanitized(f"${a}")
+    table = rng.choice(_FUZZ_TABLES)
+    column = rng.choice(_FUZZ_COLUMNS)
+    sink = rng.choice(["mysql_query", "mysql_query", "pg_query", "sqlite_query"])
+    template = rng.choice(
+        [
+            f'{sink}("SELECT * FROM {table} WHERE {column} = \'" . {subject} . "\'");',
+            f'{sink}("SELECT * FROM {table} WHERE id = " . {subject});',
+            f'{sink}("UPDATE {table} SET {column} = \'" . {subject} . "\' '
+            f'WHERE k = {rng.randrange(100)}");',
+            f'{sink}("DELETE FROM {table} WHERE {column} = \'" . {subject} . "\'");',
+        ]
+    )
+    page.lines.append(template)
+
+
+_FUZZ_CONSTRUCTS = [
+    (_fz_input, 2),
+    (_fz_sanitize, 5),
+    (_fz_combine, 3),
+    (_fz_conditional, 4),
+    (_fz_loop, 3),
+    (_fz_helper_call, 2),
+    (_fz_sink, 3),
+]
+
+
+def generate_fuzz_page(
+    root: str | Path, rng: random.Random, statements: int = 10
+) -> str:
+    """Write one randomized page (plus a helper include) under ``root``.
+
+    Returns the entry path relative to ``root``.  Only constructs both
+    the analysis and the concrete oracle interpreter support are
+    emitted, so every sampled execution stays inside the mirrored
+    subset (see :mod:`repro.oracle.interp`).
+    """
+    app = Path(root)
+    (app / "includes").mkdir(parents=True, exist_ok=True)
+
+    helper_count = rng.randrange(1, 4)
+    helper_functions = []
+    for index in range(helper_count):
+        body = rng.choice(_FUZZ_SANITIZERS) % "$x"
+        if rng.random() < 0.5:
+            body = rng.choice(_FUZZ_SANITIZERS) % body
+        helper_functions.append(
+            f"function fz_clean{index}($x)\n{{\n    return {body};\n}}\n"
+        )
+    (app / "includes" / "clean.php").write_text(
+        "<?php\n" + "\n".join(helper_functions)
+    )
+
+    page = _FuzzPage(rng, helper_count)
+    page.lines.append("require_once 'includes/clean.php';")
+    for _ in range(rng.randrange(2, 4)):
+        _fz_input(page)
+    weighted = [fn for fn, weight in _FUZZ_CONSTRUCTS for _ in range(weight)]
+    for _ in range(statements):
+        rng.choice(weighted)(page)
+    _fz_sink(page)
+
+    (app / "index.php").write_text("<?php\n" + "\n".join(page.lines) + "\n")
+    return "index.php"

@@ -16,7 +16,6 @@ content that this module reproduces:
 from __future__ import annotations
 
 import tempfile
-import textwrap
 from pathlib import Path
 
 from repro.analysis.analyzer import analyze_page

@@ -13,7 +13,6 @@ includes are deduplicated by source location.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 

@@ -30,7 +30,7 @@ from collections import defaultdict
 
 from .charset import CharSet
 from .fsa import NFA
-from .grammar import Grammar, Lit, Nonterminal, Rhs, Symbol, is_terminal
+from .grammar import Grammar, Lit, Nonterminal, Rhs, Symbol
 
 
 def _sccs(grammar: Grammar) -> dict[Nonterminal, int]:

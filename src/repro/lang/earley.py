@@ -24,10 +24,12 @@ Two pieces live here:
 
 from __future__ import annotations
 
-import itertools
-from collections import defaultdict
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # symbol-level grammars, lowered by char_token_grammar
+    from .charset import CharSet
+    from .grammar import Grammar, Nonterminal
 
 
 class TokenGrammar:
@@ -405,3 +407,79 @@ def derivability(
     if mapping is None:
         return Derivability(False, reason="no consistent mapping verified")
     return Derivability(True, mapping=mapping)
+
+
+# ---------------------------------------------------------------------------
+# character-level membership in a symbol grammar
+# ---------------------------------------------------------------------------
+#
+# The differential oracle (:mod:`repro.oracle`) must decide, for every
+# concrete query a fuzzed page produces, whether the string is a member
+# of the hotspot's analysis grammar.  :meth:`Grammar.generates` answers
+# that with a per-query CYK over a binarized copy — fine for tests,
+# too slow inside a fuzz loop that asks thousands of membership queries
+# against the *same* grammar.  Here we lower the symbol grammar once to
+# a character-level :class:`TokenGrammar` (literals split into
+# single-character tokens, each distinct ``CharSet`` interned as one
+# placeholder token) and answer each query with the Earley recognizer
+# above, using ``match_classes`` to let an input character scan any
+# charset token that contains it.
+
+
+def char_token_grammar(
+    grammar: "Grammar", root: "Nonterminal"
+) -> tuple[TokenGrammar, dict[str, "CharSet"]]:
+    """Lower ``grammar`` (rooted at ``root``) to a char-level token
+    grammar.  Returns the token grammar plus the interning table mapping
+    placeholder tokens back to their charsets.
+
+    Nonterminals are renamed to canonical indices, so equal-fingerprint
+    grammars lower to identical token grammars.  Production-less
+    nonterminals (pure labels) become nonterminals with an empty rule
+    list — the empty language, which is the correct reading: nothing is
+    derivable from them.
+    """
+    from .charset import CharSet
+    from .grammar import Lit
+
+    order = grammar.canonical_order(root)
+    names = {nt: f"N{i}" for i, nt in enumerate(order)}
+    lowered = TokenGrammar(names[root])
+    charset_tokens: dict[str, CharSet] = {}
+    interned: dict[CharSet, str] = {}
+    for nt in order:
+        name = names[nt]
+        lowered.productions.setdefault(name, [])
+        for rhs in grammar.productions.get(nt, ()):
+            tokens: list[str] = []
+            for symbol in rhs:
+                if isinstance(symbol, Lit):
+                    tokens.extend(symbol.text)
+                elif isinstance(symbol, CharSet):
+                    token = interned.get(symbol)
+                    if token is None:
+                        token = f"⟨cs{len(interned)}⟩"
+                        interned[symbol] = token
+                        charset_tokens[token] = symbol
+                    tokens.append(token)
+                else:
+                    tokens.append(names[symbol])
+            lowered.add(name, tokens)
+    return lowered, charset_tokens
+
+
+def char_membership(
+    prepared: tuple[TokenGrammar, dict[str, "CharSet"]], text: str
+) -> bool:
+    """Is ``text`` in the language of a grammar lowered by
+    :func:`char_token_grammar`?  ``prepared`` is that function's result —
+    build it once per hotspot and reuse it across queries."""
+    lowered, charset_tokens = prepared
+    match_classes = {
+        char: frozenset(
+            {char}
+            | {token for token, charset in charset_tokens.items() if char in charset}
+        )
+        for char in set(text)
+    }
+    return parse_sentential_form(lowered, lowered.start, list(text), match_classes)

@@ -26,7 +26,7 @@ them, and their absence keeps the grammar-image construction simple.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from .charset import CharSet

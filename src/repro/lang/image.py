@@ -21,7 +21,7 @@ from repro.perf import PERF
 from repro.trace import TRACE
 
 from .charset import CharSet
-from .fst import FST, FSTExplosion, Output, map_marker_charset, render_output
+from .fst import FST, FSTExplosion, map_marker_charset, render_output
 from .grammar import Grammar, Lit, Nonterminal, Rhs, Symbol, is_terminal
 
 

@@ -24,7 +24,7 @@ languages coincide), alternation, capturing and ``(?:…)`` groups, and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .charset import ALNUM, CharSet, DIGITS, SPACE, WORD
 from .fsa import NFA
@@ -189,9 +189,8 @@ class _Parser:
                 break
             # lazy / possessive modifiers do not change the language
             if self.peek() in ("?", "+") and isinstance(atom, Repeat):
-                mark = self.pos
                 modifier = self.take()
-                if modifier == "+" :
+                if modifier == "+":
                     # possessive: language-equal for our purposes
                     pass
         return atom

@@ -1,0 +1,24 @@
+"""Differential soundness oracle (ISSUE 5).
+
+The static analysis promises (Theorem 3.4) that every string a page can
+pass to a SQL sink is a member of the hotspot's grammar, and the policy
+layer promises that a *safe* verdict means every tainted substring is
+syntactically confined.  This package tests both promises dynamically:
+
+* :mod:`repro.oracle.interp` — a concrete mini-interpreter for the
+  supported PHP subset: executes a page under a sampled input vector,
+  with real semantics for every builtin modeled in
+  :mod:`repro.php.builtins`, and captures the exact (taint-annotated)
+  string reaching each sink;
+* :mod:`repro.oracle.differ` — runs analysis + interpreter on the same
+  page and cross-checks membership and verdicts; any mismatch is a
+  :class:`~repro.oracle.differ.Divergence`;
+* :mod:`repro.oracle.fuzz` — the generative driver behind
+  ``sqlciv fuzz``: random pages, random vectors, shrinking reproducers.
+
+The oracle *witnesses unsoundness*; it can never prove soundness (see
+DESIGN.md §5f).
+"""
+
+from .differ import Divergence, diff_page  # noqa: F401
+from .interp import ConcreteHit, InputVector, UnsupportedConstruct, execute_page  # noqa: F401

@@ -9,7 +9,7 @@ keeps bodies raw), including the simple ``$var`` / ``$arr[key]`` /
 from __future__ import annotations
 
 from . import ast
-from .lexer import IDENT_CHARS, IDENT_START, PhpLexError, Token, lex
+from .lexer import IDENT_CHARS, IDENT_START, Token, lex
 
 
 class PhpParseError(ValueError):

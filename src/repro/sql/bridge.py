@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from repro.lang.charset import CharSet, DIGITS, WORD
 from repro.lang.earley import TokenGrammar
 from repro.lang.fsa import DFA
-from repro.lang.grammar import Grammar, Lit, Nonterminal, Symbol, is_terminal
+from repro.lang.grammar import Grammar, Lit, Nonterminal, Symbol
 from repro.lang.intersect import intersection_is_empty
 from repro.lang.regex import full_match_language, parse_regex
 from .lexer import KEYWORDS, SqlLexError, tokenize

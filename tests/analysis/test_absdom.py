@@ -1,7 +1,7 @@
 """Tests for the GrammarBuilder abstract domain."""
 
 from repro.analysis.absdom import GrammarBuilder
-from repro.analysis.values import ArrVal, StrVal
+from repro.analysis.values import ArrVal
 from repro.lang.charset import CharSet, DIGITS
 from repro.lang.fst import FST
 from repro.lang.grammar import DIRECT, INDIRECT

@@ -3,7 +3,6 @@
 import json
 import textwrap
 
-import pytest
 
 from repro.analysis.analyzer import analyze_project, audit_entry
 from repro.analysis.audit import AuditTrail, audit_page

@@ -5,7 +5,6 @@ import os
 import time
 from pathlib import Path
 
-import pytest
 
 from repro.perf import PERF
 from repro.analysis.diskcache import DiskCache

@@ -8,7 +8,7 @@ from repro.lang.approx import (
     regular_approximation,
     strongly_regular_to_nfa,
 )
-from repro.lang.charset import CharSet, DIGITS
+from repro.lang.charset import DIGITS
 from repro.lang.grammar import DIRECT, Grammar, Lit
 
 

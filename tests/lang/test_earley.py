@@ -3,7 +3,6 @@
 import pytest
 
 from repro.lang.earley import (
-    Derivability,
     TokenGrammar,
     derivability,
     parse_sentential_form,

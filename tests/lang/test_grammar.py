@@ -1,9 +1,8 @@
 """Tests for the taint-labeled CFG representation."""
 
-import pytest
 
 from repro.lang.charset import CharSet, DIGITS
-from repro.lang.grammar import DIRECT, Grammar, INDIRECT, Lit, Nonterminal
+from repro.lang.grammar import DIRECT, Grammar, INDIRECT, Lit
 
 
 def balanced_grammar():

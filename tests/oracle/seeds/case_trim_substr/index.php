@@ -1,0 +1,7 @@
+<?php
+$q = isset($_REQUEST['q']) ? $_REQUEST['q'] : '';
+$q = substr(trim($q), 0, 12);
+$q = ucfirst(strtolower($q));
+$who = isset($_COOKIE['sort']) ? $_COOKIE['sort'] : 'owner';
+$safe = ($who == 'owner') ? $who : 'owner';
+mysql_query("SELECT * FROM users WHERE name = '" . addslashes($q) . "' ORDER BY " . $safe);

@@ -1,0 +1,4 @@
+<?php
+$note = isset($_POST['note']) ? $_POST['note'] : '';
+$safe = mysql_real_escape_string($note);
+mysql_query("INSERT INTO log VALUES ('" . $safe . "')");

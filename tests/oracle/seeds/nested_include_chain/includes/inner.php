@@ -1,0 +1,5 @@
+<?php
+function seed_quote($v)
+{
+    return "'" . addslashes($v) . "'";
+}

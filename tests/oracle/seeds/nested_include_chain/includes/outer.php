@@ -1,0 +1,6 @@
+<?php
+require_once 'includes/inner.php';
+function seed_clean($v)
+{
+    return seed_quote(trim(strtolower($v)));
+}

@@ -1,0 +1,4 @@
+<?php
+require_once 'includes/outer.php';
+$tag = isset($_GET['tag']) ? $_GET['tag'] : 'All';
+mysql_query("SELECT * FROM posts WHERE tag = " . seed_clean($tag));

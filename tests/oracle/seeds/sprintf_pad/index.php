@@ -1,0 +1,7 @@
+<?php
+$id = isset($_GET['id']) ? $_GET['id'] : '0';
+$name = isset($_POST['name']) ? $_POST['name'] : 'anon';
+$label = sprintf('%05d-%s', intval($id), addslashes($name));
+$pad = str_pad($name, 8, '_');
+mysql_query("SELECT * FROM users WHERE label = '" . addslashes($label) . "'");
+pg_query("UPDATE users SET tag = '" . addslashes($pad) . "' WHERE k = 3");

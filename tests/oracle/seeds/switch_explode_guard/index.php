@@ -1,0 +1,25 @@
+<?php
+$mode = isset($_GET['mode']) ? $_GET['mode'] : 'list';
+switch ($mode) {
+case 'list':
+    $order = 'name';
+    break;
+case 'edit':
+    $order = 'id';
+    break;
+default:
+    $order = 'name';
+    $mode = 'list';
+}
+sqlite_query("SELECT * FROM items ORDER BY " . $mode);
+$tags = isset($_GET['tags']) ? $_GET['tags'] : '';
+$acc = '';
+foreach (explode(',', $tags) as $piece) {
+    $acc = $acc . "'" . addslashes($piece) . "',";
+}
+if (preg_match('/^[0-9]+$/', $_GET['page'])) {
+    $page = $_GET['page'];
+} else {
+    $page = '1';
+}
+mysql_query("SELECT * FROM items WHERE tag IN (" . $acc . "'x') LIMIT " . $page);

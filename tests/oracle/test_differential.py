@@ -1,0 +1,115 @@
+"""Differential-oracle regression tests.
+
+* every minimized seed page under ``seeds/`` replays deterministically
+  with zero divergences (membership + verdict agreement);
+* a deliberately broken builtin model (an under-approximating
+  ``addslashes``) is caught as a membership divergence and minimized to
+  a small reproducer;
+* the fuzz corpus is byte-identical across runs with the same seed;
+* the concrete registry covers every abstractly-modeled builtin, so the
+  two sides cannot drift silently.
+"""
+
+import json
+import random
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.corpus.generator import generate_fuzz_page
+from repro.oracle import InputVector, diff_page
+from repro.oracle.fuzz import minimize_page, minimize_vector, sample_vector
+from repro.php import builtins
+
+SEEDS = sorted(
+    path
+    for path in (Path(__file__).parent / "seeds").iterdir()
+    if path.is_dir()
+)
+
+
+def load_vectors(seed: Path) -> list[InputVector]:
+    data = json.loads((seed / "vectors.json").read_text())
+    return [InputVector.from_dict(entry) for entry in data]
+
+
+@pytest.mark.parametrize("seed", SEEDS, ids=[s.name for s in SEEDS])
+def test_seed_replays_with_zero_divergences(seed):
+    stats = {}
+    divergences = diff_page(seed, "index.php", load_vectors(seed), stats=stats)
+    assert divergences == []
+    assert stats["skipped"] == 0, "seed left the mirrored subset"
+    assert stats["hits"] > 0, "seed no longer reaches any sink"
+
+
+class TestPlantedDivergence:
+    """An *under-approximating* model must be caught.  (An identity
+    model would not be: the oracle witnesses unsoundness, nothing
+    else.)"""
+
+    @pytest.fixture()
+    def broken_addslashes(self):
+        original = builtins.BUILTINS["addslashes"]
+        builtins.BUILTINS["addslashes"] = builtins._regular_handler(
+            r"[0-9a-zA-Z ]*", "broken_addslashes", taint_arg=0
+        )
+        try:
+            yield
+        finally:
+            builtins.BUILTINS["addslashes"] = original
+
+    def test_caught_and_minimized(self, broken_addslashes, tmp_path):
+        app = tmp_path / "app"
+        shutil.copytree(Path(__file__).parent / "seeds" / "sprintf_pad", app)
+        vector = InputVector(get={"id": "3"}, post={"name": "a'b"})
+        divergences = diff_page(app, "index.php", [vector])
+        assert divergences, "under-approximating model not caught"
+        assert divergences[0].kind == "membership"
+
+        minimize_page(app, "index.php", vector, "membership")
+        vector = minimize_vector(app, "index.php", vector, "membership")
+        source = (app / "index.php").read_text()
+        assert len(source.splitlines()) <= 30
+        assert diff_page(app, "index.php", [vector]), (
+            "minimized page no longer reproduces"
+        )
+
+    def test_clean_model_has_no_divergence(self, tmp_path):
+        app = tmp_path / "app"
+        shutil.copytree(Path(__file__).parent / "seeds" / "sprintf_pad", app)
+        vector = InputVector(get={"id": "3"}, post={"name": "a'b"})
+        assert diff_page(app, "index.php", [vector]) == []
+
+
+class TestDeterminism:
+    def test_same_seed_generates_identical_corpus(self, tmp_path):
+        trees = []
+        for run in range(2):
+            root = tmp_path / f"run{run}"
+            rng = random.Random(20_260_806)
+            for index in range(3):
+                generate_fuzz_page(root / f"page{index}", rng)
+            trees.append(
+                {
+                    str(path.relative_to(root)): path.read_bytes()
+                    for path in sorted(root.rglob("*.php"))
+                }
+            )
+        assert trees[0] == trees[1]
+        assert trees[0], "corpus generation produced no files"
+
+    def test_same_seed_samples_identical_vectors(self):
+        first = [sample_vector(random.Random(7)).as_dict() for _ in range(5)]
+        second = [sample_vector(random.Random(7)).as_dict() for _ in range(5)]
+        assert first == second
+
+
+def test_every_abstract_model_has_a_concrete_counterpart():
+    """The drift guard: a builtin modeled for the analysis must either
+    have a concrete implementation or be an explicit no-effect name —
+    otherwise the interpreter would silently under-execute it."""
+    uncovered = (
+        set(builtins.BUILTINS) - set(builtins.CONCRETE) - set(builtins.NO_EFFECT)
+    )
+    assert uncovered == set()

@@ -1,0 +1,232 @@
+"""Unit tests for the concrete oracle interpreter: taint weaving,
+refinement mirroring, subset boundaries, and the char-level Earley
+membership primitive it feeds."""
+
+import pytest
+
+from repro.lang.charset import CharSet
+from repro.lang.earley import char_membership, char_token_grammar
+from repro.lang.grammar import DIRECT, Grammar, Lit, Nonterminal
+from repro.oracle.interp import (
+    InputVector,
+    TStr,
+    UnsupportedConstruct,
+    execute_page,
+)
+
+
+def write_page(tmp_path, source, name="index.php"):
+    (tmp_path / name).write_text(source)
+    return name
+
+
+def run(tmp_path, source, vector):
+    return execute_page(tmp_path, write_page(tmp_path, source), vector)
+
+
+class TestTaintWeaving:
+    def test_concat_tracks_exact_spans(self, tmp_path):
+        hits = run(
+            tmp_path,
+            "<?php\n"
+            "$v = $_GET['q'];\n"
+            "mysql_query(\"SELECT '\" . $v . \"' AND '\" . $v . \"'\");\n",
+            InputVector(get={"q": "ab"}),
+        )
+        assert len(hits) == 1
+        assert hits[0].query == "SELECT 'ab' AND 'ab'"
+        assert hits[0].runs == [(8, 10, True), (17, 19, True)]
+
+    def test_addslashes_preserves_charwise_spans(self, tmp_path):
+        hits = run(
+            tmp_path,
+            "<?php\nmysql_query(\"x = '\" . addslashes($_GET['q']) . \"'\");\n",
+            InputVector(get={"q": "a'b"}),
+        )
+        assert hits[0].query == "x = 'a\\'b'"
+        assert hits[0].runs == [(5, 9, True)]
+
+    def test_substr_slices_taint(self, tmp_path):
+        hits = run(
+            tmp_path,
+            "<?php\n"
+            "$v = 'keep' . $_GET['q'];\n"
+            "mysql_query(substr($v, 4, 2));\n",
+            InputVector(get={"q": "abcd"}),
+        )
+        assert hits[0].query == "ab"
+        assert hits[0].runs == [(0, 2, True)]
+
+    def test_sprintf_splices_string_args_only(self, tmp_path):
+        hits = run(
+            tmp_path,
+            "<?php\n"
+            "mysql_query(sprintf('id=%05d name=%s', intval($_GET['i']), "
+            "$_GET['n']));\n",
+            InputVector(get={"i": "42", "n": "bob"}),
+        )
+        assert hits[0].query == "id=00042 name=bob"
+        # only the %s splice is tainted; the %05d render is not
+        assert hits[0].runs == [(14, 17, True)]
+
+    def test_explode_pieces_keep_offsets(self, tmp_path):
+        hits = run(
+            tmp_path,
+            "<?php\n"
+            "$parts = explode(',', $_GET['q']);\n"
+            "mysql_query('k = ' . $parts[1]);\n",
+            InputVector(get={"q": "aa,bb,cc"}),
+        )
+        assert hits[0].query == "k = bb"
+        assert hits[0].runs == [(4, 6, True)]
+
+    def test_fetch_row_is_indirect_tainted(self, tmp_path):
+        hits = run(
+            tmp_path,
+            "<?php\n"
+            "$r = mysql_query('SELECT a FROM t');\n"
+            "while ($row = mysql_fetch_assoc($r)) {\n"
+            "    mysql_query(\"v = '\" . addslashes($row['a']) . \"'\");\n"
+            "}\n",
+            InputVector(),
+        )
+        assert [h.query for h in hits] == ["SELECT a FROM t", "v = 'dbv'"]
+        assert hits[1].runs == [(5, 8, True)]
+
+
+class TestRefinementMirror:
+    def test_equality_guard_drops_taint(self, tmp_path):
+        source = (
+            "<?php\n"
+            "$m = $_GET['m'];\n"
+            "if ($m == 'edit') {\n"
+            "    mysql_query('ORDER BY ' . $m);\n"
+            "}\n"
+        )
+        hits = run(tmp_path, source, InputVector(get={"m": "edit"}))
+        assert hits[0].query == "ORDER BY edit"
+        assert hits[0].runs == []
+
+    def test_switch_case_drops_taint(self, tmp_path):
+        source = (
+            "<?php\n"
+            "$m = $_COOKIE['m'];\n"
+            "switch ($m) {\n"
+            "case 'name':\n"
+            "    break;\n"
+            "default:\n"
+            "    $m = 'name';\n"
+            "}\n"
+            "mysql_query('ORDER BY ' . $m);\n"
+        )
+        hits = run(tmp_path, source, InputVector(cookie={"m": "name"}))
+        assert hits[0].runs == []
+
+    def test_negative_guard_keeps_taint(self, tmp_path):
+        source = (
+            "<?php\n"
+            "$m = $_GET['m'];\n"
+            "if ($m != 'x') {\n"
+            "    mysql_query(\"t = '\" . addslashes($m) . \"'\");\n"
+            "}\n"
+        )
+        hits = run(tmp_path, source, InputVector(get={"m": "abc"}))
+        assert hits[0].runs == [(5, 8, True)]
+
+
+class TestSubsetBoundaries:
+    def test_break_in_loop_is_unsupported(self, tmp_path):
+        source = (
+            "<?php\n"
+            "for ($i = 0; $i < 3; $i = $i + 1) {\n"
+            "    break;\n"
+            "}\n"
+        )
+        with pytest.raises(UnsupportedConstruct):
+            run(tmp_path, source, InputVector())
+
+    def test_division_by_zero_is_unsupported(self, tmp_path):
+        with pytest.raises(UnsupportedConstruct):
+            run(tmp_path, "<?php\n$x = 1 / 0;\n", InputVector())
+
+    def test_loop_cap_stops_silently(self, tmp_path):
+        source = (
+            "<?php\n"
+            "$s = '';\n"
+            "$i = 0;\n"
+            "while ($i < 1000) {\n"
+            "    $s = $s . 'a';\n"
+            "    $i = $i + 1;\n"
+            "}\n"
+            "mysql_query($s);\n"
+        )
+        hits = run(tmp_path, source, InputVector())
+        assert hits[0].query == "a" * 64
+
+    def test_unknown_function_returns_untainted_empty(self, tmp_path):
+        hits = run(
+            tmp_path,
+            "<?php\nmysql_query('x' . totally_unknown_fn($_GET['q']));\n",
+            InputVector(get={"q": "evil"}),
+        )
+        assert hits[0].query == "x"
+        assert hits[0].runs == []
+
+
+class TestIncludesAndFunctions:
+    def test_user_function_through_include(self, tmp_path):
+        (tmp_path / "lib.php").write_text(
+            "<?php\nfunction wrap($v) { return \"'\" . addslashes($v) . \"'\"; }\n"
+        )
+        hits = run(
+            tmp_path,
+            "<?php\ninclude 'lib.php';\nmysql_query('v = ' . wrap($_GET['q']));\n",
+            InputVector(get={"q": "a'b"}),
+        )
+        assert hits[0].query == "v = 'a\\'b'"
+        assert hits[0].runs == [(5, 9, True)]
+
+    def test_exit_ends_page(self, tmp_path):
+        source = (
+            "<?php\n"
+            "mysql_query('first');\n"
+            "exit;\n"
+            "mysql_query('second');\n"
+        )
+        hits = run(tmp_path, source, InputVector())
+        assert [h.query for h in hits] == ["first"]
+
+
+class TestTStr:
+    def test_segments_merge_and_slice(self):
+        value = TStr.of("ab").concat(TStr.of("cd", frozenset({DIRECT})))
+        assert value.text == "abcd"
+        assert value.tainted_runs() == [(2, 4, True)]
+        assert value.slice(1, 3).tainted_runs() == [(1, 2, True)]
+
+
+class TestCharMembership:
+    def grammar(self):
+        grammar = Grammar()
+        root = Nonterminal("q")
+        digits = Nonterminal("d")
+        grammar.add(root, (Lit("SELECT "), digits))
+        grammar.add(digits, (CharSet.of("0123456789"), digits))
+        grammar.add(digits, (CharSet.of("0123456789"),))
+        return grammar, root
+
+    def test_member_and_non_member(self):
+        grammar, root = self.grammar()
+        prepared = char_token_grammar(grammar, root)
+        assert char_membership(prepared, "SELECT 42")
+        assert not char_membership(prepared, "SELECT 42x")
+        assert not char_membership(prepared, "SELECT ")
+
+    def test_production_less_hole_is_empty_language(self):
+        grammar = Grammar()
+        root = Nonterminal("r")
+        hole = Nonterminal("hole")
+        grammar.add(root, (Lit("a"), hole))
+        prepared = char_token_grammar(grammar, root)
+        assert not char_membership(prepared, "a")
+        assert not char_membership(prepared, "ab")

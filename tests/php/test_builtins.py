@@ -1,9 +1,8 @@
 """Tests for the PHP builtin function models."""
 
-import pytest
 
 from repro.analysis.absdom import GrammarBuilder
-from repro.analysis.values import ArrVal, StrVal
+from repro.analysis.values import ArrVal
 from repro.lang.grammar import DIRECT
 from repro.php import ast, builtins
 

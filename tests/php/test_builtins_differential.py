@@ -25,28 +25,11 @@ from repro.php import ast, builtins
 # ---------------------------------------------------------------------------
 
 
-def php_addslashes(value: str) -> str:
-    out = []
-    for char in value:
-        if char in "'\"\\\0":
-            out.append("\\")
-        out.append(char)
-    return "".join(out)
-
-
-def php_stripslashes(value: str) -> str:
-    out = []
-    i = 0
-    while i < len(value):
-        if value[i] == "\\" and i + 1 < len(value):
-            out.append(value[i + 1])
-            i += 2
-        elif value[i] == "\\":
-            i += 1
-        else:
-            out.append(value[i])
-            i += 1
-    return "".join(out)
+# addslashes/stripslashes references live in builtins itself now (the
+# differential oracle's CONCRETE registry) — real PHP semantics where
+# ``\0`` escapes to backslash-zero and unescapes back to NUL
+php_addslashes = builtins.php_addslashes
+php_stripslashes = builtins.php_stripslashes
 
 
 def php_htmlspecialchars(value: str, ent_quotes: bool = False) -> str:
@@ -79,7 +62,7 @@ class TestFstExactness:
     @given(TEXTS)
     @settings(max_examples=150, deadline=None)
     def test_addslashes(self, text):
-        fst = FST.escape_chars(builtins.ADDSLASHES_CHARS)
+        fst = builtins._addslashes_fst()
         assert fst.apply_once(text) == php_addslashes(text)
 
     @given(TEXTS)
@@ -109,7 +92,7 @@ class TestFstExactness:
     @given(TEXTS)
     @settings(max_examples=100, deadline=None)
     def test_addslashes_then_stripslashes_roundtrip(self, text):
-        add = FST.escape_chars(builtins.ADDSLASHES_CHARS)
+        add = builtins._addslashes_fst()
         strip = builtins._stripslashes_fst()
         assert strip.apply_once(add.apply_once(text)) == text
 

@@ -1,6 +1,5 @@
 """Tests for the soundness-audit construct inventory."""
 
-import pytest
 
 from repro.php import features
 from repro.php.features import ESCAPED, MODELED, WIDENED, inventory_file

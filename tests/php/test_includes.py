@@ -1,7 +1,6 @@
 """Tests for dynamic-include resolution (paper §4)."""
 
 from repro.analysis.absdom import GrammarBuilder
-from repro.lang.charset import CharSet
 from repro.php.includes import IncludeResolver
 
 

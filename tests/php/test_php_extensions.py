@@ -3,7 +3,6 @@ define() constants."""
 
 import textwrap
 
-import pytest
 
 from repro.analysis.stringtaint import StringTaintAnalysis
 from repro.php import ast

@@ -1,0 +1,5 @@
+<?php
+// SAFE (eval): intval confines the untrusted value to an integer
+// literal, which carries no PHP metacharacter
+$n = intval($_GET['n']);
+eval("echo " . $n . ";");

@@ -1,0 +1,5 @@
+<?php
+// VULNERABLE (eval): untrusted text spliced into dynamically evaluated
+// code can close the string literal and run arbitrary PHP
+$msg = $_GET['msg'];
+eval("echo '" . $msg . "';");

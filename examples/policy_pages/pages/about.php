@@ -1,0 +1,2 @@
+<?php
+echo '<p>About this site.</p>';

@@ -1,0 +1,5 @@
+<?php
+// SAFE (path): the character whitelist leaves no '..', '/' or drive
+// prefix in the untrusted part
+$f = preg_replace('/[^a-z0-9_]/', '', $_GET['f']);
+readfile("uploads/" . $f . ".txt");

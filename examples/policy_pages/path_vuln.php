@@ -1,0 +1,7 @@
+<?php
+// VULNERABLE (path): '..' or an absolute path escapes the uploads dir
+$f = $_GET['f'];
+readfile("uploads/" . $f);
+// and the classic dynamic include of a request parameter (scoped to
+// pages/ so include resolution stays inside this example)
+include("pages/" . $_GET['page'] . ".php");

@@ -1,0 +1,5 @@
+<?php
+// SAFE (shell): escapeshellarg wraps the argument in single quotes and
+// escapes embedded quotes, so no metacharacter is reachable unquoted
+$dir = $_GET['dir'];
+system("ls -l " . escapeshellarg($dir));

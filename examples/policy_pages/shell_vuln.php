@@ -1,0 +1,4 @@
+<?php
+// VULNERABLE (shell): raw GET data concatenated into a system() command
+$dir = $_GET['dir'];
+system("ls -l " . $dir);

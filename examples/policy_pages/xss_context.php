@@ -1,0 +1,12 @@
+<?php
+// CONTEXT-SENSITIVE XSS: one value, three output contexts, three
+// different verdicts.  htmlspecialchars with default flags encodes
+// < > " but NOT the single quote.
+$x = htmlspecialchars($_GET['x']);
+// 1. HTML body: safe ('<' cannot appear)
+echo '<p>' . $x . '</p>';
+// 2. single-quoted attribute: VIOLATION (the quote passes through)
+echo "<img alt='" . $x . "'>";
+// 3. URL attribute: VIOLATION (a javascript: prefix needs no
+//    markup character at all)
+echo '<a href="' . $x . '">go</a>';

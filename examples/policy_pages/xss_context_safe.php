@@ -1,0 +1,7 @@
+<?php
+// SAFE counterpart: ENT_QUOTES also encodes the single quote, and the
+// URL attribute only ever receives an integer
+$x = htmlspecialchars($_GET['x'], ENT_QUOTES);
+echo '<p>' . $x . '</p>';
+echo "<img alt='" . $x . "'>";
+echo '<a href="item.php?id=' . intval($_GET['id']) . '">view</a>';

@@ -39,6 +39,16 @@ from .reports import HotspotReport, ProjectReport
 from .stringtaint import StringTaintAnalysis
 
 
+def _check_spot(grammar, spot, policies) -> HotspotReport:
+    """Phase-2 dispatch: SQL hotspots keep the classic cascade path
+    (byte-identical output); policy-recorded hotspots go through their
+    owning :class:`~repro.analysis.policies.SinkPolicy`."""
+    kind = getattr(spot, "kind", "sql")
+    if policies is None or kind == "sql":
+        return check_hotspot(grammar, spot)
+    return policies.policy_for(kind).check(grammar, spot)
+
+
 def analyze_page(
     project_root: str | Path, entry: str | Path, audit: AuditTrail | None = None
 ) -> tuple[list[HotspotReport], StringTaintAnalysis]:
@@ -208,6 +218,7 @@ def _analyze_one_page(
     parse_cache: dict,
     resolver: IncludeResolver,
     disk_cache: DiskCache | None,
+    policies=None,
 ) -> PageResult:
     """The two-phase analysis of a single entry page."""
     started = time.perf_counter()
@@ -218,6 +229,7 @@ def _analyze_one_page(
         resolver=resolver,
         audit=trail,
         disk_cache=disk_cache,
+        policies=policies,
     )
     with TRACE.span("phase1") as phase1_span:
         with PERF.timer("phase1.string_analysis"):
@@ -240,7 +252,7 @@ def _analyze_one_page(
                 nonterminals += len(scope.productions)
                 productions += scope.num_productions()
                 PERF.gauge("grammar.hotspot_productions.max", scope.num_productions())
-                reports.append(check_hotspot(result.grammar, spot))
+                reports.append(_check_spot(result.grammar, spot, policies))
         phase2_span.set("hotspots", len(reports))
     check_seconds = time.perf_counter() - started
 
@@ -275,6 +287,7 @@ def _page_result(
     resolver: IncludeResolver | None,
     disk_cache: DiskCache | None,
     project_state: str | None,
+    policies=None,
 ) -> PageResult:
     """One page, consulting the on-disk page cache when available.
 
@@ -284,7 +297,7 @@ def _page_result(
     with TRACE.capture("page", page=str(page)) as page_span:
         result = _page_result_inner(
             project_root, page, audit, parse_cache, resolver, disk_cache,
-            project_state, page_span,
+            project_state, page_span, policies,
         )
     result.trace = page_span.to_dict() if TRACE.enabled else None
     return result
@@ -299,6 +312,7 @@ def _page_result_inner(
     disk_cache: DiskCache | None,
     project_state: str | None,
     page_span,
+    policies=None,
 ) -> PageResult:
     key = None
     if disk_cache is not None and project_state is not None:
@@ -306,7 +320,13 @@ def _page_result_inner(
             rel = str(Path(page).relative_to(project_root))
         except ValueError:
             rel = str(page)
-        key = DiskCache.page_key(project_state, str(project_root), rel, audit)
+        key = DiskCache.page_key(
+            project_state,
+            str(project_root),
+            rel,
+            audit,
+            policy_digest=policies.digest() if policies is not None else "",
+        )
         cached = disk_cache.load("page", key)
         if isinstance(cached, PageResult):
             # every hotspot whose cascade we skipped is phase-2 work
@@ -320,7 +340,8 @@ def _page_result_inner(
     if resolver is None:
         resolver = IncludeResolver(project_root)
     result = _analyze_one_page(
-        project_root, page, audit, parse_cache, resolver, disk_cache
+        project_root, page, audit, parse_cache, resolver, disk_cache,
+        policies=policies,
     )
     if disk_cache is not None and key is not None:
         disk_cache.store("page", key, result)
@@ -338,6 +359,7 @@ def _init_page_worker(
     cache_dir: str | None,
     project_state: str | None,
     trace_enabled: bool = False,
+    policies=None,
 ) -> None:
     _WORKER_STATE["root"] = Path(root)
     _WORKER_STATE["audit"] = audit
@@ -345,6 +367,7 @@ def _init_page_worker(
     _WORKER_STATE["resolver"] = IncludeResolver(root)
     _WORKER_STATE["disk_cache"] = DiskCache(cache_dir) if cache_dir else None
     _WORKER_STATE["project_state"] = project_state
+    _WORKER_STATE["policies"] = policies
     # workers record their own page span trees; the driver reassembles
     # them in page order so the run tree is scheduling-independent
     TRACE.configure(trace_enabled)
@@ -360,6 +383,7 @@ def _page_worker(page: str) -> PageResult:
         _WORKER_STATE["resolver"],
         _WORKER_STATE["disk_cache"],
         _WORKER_STATE["project_state"],
+        _WORKER_STATE.get("policies"),
     )
     result.perf = PERF.diff(before)
     return result
@@ -382,6 +406,7 @@ def run_pages(
     cache_dir: str | Path | None = None,
     cache_max_mb: float | None = None,
     parse_cache: dict | None = None,
+    policies=None,
 ) -> list[PageResult]:
     """Analyze ``pages`` and return their results **in input order**.
 
@@ -397,6 +422,13 @@ def run_pages(
     (the analysis server) keep parsed ASTs warm across calls; it is only
     consulted on the serial path — parallel workers hold their own — and
     the caller is responsible for evicting entries for changed files.
+
+    ``policies`` is an optional
+    :class:`~repro.analysis.policies.PolicyConfig`; ``None`` runs the
+    default SQL-confinement analysis exactly as before.  The config
+    travels to parallel workers (it is a frozen picklable dataclass) and
+    its digest salts the disk-cache page key, so results computed under
+    one config are never replayed under another.
     """
     root = Path(project_root)
     disk_cache = DiskCache(cache_dir, max_mb=cache_max_mb) if cache_dir else None
@@ -411,7 +443,8 @@ def run_pages(
         resolver = IncludeResolver(root)
         return [
             _page_result(
-                root, page, audit, parse_cache, resolver, disk_cache, project_state
+                root, page, audit, parse_cache, resolver, disk_cache,
+                project_state, policies,
             )
             for page in pages
         ]
@@ -425,6 +458,7 @@ def run_pages(
                 str(cache_dir) if cache_dir else None,
                 project_state,
                 TRACE.enabled,
+                policies,
             ),
         ) as pool:
             # batching amortizes per-task IPC; results still come back in

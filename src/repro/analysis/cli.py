@@ -150,6 +150,15 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--policy-config",
+        metavar="FILE",
+        help=(
+            "enable sink policies from a YAML config (see README "
+            "'Policies'); without it only the classic SQL confinement "
+            "policy runs, with byte-identical output"
+        ),
+    )
+    parser.add_argument(
         "--sarif",
         metavar="FILE",
         help=(
@@ -190,6 +199,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs < 0:
         parser.error("--jobs must be >= 1 (or 0 for one per CPU core)")
 
+    policies = None
+    if args.policy_config:
+        from .policies import PolicyConfigError, load_policy_config
+
+        try:
+            policies = load_policy_config(args.policy_config)
+        except PolicyConfigError as exc:
+            parser.error(f"--policy-config: {exc}")
+
     if args.pages:
         pages = [root / page for page in args.pages]
     else:
@@ -200,7 +218,7 @@ def main(argv: list[str] | None = None) -> int:
     auditing = args.audit or args.json
     results = run_pages(
         root, pages, audit=auditing, jobs=args.jobs, cache_dir=args.cache_dir,
-        cache_max_mb=args.cache_max_mb,
+        cache_max_mb=args.cache_max_mb, policies=policies,
     )
 
     any_violation = False
@@ -257,7 +275,7 @@ def main(argv: list[str] | None = None) -> int:
             print("verified: no SQLCIV reports")
 
     if args.sarif:
-        write_sarif(args.sarif, root, results)
+        write_sarif(args.sarif, root, results, policies=policies)
         log.info("SARIF log written to %s", args.sarif)
     if args.trace:
         trace.write_run(

@@ -194,7 +194,13 @@ class DiskCache:
         return digest.hexdigest()
 
     @staticmethod
-    def page_key(project_state: str, root: str, rel_page: str, audit: bool) -> str:
+    def page_key(
+        project_state: str,
+        root: str,
+        rel_page: str,
+        audit: bool,
+        policy_digest: str = "",
+    ) -> str:
         # ``root`` (absolute) is in the key for the same reason as above:
         # stored reports carry absolute file names
         digest = hashlib.sha256(ANALYZER_CACHE_VERSION.encode())
@@ -205,4 +211,9 @@ class DiskCache:
         digest.update(b"\0")
         digest.update(rel_page.encode("utf-8", errors="replace"))
         digest.update(b"\0audit=1" if audit else b"\0audit=0")
+        if policy_digest:
+            # non-default policy configs key their own entries; the
+            # default ("" digest) keeps the historical key unchanged
+            digest.update(b"\0policy=")
+            digest.update(policy_digest.encode())
         return digest.hexdigest()

@@ -1,0 +1,46 @@
+"""Pluggable sink policies over the string-analysis core.
+
+Each policy (SQL confinement, context-blind and context-sensitive XSS,
+shell-command injection, dynamic-code evaluation, path traversal)
+declares its sink signatures and its per-substring check over a
+hotspot's labeled grammar; the surrounding machinery — hotspot
+recording, verdict memoization, provenance, SARIF, disk cache, server,
+differential fuzzing — is shared.  See README "Policies" for the
+``--policy-config`` schema.
+"""
+
+from .base import SinkPolicy
+from .config import (
+    DEFAULT_CONFIG,
+    PolicyConfig,
+    PolicyConfigError,
+    config_from_dict,
+    load_policy_config,
+    parse_policy_yaml,
+)
+from .evalinj import EvalPolicy
+from .path import PathPolicy
+from .registry import REGISTRY, policy_instance
+from .shell import ShellPolicy
+from .sql import SqlPolicy
+from .xss import MarkupXssPolicy, markup_capable
+from .xss_context import ContextXssPolicy
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "REGISTRY",
+    "ContextXssPolicy",
+    "EvalPolicy",
+    "MarkupXssPolicy",
+    "PathPolicy",
+    "PolicyConfig",
+    "PolicyConfigError",
+    "ShellPolicy",
+    "SinkPolicy",
+    "SqlPolicy",
+    "config_from_dict",
+    "load_policy_config",
+    "markup_capable",
+    "parse_policy_yaml",
+    "policy_instance",
+]

@@ -1,0 +1,59 @@
+"""Dynamic-code-evaluation policy (``eval``/``create_function``/
+``preg_replace`` with a literal ``/e`` pattern).
+
+For code sinks there is no quoting discipline to model — *any*
+structure-bearing character in untrusted data can change the evaluated
+program.  The danger language is therefore "contains a PHP
+metacharacter": quotes, backslash, ``$`` (variable interpolation),
+parentheses/braces/semicolon (call and statement structure), backtick,
+and the comparison/tag characters.  Numeric and identifier-shaped data
+(``intval`` output, ``preg_replace('/[^a-z0-9_]/', '', …)``) verifies.
+"""
+
+from __future__ import annotations
+
+from .base import SinkPolicy, contains_any
+
+#: characters that can alter PHP expression or statement structure
+PHP_METACHARS = "'\"\\$();{}`<>=&|#"
+
+
+class EvalPolicy(SinkPolicy):
+    id = "eval"
+    title = "Dynamic code evaluation"
+    claims_preg_eval = True
+    rules = [
+        {
+            "id": "eval-injection",
+            "name": "EvalCodeInjection",
+            "shortDescription": {
+                "text": "Untrusted data reaching a dynamic-code sink "
+                        "(eval, create_function, preg_replace /e) can "
+                        "contain PHP metacharacters."
+            },
+            "defaultConfiguration": {"level": "error"},
+        },
+    ]
+
+    def __init__(self) -> None:
+        from .. import sources
+
+        self.functions = dict(sources.EVAL_FUNCTIONS)
+
+    def check_labeled(self, scope, root, labeled, hotspot, others):
+        return [
+            self.danger_finding(
+                scope,
+                labeled,
+                hotspot,
+                dangers=(contains_any(PHP_METACHARS),),
+                check="eval-injection",
+                safe_detail=(
+                    "untrusted substring is free of PHP metacharacters"
+                ),
+                unsafe_detail=(
+                    "untrusted substring can inject PHP metacharacters "
+                    "into evaluated code"
+                ),
+            )
+        ]

@@ -1,0 +1,61 @@
+"""Path-traversal policy (``include``/``require``/``fopen``/…).
+
+An untrusted path component must keep the resolved file where the
+trusted prefix put it: it must not derive ``..`` (directory traversal),
+must not start an absolute path (``/`` or ``\\``), and must not smuggle
+a stream-wrapper scheme or drive (``:``) or a NUL truncation byte.
+Sanitizers that erase the dot/slash repertoire —
+``preg_replace('/[^a-z0-9_]/', '', …)``, ``intval`` — verify.
+"""
+
+from __future__ import annotations
+
+from .base import SinkPolicy, contains_any, contains_string, starts_with_any
+
+
+class PathPolicy(SinkPolicy):
+    id = "path"
+    title = "Path traversal"
+    constructs = frozenset({"include"})
+    rules = [
+        {
+            "id": "path-traversal",
+            "name": "PathTraversal",
+            "shortDescription": {
+                "text": "Untrusted data reaching a filesystem sink can "
+                        "derive '..', an absolute-path prefix, a "
+                        "scheme/drive separator, or a NUL byte."
+            },
+            "defaultConfiguration": {"level": "error"},
+        },
+    ]
+
+    def __init__(self) -> None:
+        from .. import sources
+
+        self.functions = dict(sources.PATH_FUNCTIONS)
+
+    def check_labeled(self, scope, root, labeled, hotspot, others):
+        dangers = (
+            contains_string(".."),
+            starts_with_any(("/", "\\")),
+            contains_any(":\0"),
+        )
+        return [
+            self.danger_finding(
+                scope,
+                labeled,
+                hotspot,
+                dangers=dangers,
+                check="path-traversal",
+                safe_detail=(
+                    "untrusted path component cannot leave the trusted "
+                    "directory"
+                ),
+                unsafe_detail=(
+                    "untrusted path component can traverse directories "
+                    "('..'), start an absolute path, or smuggle a "
+                    "scheme/NUL"
+                ),
+            )
+        ]

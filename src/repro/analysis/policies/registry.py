@@ -1,0 +1,35 @@
+"""The policy registry: id → :class:`~.base.SinkPolicy` subclass.
+
+Registry order is the canonical policy order — enabled sets are
+normalized to it, so configs listing the same policies in any order
+produce identical analysis output and cache digests.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .evalinj import EvalPolicy
+from .path import PathPolicy
+from .shell import ShellPolicy
+from .sql import SqlPolicy
+from .xss import MarkupXssPolicy
+from .xss_context import ContextXssPolicy
+
+REGISTRY: dict[str, type] = {
+    cls.id: cls
+    for cls in (
+        SqlPolicy,
+        MarkupXssPolicy,
+        ContextXssPolicy,
+        ShellPolicy,
+        EvalPolicy,
+        PathPolicy,
+    )
+}
+
+
+@lru_cache(maxsize=None)
+def policy_instance(policy_id: str):
+    """The shared (stateless) instance for ``policy_id``."""
+    return REGISTRY[policy_id]()

@@ -1,0 +1,95 @@
+"""Shell-command injection policy (``exec``/``system``/``passthru``/…).
+
+The danger language is built from the same state-machine idiom as the
+SQL quote-parity automata: track POSIX-shell single-quoting and
+backslash escapes, and accept any string that either reaches a shell
+metacharacter *outside* quotes or leaves quoting unbalanced (an odd
+quote can splice with trusted context, exactly like C1's odd-quotes
+check).  The transducer model of ``escapeshellarg`` — quote-wrap plus
+``'`` → ``'\\''`` — makes properly escaped arguments verify, the shell
+analogue of ``addslashes`` under the SQL policy.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.lang.charset import CharSet
+from repro.lang.fsa import DFA
+
+from .base import SinkPolicy
+
+#: characters that terminate, chain, or substitute commands when they
+#: appear outside single quotes (the ISSUE's ``;|&$()<>`` plus the
+#: backtick/double-quote/newline forms of the same capability)
+SHELL_METACHARS = CharSet.of(";|&$()<>`\"\n")
+
+
+@lru_cache(maxsize=1)
+def shell_breakout() -> DFA:
+    """Strings that can alter a shell command's structure.
+
+    States: outside quotes / outside-after-backslash / inside single
+    quotes / compromised.  Accepting: a metacharacter was seen outside
+    quotes, or the string ends inside an unterminated quote, or with a
+    trailing backslash (both splice with adjacent trusted context).
+    """
+    dfa = DFA()
+    out = dfa.new_state()
+    out_esc = dfa.new_state()
+    in_sq = dfa.new_state()
+    boom = dfa.new_state()
+    quote = CharSet.of("'")
+    backslash = CharSet.of("\\")
+    plain = quote.union(backslash).union(SHELL_METACHARS).complement()
+    dfa.start = out
+    dfa.accepts = {boom, in_sq, out_esc}
+    dfa.add_edge(out, quote, in_sq)
+    dfa.add_edge(out, backslash, out_esc)
+    dfa.add_edge(out, SHELL_METACHARS, boom)
+    dfa.add_edge(out, plain, out)
+    dfa.add_edge(out_esc, CharSet.any_char(), out)
+    dfa.add_edge(in_sq, quote, out)
+    dfa.add_edge(in_sq, quote.complement(), in_sq)
+    dfa.add_edge(boom, CharSet.any_char(), boom)
+    return dfa
+
+
+class ShellPolicy(SinkPolicy):
+    id = "shell"
+    title = "Shell command injection"
+    rules = [
+        {
+            "id": "shell-metachar",
+            "name": "ShellMetacharacterReachable",
+            "shortDescription": {
+                "text": "Untrusted data reaching a shell-command sink can "
+                        "place a metacharacter (;|&$()<>`\") outside single "
+                        "quotes, or unbalance the quoting."
+            },
+            "defaultConfiguration": {"level": "error"},
+        },
+    ]
+
+    def __init__(self) -> None:
+        from .. import sources
+
+        self.functions = dict(sources.SHELL_FUNCTIONS)
+
+    def check_labeled(self, scope, root, labeled, hotspot, others):
+        return [
+            self.danger_finding(
+                scope,
+                labeled,
+                hotspot,
+                dangers=(shell_breakout(),),
+                check="shell-metachar",
+                safe_detail=(
+                    "untrusted substring stays quoted and metacharacter-free"
+                ),
+                unsafe_detail=(
+                    "untrusted substring can reach an unquoted shell "
+                    "metacharacter or unbalance quoting"
+                ),
+            )
+        ]

@@ -1,0 +1,62 @@
+"""Context-blind XSS policy — the original §7 future-work check.
+
+An untrusted substring reaching ``echo``/``print`` must stay *character
+data*: it must not be able to introduce markup structure anywhere.
+Conservatively, its language must contain no ``<``/``>`` (element or
+script injection) and no ``"``/``'`` (attribute breakout).  The
+context-*sensitive* refinement lives in
+:mod:`repro.analysis.policies.xss_context`.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.lang.charset import CharSet
+from repro.lang.fsa import DFA, NFA
+
+from .base import SinkPolicy
+
+
+@lru_cache(maxsize=1)
+def markup_capable() -> DFA:
+    """Strings that can open markup or break out of an attribute."""
+    dangerous = CharSet.of("<>\"'")
+    return (
+        NFA.any_string()
+        .concat(NFA.from_charset(dangerous))
+        .concat(NFA.any_string())
+        .determinize()
+    )
+
+
+class MarkupXssPolicy(SinkPolicy):
+    id = "xss"
+    title = "Cross-site scripting"
+    functions = {"print": 0}
+    constructs = frozenset({"echo"})
+    rules = [
+        {
+            "id": "markup-inert",
+            "name": "MarkupCapableSubstring",
+            "shortDescription": {
+                "text": "Untrusted data reaching an HTML output sink can "
+                        "emit <, >, or a quote: it can introduce markup "
+                        "structure."
+            },
+            "defaultConfiguration": {"level": "error"},
+        },
+    ]
+
+    def check_labeled(self, scope, root, labeled, hotspot, others):
+        return [
+            self.danger_finding(
+                scope,
+                labeled,
+                hotspot,
+                dangers=(markup_capable(),),
+                check="markup-inert",
+                safe_detail="untrusted substring cannot introduce markup",
+                unsafe_detail="untrusted substring can emit <, >, or a quote",
+            )
+        ]

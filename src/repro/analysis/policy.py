@@ -100,13 +100,23 @@ VERDICT_CACHE = VerdictCache()
 
 
 def check_hotspot(
-    grammar: Grammar, hotspot: Hotspot, cache: VerdictCache | None = None
+    grammar: Grammar,
+    hotspot: Hotspot,
+    cache: VerdictCache | None = None,
+    cascade=None,
+    namespace: str = "",
 ) -> HotspotReport:
     """Run the full check cascade for one hotspot (memoized).
 
     ``cache`` defaults to the process-wide :data:`VERDICT_CACHE`; pass an
     explicit :class:`VerdictCache` to isolate, or construct one with
     ``maxsize=0``-style behaviour by passing a fresh instance per call.
+
+    ``cascade`` overrides the SQL-confinement cascade — sink policies
+    (:mod:`repro.analysis.policies`) pass their own
+    ``(scope, root, hotspot, report)`` callable and a ``namespace`` that
+    keeps their memo entries apart from other policies' verdicts on the
+    same subgrammar fingerprint.
     """
     if cache is None:
         cache = VERDICT_CACHE
@@ -119,6 +129,8 @@ def check_hotspot(
         with PERF.timer("phase2.fingerprint"):
             order = scope.canonical_order(root)
             key = scope.fingerprint(root, order=order)
+            if namespace:
+                key = f"{namespace}:{key}"
         PERF.gauge("policy.scope_productions.max", scope.num_productions())
         span.set("scope_productions", scope.num_productions())
         span.set("fingerprint", key[:16])
@@ -131,7 +143,7 @@ def check_hotspot(
             PERF.incr("policy.verdict_cache.misses")
             span.set("verdict_cache", "miss")
             with PERF.timer("phase2.cascade"):
-                _run_cascade(scope, root, hotspot, report)
+                (cascade or _run_cascade)(scope, root, hotspot, report)
             cache.put(key, _cached_from_report(report, order))
         # provenance is attached *after* both paths, from the hitting
         # page's grammar: cached verdicts re-bind to this page's source
@@ -202,18 +214,23 @@ def _cached_from_report(report: HotspotReport, order: list[Nonterminal]) -> dict
     entry_findings = []
     for position, finding in enumerate(report.findings):
         labeled = kept_nts[position] if position < len(kept_nts) else None
-        entry_findings.append(
-            {
-                "nt_index": index.get(labeled),
-                "nt_name": finding.nonterminal,
-                "labels": sorted(finding.labels),
-                "check": finding.check,
-                "safe": finding.safe,
-                "witness": finding.witness,
-                "example_query": finding.example_query,
-                "detail": finding.detail,
-            }
-        )
+        entry = {
+            "nt_index": index.get(labeled),
+            "nt_name": finding.nonterminal,
+            "labels": sorted(finding.labels),
+            "check": finding.check,
+            "safe": finding.safe,
+            "witness": finding.witness,
+            "example_query": finding.example_query,
+            "detail": finding.detail,
+        }
+        if finding.witness_unavailable:
+            entry["witness_unavailable"] = True
+        if finding.context:
+            entry["context"] = finding.context
+        if finding.policy:
+            entry["policy"] = finding.policy
+        entry_findings.append(entry)
     return {
         "query_samples": list(report.query_samples),
         "findings": entry_findings,
@@ -246,6 +263,9 @@ def _report_from_cached(
                 witness=entry["witness"],
                 example_query=entry["example_query"],
                 detail=entry["detail"],
+                witness_unavailable=entry.get("witness_unavailable", False),
+                context=entry.get("context", ""),
+                policy=entry.get("policy", ""),
             )
         )
     report._finding_nts = bound_nts  # consumed by _attach_provenance

@@ -35,6 +35,16 @@ class Finding:
     witness: str = ""  # an offending untrusted substring, when unsafe
     example_query: str = ""  # a full query embedding the witness
     detail: str = ""
+    #: set when the finding is unsafe but witness extraction came back
+    #: empty (sampling horizon missed every accepting derivation) — an
+    #: unsafe finding with ``witness == ""`` is otherwise indistinguishable
+    #: from one whose check needs no witness
+    witness_unavailable: bool = False
+    #: output context for context-classified policies (e.g. ``attr-sq``)
+    context: str = ""
+    #: id of the sink policy that produced this finding; empty for the
+    #: default SQL-confinement cascade (keeps legacy output byte-stable)
+    policy: str = ""
     #: the taint chain behind this verdict
     #: (:class:`repro.analysis.provenance.Provenance`, or None) —
     #: always re-derived from the *hitting* page's grammar, so names and
@@ -57,8 +67,12 @@ class Finding:
             f"sink={self.sink} via {self.check}"
         )
         lines = [head]
+        if self.context:
+            lines.append(f"  output context: {self.context}")
         if self.witness:
             lines.append(f"  witness substring: {self.witness!r}")
+        elif self.witness_unavailable:
+            lines.append("  witness substring: (unavailable)")
         if self.example_query:
             lines.append(f"  example query: {self.example_query!r}")
         if self.detail:
@@ -78,7 +92,7 @@ class Finding:
         return "\n".join(lines)
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "file": self.file,
             "line": self.line,
             "sink": self.sink,
@@ -94,6 +108,16 @@ class Finding:
                 self.provenance.as_dict() if self.provenance is not None else None
             ),
         }
+        # New-policy fields are emitted only when set, so the default
+        # SQL-confinement document stays byte-identical to earlier
+        # releases (the golden regression test pins this).
+        if self.witness_unavailable:
+            out["witness_unavailable"] = True
+        if self.context:
+            out["context"] = self.context
+        if self.policy:
+            out["policy"] = self.policy
+        return out
 
 
 @dataclass

@@ -110,6 +110,32 @@ RULES: list[dict] = [
 
 _RULE_INDEX = {rule["id"]: i for i, rule in enumerate(RULES)}
 
+#: message prefix when a finding carries no policy id (classic SQL path)
+_SQL_TITLE = "SQL command injection"
+
+
+def _rule_catalog(policies=None):
+    """``(rules, rule_index, titles)`` for a run.
+
+    ``policies=None`` — the historical single-policy CLI — returns the
+    module-level SQL catalog unchanged, keeping default SARIF output
+    byte-identical.  With a :class:`~.policies.config.PolicyConfig`, the
+    catalog is the concatenation of every enabled policy's rules in
+    registry order, and ``titles`` maps policy id → message prefix.
+    """
+    if policies is None:
+        return RULES, _RULE_INDEX, {}
+    rules: list[dict] = []
+    index: dict[str, int] = {}
+    titles: dict[str, str] = {}
+    for policy in policies.policies():
+        titles[policy.id] = policy.title
+        for rule in policy.rules:
+            if rule["id"] not in index:
+                index[rule["id"]] = len(rules)
+                rules.append(rule)
+    return rules, index, titles
+
 
 def _relative_uri(file: str, root: Path) -> dict:
     """Root-relative artifact location when possible (stable across
@@ -190,17 +216,24 @@ def _code_flow(finding: Finding, root: Path) -> dict | None:
     return flow
 
 
-def _result(finding: Finding, page: str, root: Path) -> dict:
+def _result(
+    finding: Finding,
+    page: str,
+    root: Path,
+    rule_index: dict[str, int] = _RULE_INDEX,
+    titles: dict[str, str] | None = None,
+) -> dict:
     level = "error" if finding.category == "direct" else "warning"
+    title = (titles or {}).get(finding.policy, _SQL_TITLE)
     text = (
-        f"SQL command injection: {finding.category} untrusted data reaches "
+        f"{title}: {finding.category} untrusted data reaches "
         f"{finding.sink} and fails the {finding.check} check"
     )
     if finding.detail:
         text += f" — {finding.detail}"
     result: dict = {
         "ruleId": finding.check,
-        "ruleIndex": _RULE_INDEX.get(finding.check, -1),
+        "ruleIndex": rule_index.get(finding.check, -1),
         "level": level,
         "message": {"text": text},
         "locations": [_location(finding.file, finding.line, root)],
@@ -218,21 +251,36 @@ def _result(finding: Finding, page: str, root: Path) -> dict:
         properties["witness"] = finding.witness
     if finding.example_query:
         properties["exampleQuery"] = finding.example_query
+    # new-policy metadata; all falsy on the classic SQL path, so the
+    # golden SARIF fixtures stay byte-identical
+    if finding.witness_unavailable:
+        properties["witnessUnavailable"] = True
+    if finding.context:
+        properties["context"] = finding.context
+    if finding.policy:
+        properties["policy"] = finding.policy
     result["properties"] = properties
     return result
 
 
-def results_to_sarif(project_root: str | Path, page_results: list) -> dict:
+def results_to_sarif(
+    project_root: str | Path, page_results: list, policies=None
+) -> dict:
     """The SARIF log for one run over ``page_results``
-    (:class:`~repro.analysis.analyzer.PageResult` list, in page order)."""
+    (:class:`~repro.analysis.analyzer.PageResult` list, in page order).
+    ``policies`` (a :class:`~.policies.config.PolicyConfig`) selects the
+    rule catalog; None keeps the classic SQL-only catalog."""
     root = Path(project_root).resolve()
+    rules, rule_index, titles = _rule_catalog(policies)
     results = []
     for page_result in page_results:
         for report in page_result.reports:
             for finding in report.findings:
                 if finding.safe:
                     continue
-                results.append(_result(finding, page_result.page, root))
+                results.append(
+                    _result(finding, page_result.page, root, rule_index, titles)
+                )
     return {
         "$schema": SARIF_SCHEMA_URI,
         "version": SARIF_VERSION,
@@ -244,7 +292,7 @@ def results_to_sarif(project_root: str | Path, page_results: list) -> dict:
                         "informationUri": (
                             "https://doi.org/10.1145/1250734.1250739"
                         ),
-                        "rules": RULES,
+                        "rules": rules,
                     }
                 },
                 "originalUriBaseIds": {
@@ -257,15 +305,23 @@ def results_to_sarif(project_root: str | Path, page_results: list) -> dict:
     }
 
 
-def render_sarif(project_root: str | Path, page_results: list) -> str:
-    return json.dumps(results_to_sarif(project_root, page_results), indent=2)
+def render_sarif(
+    project_root: str | Path, page_results: list, policies=None
+) -> str:
+    return json.dumps(
+        results_to_sarif(project_root, page_results, policies), indent=2
+    )
 
 
 def write_sarif(
-    path: str | Path, project_root: str | Path, page_results: list
+    path: str | Path,
+    project_root: str | Path,
+    page_results: list,
+    policies=None,
 ) -> None:
     Path(path).write_text(
-        render_sarif(project_root, page_results) + "\n", encoding="utf-8"
+        render_sarif(project_root, page_results, policies) + "\n",
+        encoding="utf-8",
     )
 
 

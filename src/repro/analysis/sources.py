@@ -72,6 +72,42 @@ QUERY_METHOD_NAMES = frozenset(
     """.split()
 )
 
+#: shell-command sinks (policy ``shell``): function name → command
+#: argument index.  PHP's backtick operator is the same sink but the
+#: parser subset has no backtick node, so it is out of scope (documented
+#: in README "Policies").
+SHELL_FUNCTIONS = {
+    "exec": 0,
+    "system": 0,
+    "passthru": 0,
+    "shell_exec": 0,
+    "popen": 0,
+    "proc_open": 0,
+}
+
+#: dynamic-code sinks (policy ``eval``): function name → code argument
+#: index.  ``preg_replace`` with a literal ``/e`` pattern is handled
+#: separately (the replacement argument becomes the sink).
+EVAL_FUNCTIONS = {
+    "eval": 0,
+    "assert": 0,
+    "create_function": 1,
+}
+
+#: filesystem sinks (policy ``path``): function name → path argument
+#: index.  ``include``/``require`` are language constructs and recorded
+#: by the interpreter directly.
+PATH_FUNCTIONS = {
+    "fopen": 0,
+    "readfile": 0,
+    "file_get_contents": 0,
+    "file": 0,
+    "unlink": 0,
+    "opendir": 0,
+    "show_source": 0,
+    "highlight_file": 0,
+}
+
 
 def superglobal_label(name: str) -> str | None:
     return SUPERGLOBAL_LABELS.get(name)

@@ -38,14 +38,33 @@ MAX_CALL_DEPTH = 8
 log = logging.getLogger(__name__)
 
 
+def _has_eval_modifier(pattern: str) -> bool:
+    """True for PCRE pattern literals carrying the ``/e`` modifier."""
+    if len(pattern) < 2:
+        return False
+    delimiter = pattern[0]
+    closing = {"(": ")", "[": "]", "{": "}", "<": ">"}.get(delimiter, delimiter)
+    end = pattern.rfind(closing)
+    if end <= 0:
+        return False
+    return "e" in pattern[end + 1 :]
+
+
 @dataclass
 class Hotspot:
-    """One query-construction point: a sink call and its query grammar."""
+    """One query-construction point: a sink call and its query grammar.
+
+    ``kind`` names the sink policy the hotspot belongs to: ``"sql"`` for
+    the classic query sinks, or a :mod:`repro.analysis.policies` id
+    (``"xss"``, ``"shell"``, ``"eval"``, ``"path"``, …) for sinks
+    recorded on behalf of an enabled policy config.
+    """
 
     file: str
     line: int
     query: StrVal
     sink: str
+    kind: str = "sql"
 
 
 @dataclass
@@ -118,10 +137,24 @@ class StringTaintAnalysis:
         resolver: IncludeResolver | None = None,
         audit=None,
         disk_cache=None,
+        policies=None,
     ) -> None:
         self.project_root = Path(project_root)
         self.builder = builder or GrammarBuilder()
         self.resolver = resolver or IncludeResolver(self.project_root)
+        #: optional :class:`repro.analysis.policies.PolicyConfig` — when
+        #: set, extra sink signatures (shell/eval/path/XSS…) record
+        #: hotspots alongside the classic SQL query sinks.  ``None``
+        #: keeps the historical SQL-only behaviour bit-for-bit.
+        self.policies = policies
+        if policies is None:
+            self._extra_function_sinks = {}
+            self._construct_sinks = {}
+            self._preg_eval_kinds = ()
+        else:
+            self._extra_function_sinks = policies.function_sink_table()
+            self._construct_sinks = policies.construct_sink_table()
+            self._preg_eval_kinds = policies.preg_eval_kinds()
         # soundness-audit instrumentation (an AuditTrail, or None); the
         # builder shares it so grammar-level widenings get attributed
         self.audit = audit
@@ -162,7 +195,10 @@ class StringTaintAnalysis:
 
     def analyze_file(self, entry: str | Path) -> AnalysisResult:
         entry_path = Path(entry)
-        if not entry_path.is_absolute():
+        if not entry_path.is_absolute() and not entry_path.exists():
+            # a bare page name is project-root-relative; paths that
+            # already resolve from the cwd (e.g. entry_pages() output
+            # under a relative root) are used as-is, not double-joined
             entry_path = self.project_root / entry_path
         tree = self._parse(entry_path)
         if tree is not None:
@@ -275,8 +311,19 @@ class StringTaintAnalysis:
             raise _Terminated()
 
     def _exec_Echo(self, stmt: ast.Echo, env: Env) -> None:
+        kinds = self._construct_sinks.get("echo", ())
         for value in stmt.values:
-            self.eval(value, env)
+            result = self.eval(value, env)
+            for kind in kinds:
+                self.hotspots.append(
+                    Hotspot(
+                        file=self.current_file,
+                        line=stmt.line,
+                        query=self.builder.to_str(result),
+                        sink="echo",
+                        kind=kind,
+                    )
+                )
 
     def _exec_InlineHtml(self, stmt: ast.InlineHtml, env: Env) -> None:
         pass
@@ -466,6 +513,21 @@ class StringTaintAnalysis:
             "include", file=self.current_file, line=stmt.line
         ) as span:
             path_value = self.builder.to_str(self.eval(stmt.path, env))
+            include_kinds = self._construct_sinks.get("include", ())
+            if include_kinds:
+                sink = ("require" if stmt.required else "include") + (
+                    "_once" if stmt.once else ""
+                )
+                for kind in include_kinds:
+                    self.hotspots.append(
+                        Hotspot(
+                            file=self.current_file,
+                            line=stmt.line,
+                            query=path_value,
+                            sink=sink,
+                            kind=kind,
+                        )
+                    )
             current_dir = Path(self.current_file).parent if self.current_file else self.project_root
             files = self.resolver.resolve(
                 self.builder.grammar,
@@ -701,6 +763,9 @@ class StringTaintAnalysis:
 
     def _eval_Var(self, expr: ast.Var, env: Env) -> Value:
         label = sources.superglobal_label(expr.name)
+        if label is None and self.policies is not None:
+            # YAML-declared extra taint sources (--policy-config sources:)
+            label = self.policies.source_label(expr.name)
         if label is not None:
             return ArrVal(default=self.builder.any_string(label, hint=expr.name))
         value = env.get(expr.name)
@@ -961,6 +1026,33 @@ class StringTaintAnalysis:
             self._record_hotspot(expr, arg_values, sink_index, name)
             return self.builder.literal("")
 
+        # policy-declared sinks (shell/eval/path/…, --policy-config):
+        # record a hotspot per claiming policy, then *fall through* — the
+        # call's value still follows the builtin model when one exists
+        # (file_get_contents etc.), or the tainted-Σ* fallthrough below.
+        extra_sinks = self._extra_function_sinks.get(name)
+        if extra_sinks is not None:
+            for kind, index in extra_sinks:
+                self._record_hotspot(expr, arg_values, index, name, kind=kind)
+
+        # preg_replace with a literal /e-modifier pattern evaluates its
+        # replacement argument as PHP code (removed in PHP 7, a classic
+        # dynamic-code sink) — the eval policy claims the replacement
+        if (
+            self._preg_eval_kinds
+            and name == "preg_replace"
+            and len(arg_values) >= 2
+            and expr.args
+        ):
+            pattern = builtins.literal_str(expr.args[0])
+            if pattern is not None and _has_eval_modifier(pattern):
+                for kind in self._preg_eval_kinds:
+                    self._record_hotspot(
+                        expr, arg_values, 1, "preg_replace/e", kind=kind
+                    )
+                # fall through: the value result still follows the normal
+                # preg_replace model
+
         # indirect sources
         fetch_shape = sources.is_fetch_function(name)
         if fetch_shape is not None:
@@ -989,9 +1081,15 @@ class StringTaintAnalysis:
             return modeled
 
         # unknown: Σ* carrying the arguments' taint (sound flow-through)
-        if self.audit is not None and name not in builtins.PREDICATE_FUNCTIONS:
+        if (
+            self.audit is not None
+            and name not in builtins.PREDICATE_FUNCTIONS
+            and extra_sinks is None
+        ):
             # predicates have no string result to model — the refinement
-            # machinery (not this fallthrough) is their model
+            # machinery (not this fallthrough) is their model; a declared
+            # policy sink is not an unknown-call soundness hole either —
+            # the policy's check is its model
             self.audit.record_unknown_call(name, self.current_file, expr.line)
         result = self.builder.any_string(hint=f"call.{name}")
         return self.builder.taint_through(result, arg_values, f"call.{name}")
@@ -1088,6 +1186,7 @@ class StringTaintAnalysis:
         arg_values: list[Value],
         sink_index: int,
         sink_name: str,
+        kind: str = "sql",
     ) -> None:
         if sink_index >= len(arg_values):
             return
@@ -1101,5 +1200,6 @@ class StringTaintAnalysis:
                 line=call.line,
                 query=query,
                 sink=sink_name,
+                kind=kind,
             )
         )

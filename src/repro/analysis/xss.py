@@ -13,34 +13,25 @@ injection) and no ``"``/``'`` (attribute breakout).  The transducer
 model of ``htmlspecialchars`` (which rewrites ``<`` to ``&lt;`` etc.)
 makes properly encoded output verify, exactly as ``addslashes`` does for
 the SQL policy.
+
+The check itself now lives in
+:class:`repro.analysis.policies.xss.MarkupXssPolicy`; this module keeps
+the historical ``--xss`` entry point (:func:`analyze_page_xss`) on top
+of it.  The context-*sensitive* variant is the ``xss-context`` policy
+(:mod:`repro.analysis.policies.xss_context`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 from pathlib import Path
 
-from repro.lang.fsa import DFA, NFA
-from repro.lang.charset import CharSet
 from repro.lang.grammar import Grammar
-from repro.lang.intersect import intersect, intersection_is_empty
 
-from .policy import maximal_labeled
+from .policy import VerdictCache
+from .policies.xss import MarkupXssPolicy, markup_capable  # noqa: F401 - re-export
 from .reports import Finding
 from .stringtaint import Hotspot, StringTaintAnalysis
-
-
-@lru_cache(maxsize=1)
-def markup_capable() -> DFA:
-    """Strings that can open markup or break out of an attribute."""
-    dangerous = CharSet.of("<>\"'")
-    return (
-        NFA.any_string()
-        .concat(NFA.from_charset(dangerous))
-        .concat(NFA.any_string())
-        .determinize()
-    )
 
 
 @dataclass
@@ -58,37 +49,19 @@ class XssReport:
         return not self.violations
 
 
-def check_echo_hotspot(grammar: Grammar, hotspot: Hotspot) -> XssReport:
-    """Check one echo site: every untrusted substring must be inert."""
-    report = XssReport(file=hotspot.file, line=hotspot.line)
-    root = hotspot.query.nt
-    scope = grammar.subgrammar(root).trim(root)
-    for labeled in maximal_labeled(scope, root):
-        labels = frozenset(scope.labels.get(labeled, ()))
-        inert = intersection_is_empty(scope, labeled, markup_capable())
-        witness = ""
-        if not inert:
-            refined, start = intersect(scope, labeled, markup_capable())
-            samples = refined.sample_strings(start, limit=1)
-            witness = samples[0] if samples else ""
-        report.findings.append(
-            Finding(
-                file=hotspot.file,
-                line=hotspot.line,
-                sink="echo",
-                nonterminal=labeled.name,
-                labels=labels,
-                check="markup-inert",
-                safe=inert,
-                witness=witness,
-                detail=(
-                    "untrusted substring cannot introduce markup"
-                    if inert
-                    else "untrusted substring can emit <, >, or a quote"
-                ),
-            )
-        )
-    return report
+def check_echo_hotspot(
+    grammar: Grammar, hotspot: Hotspot, cache: VerdictCache | None = None
+) -> XssReport:
+    """Check one echo site: every untrusted substring must be inert.
+
+    Delegates to the ``xss`` policy; unsafe findings whose witness
+    sampling came back empty carry the explicit ``witness_unavailable``
+    marker instead of a bare ``witness == ""``.
+    """
+    policy_report = MarkupXssPolicy().check(grammar, hotspot, cache=cache)
+    return XssReport(
+        file=hotspot.file, line=hotspot.line, findings=policy_report.findings
+    )
 
 
 class XssAnalysis(StringTaintAnalysis):
@@ -107,6 +80,7 @@ class XssAnalysis(StringTaintAnalysis):
                     line=stmt.line,
                     query=result,
                     sink="echo",
+                    kind="xss",
                 )
             )
 

@@ -321,6 +321,31 @@ def _fz_sink(page: _FuzzPage) -> None:
     page.lines.append(template)
 
 
+_FUZZ_SHELL_SINKS = ["system", "exec", "shell_exec", "passthru"]
+
+
+def _fz_shell_sink(page: _FuzzPage) -> None:
+    """A shell-command sink: raw, escapeshellarg'd, or sanitized arg."""
+    rng = page.rng
+    a = page.pick_var()
+    roll = rng.random()
+    if roll < 0.4:
+        subject = f"escapeshellarg(${a})"
+    elif roll < 0.6:
+        subject = page.sanitized(f"${a}")
+    else:
+        subject = f"${a}"
+    sink = rng.choice(_FUZZ_SHELL_SINKS)
+    template = rng.choice(
+        [
+            f'{sink}("ls -l " . {subject});',
+            f'{sink}("grep -F " . {subject} . " data.txt");',
+            f"{sink}('tar cf backup.tar ' . {subject});",
+        ]
+    )
+    page.lines.append(template)
+
+
 _FUZZ_CONSTRUCTS = [
     (_fz_input, 2),
     (_fz_sanitize, 5),
@@ -333,14 +358,19 @@ _FUZZ_CONSTRUCTS = [
 
 
 def generate_fuzz_page(
-    root: str | Path, rng: random.Random, statements: int = 10
+    root: str | Path,
+    rng: random.Random,
+    statements: int = 10,
+    policy: str | None = None,
 ) -> str:
     """Write one randomized page (plus a helper include) under ``root``.
 
     Returns the entry path relative to ``root``.  Only constructs both
     the analysis and the concrete oracle interpreter support are
     emitted, so every sampled execution stays inside the mirrored
-    subset (see :mod:`repro.oracle.interp`).
+    subset (see :mod:`repro.oracle.interp`).  ``policy="shell"`` mixes
+    shell-command sinks into the construct pool and guarantees at
+    least one per page.
     """
     app = Path(root)
     (app / "includes").mkdir(parents=True, exist_ok=True)
@@ -363,9 +393,13 @@ def generate_fuzz_page(
     for _ in range(rng.randrange(2, 4)):
         _fz_input(page)
     weighted = [fn for fn, weight in _FUZZ_CONSTRUCTS for _ in range(weight)]
+    if policy == "shell":
+        weighted += [_fz_shell_sink] * 3
     for _ in range(statements):
         rng.choice(weighted)(page)
     _fz_sink(page)
+    if policy == "shell":
+        _fz_shell_sink(page)
 
     (app / "index.php").write_text("<?php\n" + "\n".join(page.lines) + "\n")
     return "index.php"

@@ -1,0 +1,135 @@
+"""Vulnerable/safe example pairs for the non-SQL sink policies.
+
+One tiny page pair per policy (shell, eval, path, context-sensitive
+XSS): the ``*_vuln.php`` page carries at least one true finding and its
+``*_safe.php`` counterpart sanitizes the same flow and must verify.
+``xss_context.php`` is the acceptance example for context sensitivity:
+the *same* ``htmlspecialchars`` (default flags) value is safe in HTML
+body but a violation in a single-quoted attribute and in a URL
+attribute — three verdicts on one page.
+
+This app is deliberately **not** part of :data:`repro.corpus.APPS`
+(the Table 1 five, whose per-app counts are pinned by the paper);
+``build()`` writes it standalone, and the checked-in copies live under
+``examples/policy_pages/`` for direct CLI use with
+``examples/policies.yaml``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .manifest import AppManifest, Seed
+
+APP = "policy_examples"
+
+#: ground-truth seed kind for policy findings: ``policy-real:<id>``
+#: (page has ≥1 violation under that policy) — ``*_safe`` pages are the
+#: implicit negatives: zero violations expected under every policy
+POLICY_REAL = "policy-real"
+
+#: page name → source text (the single source of truth; the files in
+#: ``examples/policy_pages/`` are checked-in copies of exactly these)
+PAGES: dict[str, str] = {
+    "shell_vuln.php": """\
+<?php
+// VULNERABLE (shell): raw GET data concatenated into a system() command
+$dir = $_GET['dir'];
+system("ls -l " . $dir);
+""",
+    "shell_safe.php": """\
+<?php
+// SAFE (shell): escapeshellarg wraps the argument in single quotes and
+// escapes embedded quotes, so no metacharacter is reachable unquoted
+$dir = $_GET['dir'];
+system("ls -l " . escapeshellarg($dir));
+""",
+    "eval_vuln.php": """\
+<?php
+// VULNERABLE (eval): untrusted text spliced into dynamically evaluated
+// code can close the string literal and run arbitrary PHP
+$msg = $_GET['msg'];
+eval("echo '" . $msg . "';");
+""",
+    "eval_safe.php": """\
+<?php
+// SAFE (eval): intval confines the untrusted value to an integer
+// literal, which carries no PHP metacharacter
+$n = intval($_GET['n']);
+eval("echo " . $n . ";");
+""",
+    "path_vuln.php": """\
+<?php
+// VULNERABLE (path): '..' or an absolute path escapes the uploads dir
+$f = $_GET['f'];
+readfile("uploads/" . $f);
+// and the classic dynamic include of a request parameter (scoped to
+// pages/ so include resolution stays inside this example)
+include("pages/" . $_GET['page'] . ".php");
+""",
+    "path_safe.php": """\
+<?php
+// SAFE (path): the character whitelist leaves no '..', '/' or drive
+// prefix in the untrusted part
+$f = preg_replace('/[^a-z0-9_]/', '', $_GET['f']);
+readfile("uploads/" . $f . ".txt");
+""",
+    "xss_context.php": """\
+<?php
+// CONTEXT-SENSITIVE XSS: one value, three output contexts, three
+// different verdicts.  htmlspecialchars with default flags encodes
+// < > " but NOT the single quote.
+$x = htmlspecialchars($_GET['x']);
+// 1. HTML body: safe ('<' cannot appear)
+echo '<p>' . $x . '</p>';
+// 2. single-quoted attribute: VIOLATION (the quote passes through)
+echo "<img alt='" . $x . "'>";
+// 3. URL attribute: VIOLATION (a javascript: prefix needs no
+//    markup character at all)
+echo '<a href="' . $x . '">go</a>';
+""",
+    "xss_context_safe.php": """\
+<?php
+// SAFE counterpart: ENT_QUOTES also encodes the single quote, and the
+// URL attribute only ever receives an integer
+$x = htmlspecialchars($_GET['x'], ENT_QUOTES);
+echo '<p>' . $x . '</p>';
+echo "<img alt='" . $x . "'>";
+echo '<a href="item.php?id=' . intval($_GET['id']) . '">view</a>';
+""",
+}
+
+#: expected violation policies per page (the test-suite ground truth):
+#: page → tuple of policy ids with ≥1 violation there
+EXPECTED_VIOLATIONS: dict[str, tuple[str, ...]] = {
+    "shell_vuln.php": ("shell",),
+    "shell_safe.php": (),
+    "eval_vuln.php": ("eval",),
+    "eval_safe.php": (),
+    "path_vuln.php": ("path",),
+    "path_safe.php": (),
+    # the context-blind xss policy also fires on the default-flags page
+    "xss_context.php": ("xss", "xss-context"),
+    "xss_context_safe.php": (),
+}
+
+
+def build(root: Path) -> AppManifest:
+    """Write the example pages under ``root/policy_examples``."""
+    app = Path(root) / APP
+    app.mkdir(parents=True, exist_ok=True)
+    manifest = AppManifest(name="Policy Examples")
+    for page, source in PAGES.items():
+        (app / page).write_text(source)
+    (app / "uploads").mkdir(exist_ok=True)
+    # the one legitimate target of path_vuln.php's dynamic include
+    (app / "pages").mkdir(exist_ok=True)
+    (app / "pages" / "about.php").write_text(
+        "<?php\necho '<p>About this site.</p>';\n"
+    )
+    manifest.seeds = [
+        Seed(page, f"{POLICY_REAL}:{policy_id}", f"{policy_id} violation")
+        for page, policy_ids in EXPECTED_VIOLATIONS.items()
+        for policy_id in policy_ids
+    ]
+    return manifest

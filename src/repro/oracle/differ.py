@@ -18,6 +18,14 @@ makes:
    taint spans are skipped — their extent is conservative, not ground
    truth.
 
+With ``policy="shell"`` the checker additionally enables the shell
+sink policy in the static analysis, records concrete hits at the
+``exec``/``system``/… sinks, and asserts the shell verdict: at a
+statically-safe shell site no exact tainted span may be accepted by
+:func:`repro.analysis.policies.shell.shell_breakout` (the rejected set
+is closed under concatenation — its only non-accepting state is the
+start state — so merged adjacent spans cannot produce false alarms).
+
 A failure of either promise is a :class:`Divergence`.  The absence of
 divergences proves nothing (the oracle witnesses unsoundness only);
 their presence is always a bug in the analysis, the builtin models, or
@@ -47,6 +55,17 @@ MEMBERSHIP = "membership"
 VERDICT = "verdict"
 
 
+def _policy_extra_sinks(policy: str | None) -> dict[str, int] | None:
+    """Concrete sink table for a differential policy mode."""
+    if policy is None:
+        return None
+    if policy == "shell":
+        from repro.analysis import sources
+
+        return dict(sources.SHELL_FUNCTIONS)
+    raise ValueError(f"unsupported differential policy: {policy!r}")
+
+
 @dataclass
 class Divergence:
     """One witnessed violation of an analysis promise."""
@@ -72,10 +91,22 @@ class PageOracle:
     """Analysis result for one page, prepared for fast differential
     replay of concrete executions."""
 
-    def __init__(self, project_root: str | Path, entry: str | Path) -> None:
+    def __init__(
+        self,
+        project_root: str | Path,
+        entry: str | Path,
+        policy: str | None = None,
+    ) -> None:
         self.project_root = Path(project_root)
         self.entry = entry
-        analysis = StringTaintAnalysis(self.project_root)
+        self.policy = policy
+        self.extra_sinks = _policy_extra_sinks(policy)
+        policies = None
+        if policy is not None:
+            from repro.analysis.policies import PolicyConfig
+
+            policies = PolicyConfig(enabled=("sql", policy))
+        analysis = StringTaintAnalysis(self.project_root, policies=policies)
         self.result = analysis.analyze_file(entry)
         self.grammar = self.result.grammar
         # hotspots grouped by concrete-visible site identity
@@ -97,14 +128,19 @@ class PageOracle:
             self._prepared[id(spot)] = prepared
         return prepared
 
+    def _spot_verified(self, spot) -> bool:
+        if spot.kind == "sql":
+            return check_hotspot(self.grammar, spot, cache=self._cache).verified
+        from repro.analysis.policies import policy_instance
+
+        policy = policy_instance(spot.kind)
+        return policy.check(self.grammar, spot, cache=self._cache).verified
+
     def _site_safe(self, key: tuple[str, int, str]) -> bool:
         """True iff every analysis report at this site is *safe*."""
         verdict = self._verdicts.get(key)
         if verdict is None:
-            verdict = all(
-                check_hotspot(self.grammar, spot, cache=self._cache).verified
-                for spot in self.sites[key]
-            )
+            verdict = all(self._spot_verified(spot) for spot in self.sites[key])
             self._verdicts[key] = verdict
         return verdict
 
@@ -151,19 +187,36 @@ class PageOracle:
             )
             return out
         if self._site_safe(key):
+            # the static verdict checks the labeled substring languages,
+            # so the concrete counterpart checks the tainted spans: SQL
+            # sites via syntactic confinement, shell sites by running
+            # the same breakout automaton the policy intersects with
+            shell_site = any(spot.kind == "shell" for spot in spots)
             for lo, hi, exact in hit.runs:
                 if not exact or lo == hi:
                     continue
-                try:
-                    confined = check_confinement(hit.query, lo, hi).confined
-                except ValueError as exc:
-                    confined = False
-                    reason = f"confinement check failed: {exc}"
-                else:
-                    reason = (
-                        f"tainted span {lo}..{hi} "
-                        f"({hit.query[lo:hi]!r}) is not syntactically confined"
+                if shell_site:
+                    from repro.analysis.policies.shell import shell_breakout
+
+                    confined = not shell_breakout().accepts_string(
+                        hit.query[lo:hi]
                     )
+                    reason = (
+                        f"tainted span {lo}..{hi} ({hit.query[lo:hi]!r}) "
+                        "reaches an unquoted shell metacharacter or "
+                        "unbalances quoting"
+                    )
+                else:
+                    try:
+                        confined = check_confinement(hit.query, lo, hi).confined
+                    except ValueError as exc:
+                        confined = False
+                        reason = f"confinement check failed: {exc}"
+                    else:
+                        reason = (
+                            f"tainted span {lo}..{hi} "
+                            f"({hit.query[lo:hi]!r}) is not syntactically confined"
+                        )
                 if not confined:
                     out.append(
                         Divergence(
@@ -184,7 +237,9 @@ class PageOracle:
         Raises :class:`~repro.oracle.interp.UnsupportedConstruct` when
         the execution leaves the mirrored subset — callers skip those.
         """
-        hits = execute_page(self.project_root, self.entry, vector)
+        hits = execute_page(
+            self.project_root, self.entry, vector, extra_sinks=self.extra_sinks
+        )
         out: list[Divergence] = []
         for hit in hits:
             out.extend(self.check_hit(hit, vector))
@@ -196,21 +251,26 @@ def diff_page(
     entry: str | Path,
     vectors: list[InputVector],
     stats: dict | None = None,
+    policy: str | None = None,
 ) -> list[Divergence]:
     """Analyze ``entry`` once, replay every vector, return divergences.
 
     ``stats``, when given, accumulates ``vectors``, ``skipped`` (vectors
-    that left the supported subset) and ``hits`` counts.
+    that left the supported subset) and ``hits`` counts.  ``policy``
+    enables a policy's sinks on both sides (see module docstring).
     """
     from .interp import UnsupportedConstruct
 
-    oracle = PageOracle(project_root, entry)
+    oracle = PageOracle(project_root, entry, policy=policy)
     divergences: list[Divergence] = []
     skipped = 0
     hits = 0
     for vector in vectors:
         try:
-            concrete_hits = execute_page(oracle.project_root, oracle.entry, vector)
+            concrete_hits = execute_page(
+                oracle.project_root, oracle.entry, vector,
+                extra_sinks=oracle.extra_sinks,
+            )
         except UnsupportedConstruct:
             skipped += 1
             continue

@@ -53,6 +53,20 @@ ATTACK_VALUES = [
     "0; DELETE FROM log",
 ]
 
+#: shell-breakout shapes mixed in under ``--policy shell``: unquoted
+#: metacharacters, command substitution, quote splicing
+SHELL_ATTACK_VALUES = [
+    "; id",
+    "| cat /etc/passwd",
+    "$(id)",
+    "`id`",
+    "&& touch pwned",
+    "'",
+    "'; id; '",
+    "a > out.txt",
+    "\\",
+]
+
 #: values an honest user might send
 BENIGN_VALUES = [
     "7",
@@ -69,12 +83,16 @@ BENIGN_VALUES = [
 ]
 
 
-def sample_vector(rng: random.Random) -> InputVector:
+def sample_vector(rng: random.Random, policy: str | None = None) -> InputVector:
+    attack_pool = ATTACK_VALUES
+    if policy == "shell":
+        attack_pool = ATTACK_VALUES + SHELL_ATTACK_VALUES
+
     def table() -> dict[str, str]:
         out: dict[str, str] = {}
         for key in _FUZZ_PARAMS:
             if rng.random() < 0.85:
-                pool = ATTACK_VALUES if rng.random() < 0.45 else BENIGN_VALUES
+                pool = attack_pool if rng.random() < 0.45 else BENIGN_VALUES
                 out[key] = rng.choice(pool)
         return out
 
@@ -111,16 +129,20 @@ class FuzzReport:
 # ---------------------------------------------------------------------------
 
 
-def _reproduces(app: Path, entry: str, vector: InputVector, kind: str) -> bool:
+def _reproduces(
+    app: Path, entry: str, vector: InputVector, kind: str,
+    policy: str | None = None,
+) -> bool:
     try:
-        divergences = diff_page(app, entry, [vector])
+        divergences = diff_page(app, entry, [vector], policy=policy)
     except Exception:
         return False
     return any(d.kind == kind for d in divergences)
 
 
 def minimize_page(
-    app: Path, entry: str, vector: InputVector, kind: str
+    app: Path, entry: str, vector: InputVector, kind: str,
+    policy: str | None = None,
 ) -> None:
     """Greedily delete page lines while the divergence reproduces."""
     page_path = app / entry
@@ -135,7 +157,7 @@ def minimize_page(
             while index < len(lines):
                 candidate = lines[:index] + lines[index + 1 :]
                 target.write_text("\n".join(candidate) + "\n")
-                if _reproduces(app, entry, vector, kind):
+                if _reproduces(app, entry, vector, kind, policy=policy):
                     lines = candidate
                     changed = True
                 else:
@@ -144,7 +166,8 @@ def minimize_page(
 
 
 def minimize_vector(
-    app: Path, entry: str, vector: InputVector, kind: str
+    app: Path, entry: str, vector: InputVector, kind: str,
+    policy: str | None = None,
 ) -> InputVector:
     """Drop superglobal keys the reproduction does not need."""
     current = vector
@@ -154,7 +177,7 @@ def minimize_vector(
             trimmed = dict(table)
             del trimmed[key]
             candidate = InputVector(**{**current.as_dict(), attr: trimmed})
-            if _reproduces(app, entry, candidate, kind):
+            if _reproduces(app, entry, candidate, kind, policy=policy):
                 table = trimmed
                 current = candidate
     return current
@@ -167,12 +190,17 @@ def _write_artifact(
     entry: str,
     vector: InputVector,
     divergence: Divergence,
+    policy: str | None = None,
 ) -> Path:
     target = artifacts / f"div_{iteration:04d}_{divergence.kind}"
     if target.exists():
         shutil.rmtree(target)
     shutil.copytree(app, target)
     (target / "vector.json").write_text(json.dumps(vector.as_dict(), indent=2))
+    if policy:
+        # the marker the regression-seed replayer reads to re-enable the
+        # same policy mode (tests/oracle seeds)
+        (target / "policy").write_text(policy + "\n")
     (target / "report.txt").write_text(
         divergence.render()
         + f"\n\nreplay: analyze {entry} and execute it under vector.json\n"
@@ -194,6 +222,7 @@ def run_fuzz(
     artifacts_dir: str | Path | None = None,
     progress_every: int = 25,
     log=print,
+    policy: str | None = None,
 ) -> FuzzReport:
     rng = random.Random(seed)
     report = FuzzReport()
@@ -202,14 +231,21 @@ def run_fuzz(
         report.iterations += 1
         workdir = Path(tempfile.mkdtemp(prefix="sqlciv-fuzz-"))
         try:
-            entry = generate_fuzz_page(workdir, rng, statements=statements)
-            vectors = [sample_vector(rng) for _ in range(vectors_per_page)]
-            oracle = PageOracle(workdir, entry)
+            entry = generate_fuzz_page(
+                workdir, rng, statements=statements, policy=policy
+            )
+            vectors = [
+                sample_vector(rng, policy=policy)
+                for _ in range(vectors_per_page)
+            ]
+            oracle = PageOracle(workdir, entry, policy=policy)
             found: list[tuple[InputVector, Divergence]] = []
             for vector in vectors:
                 report.vectors += 1
                 try:
-                    hits = execute_page(workdir, entry, vector)
+                    hits = execute_page(
+                        workdir, entry, vector, extra_sinks=oracle.extra_sinks
+                    )
                 except UnsupportedConstruct:
                     report.skipped_vectors += 1
                     continue
@@ -222,9 +258,13 @@ def run_fuzz(
             if found:
                 vector, divergence = found[0]
                 if minimize:
-                    minimize_page(workdir, entry, vector, divergence.kind)
-                    vector = minimize_vector(workdir, entry, vector, divergence.kind)
-                    refreshed = diff_page(workdir, entry, [vector])
+                    minimize_page(
+                        workdir, entry, vector, divergence.kind, policy=policy
+                    )
+                    vector = minimize_vector(
+                        workdir, entry, vector, divergence.kind, policy=policy
+                    )
+                    refreshed = diff_page(workdir, entry, [vector], policy=policy)
                     for candidate in refreshed:
                         if candidate.kind == divergence.kind:
                             divergence = candidate
@@ -233,7 +273,8 @@ def run_fuzz(
                 if artifacts is not None:
                     artifacts.mkdir(parents=True, exist_ok=True)
                     where = _write_artifact(
-                        artifacts, iteration, workdir, entry, vector, divergence
+                        artifacts, iteration, workdir, entry, vector,
+                        divergence, policy=policy,
                     )
                     log(f"divergence at iteration {iteration}: saved {where}")
                 else:
@@ -262,6 +303,17 @@ def fuzz_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--vectors-per-page", type=int, default=4)
     parser.add_argument("--statements", type=int, default=10)
     parser.add_argument(
+        "--policy",
+        choices=["shell"],
+        default=None,
+        help=(
+            "also fuzz a sink policy differentially: generated pages "
+            "gain that policy's sinks, vectors gain matching attack "
+            "shapes, and safe verdicts are cross-checked against the "
+            "policy's danger automaton"
+        ),
+    )
+    parser.add_argument(
         "--minimize",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -283,6 +335,7 @@ def fuzz_main(argv: list[str] | None = None) -> int:
         statements=options.statements,
         minimize=options.minimize,
         artifacts_dir=options.artifacts_dir,
+        policy=options.policy,
     )
     print(report.render())
     return EXIT_DIVERGENCES if report.divergences else EXIT_CLEAN

@@ -357,11 +357,16 @@ class Interpreter:
         vector: InputVector,
         state: ConcreteState | None = None,
         resolver: IncludeResolver | None = None,
+        extra_sinks: dict[str, int] | None = None,
     ) -> None:
         self.project_root = Path(project_root)
         self.vector = vector
         self.state = state or ConcreteState(seed=vector.seed, clock=1_000_000_000)
         self.resolver = resolver or IncludeResolver(self.project_root)
+        #: policy-declared sinks beyond the SQL query functions
+        #: (name → sink argument index), e.g. the shell-command table
+        #: when fuzzing ``--policy shell``
+        self.extra_sinks = extra_sinks or {}
         self.hits: list[ConcreteHit] = []
         self.functions: dict[str, ast.FunctionDef] = {}
         self.classes: dict[str, ast.ClassDef] = {}
@@ -997,6 +1002,13 @@ class Interpreter:
             self._record_hit(expr.line, name, arg_values, sink_index)
             return TStr.of("")
 
+        extra_index = self.extra_sinks.get(name)
+        if extra_index is not None:
+            # record and return untainted "" — same shape as the unknown
+            # builtin below; nothing real is executed
+            self._record_hit(expr.line, name, arg_values, extra_index)
+            return TStr.of("")
+
         fetch_shape = sources.is_fetch_function(name)
         if fetch_shape is not None:
             return self._fetch_result(expr.line, fetch_shape)
@@ -1497,11 +1509,15 @@ def execute_page(
     vector: InputVector,
     state: ConcreteState | None = None,
     resolver: IncludeResolver | None = None,
+    extra_sinks: dict[str, int] | None = None,
 ) -> list[ConcreteHit]:
     """Run ``entry`` under ``vector``; returns the sink hits.
 
     Raises :class:`UnsupportedConstruct` when the page (or this
     particular execution) leaves the consistency-mirrored subset.
     """
-    interpreter = Interpreter(project_root, vector, state=state, resolver=resolver)
+    interpreter = Interpreter(
+        project_root, vector, state=state, resolver=resolver,
+        extra_sinks=extra_sinks,
+    )
     return interpreter.run(entry)

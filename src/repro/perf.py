@@ -25,7 +25,7 @@ from contextlib import contextmanager
 
 #: Bump when an analysis-semantics change invalidates cached results
 #: (on-disk ASTs / page reports keyed by content hash + this version).
-ANALYZER_CACHE_VERSION = "4"
+ANALYZER_CACHE_VERSION = "5"
 
 
 class PerfRecorder:

@@ -226,6 +226,13 @@ def _sqlite_escape_fst() -> FST:
     return FST.char_map([(CharSet.of("'"), ("''",))])
 
 
+def _escapeshellarg_fst() -> FST:
+    """The *body* rewrite of PHP ``escapeshellarg``: every embedded
+    single quote becomes ``'\\''`` (close, escaped quote, reopen); the
+    surrounding quotes are added by the handler as trusted literals."""
+    return FST.char_map([(CharSet.of("'"), ("'\\''",))])
+
+
 def _stripslashes_fst() -> FST:
     fst = FST()
     normal, escaped = fst.new_state(), fst.new_state()
@@ -287,6 +294,23 @@ def _h_pg_escape(builder, values, nodes):
 def _h_sqlite_escape(builder, values, nodes):
     subject = _str_arg(builder, values, 0)
     return builder.image(subject, _sqlite_escape_fst(), "sqlescape")
+
+
+def _h_escapeshellarg(builder, values, nodes):
+    """``escapeshellarg($s)`` = ``"'" . body . "'"`` with quotes in the
+    body escaped.  The result nonterminal is re-labeled with the
+    subject's taint so the *maximal* labeled nonterminal the shell
+    policy checks covers the whole quoted argument — that is what makes
+    the sanitized form pass the shell-breakout automaton.  (Literal
+    nonterminals are memoized/shared, so labels go on the fresh outer
+    concat, never on the quote literals.)"""
+    subject = _str_arg(builder, values, 0)
+    body = builder.image(subject, _escapeshellarg_fst(), "shellarg")
+    quote = builder.literal("'")
+    result = builder.concat(builder.concat(quote, body), quote)
+    for label in builder.labels_of(body):
+        builder.grammar.add_label(result.nt, label)
+    return result
 
 
 def _h_htmlspecialchars(builder, values, nodes):
@@ -827,6 +851,7 @@ BUILTINS: dict[str, Handler] = {
     "sqlite_escape_string": _h_sqlite_escape,
     "htmlspecialchars": _h_htmlspecialchars,
     "htmlentities": _h_htmlspecialchars,
+    "escapeshellarg": _h_escapeshellarg,
     "preg_quote": _h_preg_quote,
     "quotemeta": _h_quotemeta,
     # replacement family
@@ -1266,6 +1291,10 @@ def php_pg_escape(value: str) -> str:
 
 def php_sqlite_escape(value: str) -> str:
     return value.replace("'", "''")
+
+
+def php_escapeshellarg(value: str) -> str:
+    return "'" + value.replace("'", "'\\''") + "'"
 
 
 def _quote_style(nodes: list, index: int = 1) -> str:
@@ -2184,6 +2213,12 @@ CONCRETE: dict[str, ConcreteSpec] = {
             _str_at(args, 0), _quote_style(nodes)
         ),
         "charwise",
+    ),
+    # the model wraps the argument in trusted quote literals and labels
+    # the whole quoted result, so the concrete result is one tainted
+    # segment — not a charwise transducer image
+    "escapeshellarg": ConcreteSpec(
+        lambda args, nodes, state: php_escapeshellarg(_str_at(args, 0)), "whole"
     ),
     "preg_quote": ConcreteSpec(
         lambda args, nodes, state: php_preg_quote(_str_at(args, 0)), "charwise"

@@ -67,6 +67,7 @@ class AnalysisDaemon:
         jobs: int | None = 1,
         cache_dir: str | Path | None = None,
         cache_max_mb: float | None = None,
+        policies=None,
     ) -> None:
         self.root = Path(project_root)
         if not self.root.is_dir():
@@ -75,6 +76,10 @@ class AnalysisDaemon:
         self.jobs = jobs if jobs and jobs >= 1 else 1
         self.cache_dir = Path(cache_dir) if cache_dir else None
         self.cache_max_mb = cache_max_mb
+        #: optional PolicyConfig; fixed for the daemon's lifetime, so the
+        #: (page, audit) memo key needs no policy component — the config
+        #: digest still keys the on-disk cache through run_pages
+        self.policies = policies
         self.lock = threading.RLock()
         self.started = time.time()
         self.stopping = False
@@ -189,6 +194,7 @@ class AnalysisDaemon:
                     cache_dir=self.cache_dir,
                     cache_max_mb=self.cache_max_mb,
                     parse_cache=self._parse_cache,
+                    policies=self.policies,
                 )
                 for result in fresh:
                     rel = self._rel(result.page)
@@ -209,7 +215,9 @@ class AnalysisDaemon:
                 "exit_code": self._exit_code(document, audit),
             }
             if params.get("sarif"):
-                response["sarif"] = render_sarif(self.root, results)
+                response["sarif"] = render_sarif(
+                    self.root, results, policies=self.policies
+                )
         return response
 
     @staticmethod
@@ -428,11 +436,23 @@ def serve_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-max-mb", type=float, metavar="MB",
                         help="cap the on-disk cache; least-recently-used "
                              "entries are pruned past the cap")
+    parser.add_argument("--policy-config", metavar="FILE",
+                        help="enable sink policies from a YAML config for "
+                             "the daemon's lifetime (see README 'Policies')")
     parser.add_argument("--log-level", choices=("quiet", "info", "debug"),
                         default="info")
     args = parser.parse_args(argv)
     if args.socket is None and args.port is None:
         parser.error("one of --socket or --port is required")
+
+    policies = None
+    if args.policy_config:
+        from repro.analysis.policies import PolicyConfigError, load_policy_config
+
+        try:
+            policies = load_policy_config(args.policy_config)
+        except PolicyConfigError as exc:
+            parser.error(f"--policy-config: {exc}")
 
     logging.basicConfig(
         stream=sys.stderr,
@@ -446,6 +466,7 @@ def serve_main(argv: list[str] | None = None) -> int:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             cache_max_mb=args.cache_max_mb,
+            policies=policies,
         )
     except NotADirectoryError as exc:
         parser.error(str(exc))

@@ -1,0 +1,58 @@
+"""Golden regression: SQL output is byte-identical across the refactor.
+
+The checked-in files under ``golden/`` were captured from the default
+(no ``--policy-config``) pipeline: ``--json`` documents and SARIF logs
+for all five corpus applications.  The policy framework must not
+perturb a single byte of them — the classic SQL path is the contract
+every satellite rides on (ISSUE acceptance: "SQL findings on the five
+corpus apps are byte-identical before/after the refactor").
+
+Paths are normalized to ``<ROOT>`` because the corpus is rebuilt in a
+fresh temporary directory on every run; everything else — ordering,
+messages, rule metadata, confidence, provenance — is compared verbatim.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.analyzer import entry_pages, run_pages
+from repro.analysis.reports import json_document
+from repro.analysis.sarif import render_sarif
+from repro.corpus import APPS, build_app
+
+GOLDEN = Path(__file__).parent / "golden"
+
+APP_DIRS = [app_dir for _, app_dir in APPS]
+
+
+@pytest.fixture(scope="module")
+def corpus_results(tmp_path_factory):
+    """Analyze each corpus app once; tests share the results."""
+    out = {}
+    for app_dir in APP_DIRS:
+        tmp = tmp_path_factory.mktemp(f"golden_{app_dir}")
+        build_app(tmp, app_dir)
+        root = tmp / app_dir
+        pages = entry_pages(root)
+        results = run_pages(root, pages, audit=True, jobs=1)
+        out[app_dir] = (root, results)
+    return out
+
+
+@pytest.mark.parametrize("app_dir", APP_DIRS)
+def test_json_document_matches_golden(corpus_results, app_dir):
+    root, results = corpus_results[app_dir]
+    rendered = json.dumps(json_document(root, results), indent=2)
+    rendered = rendered.replace(str(root), "<ROOT>") + "\n"
+    assert rendered == (GOLDEN / f"{app_dir}.json").read_text()
+
+
+@pytest.mark.parametrize("app_dir", APP_DIRS)
+def test_sarif_log_matches_golden(corpus_results, app_dir):
+    root, results = corpus_results[app_dir]
+    rendered = render_sarif(root, results)
+    rendered = rendered.replace(root.as_uri() + "/", "file://<ROOT>/")
+    rendered = rendered.replace(str(root), "<ROOT>") + "\n"
+    assert rendered == (GOLDEN / f"{app_dir}.sarif").read_text()

@@ -1,0 +1,152 @@
+"""End-to-end tests for the pluggable sink policies.
+
+Runs the full pipeline over :mod:`repro.corpus.policy_examples` with
+every policy enabled and checks the ISSUE's acceptance criteria:
+
+* each new policy produces at least one true violation on its
+  vulnerable example page and zero on the safe counterpart;
+* the context-sensitive XSS policy distinguishes HTML-body (safe,
+  default ``htmlspecialchars``) from attribute-value and URL-attribute
+  interpolation (violations) on one page;
+* sanitizer models are honored (``escapeshellarg``, ``intval``,
+  whitelist ``preg_replace``, ``ENT_QUOTES``);
+* violations carry a witness or the explicit ``witness_unavailable``
+  marker — never a silent empty string;
+* the SARIF log uses each policy's own rule ids.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.analyzer import entry_pages, run_pages
+from repro.analysis.policies import PolicyConfig, policy_instance
+from repro.analysis.sarif import render_sarif
+from repro.corpus import policy_examples
+
+ALL_POLICIES = PolicyConfig(
+    enabled=("sql", "xss", "xss-context", "shell", "eval", "path")
+)
+
+#: pages whose expected violations we assert (from the corpus module)
+EXPECTED = policy_examples.EXPECTED_VIOLATIONS
+
+
+@pytest.fixture(scope="module")
+def analyzed(tmp_path_factory):
+    root = tmp_path_factory.mktemp("policy_examples")
+    policy_examples.build(root)
+    app = root / policy_examples.APP
+    results = run_pages(
+        app, entry_pages(app), audit=True, jobs=1, policies=ALL_POLICIES
+    )
+    by_page = {Path(result.page).name: result for result in results}
+    return app, results, by_page
+
+
+def violating_policies(result) -> set[str]:
+    return {
+        finding.policy or "sql"
+        for report in result.reports
+        for finding in report.findings
+        if not finding.safe
+    }
+
+
+@pytest.mark.parametrize("page", sorted(EXPECTED))
+def test_expected_violations_per_page(analyzed, page):
+    _, _, by_page = analyzed
+    result = by_page[page]
+    assert violating_policies(result) == set(EXPECTED[page])
+
+
+def test_no_parse_errors(analyzed):
+    _, results, _ = analyzed
+    assert all(not result.parse_errors for result in results)
+
+
+def test_context_xss_differentiates_contexts(analyzed):
+    """One page, one value, three contexts, three verdicts."""
+    _, _, by_page = analyzed
+    findings = [
+        finding
+        for report in by_page["xss_context.php"].reports
+        for finding in report.findings
+        if finding.policy == "xss-context"
+    ]
+    by_context = {finding.context: finding for finding in findings}
+    assert by_context["html-body"].safe
+    assert not by_context["attr-sq"].safe
+    assert not by_context["url-dq"].safe
+    # each context maps to its own rule id
+    assert by_context["attr-sq"].check == "xss-context-attr"
+    assert by_context["url-dq"].check == "xss-context-url"
+
+
+def test_sanitizers_verify_safe_pages(analyzed):
+    _, _, by_page = analyzed
+    for page in EXPECTED:
+        if not page.endswith("_safe.php"):
+            continue
+        result = by_page[page]
+        assert all(
+            finding.safe
+            for report in result.reports
+            for finding in report.findings
+        ), f"{page} should verify under every policy"
+
+
+def test_violations_carry_witness_or_marker(analyzed):
+    _, results, _ = analyzed
+    unsafe = [
+        finding
+        for result in results
+        for report in result.reports
+        for finding in report.findings
+        if not finding.safe
+    ]
+    assert unsafe
+    for finding in unsafe:
+        assert finding.witness or finding.witness_unavailable, (
+            finding.file,
+            finding.line,
+            finding.check,
+        )
+
+
+def test_sarif_uses_policy_rule_ids(analyzed):
+    app, results, _ = analyzed
+    log = json.loads(render_sarif(app, results, policies=ALL_POLICIES))
+    run = log["runs"][0]
+    declared = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    used = {result["ruleId"] for result in run["results"]}
+    assert used <= declared
+    # one distinct rule id per new policy class fired
+    assert {"shell-metachar", "eval-injection", "path-traversal"} <= used
+    assert {"xss-context-attr", "xss-context-url"} <= used
+    # and every result's rule index actually points at its rule
+    rules = run["tool"]["driver"]["rules"]
+    for result in run["results"]:
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+
+def test_unknown_context_danger_dominates_every_context():
+    """DESIGN §5g: the fallback's danger language must contain every
+    concrete context's danger language, so an unclassifiable context
+    can only add findings, never hide one."""
+    from repro.analysis.policies.xss_context import _context_table
+
+    table = _context_table()
+    unknown = table["unknown"][1][0]
+    for context, (_, dangers, _) in table.items():
+        for danger in dangers:
+            assert danger.is_subset_of(unknown), context
+
+
+def test_policy_instances_are_shared_and_complete():
+    for pid in ALL_POLICIES.enabled:
+        policy = policy_instance(pid)
+        assert policy.id == pid
+        assert policy is policy_instance(pid)
+        assert policy.rules, f"policy {pid} declares no SARIF rules"

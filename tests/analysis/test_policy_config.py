@@ -1,0 +1,160 @@
+"""Tests for the ``--policy-config`` YAML schema and its fallback parser.
+
+Every schema violation must surface as the typed
+:class:`~repro.analysis.policies.PolicyConfigError` (the CLI and CI
+smoke job key off that), the mini-YAML fallback must parse the whole
+in-tree schema without PyYAML, and the config digest must be stable —
+it salts the disk-cache page key.
+"""
+
+import builtins as py_builtins
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.policies import (
+    DEFAULT_CONFIG,
+    PolicyConfig,
+    PolicyConfigError,
+    config_from_dict,
+    load_policy_config,
+    parse_policy_yaml,
+)
+from repro.analysis.policies.config import _mini_yaml
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+VALID = """\
+policies: [sql, shell, path]
+sinks:
+  shell:
+    functions:
+      run_command: 0
+sources:
+  _ENV: direct
+"""
+
+
+class TestValidConfigs:
+    def test_default_is_sql_only(self):
+        assert DEFAULT_CONFIG.enabled == ("sql",)
+        assert DEFAULT_CONFIG.extra_sinks == ()
+
+    def test_full_round_trip(self, tmp_path):
+        path = tmp_path / "p.yaml"
+        path.write_text(VALID)
+        config = load_policy_config(path)
+        assert config.enabled == ("sql", "shell", "path")
+        assert ("shell", "run_command", 0) in config.extra_sinks
+        assert config.source_label("_ENV") == "direct"
+        assert ("run_command", (("shell", 0),)) in (
+            config.function_sink_table().items()
+        )
+
+    def test_policies_normalized_to_registry_order(self):
+        config = config_from_dict({"policies": ["path", "sql", "shell"]})
+        assert config.enabled == ("sql", "shell", "path")
+
+    def test_duplicates_collapse(self):
+        config = config_from_dict({"policies": ["shell", "shell"]})
+        assert config.enabled == ("shell",)
+
+    def test_in_tree_example_validates(self):
+        config = load_policy_config(REPO_ROOT / "examples" / "policies.yaml")
+        assert config.enabled == (
+            "sql", "xss", "xss-context", "shell", "eval", "path",
+        )
+        assert ("shell", "run_command", 0) in config.extra_sinks
+
+    def test_digest_is_stable_and_config_sensitive(self):
+        a = config_from_dict({"policies": ["sql", "shell"]})
+        b = config_from_dict({"policies": ["shell", "sql"]})
+        c = config_from_dict({"policies": ["sql", "eval"]})
+        assert a.digest() == b.digest()  # same normalized config
+        assert a.digest() != c.digest()
+        assert DEFAULT_CONFIG.digest() == PolicyConfig().digest()
+
+    def test_config_is_hashable_and_picklable(self):
+        import pickle
+
+        config = config_from_dict({"policies": ["sql", "shell"]})
+        assert hash(config) == hash(config)
+        assert pickle.loads(pickle.dumps(config)) == config
+
+
+class TestMalformedConfigs:
+    @pytest.mark.parametrize(
+        "document",
+        [
+            {"policies": []},
+            {"policies": "sql"},
+            {"policies": ["nonexistent"]},
+            {"policies": ["sql"], "bogus": 1},
+            {"policies": ["sql"], "sinks": ["not", "a", "map"]},
+            {"policies": ["sql"], "sinks": {"nonexistent": {}}},
+            {"policies": ["sql"], "sinks": {"shell": {"methods": {}}}},
+            {"policies": ["sql"], "sinks": {"shell": {"functions": {"f": -1}}}},
+            {"policies": ["sql"], "sinks": {"shell": {"functions": {"f": True}}}},
+            {"policies": ["sql"], "sources": {"_ENV": "tainted"}},
+            "just a string",
+        ],
+    )
+    def test_typed_error(self, document):
+        with pytest.raises(PolicyConfigError):
+            config_from_dict(document)
+
+    def test_missing_file_is_typed(self, tmp_path):
+        with pytest.raises(PolicyConfigError):
+            load_policy_config(tmp_path / "nope.yaml")
+
+    def test_error_is_a_value_error(self):
+        # parser.error-style handlers may catch ValueError generically
+        assert issubclass(PolicyConfigError, ValueError)
+
+
+class TestMiniYamlFallback:
+    def test_parses_the_schema_subset(self):
+        assert _mini_yaml(VALID, "<test>") == {
+            "policies": ["sql", "shell", "path"],
+            "sinks": {"shell": {"functions": {"run_command": 0}}},
+            "sources": {"_ENV": "direct"},
+        }
+
+    def test_comments_and_blank_lines(self):
+        text = "# header\npolicies: [sql]  # trailing\n\nsources:\n  X: direct\n"
+        assert _mini_yaml(text, "<test>") == {
+            "policies": ["sql"],
+            "sources": {"X": "direct"},
+        }
+
+    def test_tabs_rejected(self):
+        with pytest.raises(PolicyConfigError):
+            _mini_yaml("policies:\n\t- sql\n", "<test>")
+
+    def test_used_when_pyyaml_is_absent(self, monkeypatch):
+        real_import = py_builtins.__import__
+
+        def no_yaml(name, *args, **kwargs):
+            if name == "yaml":
+                raise ImportError("forced for test")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(py_builtins, "__import__", no_yaml)
+        data = parse_policy_yaml(VALID)
+        config = config_from_dict(data)
+        assert config.enabled == ("sql", "shell", "path")
+
+    def test_in_tree_example_parses_without_pyyaml(self, monkeypatch):
+        real_import = py_builtins.__import__
+
+        def no_yaml(name, *args, **kwargs):
+            if name == "yaml":
+                raise ImportError("forced for test")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(py_builtins, "__import__", no_yaml)
+        text = (REPO_ROOT / "examples" / "policies.yaml").read_text()
+        config = config_from_dict(parse_policy_yaml(text))
+        assert config.enabled == (
+            "sql", "xss", "xss-context", "shell", "eval", "path",
+        )

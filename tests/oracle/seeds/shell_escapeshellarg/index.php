@@ -1,0 +1,6 @@
+<?php
+$dir = isset($_GET['id']) ? $_GET['id'] : 'red';
+$tag = preg_replace('/[^0-9a-z]/', '', $_GET['tag']);
+system("ls -l " . escapeshellarg($dir));
+exec("grep -F " . $tag . " data.txt");
+passthru('tar cf backup.tar ' . $dir);

@@ -34,10 +34,19 @@ def load_vectors(seed: Path) -> list[InputVector]:
     return [InputVector.from_dict(entry) for entry in data]
 
 
+def seed_policy(seed: Path) -> str | None:
+    """The optional per-seed ``policy`` marker (``sqlciv fuzz --policy``)."""
+    marker = seed / "policy"
+    return marker.read_text().strip() if marker.exists() else None
+
+
 @pytest.mark.parametrize("seed", SEEDS, ids=[s.name for s in SEEDS])
 def test_seed_replays_with_zero_divergences(seed):
     stats = {}
-    divergences = diff_page(seed, "index.php", load_vectors(seed), stats=stats)
+    divergences = diff_page(
+        seed, "index.php", load_vectors(seed), stats=stats,
+        policy=seed_policy(seed),
+    )
     assert divergences == []
     assert stats["skipped"] == 0, "seed left the mirrored subset"
     assert stats["hits"] > 0, "seed no longer reaches any sink"
@@ -80,6 +89,59 @@ class TestPlantedDivergence:
         shutil.copytree(Path(__file__).parent / "seeds" / "sprintf_pad", app)
         vector = InputVector(get={"id": "3"}, post={"name": "a'b"})
         assert diff_page(app, "index.php", [vector]) == []
+
+
+class TestShellPolicyMode:
+    """``--policy shell``: shell sinks are recorded on both sides and
+    the breakout automaton cross-checks statically-safe verdicts."""
+
+    SEED = Path(__file__).parent / "seeds" / "shell_escapeshellarg"
+
+    def test_shell_sinks_only_hit_in_policy_mode(self, tmp_path):
+        app = tmp_path / "app"
+        shutil.copytree(self.SEED, app)
+        vectors = load_vectors(app)
+        stats = {}
+        diff_page(app, "index.php", vectors, stats=stats)
+        assert stats["hits"] == 0, "shell sinks recorded without --policy"
+        stats = {}
+        diff_page(app, "index.php", vectors, stats=stats, policy="shell")
+        assert stats["hits"] == 3 * len(vectors)
+
+    def test_taint_dropping_model_caught_as_shell_verdict(self, tmp_path):
+        """Plant a taint-dropping (but language-preserving) sanitizer
+        model: membership holds, the static shell verdict is wrongly
+        safe, and the concrete breakout span must flag it."""
+        app = tmp_path / "app"
+        app.mkdir()
+        (app / "index.php").write_text(
+            "<?php\n"
+            "$d = trim($_GET['id']);\n"
+            'system("ls -l " . $d);\n'
+        )
+        original = builtins.BUILTINS["trim"]
+        builtins.BUILTINS["trim"] = builtins._regular_handler(r".*", "broken_trim")
+        try:
+            vector = InputVector(get={"id": "; id"})
+            divergences = diff_page(app, "index.php", [vector], policy="shell")
+        finally:
+            builtins.BUILTINS["trim"] = original
+        assert [d.kind for d in divergences] == ["verdict"]
+        assert "metacharacter" in divergences[0].detail
+
+    def test_shell_page_generation_is_deterministic(self, tmp_path):
+        sources = []
+        for run in range(2):
+            root = tmp_path / f"run{run}"
+            entry = generate_fuzz_page(
+                root, random.Random(99), statements=6, policy="shell"
+            )
+            sources.append((root / entry).read_text())
+        assert sources[0] == sources[1]
+        assert any(
+            sink + "(" in sources[0]
+            for sink in ("system", "exec", "shell_exec", "passthru")
+        )
 
 
 class TestDeterminism:

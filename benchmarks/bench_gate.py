@@ -1,0 +1,142 @@
+"""CI performance gate: fail when cold analysis walls regress.
+
+Measures the cold serial wall of the ``sqlciv`` CLI — one fresh
+subprocess per app, no cache, ``--jobs 1``, exactly the ``serial``
+configuration of :mod:`benchmarks.perf_harness` — and compares each
+wall against the per-app budget in ``benchmarks/budgets.json``.  The
+gate fails if any app runs more than ``tolerance`` (default 25%) over
+its budget, so a change that quietly gives back the kernel-level
+speedups breaks CI instead of landing.
+
+Budgets are calibrated on the reference machine with deliberate
+headroom over the measured walls (see the ``calibration`` block in
+``budgets.json``), so ordinary CI-runner jitter stays well inside the
+tolerance; a genuine algorithmic regression does not.  After an
+intentional performance change, re-calibrate with::
+
+    python benchmarks/bench_gate.py --update
+
+which re-measures and rewrites ``budgets.json`` using the same
+headroom factor.
+
+Usage::
+
+    python benchmarks/bench_gate.py [--tolerance 0.25] [--reps 3] [--update]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BUDGETS_PATH = Path(__file__).resolve().parent / "budgets.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from perf_harness import run_cli  # noqa: E402
+
+
+def measure_app(name: str, reps: int) -> float:
+    """Best-of-``reps`` cold serial CLI wall for one corpus app.
+
+    Best-of (not mean) because every source of noise — scheduler,
+    page-cache state, CPU frequency — only ever adds time; the minimum
+    is the closest observation of the code's actual cost.
+    """
+    from repro.corpus import build_app
+
+    walls = []
+    with tempfile.TemporaryDirectory(prefix=f"benchgate-{name}-") as tmp:
+        build_app(Path(tmp), name)
+        app_root = Path(tmp) / name
+        for _ in range(reps):
+            wall, _doc, _exit = run_cli(app_root, jobs=1)
+            walls.append(wall)
+    return min(walls)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help="allowed fraction over budget (default: from budgets.json)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=3,
+        help="measurements per app; the best (minimum) wall is compared",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="re-measure and rewrite budgets.json instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    budgets = json.loads(BUDGETS_PATH.read_text())
+    tolerance = (
+        args.tolerance if args.tolerance is not None
+        else budgets.get("tolerance", 0.25)
+    )
+    headroom = budgets.get("calibration", {}).get("headroom_factor", 1.4)
+
+    measured: dict[str, float] = {}
+    for app in budgets["serial_wall_seconds"]:
+        print(f"measuring {app} (best of {args.reps}) ...", flush=True)
+        measured[app] = measure_app(app, args.reps)
+
+    if args.update:
+        budgets["serial_wall_seconds"] = {
+            app: round(wall * headroom, 2) for app, wall in measured.items()
+        }
+        budgets.setdefault("calibration", {})["headroom_factor"] = headroom
+        budgets["calibration"]["measured_wall_seconds"] = {
+            app: round(wall, 3) for app, wall in measured.items()
+        }
+        BUDGETS_PATH.write_text(json.dumps(budgets, indent=2) + "\n")
+        print(f"recalibrated {BUDGETS_PATH}")
+        return 0
+
+    failures = []
+    for app, budget in budgets["serial_wall_seconds"].items():
+        wall = measured[app]
+        limit = budget * (1.0 + tolerance)
+        verdict = "ok" if wall <= limit else "FAIL"
+        print(
+            f"  {app}: {wall:.3f}s  (budget {budget}s, "
+            f"limit {limit:.3f}s)  {verdict}",
+            flush=True,
+        )
+        if wall > limit:
+            failures.append((app, wall, limit))
+
+    if failures:
+        print(
+            f"\nbench gate FAILED: {len(failures)} app(s) over "
+            f"{tolerance:.0%} past budget:",
+            file=sys.stderr,
+        )
+        for app, wall, limit in failures:
+            print(
+                f"  {app}: {wall:.3f}s > {limit:.3f}s "
+                f"(budget-relative {wall / (limit / (1 + tolerance)):.2f}x)",
+                file=sys.stderr,
+            )
+        print(
+            "If this regression is intentional, re-calibrate with "
+            "`python benchmarks/bench_gate.py --update`.",
+            file=sys.stderr,
+        )
+        return 1
+
+    spread = statistics.median(measured.values())
+    print(f"bench gate passed ({len(measured)} apps, median {spread:.3f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

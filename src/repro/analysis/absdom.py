@@ -318,9 +318,7 @@ class GrammarBuilder:
         back to it, so provenance traced from a split copy still reaches
         the original source site."""
         for nt, rules in other.productions.items():
-            for rhs in rules:
-                self.grammar.add(nt, rhs)
-            self.grammar.productions.setdefault(nt, [])
+            self.grammar._bulk_add(nt, rules)
         for nt, labels in other.labels.items():
             for label in labels:
                 self.grammar.add_label(nt, label)

@@ -353,6 +353,30 @@ def _page_result_inner(
 _WORKER_STATE: dict = {}
 
 
+def _warm_worker_caches(policies) -> None:
+    """Pre-build the policy automata a worker will need (warm start).
+
+    Without this, the first page each worker analyzes pays the cold
+    NFA→determinize→minimize cost for every danger automaton — once per
+    worker process, since none of the ``lru_cache`` tables travel across
+    ``fork``/``spawn``.  All constructors are process-cached, so warming
+    is idempotent and costs nothing when the caches are already hot."""
+    from . import quotes
+    from .policies import policy_instance
+
+    with PERF.timer("worker.warm_start"):
+        # the SQL confinement cascade (the default when no policy config
+        # is given) draws on the quotes automata
+        quotes.odd_unescaped_quotes()
+        quotes.has_unescaped_quote()
+        quotes.markers_inside_string_literals()
+        quotes.numeric_literals()
+        quotes.non_confinable_substrings()
+        if policies is not None:
+            for pid in policies.enabled:
+                policy_instance(pid).warm()
+
+
 def _init_page_worker(
     root: str,
     audit: bool,
@@ -371,6 +395,7 @@ def _init_page_worker(
     # workers record their own page span trees; the driver reassembles
     # them in page order so the run tree is scheduling-independent
     TRACE.configure(trace_enabled)
+    _warm_worker_caches(policies)
 
 
 def _page_worker(page: str) -> PageResult:

@@ -63,13 +63,22 @@ class SinkPolicy:
         """Findings for one maximal labeled nonterminal (≥ 1 entry)."""
         raise NotImplementedError
 
+    def warm(self) -> None:
+        """Pre-build this policy's danger automata.
+
+        Called from parallel-worker initializers so the first page each
+        worker analyzes does not pay cold NFA→DFA construction.  Every
+        danger constructor is process-cached (``lru_cache``), so warming
+        is idempotent; the default is a no-op for policies without
+        eagerly buildable automata."""
+
     # -- framework plumbing --------------------------------------------------
 
     def _cascade(self, scope, root, hotspot, report):
         """Per-hotspot driver mirroring the SQL cascade's shape: sample
         the sink string, check every maximal labeled nonterminal, and
         collapse automaton-state-split duplicates."""
-        report.query_samples = scope.sample_strings(root, limit=3)
+        report.query_samples = scope.sample_strings(root, limit=3, shared=True)
         maximal = maximal_labeled(scope, root)
         findings: list[tuple[object, Finding]] = []
         for labeled in maximal:

@@ -40,6 +40,9 @@ class EvalPolicy(SinkPolicy):
 
         self.functions = dict(sources.EVAL_FUNCTIONS)
 
+    def warm(self) -> None:
+        contains_any(PHP_METACHARS)
+
     def check_labeled(self, scope, root, labeled, hotspot, others):
         return [
             self.danger_finding(

@@ -35,6 +35,11 @@ class PathPolicy(SinkPolicy):
 
         self.functions = dict(sources.PATH_FUNCTIONS)
 
+    def warm(self) -> None:
+        contains_string("..")
+        starts_with_any(("/", "\\"))
+        contains_any(":\0")
+
     def check_labeled(self, scope, root, labeled, hotspot, others):
         dangers = (
             contains_string(".."),

@@ -76,6 +76,9 @@ class ShellPolicy(SinkPolicy):
 
         self.functions = dict(sources.SHELL_FUNCTIONS)
 
+    def warm(self) -> None:
+        shell_breakout()
+
     def check_labeled(self, scope, root, labeled, hotspot, others):
         return [
             self.danger_finding(

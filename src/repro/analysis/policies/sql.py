@@ -24,3 +24,12 @@ class SqlPolicy(SinkPolicy):
 
     def check(self, grammar, hotspot, cache=None):
         return check_hotspot(grammar, hotspot, cache=cache)
+
+    def warm(self) -> None:
+        from .. import quotes
+
+        quotes.odd_unescaped_quotes()
+        quotes.has_unescaped_quote()
+        quotes.markers_inside_string_literals()
+        quotes.numeric_literals()
+        quotes.non_confinable_substrings()

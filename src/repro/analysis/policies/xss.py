@@ -48,6 +48,9 @@ class MarkupXssPolicy(SinkPolicy):
         },
     ]
 
+    def warm(self) -> None:
+        markup_capable()
+
     def check_labeled(self, scope, root, labeled, hotspot, others):
         return [
             self.danger_finding(

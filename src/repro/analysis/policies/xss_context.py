@@ -356,6 +356,11 @@ class ContextXssPolicy(SinkPolicy):
         },
     ]
 
+    def warm(self) -> None:
+        # building the table forces every per-context danger DFA through
+        # its lru_cache constructor
+        _context_table()
+
     def check_labeled(self, scope, root, labeled, hotspot, others):
         table = _context_table()
         findings = []

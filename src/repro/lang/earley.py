@@ -38,6 +38,9 @@ class TokenGrammar:
     def __init__(self, start: str) -> None:
         self.start = start
         self.productions: dict[str, list[tuple[str, ...]]] = {}
+        #: compiled integer-indexed tables (see :class:`_Compiled`),
+        #: rebuilt lazily whenever the size stamp changes.
+        self._compiled: "_Compiled | None" = None
 
     def add(self, lhs: str, rhs: Sequence[str]) -> None:
         rules = self.productions.setdefault(lhs, [])
@@ -47,6 +50,27 @@ class TokenGrammar:
 
     def is_nonterminal(self, symbol: str) -> bool:
         return symbol in self.productions
+
+    def signature(self) -> tuple:
+        """Structural identity: symbols, production order, start symbol.
+
+        Two grammars with equal signatures behave identically under
+        every algorithm in this module (the recognizer, the candidate
+        fixpoint, and the verified-mapping search all walk productions
+        in insertion order), so signatures key the derivability memo.
+        """
+        stamp = _grammar_stamp(self)
+        cached = getattr(self, "_signature", None)
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        sig = (
+            self.start,
+            tuple(
+                (lhs, tuple(rules)) for lhs, rules in self.productions.items()
+            ),
+        )
+        self._signature = (stamp, sig)
+        return sig
 
     def nonterminals(self) -> list[str]:
         return list(self.productions)
@@ -131,18 +155,74 @@ def enumerate_strings(
     return sorted(results)
 
 
-@dataclass(frozen=True)
-class _Item:
-    lhs: str
-    rhs: tuple[str, ...]
-    dot: int
-    origin: int
+class _Compiled:
+    """Integer-indexed tables for a :class:`TokenGrammar` snapshot.
 
-    def next_symbol(self) -> str | None:
-        return self.rhs[self.dot] if self.dot < len(self.rhs) else None
+    Symbols are renamed to dense ints, productions flattened into parallel
+    ``rule_lhs``/``rule_rhs`` arrays, nullable nonterminals precomputed
+    once (the old recognizer recomputed the nullable fixpoint on *every*
+    parse).  The stamp (|V|, |R|) detects grammar growth — TokenGrammar
+    only ever gains symbols/rules, so size equality implies freshness.
+    """
 
-    def advanced(self) -> "_Item":
-        return _Item(self.lhs, self.rhs, self.dot + 1, self.origin)
+    __slots__ = (
+        "stamp", "ids", "rule_lhs", "rule_rhs", "rules_by_lhs", "nullable"
+    )
+
+    def __init__(self, grammar: TokenGrammar) -> None:
+        productions = grammar.productions
+        self.stamp = _grammar_stamp(grammar)
+        ids: dict[str, int] = {}
+
+        def intern(symbol: str) -> int:
+            sid = ids.get(symbol)
+            if sid is None:
+                sid = len(ids)
+                ids[symbol] = sid
+            return sid
+
+        for lhs in productions:
+            intern(lhs)
+        rule_lhs: list[int] = []
+        rule_rhs: list[tuple[int, ...]] = []
+        rules_by_lhs: dict[int, list[int]] = {}
+        for lhs, rules in productions.items():
+            lhs_id = ids[lhs]
+            indices = rules_by_lhs.setdefault(lhs_id, [])
+            for rhs in rules:
+                indices.append(len(rule_lhs))
+                rule_lhs.append(lhs_id)
+                rule_rhs.append(tuple(intern(s) for s in rhs))
+        self.ids = ids
+        self.rule_lhs = rule_lhs
+        self.rule_rhs = rule_rhs
+        self.rules_by_lhs = rules_by_lhs
+        # nullable fixpoint over rule ids
+        nullable: set[int] = set()
+        changed = True
+        while changed:
+            changed = False
+            for ridx, rhs in enumerate(rule_rhs):
+                lhs_id = rule_lhs[ridx]
+                if lhs_id not in nullable and all(s in nullable for s in rhs):
+                    nullable.add(lhs_id)
+                    changed = True
+        self.nullable = nullable
+
+
+def _grammar_stamp(grammar: TokenGrammar) -> tuple[int, int]:
+    return (
+        len(grammar.productions),
+        sum(len(rules) for rules in grammar.productions.values()),
+    )
+
+
+def _compile(grammar: TokenGrammar) -> _Compiled:
+    compiled = grammar._compiled
+    if compiled is None or compiled.stamp != _grammar_stamp(grammar):
+        compiled = _Compiled(grammar)
+        grammar._compiled = compiled
+    return compiled
 
 
 def parse_sentential_form(
@@ -159,65 +239,102 @@ def parse_sentential_form(
     an input symbol match a *set* of grammar symbols — used by the
     derivability fixed point, where a generated-grammar variable ranges
     over its current candidate set.
+
+    The recognizer works over the compiled integer tables: items are
+    ``(rule, dot, origin)`` int triples, completion uses per-position
+    waiting lists instead of chart rescans (same-position completions
+    are exactly the nullable case, which the Aycock–Horspool prediction
+    fix already covers), and the per-position match sets double as a
+    sound pruning pass — if some input position matches no grammar
+    symbol at all, no parse can cross it and we reject immediately.
     """
-    augmented = "__start__"
-    while augmented in grammar.productions:
-        augmented += "_"
-    nullable = grammar.nullable()
-    chart: list[set[_Item]] = [set() for _ in range(len(form) + 1)]
-    chart[0].add(_Item(augmented, (start,), 0, 0))
+    comp = _compile(grammar)
+    ids = comp.ids
+    rule_lhs = comp.rule_lhs
+    rule_rhs = list(comp.rule_rhs)
+    rules_by_lhs = comp.rules_by_lhs
+    nullable = comp.nullable
+    n = len(form)
 
-    def matches(expected: str, actual: str) -> bool:
-        if expected == actual:
-            return True
-        if match_classes and actual in match_classes:
-            return expected in match_classes[actual]
-        return False
+    # the augmented start symbol/rule live outside the compiled tables
+    start_id = ids.get(start, -1)  # -1: ad-hoc symbol, matchable by scan only
+    aug_rule = len(rule_rhs)
+    rule_rhs.append((start_id,))
 
-    for position in range(len(form) + 1):
-        worklist = list(chart[position])
-        seen = set(worklist)
-        while worklist:
-            item = worklist.pop()
-            symbol = item.next_symbol()
-            if symbol is None:
-                # complete
-                for parent in list(chart[item.origin]):
-                    if parent.next_symbol() == item.lhs:
-                        advanced = parent.advanced()
-                        if advanced not in seen and advanced.origin <= position:
-                            if advanced not in chart[position]:
-                                chart[position].add(advanced)
-                                seen.add(advanced)
-                                worklist.append(advanced)
+    # per-position sets of symbol ids the input token can scan as
+    match_ids: list[set[int]] = []
+    for actual in form:
+        matched: set[int] = set()
+        aid = ids.get(actual)
+        if aid is not None:
+            matched.add(aid)
+        if start_id == -1 and actual == start:
+            matched.add(-1)
+        if match_classes:
+            klass = match_classes.get(actual)
+            if klass is not None:
+                for expected in klass:
+                    eid = ids.get(expected)
+                    if eid is not None:
+                        matched.add(eid)
+                    if start_id == -1 and expected == start:
+                        matched.add(-1)
+        if not matched:
+            # chart pruning: nothing can ever scan this token, and every
+            # item in chart[p+1..n] descends from a scan at p
+            return False
+        match_ids.append(matched)
+
+    chart: list[set[tuple[int, int, int]]] = [set() for _ in range(n + 1)]
+    waiting: list[dict[int, list[tuple[int, int, int]]]] = [
+        {} for _ in range(n + 1)
+    ]
+    chart[0].add((aug_rule, 0, 0))
+
+    for position in range(n + 1):
+        items = chart[position]
+        agenda = list(items)
+        wait_here = waiting[position]
+        scan_ok = match_ids[position] if position < n else None
+        next_chart = chart[position + 1] if position < n else None
+        while agenda:
+            item = agenda.pop()
+            rule, dot, origin = item
+            rhs = rule_rhs[rule]
+            if dot == len(rhs):
+                # complete: advance everyone waiting on lhs at origin.
+                # waiting[origin] is final for origin < position; for
+                # origin == position (lhs nullable) late waiters are
+                # advanced by the prediction fix below instead.
+                lhs = rule_lhs[rule] if rule != aug_rule else None
+                if lhs is not None:
+                    for parent in waiting[origin].get(lhs, ()):
+                        advanced = (parent[0], parent[1] + 1, parent[2])
+                        if advanced not in items:
+                            items.add(advanced)
+                            agenda.append(advanced)
                 continue
-            if grammar.is_nonterminal(symbol):
+            symbol = rhs[dot]
+            wait_here.setdefault(symbol, []).append(item)
+            indices = rules_by_lhs.get(symbol)
+            if indices is not None:
                 # predict
-                for rhs in grammar.productions[symbol]:
-                    predicted = _Item(symbol, rhs, 0, position)
-                    if predicted not in chart[position]:
-                        chart[position].add(predicted)
-                        seen.add(predicted)
-                        worklist.append(predicted)
+                for ridx in indices:
+                    predicted = (ridx, 0, position)
+                    if predicted not in items:
+                        items.add(predicted)
+                        agenda.append(predicted)
                 # Aycock–Horspool nullable fix: a nullable prediction can
                 # complete instantly, so advance over it right away.
                 if symbol in nullable:
-                    advanced = item.advanced()
-                    if advanced not in chart[position]:
-                        chart[position].add(advanced)
-                        seen.add(advanced)
-                        worklist.append(advanced)
+                    advanced = (rule, dot + 1, origin)
+                    if advanced not in items:
+                        items.add(advanced)
+                        agenda.append(advanced)
             # scan (terminals AND nonterminals may be scanned from the form)
-            if position < len(form) and matches(symbol, form[position]):
-                advanced = item.advanced()
-                if advanced not in chart[position + 1]:
-                    chart[position + 1].add(advanced)
-        # A completed item whose origin == position can unlock items added
-        # later in the same chart set; the worklist above already loops
-        # until stable, so nothing more to do.
-    return any(
-        item.lhs == augmented and item.dot == 1 for item in chart[len(form)]
-    )
+            if scan_ok is not None and symbol in scan_ok:
+                next_chart.add((rule, dot + 1, origin))
+    return (aug_rule, 1, 0) in chart[n]
 
 
 @dataclass
@@ -261,6 +378,23 @@ def candidate_fixpoint(
                 if symbol in occurrences:
                     occurrences[symbol].append((lhs, rhs))
 
+    # Parse memo: across fixpoint iterations most (candidate, rhs)
+    # queries recur with unchanged candidate sets for the variables in
+    # rhs; key on exactly that slice of the match classes so repeats
+    # are O(1) instead of a fresh Earley run.
+    parse_memo: dict[tuple, bool] = {}
+
+    def memo_parse(cand: str, rhs: tuple[str, ...], classes) -> bool:
+        relevant = tuple(
+            sorted((s, classes[s]) for s in set(rhs) if s in classes)
+        )
+        key = (cand, rhs, relevant)
+        cached = parse_memo.get(key)
+        if cached is None:
+            cached = parse_sentential_form(reference, cand, rhs, classes)
+            parse_memo[key] = cached
+        return cached
+
     changed = True
     while changed:
         changed = False
@@ -287,9 +421,7 @@ def candidate_fixpoint(
                         ):
                             ok = False
                             break
-                    elif not parse_sentential_form(
-                        reference, cand, rhs, match_classes
-                    ):
+                    elif not memo_parse(cand, rhs, match_classes):
                         ok = False
                         break
                 if ok:
@@ -310,7 +442,7 @@ def candidate_fixpoint(
                 pinned_classes[hole] = frozenset({cand})
                 ok = all(
                     any(
-                        parse_sentential_form(reference, parent_cand, rhs, pinned_classes)
+                        memo_parse(parent_cand, rhs, pinned_classes)
                         for parent_cand in candidates[lhs]
                         if parent_cand not in ref_terminals
                     )
@@ -322,6 +454,16 @@ def candidate_fixpoint(
                 candidates[hole] = survivors
                 changed = True
     return candidates
+
+
+#: Results of :func:`derivability` keyed on the *content* of both
+#: grammars (their structural signatures) plus every argument that can
+#: influence the answer.  Phase-2 subgrammars recur heavily — the same
+#: sanitized fragment reaches many hotspots, and every hotspot asks
+#: about the same reference grammar — so content addressing turns the
+#: Definition 3.2 fixpoint + search into a dictionary lookup on repeats.
+_DERIVABILITY_MEMO: dict[tuple, Derivability] = {}
+_DERIVABILITY_MEMO_CAP = 4096
 
 
 def derivability(
@@ -346,6 +488,40 @@ def derivability(
     point, a concrete ``F`` is searched for and *verified* — only a
     verified mapping yields ``derivable=True``.
     """
+    if allowed_roots is not None:
+        allowed_roots = list(allowed_roots)
+    memo_key = (
+        generated.signature(),
+        reference.signature(),
+        root,
+        tuple(sorted(allowed_roots)) if allowed_roots is not None else None,
+        tuple(sorted(pinned.items())) if pinned else None,
+        search_budget,
+    )
+    cached = _DERIVABILITY_MEMO.get(memo_key)
+    if cached is None:
+        cached = _derivability_uncached(
+            generated, reference, root, allowed_roots, pinned, search_budget
+        )
+        if len(_DERIVABILITY_MEMO) >= _DERIVABILITY_MEMO_CAP:
+            _DERIVABILITY_MEMO.clear()
+        _DERIVABILITY_MEMO[memo_key] = cached
+    # hand out a copy so callers can't poison the memo entry
+    return Derivability(
+        cached.derivable,
+        dict(cached.mapping) if cached.mapping is not None else None,
+        cached.reason,
+    )
+
+
+def _derivability_uncached(
+    generated: TokenGrammar,
+    reference: TokenGrammar,
+    root: str,
+    allowed_roots: Iterable[str] | None,
+    pinned: Mapping[str, str] | None,
+    search_budget: int,
+) -> Derivability:
     ref_terminals = reference.terminals()
     for rules in generated.productions.values():
         for rhs in rules:

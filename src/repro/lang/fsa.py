@@ -167,6 +167,15 @@ class NFA:
                     stack.append(nxt)
         return frozenset(closure)
 
+    def _state_closure(self, state: int, memo: dict[int, frozenset[int]]) -> frozenset[int]:
+        """Single-state epsilon closure with memoization (closure of a
+        set is the union of its members' closures)."""
+        cached = memo.get(state)
+        if cached is None:
+            cached = self.epsilon_closure([state])
+            memo[state] = cached
+        return cached
+
     def accepts_string(self, text: str) -> bool:
         current = self.epsilon_closure([self.start])
         for char in text:
@@ -183,6 +192,7 @@ class NFA:
     def determinize(self) -> "DFA":
         """Subset construction with on-the-fly alphabet refinement."""
         dfa = DFA()
+        closure_memo: dict[int, frozenset[int]] = {}
         start = self.epsilon_closure([self.start])
         state_ids: dict[frozenset[int], int] = {start: dfa.new_state()}
         dfa.start = state_ids[start]
@@ -200,8 +210,14 @@ class NFA:
             if not out_edges:
                 continue
             for cls in partition_charsets([label for label, _ in out_edges]):
-                targets = {dst for label, dst in out_edges if cls.overlaps(label)}
-                target = self.epsilon_closure(targets)
+                targets: set[int] = set()
+                for label, dst in out_edges:
+                    if dst not in targets and cls.overlaps(label):
+                        targets.add(dst)
+                target_closure: set[int] = set()
+                for dst in targets:
+                    target_closure |= self._state_closure(dst, closure_memo)
+                target = frozenset(target_closure)
                 if target not in state_ids:
                     state_ids[target] = dfa.new_state()
                     if target & self.accepts:
@@ -239,6 +255,9 @@ class DFA:
         self.start = 0
         self.accepts: set[int] = set()
         self.transitions: dict[int, list[tuple[CharSet, int]]] = {}
+        #: lazily built per-state ASCII jump tables for :meth:`step`;
+        #: invalidated by the (only) two transition mutators below.
+        self._step_cache: dict[int, dict[str, int]] | None = None
 
     def new_state(self) -> int:
         state = self.num_states
@@ -248,6 +267,7 @@ class DFA:
     def add_edge(self, src: int, label: CharSet, dst: int) -> None:
         if label:
             self.transitions.setdefault(src, []).append((label, dst))
+            self._step_cache = None
 
     def _merge_parallel_edges(self) -> None:
         for src, edges in self.transitions.items():
@@ -257,10 +277,33 @@ class DFA:
             self.transitions[src] = [
                 (CharSet.union_of(labels), dst) for dst, labels in by_target.items()
             ]
+        self._step_cache = None
 
     # -- semantics ------------------------------------------------------
 
+    def _step_tables(self) -> dict[int, dict[str, int]]:
+        tables = self._step_cache
+        if tables is None:
+            tables = {}
+            for src, edges in self.transitions.items():
+                jump: dict[str, int] = {}
+                for label, dst in edges:
+                    bits = label.ascii_bits
+                    while bits:
+                        low = bits & -bits
+                        jump[chr(low.bit_length() - 1)] = dst
+                        bits ^= low
+                tables[src] = jump
+            self._step_cache = tables
+        return tables
+
     def step(self, state: int, char: str) -> int | None:
+        if char < "\x80":
+            tables = self._step_cache
+            if tables is None:
+                tables = self._step_tables()
+            jump = tables.get(state)
+            return jump.get(char) if jump is not None else None
         for label, dst in self.transitions.get(state, ()):
             if char in label:
                 return dst
@@ -405,32 +448,45 @@ class DFA:
         ]
         classes = partition_charsets(labels) if labels else []
 
-        def dest(state: int, cls: CharSet) -> int | None:
-            for label, dst in self.transitions.get(state, ()):
-                if dst in live and cls.overlaps(label):
-                    return dst
-            return None
+        # destination table computed once: dest_table[s][i] is where state
+        # s goes on refinement class i (None = dead).  The old code
+        # re-scanned the edge list for every (state, class) pair on every
+        # refinement round.
+        dest_table: dict[int, list[int | None]] = {}
+        for s in states:
+            edges = [
+                (label, dst)
+                for label, dst in self.transitions.get(s, ())
+                if dst in live
+            ]
+            row: list[int | None] = []
+            for cls in classes:
+                found = None
+                for label, dst in edges:
+                    if cls.overlaps(label):
+                        found = dst
+                        break
+                row.append(found)
+            dest_table[s] = row
 
-        partition = {s: (s in self.accepts) for s in states}
+        partition: dict[int, object] = {s: (s in self.accepts) for s in states}
         while True:
-            signature = {
-                s: (
-                    partition[s],
-                    tuple(
-                        partition.get(dest(s, cls), None) if dest(s, cls) is not None else None
-                        for cls in classes
-                    ),
-                )
-                for s in states
-            }
             blocks: dict[object, int] = {}
             new_partition = {}
             for s in states:
-                key = signature[s]
-                if key not in blocks:
-                    blocks[key] = len(blocks)
-                new_partition[s] = blocks[key]
-            if len(set(new_partition.values())) == len(set(partition.values())):
+                key = (
+                    partition[s],
+                    tuple(
+                        None if dst is None else partition[dst]
+                        for dst in dest_table[s]
+                    ),
+                )
+                block = blocks.get(key)
+                if block is None:
+                    block = len(blocks)
+                    blocks[key] = block
+                new_partition[s] = block
+            if len(blocks) == len(set(partition.values())):
                 partition = new_partition
                 break
             partition = new_partition

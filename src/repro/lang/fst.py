@@ -26,6 +26,8 @@ them, and their absence keeps the grammar-image construction simple.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -123,6 +125,7 @@ class FST:
     # -- stock constructors ----------------------------------------------
 
     @staticmethod
+    @lru_cache(maxsize=64)
     def identity() -> "FST":
         fst = FST()
         q0 = fst.new_state()
@@ -149,23 +152,28 @@ class FST:
         return fst
 
     @staticmethod
+    @lru_cache(maxsize=64)
     def replace_chars(charset: CharSet, replacement: str) -> "FST":
         """Replace every character of ``charset`` with ``replacement``."""
         return FST.char_map([(charset, (replacement,))])
 
     @staticmethod
+    @lru_cache(maxsize=64)
     def delete_chars(charset: CharSet) -> "FST":
         return FST.char_map([(charset, ("",))])
 
     @staticmethod
+    @lru_cache(maxsize=64)
     def lowercase() -> "FST":
         return FST.char_map([(CharSet.any_char(), (LOWER,))])
 
     @staticmethod
+    @lru_cache(maxsize=64)
     def uppercase() -> "FST":
         return FST.char_map([(CharSet.any_char(), (UPPER,))])
 
     @staticmethod
+    @lru_cache(maxsize=64)
     def escape_chars(charset: CharSet, escape: str = "\\") -> "FST":
         """Prefix every character of ``charset`` with ``escape``.
 
@@ -175,8 +183,15 @@ class FST:
         return FST.char_map([(charset, (escape, COPY))])
 
     @staticmethod
+    @lru_cache(maxsize=512)
     def replace_string(pattern: str, replacement: str) -> "FST":
         """Leftmost, non-overlapping replace-all of a fixed ``pattern``.
+
+        Memoized per ``(pattern, replacement)``: transducers are
+        immutable once built, and a stable object identity is what lets
+        the image cache (keyed on FST identity + input fingerprint)
+        recognize repeated sanitizer applications across call sites and
+        pages.
 
         This is PHP's ``str_replace($pattern, $replacement, $subject)``,
         built as a KMP matcher: state *j* means "the last *j* input

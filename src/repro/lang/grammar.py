@@ -26,7 +26,6 @@ from __future__ import annotations
 import hashlib
 import itertools
 from collections import deque
-from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from .charset import CharSet
@@ -36,11 +35,31 @@ DIRECT = "direct"
 INDIRECT = "indirect"
 
 
-@dataclass(frozen=True)
 class Lit:
-    """A literal terminal string (may be several characters, never None)."""
+    """A literal terminal string (may be several characters, never None).
 
-    text: str
+    Hand-rolled (not a dataclass) with the hash precomputed at
+    construction: Lit hashing dominates rhs dedup and sentential-form
+    dedup in hot loops, and strings already cache their own hash, so the
+    per-instance copy makes ``hash(lit)`` a slot load.
+    """
+
+    __slots__ = ("text", "_hash")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self._hash = hash(text)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        return isinstance(other, Lit) and other.text == self.text
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Lit, (self.text,))
 
     def __repr__(self) -> str:
         return f"Lit({self.text!r})"
@@ -66,6 +85,12 @@ class Nonterminal:
 
 Symbol = Lit | CharSet | Nonterminal
 Rhs = tuple[Symbol, ...]
+
+#: Process-wide sample-string memo shared across Grammar instances,
+#: keyed on (shape fingerprint, root position, limit, max_len).  Safe
+#: because samples are plain strings (no nonterminal names leak) and the
+#: sampling BFS depends only on what the shape fingerprint covers.
+_SHARED_SAMPLES: dict[tuple[str, int, int, int], list[str]] = {}
 
 
 def is_terminal(symbol: Symbol) -> bool:
@@ -94,6 +119,22 @@ class Grammar:
         #: cached verdict is replayed.
         self.origins: dict[Nonterminal, dict] = {}
         self.prov_inputs: dict[Nonterminal, tuple[Nonterminal, ...]] = {}
+        #: mutation counter + derived-value memos.  ``_rev`` ticks on
+        #: every ``add``/``add_label``; memo entries carry a validity
+        #: stamp (rev, |V|, |R|) so even mutations that bypass the
+        #: methods (``productions.setdefault`` from the bridge/absdom
+        #: layers) are caught by the size components.
+        self._rev = 0
+        #: per-lhs dedup cell ``[rule_set, list_len_at_last_sync]``; the
+        #: length component detects lists touched behind our back.
+        self._dedup: dict[Nonterminal, list] = {}
+        self._memo: dict = {}
+        #: running rule count.  Sound because every rule-list mutation in
+        #: the codebase goes through ``add``/``_bulk_add`` (external
+        #: callers only ever ``productions.setdefault(nt, [])`` to force a
+        #: nonterminal into existence, which adds no rules) — the
+        #: kernel-equivalence property tests cross-check this invariant.
+        self._nrules = 0
 
     # -- construction -----------------------------------------------------
 
@@ -104,14 +145,70 @@ class Grammar:
 
     def add(self, lhs: Nonterminal, rhs: Sequence[Symbol]) -> None:
         """Add ``lhs -> rhs`` (dedups; drops empty-Lit clutter)."""
-        cleaned = tuple(s for s in rhs if not (isinstance(s, Lit) and s.text == ""))
+        for s in rhs:
+            if isinstance(s, Lit) and s.text == "":
+                cleaned = tuple(
+                    x for x in rhs if not (isinstance(x, Lit) and x.text == "")
+                )
+                break
+        else:
+            cleaned = rhs if type(rhs) is tuple else tuple(rhs)
         rules = self.productions.setdefault(lhs, [])
-        if cleaned not in rules:
+        cached = self._dedup.get(lhs)
+        if cached is None or cached[1] != len(rules):
+            # first add for this lhs, or the rule list was touched
+            # behind our back (structural_copy, direct appends)
+            cached = [set(rules), len(rules)]
+            self._dedup[lhs] = cached
+        rule_set = cached[0]
+        if cleaned not in rule_set:
             rules.append(cleaned)
+            rule_set.add(cleaned)
+            cached[1] = len(rules)
+            self._rev += 1
+            self._nrules += 1
+
+    def _bulk_add(self, lhs: Nonterminal, rhss: Iterable[Rhs]) -> None:
+        """Exactly ``for rhs in rhss: self.add(lhs, rhs)``, amortized.
+
+        The copy-heavy operations (trim, subgrammar, grammar absorption,
+        the triple materialization in :mod:`repro.lang.image`) funnel
+        hundreds of thousands of already-clean rules through ``add``;
+        hoisting the dedup-cell bookkeeping out of the loop roughly
+        halves their cost while keeping order and dedup semantics
+        identical."""
+        rules = self.productions.setdefault(lhs, [])
+        cached = self._dedup.get(lhs)
+        if cached is None or cached[1] != len(rules):
+            cached = [set(rules), len(rules)]
+            self._dedup[lhs] = cached
+        rule_set = cached[0]
+        append = rules.append
+        seen_add = rule_set.add
+        before = len(rules)
+        for rhs in rhss:
+            for s in rhs:
+                if type(s) is Lit and not s.text:
+                    rhs = tuple(
+                        x for x in rhs if not (type(x) is Lit and not x.text)
+                    )
+                    break
+            else:
+                if type(rhs) is not tuple:
+                    rhs = tuple(rhs)
+            if rhs not in rule_set:
+                seen_add(rhs)
+                append(rhs)
+        added = len(rules) - before
+        if added:
+            cached[1] = len(rules)
+            self._rev += added
+            self._nrules += added
 
     def add_label(self, nt: Nonterminal, label: str) -> None:
         self.labels.setdefault(nt, set()).add(label)
         self.productions.setdefault(nt, [])
+        self._rev += 1
 
     def set_origin(
         self,
@@ -153,45 +250,90 @@ class Grammar:
         return list(self.productions)
 
     def num_productions(self) -> int:
-        return sum(len(rules) for rules in self.productions.values())
+        return self._nrules
 
     def rhs_nonterminals(self, rhs: Rhs) -> Iterator[Nonterminal]:
         for symbol in rhs:
             if isinstance(symbol, Nonterminal):
                 yield symbol
 
+    def _stamp(self) -> tuple[int, int, int]:
+        """Validity stamp for derived-value memos (see ``_rev``)."""
+        return (self._rev, len(self.productions), self._nrules)
+
+    def _memo_get(self, key):
+        entry = self._memo.get(key)
+        if entry is not None and entry[0] == self._stamp():
+            return entry[1]
+        return None
+
+    def _memo_set(self, key, value) -> None:
+        if len(self._memo) > 256:
+            self._memo.clear()
+        self._memo[key] = (self._stamp(), value)
+
     def reachable(self, root: Nonterminal | None = None) -> set[Nonterminal]:
         root = root or self.start
         if root is None:
             return set()
+        cached = self._memo_get(("reach", root))
+        if cached is not None:
+            return set(cached)
         seen = {root}
         queue = deque([root])
         while queue:
             nt = queue.popleft()
             for rhs in self.productions.get(nt, ()):
-                for ref in self.rhs_nonterminals(rhs):
-                    if ref not in seen:
+                for ref in rhs:
+                    if isinstance(ref, Nonterminal) and ref not in seen:
                         seen.add(ref)
                         queue.append(ref)
-        return seen
+        self._memo_set(("reach", root), seen)
+        return set(seen)
 
     def productive(self) -> set[Nonterminal]:
-        """Nonterminals that derive at least one terminal string."""
+        """Nonterminals that derive at least one terminal string.
+
+        Worklist formulation: each rule keeps a count of its still
+        unproductive nonterminal references; when a nonterminal becomes
+        productive it decrements the counts of the rules waiting on it.
+        Linear in the grammar size instead of a quadratic re-scan.
+        """
+        cached = self._memo_get(("productive",))
+        if cached is not None:
+            return set(cached)
         productive: set[Nonterminal] = set()
-        changed = True
-        while changed:
-            changed = False
-            for nt, rules in self.productions.items():
-                if nt in productive:
-                    continue
-                for rhs in rules:
-                    if all(
-                        is_terminal(s) or s in productive for s in rhs
-                    ):
+        waiting: dict[Nonterminal, list[tuple[Nonterminal, list]]] = {}
+        queue: deque[Nonterminal] = deque()
+        for nt, rules in self.productions.items():
+            for rhs in rules:
+                refs = [s for s in rhs if isinstance(s, Nonterminal)]
+                if not refs:
+                    if nt not in productive:
                         productive.add(nt)
-                        changed = True
-                        break
-        return productive
+                        queue.append(nt)
+                    continue
+                # the pending-count cell is shared by every waiter entry
+                cell = [0]
+                pending = 0
+                for ref in refs:
+                    if ref in productive:
+                        continue
+                    pending += 1
+                    waiting.setdefault(ref, []).append((nt, cell))
+                cell[0] = pending
+                if pending == 0 and nt not in productive:
+                    productive.add(nt)
+                    queue.append(nt)
+        while queue:
+            ready = queue.popleft()
+            for waiter, cell in waiting.pop(ready, ()):
+                cell[0] -= 1
+                if cell[0] == 0 and waiter not in productive:
+                    productive.add(waiter)
+                    queue.append(waiter)
+        self._memo_set(("productive",), productive)
+        return set(productive)
 
     def trim(self, root: Nonterminal | None = None) -> "Grammar":
         """Remove unreachable and unproductive nonterminals."""
@@ -214,12 +356,14 @@ class Grammar:
         # report rendering) depends on.  Identity-based set iteration
         # would leak memory addresses into report ordering.
         for nt in sorted(keep):
+            kept_rules = []
             for rhs in self.productions.get(nt, ()):
-                if all(
-                    is_terminal(s) or s in keep for s in rhs
-                ):
-                    result.add(nt, rhs)
-            result.productions.setdefault(nt, [])
+                for s in rhs:
+                    if isinstance(s, Nonterminal) and s not in keep:
+                        break
+                else:
+                    kept_rules.append(rhs)
+            result._bulk_add(nt, kept_rules)
         result.copy_labels_from(self, keep)
         return result
 
@@ -233,9 +377,7 @@ class Grammar:
         result = Grammar(root)
         keep = self.reachable(root)
         for nt in sorted(keep):  # uid order: deterministic across processes
-            for rhs in self.productions.get(nt, ()):
-                result.add(nt, rhs)
-            result.productions.setdefault(nt, [])
+            result._bulk_add(nt, self.productions.get(nt, ()))
         result.copy_labels_from(self, keep)
         return result
 
@@ -250,6 +392,7 @@ class Grammar:
         result.labels = {nt: set(labels) for nt, labels in self.labels.items()}
         result.origins = dict(self.origins)
         result.prov_inputs = dict(self.prov_inputs)
+        result._nrules = self._nrules
         return result
 
     # -- content addressing -------------------------------------------------
@@ -259,18 +402,22 @@ class Grammar:
         production insertion order) order.  Position in this list is a
         nonterminal's *canonical index* — stable across processes and
         independent of names, uids, and memory addresses."""
+        cached = self._memo_get(("order", root))
+        if cached is not None:
+            return list(cached)
         order = [root]
         seen = {root}
         queue = deque([root])
         while queue:
             nt = queue.popleft()
             for rhs in self.productions.get(nt, ()):
-                for ref in self.rhs_nonterminals(rhs):
-                    if ref not in seen:
+                for ref in rhs:
+                    if isinstance(ref, Nonterminal) and ref not in seen:
                         seen.add(ref)
                         order.append(ref)
                         queue.append(ref)
-        return order
+        self._memo_set(("order", root), order)
+        return list(order)
 
     def canonical_form(self, root: Nonterminal, order: list[Nonterminal] | None = None) -> str:
         """A name-independent serialization of the grammar rooted at
@@ -299,8 +446,51 @@ class Grammar:
 
     def fingerprint(self, root: Nonterminal, order: list[Nonterminal] | None = None) -> str:
         """SHA-256 content address of :meth:`canonical_form`."""
+        if order is None:
+            cached = self._memo_get(("fp", root))
+            if cached is not None:
+                return cached
         form = self.canonical_form(root, order=order)
-        return hashlib.sha256(form.encode("utf-8")).hexdigest()
+        digest = hashlib.sha256(form.encode("utf-8")).hexdigest()
+        if order is None:
+            self._memo_set(("fp", root), digest)
+        return digest
+
+    def shape_fingerprint(self) -> str:
+        """SHA-256 of the grammar *exactly as algorithms consume it* —
+        production-dict insertion order, per-rule order, and labels —
+        with nonterminal names abstracted to insertion ordinals.
+
+        Sits between :meth:`fingerprint` (fully canonical: pins neither
+        names nor insertion order) and raw identity.  Two grammars with
+        equal shape fingerprints drive any deterministic construction
+        that iterates ``productions`` in insertion order — the
+        transducer image in particular — through the *same* sequence of
+        operations; only the name strings threaded into generated
+        nonterminals differ, and those the image cache re-derives on a
+        hit from its name recipes.  The weaker canonical fingerprint
+        remains the right key for the verdict cache, which re-binds
+        names on replay by canonical index."""
+        cached = self._memo_get(("shape_fp",))
+        if cached is not None:
+            return cached
+        ordinal = {nt: i for i, nt in enumerate(self.productions)}
+        pieces: list[str] = []
+        for nt, i in ordinal.items():
+            labels = ",".join(sorted(self.labels.get(nt, ())))
+            pieces.append(f"{i}[{labels}]:")
+            for rhs in self.productions.get(nt, ()):
+                pieces.append(
+                    "->"
+                    + " ".join(
+                        f"N{ordinal.get(s, -1)}" if isinstance(s, Nonterminal)
+                        else _canonical_symbol(s, ordinal)
+                        for s in rhs
+                    )
+                )
+        digest = hashlib.sha256("\n".join(pieces).encode("utf-8")).hexdigest()
+        self._memo_set(("shape_fp",), digest)
+        return digest
 
     def cyclic_nonterminals(self) -> set[Nonterminal]:
         """Nonterminals on a reference cycle (Tarjan SCC, iterative)."""
@@ -362,41 +552,97 @@ class Grammar:
 
     def charset_closure(self, root: Nonterminal) -> CharSet:
         """Union of all characters any string of ``root`` may contain."""
-        chars = CharSet.empty()
+        cached = self._memo_get(("closure", root))
+        if cached is not None:
+            return cached
+        parts: list[CharSet] = []
         for nt in self.reachable(root):
             for rhs in self.productions.get(nt, ()):
                 for symbol in rhs:
                     if isinstance(symbol, Lit):
-                        chars = chars.union(CharSet.of(symbol.text))
+                        parts.append(CharSet.of(symbol.text))
                     elif isinstance(symbol, CharSet):
-                        chars = chars.union(symbol)
+                        parts.append(symbol)
+        chars = CharSet.union_of(parts)
+        self._memo_set(("closure", root), chars)
         return chars
 
-    def sample_strings(self, root: Nonterminal, limit: int = 20, max_len: int = 200) -> list[str]:
+    def sample_strings(
+        self,
+        root: Nonterminal,
+        limit: int = 20,
+        max_len: int = 200,
+        *,
+        shared: bool = False,
+    ) -> list[str]:
         """Up to ``limit`` distinct strings of L(root), shortest-ish first.
 
         Breadth-first expansion of sentential forms; charset symbols
         contribute their sample character (plus ``'`` if present, since
         quotes are what the analyses care about).
+
+        ``shared=True`` additionally consults a process-wide memo keyed
+        on the shape fingerprint.  Only pass it for grammars that are no
+        longer mutated (policy scope subgrammars): fingerprinting a
+        still-growing grammar re-hashes everything on every call.
         """
+        memo_key = ("samples", root, limit, max_len)
+        cached = self._memo_get(memo_key)
+        if cached is not None:
+            return list(cached)
+        shared_key = None
+        if shared:
+            # Cross-grammar memo: the sampled strings contain no
+            # nonterminal names, and the BFS below is fully determined
+            # by production insertion order + rule content — exactly
+            # what shape_fingerprint() pins.  Policy cascades rebuild
+            # identical scope subgrammars per namespace; this collapses
+            # those repeats.
+            position = next(
+                (i for i, nt in enumerate(self.productions) if nt is root), -1
+            )
+            shared_key = (self.shape_fingerprint(), position, limit, max_len)
+            hit = _SHARED_SAMPLES.get(shared_key)
+            if hit is not None:
+                self._memo_set(memo_key, hit)
+                return list(hit)
         results: list[str] = []
         seen_forms: set[tuple] = set()
-        queue: deque[Rhs] = deque([(root,)])
+        seen_add = seen_forms.add
+        # Sentential forms hold literals as plain ``str`` (not Lit):
+        # CPython caches str hashes in C, so deduplicating a form tuple
+        # skips one Python-level __hash__ call per literal.  The Lit ↔
+        # str bijection (equal texts ⇔ equal objects in a form slot)
+        # keeps dedup decisions, queue order, and results identical to
+        # the Lit-based walk.  Production rhss are converted once each.
+        conv_cache: dict[int, tuple] = {}
+        # each queue entry carries a scan hint: every symbol left of the
+        # previous expansion point is a literal, so the search for the
+        # first non-literal can resume there instead of rescanning
+        queue: deque[tuple[tuple, int]] = deque([((root,), 0)])
+        pop = queue.popleft
+        push = queue.append
+        productions = self.productions
         steps = 0
+        seen_count = 0
         while queue and len(results) < limit and steps < 20000:
             steps += 1
-            form = queue.popleft()
+            form, scan = pop()
             # find first nonterminal / charset
-            idx = next(
-                (i for i, s in enumerate(form) if not isinstance(s, Lit)), None
-            )
+            idx = None
+            n = len(form)
+            while scan < n:
+                if type(form[scan]) is not str:
+                    idx = scan
+                    break
+                scan += 1
             if idx is None:
-                text = "".join(s.text for s in form)
+                text = "".join(form)
                 if len(text) <= max_len and text not in results:
                     results.append(text)
                 continue
             symbol = form[idx]
-            if isinstance(symbol, CharSet):
+            if type(symbol) is CharSet:
                 choices = {symbol.sample_char()}
                 if "'" in symbol:
                     choices.add("'")
@@ -405,17 +651,35 @@ class Grammar:
                 # sorted: set iteration over strings is hash-seed
                 # dependent, and samples must not vary across processes
                 for char in sorted(choices):
-                    expanded = form[:idx] + (Lit(char),) + form[idx + 1 :]
-                    if expanded not in seen_forms:
-                        seen_forms.add(expanded)
-                        queue.append(expanded)
+                    expanded = form[:idx] + (char,) + form[idx + 1 :]
+                    # single-hash membership: add() and compare sizes
+                    # instead of a `not in` probe followed by add()
+                    seen_add(expanded)
+                    if len(seen_forms) != seen_count:
+                        seen_count += 1
+                        push((expanded, idx))
                 continue
-            for rhs in self.productions.get(symbol, ()):
-                expanded = form[:idx] + rhs + form[idx + 1 :]
-                if len(expanded) <= 40 and expanded not in seen_forms:
-                    seen_forms.add(expanded)
-                    queue.append(expanded)
-        return results
+            prefix = form[:idx]
+            suffix = form[idx + 1 :]
+            for rhs in productions.get(symbol, ()):
+                conv = conv_cache.get(id(rhs))
+                if conv is None:
+                    conv = tuple(
+                        s.text if type(s) is Lit else s for s in rhs
+                    )
+                    conv_cache[id(rhs)] = conv
+                expanded = prefix + conv + suffix
+                if len(expanded) <= 40:
+                    seen_add(expanded)
+                    if len(seen_forms) != seen_count:
+                        seen_count += 1
+                        push((expanded, idx))
+        self._memo_set(memo_key, results)
+        if shared_key is not None:
+            if len(_SHARED_SAMPLES) > 4096:
+                _SHARED_SAMPLES.clear()
+            _SHARED_SAMPLES[shared_key] = results
+        return list(results)
 
     def enumerate_finite(
         self,
@@ -519,9 +783,23 @@ class Grammar:
 
         Long right-hand sides are split with fresh unlabeled chain
         variables; labels on original nonterminals are preserved.
+
+        Memoized per (grammar revision, root): policy cascades run many
+        intersection queries against one frozen scope subgrammar, and
+        every consumer (:class:`~repro.lang.intersect._PairTable`,
+        :func:`~repro.lang.image.fst_image`) treats the result as
+        read-only.
         """
         root = root or self.start
+        memo_key = ("normalized", root)
+        cached = self._memo_get(memo_key)
+        if cached is not None:
+            return cached
         result = Grammar(root)
+        # chain variable -> the original lhs its name derives from; the
+        # image cache uses this to re-derive generated names on a hit
+        chain_source: dict[Nonterminal, Nonterminal] = {}
+        result._chain_source = chain_source
         for nt in self.productions:
             result.productions.setdefault(nt, [])
         for nt, rules in self.productions.items():
@@ -530,11 +808,13 @@ class Grammar:
                 remaining = rhs
                 while len(remaining) > 2:
                     chain = result.fresh(f"{nt.name}~")
+                    chain_source[chain] = nt
                     result.add(current, (remaining[0], chain))
                     current = chain
                     remaining = remaining[1:]
                 result.add(current, remaining)
         result.copy_labels_from(self, self.productions)
+        self._memo_set(memo_key, result)
         return result
 
     def __repr__(self) -> str:

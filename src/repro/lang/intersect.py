@@ -90,13 +90,18 @@ class _PairTable:
         identical.
         """
         rules = self.grammar.productions
-        # occurrences[Y] = productions in which Y appears on the rhs
-        occurrences: dict[Nonterminal, list[tuple[Nonterminal, Rhs]]] = defaultdict(list)
-        for lhs, rhss in rules.items():
-            for rhs in rhss:
-                for symbol in rhs:
-                    if isinstance(symbol, Nonterminal):
-                        occurrences[symbol].append((lhs, rhs))
+        # occurrences[Y] = productions in which Y appears on the rhs;
+        # memoized on the (frozen) normalized grammar — one scope serves
+        # many DFA queries in a policy cascade
+        occurrences = self.grammar._memo_get(("occ_lhs_rhs",))
+        if occurrences is None:
+            occurrences = defaultdict(list)
+            for lhs, rhss in rules.items():
+                for rhs in rhss:
+                    for symbol in rhs:
+                        if isinstance(symbol, Nonterminal):
+                            occurrences[symbol].append((lhs, rhs))
+            self.grammar._memo_set(("occ_lhs_rhs",), occurrences)
 
         term_cache: dict[int, set[tuple[int, int]]] = {}
 
@@ -108,22 +113,36 @@ class _PairTable:
                 term_cache[key] = set(self.term_pairs(symbol))
             return term_cache[key]
 
+        # id(symbol) -> [pair-count at build time, start -> [ends]];
+        # rebuilt only while the symbol's pair set is still growing
+        by_start_cache: dict[int, list] = {}
+
+        def by_start_of(symbol: Symbol) -> dict[int, list[int]]:
+            found = sym_pairs(symbol)
+            key = id(symbol)
+            cached = by_start_cache.get(key)
+            if cached is not None and cached[0] == len(found):
+                return cached[1]
+            index: dict[int, list[int]] = {}
+            for j, k in found:
+                index.setdefault(j, []).append(k)
+            by_start_cache[key] = [len(found), index]
+            return index
+
         def eval_rhs(rhs: Rhs) -> set[tuple[int, int]]:
             if not rhs:
                 return {(i, i) for i in self.states}
             if len(rhs) == 1:
                 return set(sym_pairs(rhs[0]))
-            first, second = rhs
-            left = sym_pairs(first)
-            right = sym_pairs(second)
-            by_start: dict[int, list[int]] = defaultdict(list)
-            for j, k in right:
-                by_start[j].append(k)
-            return {
-                (i, k)
-                for i, j in left
-                for k in by_start.get(j, ())
-            }
+            left = sym_pairs(rhs[0])
+            by_start = by_start_of(rhs[1])
+            out: set[tuple[int, int]] = set()
+            for i, j in left:
+                ks = by_start.get(j)
+                if ks:
+                    for k in ks:
+                        out.add((i, k))
+            return out
 
         worklist = list(rules)
         queued = set(worklist)
@@ -133,10 +152,11 @@ class _PairTable:
             lhs = worklist.pop()
             queued.discard(lhs)
             added = False
+            target = self.pairs[lhs]
             for rhs in rules.get(lhs, ()):
-                new_pairs = eval_rhs(rhs) - self.pairs[lhs]
-                if new_pairs:
-                    self.pairs[lhs].update(new_pairs)
+                before = len(target)
+                target |= eval_rhs(rhs)
+                if len(target) != before:
                     added = True
             if added:
                 for parent, _ in occurrences.get(lhs, ()):
@@ -147,9 +167,72 @@ class _PairTable:
         PERF.gauge("intersect.lit_cache.max_size", len(self._lit_cache))
 
 
-def intersection_is_empty(grammar: Grammar, root: Nonterminal, dfa: DFA) -> bool:
-    """True iff L(grammar, root) ∩ L(dfa) = ∅ (no triple grammar built)."""
+def _pair_table(grammar: Grammar, root: Nonterminal, dfa: DFA) -> _PairTable:
+    """Solved :class:`_PairTable`, memoized on the scope grammar.
+
+    Every non-empty policy check runs the same query twice — once for
+    the emptiness verdict and once to materialize the witness grammar —
+    and a cascade probes one scope against several danger DFAs.  Tables
+    are read-only after ``_solve``, so sharing them is safe.  The memo
+    value keeps a strong reference to the DFA: while the entry lives, no
+    other automaton can recycle its ``id``.
+    """
+    key = ("pairtable", root, id(dfa))
+    cached = grammar._memo_get(key)
+    if cached is not None and cached[0] is dfa:
+        return cached[1]
     table = _PairTable(grammar, root, dfa)
+    grammar._memo_set(key, (dfa, table))
+    return table
+
+
+def _reach_trim(result: Grammar, start: Nonterminal) -> Grammar:
+    """Reachability-only trim for freshly materialized triple grammars.
+
+    Every triple minted by ``get_triple`` carries a state pair from the
+    solved table, i.e. some string of the original nonterminal drives
+    the DFA between its states — so every nonterminal of ``result``
+    derives a terminal string and ``productive()`` would return the
+    full set.  ``trim`` therefore reduces to its reachability filter,
+    and since reachable nonterminals only reference reachable ones, no
+    individual rule is ever dropped.  Rule lists are shared rather than
+    re-added (the untrimmed grammar is discarded on return); iteration
+    over ``sorted(keep)`` and the label copy mirror ``trim`` exactly,
+    keeping the production order — and hence output bytes — identical.
+    """
+    if not result.productions.get(start):
+        # no accepting pair: degenerate empty-language grammar
+        return result.trim(start)
+    keep = result.reachable(start)
+    trimmed = Grammar(start)
+    productions = trimmed.productions
+    nrules = 0
+    source = result.productions
+    for nt in sorted(keep):
+        rules = source.get(nt) or []
+        productions[nt] = rules
+        nrules += len(rules)
+    trimmed._nrules = nrules
+    trimmed.copy_labels_from(result, keep)
+    return trimmed
+
+
+def intersection_is_empty(grammar: Grammar, root: Nonterminal, dfa: DFA) -> bool:
+    """True iff L(grammar, root) ∩ L(dfa) = ∅ (no triple grammar built).
+
+    Consults the charset/length abstraction first
+    (:func:`repro.lang.abstraction.prefilter_decides_empty`): the
+    abstraction over-approximates ``L(grammar, root)``, so a "provably
+    empty" answer from it is always the exact answer and the pair
+    fixpoint can be skipped.  Anything else falls through.
+    """
+    from .abstraction import prefilter_decides_empty
+
+    if prefilter_decides_empty(grammar, root, dfa):
+        PERF.incr("prefilter.hits")
+        return True
+    PERF.incr("prefilter.misses")
+    table = _pair_table(grammar, root, dfa)
     return not any(
         (dfa.start, qf) in table.pairs[root] for qf in dfa.accepts
     )
@@ -163,7 +246,7 @@ def intersect(
     Returns ``(result, start)``; the result is trimmed.  Labels on
     ``X_{ij}`` mirror the labels on ``X`` (Theorem 3.1).
     """
-    table = _PairTable(grammar, root, dfa)
+    table = _pair_table(grammar, root, dfa)
     normalized = table.grammar
     result = Grammar()
     triple: dict[tuple[Nonterminal, int, int], Nonterminal] = {}
@@ -173,44 +256,84 @@ def intersect(
         if key not in triple:
             fresh = result.fresh(f"{nt.name}@{i},{j}")
             triple[key] = fresh
-            # TAINTIF: propagate source labels through the construction.
-            for label in normalized.labels.get(nt, ()):
-                result.add_label(fresh, label)
+            # TAINTIF: propagate source labels through the construction
+            # (inlined add_label: ``fresh`` is already in productions and
+            # no memo has been taken on the result grammar yet).
+            labels = normalized.labels.get(nt)
+            if labels:
+                result.labels[fresh] = set(labels)
         return triple[key]
 
     def rhs_symbol(symbol: Symbol, i: int, j: int) -> Symbol | None:
         """The (i, j)-restriction of one rhs symbol, or None if invalid."""
-        if isinstance(symbol, Lit):
+        kind = type(symbol)
+        if kind is Nonterminal:
+            if (i, j) in table.pairs[symbol]:
+                return get_triple(symbol, i, j)
+            return None
+        if kind is Lit:
             return symbol if table.lit_target(symbol.text, i) == j else None
-        if isinstance(symbol, CharSet):
-            refined = table.charset_refined(symbol, i, j)
-            return refined if refined else None
-        if (i, j) in table.pairs[symbol]:
-            return get_triple(symbol, i, j)
-        return None
+        refined = table.charset_refined(symbol, i, j)
+        return refined if refined else None
+
+    # Pair sets are frozen once the table is solved, so terminal pair
+    # sets and the start-state index of each symbol are computed once.
+    # by_start preserves the pair set's own iteration order, keeping
+    # triple creation order (and hence output bytes) identical to the
+    # direct `for i2, mid in pairs if i2 == i` scan it replaces.
+    term_cache: dict[int, set[tuple[int, int]]] = {}
+    by_start_cache: dict[int, dict[int, list[int]]] = {}
+
+    def by_start_of(symbol: Symbol) -> dict[int, list[int]]:
+        key = id(symbol)
+        index = by_start_cache.get(key)
+        if index is None:
+            if isinstance(symbol, Nonterminal):
+                found = table.pairs[symbol]
+            else:
+                found = term_cache.get(key)
+                if found is None:
+                    found = set(table.term_pairs(symbol))
+                    term_cache[key] = found
+            index = {}
+            for i2, mid in found:
+                index.setdefault(i2, []).append(mid)
+            by_start_cache[key] = index
+        return index
 
     for lhs, rhss in normalized.productions.items():
+        # Pre-dispatch each rhs once per lhs instead of once per state
+        # pair; the prepared tuples carry no side effects, so hoisting
+        # them leaves triple creation order unchanged.
+        prepared: list[tuple] | None = None
         for i, j in table.pairs[lhs]:
+            if prepared is None:
+                prepared = []
+                for rhs in rhss:
+                    if not rhs:
+                        prepared.append((0, None, None, None))
+                    elif len(rhs) == 1:
+                        prepared.append((1, rhs[0], None, None))
+                    else:
+                        first, second = rhs
+                        prepared.append((2, first, second, by_start_of(first)))
             lhs_triple = get_triple(lhs, i, j)
-            for rhs in rhss:
-                if not rhs:
-                    if i == j:
-                        result.add(lhs_triple, ())
-                    continue
-                if len(rhs) == 1:
-                    restricted = rhs_symbol(rhs[0], i, j)
+            bodies: list[Rhs] = []
+            for kind, first, second, index in prepared:
+                if kind == 2:
+                    for mid in index.get(i, ()):
+                        left = rhs_symbol(first, i, mid)
+                        right = rhs_symbol(second, mid, j)
+                        if left is not None and right is not None:
+                            bodies.append((left, right))
+                elif kind == 1:
+                    restricted = rhs_symbol(first, i, j)
                     if restricted is not None:
-                        result.add(lhs_triple, (restricted,))
-                    continue
-                first, second = rhs
-                first_pairs = table.symbol_pairs(first)
-                for i2, mid in first_pairs:
-                    if i2 != i:
-                        continue
-                    left = rhs_symbol(first, i, mid)
-                    right = rhs_symbol(second, mid, j)
-                    if left is not None and right is not None:
-                        result.add(lhs_triple, (left, right))
+                        bodies.append((restricted,))
+                elif i == j:
+                    bodies.append(())
+            if bodies:
+                result._bulk_add(lhs_triple, bodies)
 
     start = result.fresh(f"{root.name}∩")
     result.start = start
@@ -219,4 +342,4 @@ def intersect(
     for qf in dfa.accepts:
         if (dfa.start, qf) in table.pairs[root]:
             result.add(start, (get_triple(root, dfa.start, qf),))
-    return result.trim(start), start
+    return _reach_trim(result, start), start

@@ -74,6 +74,12 @@ LOOP_CAP = 64
 #: total eval/exec steps before the execution is abandoned
 STEP_BUDGET = 200_000
 
+#: (path, source) → parsed AST (or None for unparseable files); bounded,
+#: cleared wholesale on overflow.  See :meth:`Interpreter._parse`.
+_AST_MEMORY: dict[tuple[str, str], "ast.File | None"] = {}
+_AST_MEMORY_CAP = 256
+_AST_MISS = object()
+
 _ARITH_LANGUAGE = re.compile(r"-?[0-9]+(\.[0-9]+)?\Z")
 
 
@@ -399,10 +405,25 @@ class Interpreter:
             source = path.read_text()
         except OSError:
             return None
+        # Content-addressed AST memory shared by every interpreter in
+        # the process: the fuzz loop executes each generated page once
+        # per input vector, and without this the lexer+parser dominate
+        # the execute stage.  ASTs are read-only after construction
+        # (the analyzer already shares them across pages), so handing
+        # out the same tree is safe.  Keying on the source text means a
+        # rewritten file can never alias a stale tree.
+        key = (str(path), source)
+        cached = _AST_MEMORY.get(key, _AST_MISS)
+        if cached is not _AST_MISS:
+            return cached
         try:
-            return parse(source, str(path))
+            tree = parse(source, str(path))
         except (PhpParseError, ValueError):
-            return None
+            tree = None
+        if len(_AST_MEMORY) >= _AST_MEMORY_CAP:
+            _AST_MEMORY.clear()
+        _AST_MEMORY[key] = tree
+        return tree
 
     def _interpret_file(self, tree: ast.File, env: Env) -> None:
         previous = self.current_file

@@ -116,6 +116,7 @@ def _dynamic_fallback(
 
 # The "all substrings" transducer: skip a prefix, copy a window, skip the
 # suffix.  Exact for substr() with unknown bounds.
+@lru_cache(maxsize=64)
 def _substring_fst() -> FST:
     fst = FST()
     pre, mid, post = fst.new_state(), fst.new_state(), fst.new_state()
@@ -128,6 +129,7 @@ def _substring_fst() -> FST:
     return fst
 
 
+@lru_cache(maxsize=64)
 def _between_delims_fst(delim: str) -> FST:
     """Figure 8: the pieces ``explode(delim, subject)`` returns, for a
     single-character delimiter (the common case)."""
@@ -183,6 +185,7 @@ REGEX_SPECIALS = CharSet.of(".\\+*?[^]$(){}=!<>|:-#/")
 QUOTEMETA_CHARS = CharSet.of(".\\+*?[^]$()")
 
 
+@lru_cache(maxsize=64)
 def _addslashes_fst() -> FST:
     """PHP ``addslashes``: NUL becomes the two characters ``\\0`` (a
     backslash and a digit zero, *not* a backslash-prefixed NUL — the
@@ -196,6 +199,7 @@ def _addslashes_fst() -> FST:
     )
 
 
+@lru_cache(maxsize=64)
 def _mysql_escape_fst() -> FST:
     """``mysql_real_escape_string``: like addslashes, but the control
     characters rewrite to their *letter* escapes (``\\n``, ``\\r``,
@@ -211,6 +215,7 @@ def _mysql_escape_fst() -> FST:
     )
 
 
+@lru_cache(maxsize=64)
 def _pg_escape_fst() -> FST:
     """``pg_escape_string`` doubles quotes and backslashes (SQL-standard
     quoting), unlike the MySQL family's backslash-escaping."""
@@ -222,10 +227,12 @@ def _pg_escape_fst() -> FST:
     )
 
 
+@lru_cache(maxsize=64)
 def _sqlite_escape_fst() -> FST:
     return FST.char_map([(CharSet.of("'"), ("''",))])
 
 
+@lru_cache(maxsize=64)
 def _escapeshellarg_fst() -> FST:
     """The *body* rewrite of PHP ``escapeshellarg``: every embedded
     single quote becomes ``'\\''`` (close, escaped quote, reopen); the
@@ -233,6 +240,7 @@ def _escapeshellarg_fst() -> FST:
     return FST.char_map([(CharSet.of("'"), ("'\\''",))])
 
 
+@lru_cache(maxsize=64)
 def _stripslashes_fst() -> FST:
     fst = FST()
     normal, escaped = fst.new_state(), fst.new_state()
@@ -247,6 +255,7 @@ def _stripslashes_fst() -> FST:
     return fst
 
 
+@lru_cache(maxsize=64)
 def _htmlspecialchars_fst(quote_style: str) -> FST:
     mapping = [
         (CharSet.of("&"), ("&amp;",)),
@@ -342,6 +351,7 @@ def _h_quotemeta(builder, values, nodes):
     return builder.image(subject, FST.escape_chars(QUOTEMETA_CHARS), "quotemeta")
 
 
+@lru_cache(maxsize=64)
 def _nl2br_fst() -> FST:
     """``nl2br`` breaks on ``\\r\\n`` / ``\\n\\r`` *pairs* (one ``<br />``
     per pair, inserted before it) as well as on lone ``\\n`` / ``\\r`` —
@@ -447,6 +457,7 @@ def _h_ereg_replace(builder, values, nodes):
     return _h_preg_replace(builder, values, nodes, php_delimiters=False)
 
 
+@lru_cache(maxsize=64)
 def _regex_replace_fst(
     pattern_text: str, replacement: str, php_delimiters: bool
 ) -> FST | None:

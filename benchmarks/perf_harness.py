@@ -179,6 +179,12 @@ def bench_app(name: str, jobs: int) -> dict:
         avoided = warm_counters.get("policy.checks_avoided", 0)
         executed = warm_counters.get("policy.check_cascades", 0)
         total = avoided + executed
+        # a speedup ratio is only meaningful when the box can actually
+        # run the requested workers concurrently; on an undersized box
+        # (cpu_count < jobs) report null + a degraded marker instead of
+        # a number that reads as "parallelism doesn't help"
+        cpu_count = os.cpu_count() or 1
+        degraded = cpu_count < jobs
         return {
             "app": name,
             "pages": len(serial_doc["pages"]),
@@ -201,7 +207,10 @@ def bench_app(name: str, jobs: int) -> dict:
                 "pages_total": daemon["pages_total"],
                 "clean_exit": daemon["clean_exit"],
             },
-            "parallel_speedup": round(serial_wall / parallel_wall, 2),
+            "parallel_speedup": (
+                None if degraded else round(serial_wall / parallel_wall, 2)
+            ),
+            **({"degraded": "cpu_count < jobs"} if degraded else {}),
             "warm_speedup": round(cold_wall / warm_wall, 2),
             "phase2_cascades_cold": cold_counters.get("policy.check_cascades", 0),
             "phase2_cascades_warm": executed,
@@ -238,10 +247,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"benchmarking {name} ...", flush=True)
         row = bench_app(name, args.jobs)
         rows.append(row)
+        speedup = (
+            f"{row['parallel_speedup']}x"
+            if row["parallel_speedup"] is not None
+            else "n/a: cpu_count < jobs"
+        )
         print(
             f"  serial {row['wall_seconds']['serial']}s"
             f"  parallel {row['wall_seconds']['parallel']}s"
-            f" ({row['parallel_speedup']}x)"
+            f" ({speedup})"
             f"  warm-cache {row['wall_seconds']['cache_warm']}s"
             f" ({row['warm_speedup']}x,"
             f" {row['phase2_avoided_warm']} cascades avoided)",

@@ -22,12 +22,14 @@ an unchanged corpus near-instant.
 from __future__ import annotations
 
 import os
+import pickle
 import re
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs.timeline import TIMELINE, append_span
 from repro.perf import PERF
 from repro.php.includes import IncludeResolver
 from repro.trace import TRACE
@@ -180,6 +182,11 @@ class PageResult:
     #: reassembled by the driver in page order, so a parallel run's trace
     #: has the same tree shape as a serial run's
     trace: dict | None = None
+    #: this page's phase-tagged timeline capture (``--profile=timeline``):
+    #: the :meth:`repro.obs.timeline._PageCapture.payload` dict, tagged
+    #: with the recording process id so the driver can assign worker
+    #: lanes; ``None`` when timeline recording is off
+    timeline: dict | None = None
     #: the page's file-dependency closure, as sorted project-relative
     #: POSIX paths: every file whose *content* can influence this page's
     #: grammar (entry page + transitive include closure, parse failures
@@ -232,7 +239,7 @@ def _analyze_one_page(
         policies=policies,
     )
     with TRACE.span("phase1") as phase1_span:
-        with PERF.timer("phase1.string_analysis"):
+        with PERF.timer("phase1.string_analysis"), TIMELINE.phase("absdom"):
             result = analysis.analyze_file(page)
         phase1_span.set("hotspots", len(result.hotspots))
         phase1_span.set(
@@ -246,7 +253,7 @@ def _analyze_one_page(
     nonterminals = 0
     productions = 0
     with TRACE.span("phase2") as phase2_span:
-        with PERF.timer("phase2.checks"):
+        with PERF.timer("phase2.checks"), TIMELINE.phase("phase2"):
             for spot in result.hotspots:
                 scope = result.grammar.subgrammar(spot.query.nt)
                 nonterminals += len(scope.productions)
@@ -258,7 +265,7 @@ def _analyze_one_page(
 
     page_audit = None
     if audit:
-        with TRACE.span("audit"):
+        with TRACE.span("audit"), TIMELINE.phase("audit"):
             page_audit = audit_page(result)
         # a hotspot's verdict is only as trustworthy as the weakest
         # construct on its page's include closure
@@ -293,13 +300,16 @@ def _page_result(
 
     Always the page-span boundary: the span tree for this page is
     recorded here (a fresh root span whether the result was analyzed or
-    served from disk) and shipped in ``PageResult.trace``."""
-    with TRACE.capture("page", page=str(page)) as page_span:
-        result = _page_result_inner(
-            project_root, page, audit, parse_cache, resolver, disk_cache,
-            project_state, page_span, policies,
-        )
+    served from disk) and shipped in ``PageResult.trace``; likewise the
+    page's timeline capture (``PageResult.timeline``)."""
+    with TIMELINE.page(str(page)) as timeline_capture:
+        with TRACE.capture("page", page=str(page)) as page_span:
+            result = _page_result_inner(
+                project_root, page, audit, parse_cache, resolver, disk_cache,
+                project_state, page_span, policies,
+            )
     result.trace = page_span.to_dict() if TRACE.enabled else None
+    result.timeline = timeline_capture.payload()
     return result
 
 
@@ -327,7 +337,8 @@ def _page_result_inner(
             audit,
             policy_digest=policies.digest() if policies is not None else "",
         )
-        cached = disk_cache.load("page", key)
+        with TIMELINE.phase("cache.page_load"):
+            cached = disk_cache.load("page", key)
         if isinstance(cached, PageResult):
             # every hotspot whose cascade we skipped is phase-2 work
             # the cache paid for once and amortizes forever
@@ -384,6 +395,8 @@ def _init_page_worker(
     project_state: str | None,
     trace_enabled: bool = False,
     policies=None,
+    timeline_enabled: bool = False,
+    profile: bool = False,
 ) -> None:
     _WORKER_STATE["root"] = Path(root)
     _WORKER_STATE["audit"] = audit
@@ -392,9 +405,11 @@ def _init_page_worker(
     _WORKER_STATE["disk_cache"] = DiskCache(cache_dir) if cache_dir else None
     _WORKER_STATE["project_state"] = project_state
     _WORKER_STATE["policies"] = policies
+    _WORKER_STATE["profile"] = profile
     # workers record their own page span trees; the driver reassembles
     # them in page order so the run tree is scheduling-independent
     TRACE.configure(trace_enabled)
+    TIMELINE.configure(timeline_enabled)
     _warm_worker_caches(policies)
 
 
@@ -410,6 +425,22 @@ def _page_worker(page: str) -> PageResult:
         _WORKER_STATE["project_state"],
         _WORKER_STATE.get("policies"),
     )
+    if _WORKER_STATE.get("profile"):
+        # the result is pickled once more by the pool machinery on the
+        # way home; measuring our own dump gives the same byte count and
+        # attributes the serialization cost to this page
+        started = time.perf_counter()
+        size = len(pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+        finished = time.perf_counter()
+        PERF.incr("ipc.page_results")
+        PERF.incr("ipc.page_bytes_total", size)
+        PERF.gauge("ipc.page_bytes.max", size)
+        PERF.observe("ipc.page_bytes", size)
+        PERF.add_time("ipc.pickle", finished - started)
+        if result.timeline is not None:
+            append_span(
+                result.timeline, "pickle", started, finished, bytes=size
+            )
     result.perf = PERF.diff(before)
     return result
 
@@ -432,6 +463,7 @@ def run_pages(
     cache_max_mb: float | None = None,
     parse_cache: dict | None = None,
     policies=None,
+    profile: bool = False,
 ) -> list[PageResult]:
     """Analyze ``pages`` and return their results **in input order**.
 
@@ -454,12 +486,19 @@ def run_pages(
     travels to parallel workers (it is a frozen picklable dataclass) and
     its digest salts the disk-cache page key, so results computed under
     one config are never replayed under another.
+
+    ``profile=True`` turns on the worker-side IPC accounting (pickled
+    page-result bytes and serialization time); timeline recording
+    additionally follows the driver's ``TIMELINE.enabled`` into the
+    workers.  Neither changes any analysis output (DESIGN 5i).
     """
     root = Path(project_root)
     disk_cache = DiskCache(cache_dir, max_mb=cache_max_mb) if cache_dir else None
     project_state = None
     if disk_cache is not None:
-        with PERF.timer("disk.project_state_hash"):
+        with PERF.timer("disk.project_state_hash"), TIMELINE.phase(
+            "project-state-hash"
+        ):
             project_state = project_state_hash(root)
     jobs = resolve_jobs(jobs, len(pages))
     if jobs <= 1:
@@ -484,6 +523,8 @@ def run_pages(
                 project_state,
                 TRACE.enabled,
                 policies,
+                TIMELINE.enabled,
+                profile,
             ),
         ) as pool:
             # batching amortizes per-task IPC; results still come back in

@@ -36,6 +36,8 @@ import sys
 from pathlib import Path
 
 from repro import trace
+from repro.obs import timeline as obs_timeline
+from repro.obs.timeline import TIMELINE
 from repro.perf import PERF, render_table
 from repro.trace import TRACE
 
@@ -75,6 +77,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.oracle.fuzz import fuzz_main
 
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "stats":
+        from repro.obs.stats import stats_main
+
+        return stats_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="sqlciv",
         description=(
@@ -143,10 +149,25 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--profile",
-        action="store_true",
+        nargs="?",
+        const="table",
+        choices=("table", "timeline"),
+        metavar="MODE",
         help=(
             "print a per-phase timing and cache-counter table to stderr "
-            "(with --json, also embed it under a \"perf\" key)"
+            "(with --json, also embed it under a \"perf\" key).  "
+            "--profile=timeline additionally records worker-attributed "
+            "phase spans and writes them to --timeline-out; render them "
+            "with `sqlciv stats timeline.json`"
+        ),
+    )
+    parser.add_argument(
+        "--timeline-out",
+        metavar="FILE",
+        default="timeline.json",
+        help=(
+            "where --profile=timeline writes its capture "
+            "(default: timeline.json)"
         ),
     )
     parser.add_argument(
@@ -208,17 +229,21 @@ def main(argv: list[str] | None = None) -> int:
         except PolicyConfigError as exc:
             parser.error(f"--policy-config: {exc}")
 
+    PERF.reset()
+    TRACE.configure(bool(args.trace))
+    TIMELINE.configure(args.profile == "timeline")
+
     if args.pages:
         pages = [root / page for page in args.pages]
     else:
-        pages = entry_pages(root)
+        with TIMELINE.phase("scan"):
+            pages = entry_pages(root)
 
-    PERF.reset()
-    TRACE.configure(bool(args.trace))
     auditing = args.audit or args.json
     results = run_pages(
         root, pages, audit=auditing, jobs=args.jobs, cache_dir=args.cache_dir,
         cache_max_mb=args.cache_max_mb, policies=policies,
+        profile=bool(args.profile),
     )
 
     any_violation = False
@@ -285,6 +310,17 @@ def main(argv: list[str] | None = None) -> int:
         )
         log.info("trace written to %s", args.trace)
 
+    if args.profile == "timeline":
+        timeline = obs_timeline.assemble(
+            [r.timeline for r in results],
+            TIMELINE.drain_driver_spans(),
+            attrs={"root": str(root), "jobs": args.jobs},
+        )
+        obs_timeline.write_timeline(args.timeline_out, timeline)
+        log.info(
+            "timeline written to %s (render with `sqlciv stats %s`)",
+            args.timeline_out, args.timeline_out,
+        )
     if args.profile:
         print(render_table(PERF.snapshot()), file=sys.stderr)
 

@@ -100,6 +100,10 @@ class DiskCache:
         try:
             with open(path, "rb") as handle:
                 value = pickle.load(handle)
+                try:
+                    PERF.incr("disk.bytes_read", os.fstat(handle.fileno()).st_size)
+                except OSError:
+                    pass
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
             PERF.incr(f"disk.{kind}.misses")
@@ -121,6 +125,7 @@ class DiskCache:
         try:
             with open(tmp, "wb") as handle:
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                PERF.incr("disk.bytes_written", handle.tell())
             os.replace(tmp, path)
             PERF.incr(f"disk.{kind}.stores")
         except (OSError, pickle.PicklingError) as exc:
@@ -158,6 +163,7 @@ class DiskCache:
                     continue
                 entries.append((status.st_atime, status.st_size, path))
                 total += status.st_size
+        PERF.gauge("disk.total_bytes", total)
         if total <= self.max_bytes:
             return 0
         entries.sort(key=lambda entry: (entry[0], entry[2]))

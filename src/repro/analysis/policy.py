@@ -37,6 +37,7 @@ from repro.lang.earley import (
 )
 from repro.lang.grammar import Grammar, Lit, Nonterminal
 from repro.lang.intersect import intersect, intersection_is_empty
+from repro.obs.timeline import TIMELINE
 from repro.perf import PERF
 from repro.sql.bridge import TokenizationFailure, grammar_to_tokens
 from repro.sql.grammar import sql_grammar
@@ -126,23 +127,31 @@ def check_hotspot(
         "hotspot", file=hotspot.file, line=hotspot.line, sink=hotspot.sink
     ) as span:
         scope = grammar.subgrammar(root).trim(root)
-        with PERF.timer("phase2.fingerprint"):
-            order = scope.canonical_order(root)
-            key = scope.fingerprint(root, order=order)
-            if namespace:
-                key = f"{namespace}:{key}"
+        with TIMELINE.phase("verdict-memo") as memo_phase:
+            with PERF.latency("policy.verdict_lookup_seconds"):
+                with PERF.timer("phase2.fingerprint"):
+                    order = scope.canonical_order(root)
+                    key = scope.fingerprint(root, order=order)
+                    if namespace:
+                        key = f"{namespace}:{key}"
+                cached = cache.get(key)
         PERF.gauge("policy.scope_productions.max", scope.num_productions())
         span.set("scope_productions", scope.num_productions())
         span.set("fingerprint", key[:16])
-        cached = cache.get(key)
         if cached is not None:
             PERF.incr("policy.verdict_cache.hits")
             span.set("verdict_cache", "hit")
+            if memo_phase is not None:
+                memo_phase.setdefault("meta", {})["outcome"] = "hit"
             _report_from_cached(cached, report, order)
         else:
             PERF.incr("policy.verdict_cache.misses")
             span.set("verdict_cache", "miss")
-            with PERF.timer("phase2.cascade"):
+            if memo_phase is not None:
+                memo_phase.setdefault("meta", {})["outcome"] = "miss"
+            with PERF.timer("phase2.cascade"), TIMELINE.phase(
+                f"cascade:{namespace or 'sql'}"
+            ):
                 (cascade or _run_cascade)(scope, root, hotspot, report)
             cache.put(key, _cached_from_report(report, order))
         # provenance is attached *after* both paths, from the hitting

@@ -25,6 +25,7 @@ from repro.lang.grammar import Grammar, INDIRECT, Nonterminal
 from repro.lang.regex import Pattern
 from repro.perf import PERF
 from repro.php import ast, builtins
+from repro.obs.timeline import TIMELINE
 from repro.trace import TRACE
 from repro.php.includes import IncludeResolver
 from repro.php.parser import PhpParseError, parse
@@ -220,7 +221,9 @@ class StringTaintAnalysis:
         # every file we so much as try to read is a dependency of this
         # page — parse failures included (the failure is reported)
         self.dep_files.add(str(path))
-        with TRACE.span("parse", file=str(path)) as span:
+        with TRACE.span("parse", file=str(path)) as span, TIMELINE.phase(
+            "parse"
+        ):
             if path in self._parse_cache:
                 PERF.incr("parse.memory_hits")
                 span.set("cache", "memory")
@@ -511,7 +514,7 @@ class StringTaintAnalysis:
     def _exec_Include(self, stmt: ast.Include, env: Env) -> None:
         with TRACE.span(
             "include", file=self.current_file, line=stmt.line
-        ) as span:
+        ) as span, TIMELINE.phase("include"):
             path_value = self.builder.to_str(self.eval(stmt.path, env))
             include_kinds = self._construct_sinks.get("include", ())
             if include_kinds:

@@ -39,6 +39,7 @@ import os
 import sys
 from collections import deque
 
+from repro.obs.timeline import TIMELINE
 from repro.perf import PERF
 
 from .charset import CharSet
@@ -280,7 +281,7 @@ def prefilter_decides_empty(
     """
     if not ENABLED:
         return False
-    with PERF.timer("prefilter"):
+    with PERF.timer("prefilter"), TIMELINE.phase("prefilter"):
         abstraction = abstraction_of(grammar, root)
         min_dist, max_dist, _ = _pruned_profile(dfa, abstraction.closure)
         if min_dist is None:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections import OrderedDict, defaultdict
 
+from repro.obs.timeline import TIMELINE
 from repro.perf import PERF
 from repro.trace import TRACE
 
@@ -154,24 +155,30 @@ def fst_image(
     are cached (an :class:`FSTExplosion` re-raises every time and the
     caller's widening fallback handles it).
     """
-    with PERF.timer("image.fingerprint"):
-        # order-sensitive, name-insensitive: equal shapes guarantee the
-        # construction runs the same operation sequence, and the name
-        # recipes recover this input's names on a hit
-        position = next(
-            (i for i, nt in enumerate(grammar.productions) if nt is root), -1
-        )
-        fingerprint = f"{grammar.shape_fingerprint()}:{position}"
-    entry = IMAGE_CACHE.get(fst, fingerprint)
+    with PERF.latency("image.lookup_seconds"):
+        with PERF.timer("image.fingerprint"):
+            # order-sensitive, name-insensitive: equal shapes guarantee
+            # the construction runs the same operation sequence, and the
+            # name recipes recover this input's names on a hit
+            position = next(
+                (i for i, nt in enumerate(grammar.productions) if nt is root),
+                -1,
+            )
+            fingerprint = f"{grammar.shape_fingerprint()}:{position}"
+        entry = IMAGE_CACHE.get(fst, fingerprint)
     if entry is not None:
         PERF.incr("image.cache.hits")
         TRACE.annotate("cache", "hit")
         cached_grammar, cached_start, recipes = entry
-        with PERF.timer("image.rebind"):
+        # a hit replays the memoized construction onto this grammar's
+        # names, one recipe per cached nonterminal — the replay count is
+        # the volume of construction work the memo turned into rebinds
+        PERF.incr("image.cache.replays", len(recipes))
+        with PERF.timer("image.rebind"), TIMELINE.phase("image.rebind"):
             return _rebind_image(cached_grammar, cached_start, recipes, grammar)
     PERF.incr("image.cache.misses")
     TRACE.annotate("cache", "miss")
-    with PERF.timer("image.construct"):
+    with PERF.timer("image.construct"), TIMELINE.phase("image.construct"):
         result, start, recipes = _fst_image_uncached(grammar, root, fst)
     IMAGE_CACHE.put(fst, fingerprint, result, start, recipes)
     # hand the first caller a copy too: the cached original must never

@@ -1,0 +1,134 @@
+"""Prometheus text-format exposition of a registry snapshot.
+
+This is the daemon's scrape surface (``sqlciv serve --metrics-addr``),
+and the metric **names it emits are a stable contract** (DESIGN 5i):
+
+* every family is prefixed ``sqlciv_``; dots in registry names become
+  underscores;
+* counters get the ``_total`` suffix (``pages.analyzed`` →
+  ``sqlciv_pages_analyzed_total``), except the per-op request counters
+  ``server.requests.<op>``, which fold into one family
+  ``sqlciv_server_requests_total{op="<op>"}``;
+* timers are cumulative seconds, exposed as counters with a
+  ``_seconds_total`` suffix (``phase2.checks`` →
+  ``sqlciv_phase2_checks_seconds_total``);
+* gauges are exposed as gauges; registry gauges are high-water marks,
+  current-value gauges (resident projects/pages, cache entry counts)
+  are supplied by the caller via ``extra_gauges``;
+* histograms become native Prometheus histograms
+  (``_bucket{le="…"}``/``_sum``/``_count``, with the ``+Inf`` bucket);
+* derived hit-rate gauges ``sqlciv_cache_hit_ratio{cache="<label>"}``
+  are emitted for every cache in
+  :data:`repro.obs.metrics.CACHE_RATE_ROWS` that saw traffic.
+
+Only the text exposition format (version 0.0.4) is produced — it needs
+no client library, which keeps the daemon dependency-free.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import cache_rates
+
+# colons are reserved for recording rules, so they are sanitized too
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+_REQUEST_COUNTER_PREFIX = "server.requests."
+
+
+def metric_name(name: str) -> str:
+    """``sqlciv_``-prefixed, sanitized family name for a registry name."""
+    return "sqlciv_" + _NAME_OK.sub("_", name.replace(".", "_"))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(
+    snapshot: dict, extra_gauges: dict[str, float] | None = None
+) -> str:
+    """The text-format exposition for one registry snapshot.
+
+    ``extra_gauges`` carries current-value gauges (the registry only
+    keeps high-water marks); keys are registry-style dotted names.
+    """
+    lines: list[str] = []
+
+    counters = snapshot.get("counters", {})
+    request_ops = {
+        name[len(_REQUEST_COUNTER_PREFIX):]: value
+        for name, value in counters.items()
+        if name.startswith(_REQUEST_COUNTER_PREFIX)
+    }
+    if request_ops:
+        family = "sqlciv_server_requests_total"
+        lines.append(f"# HELP {family} Daemon requests handled, by op.")
+        lines.append(f"# TYPE {family} counter")
+        for op in sorted(request_ops):
+            lines.append(
+                f'{family}{{op="{_escape_label(op)}"}} '
+                f"{_fmt(request_ops[op])}"
+            )
+    for name in sorted(counters):
+        if name.startswith(_REQUEST_COUNTER_PREFIX):
+            continue
+        family = metric_name(name) + "_total"
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family} {_fmt(counters[name])}")
+
+    for name in sorted(snapshot.get("timers", {})):
+        family = metric_name(name) + "_seconds_total"
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family} {_fmt(snapshot['timers'][name])}")
+
+    gauges = snapshot.get("gauges", {})
+    for name in sorted(gauges):
+        family = metric_name(name)
+        lines.append(f"# HELP {family} High-water mark.")
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_fmt(gauges[name])}")
+    for name in sorted(extra_gauges or {}):
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_fmt(extra_gauges[name])}")
+
+    for name in sorted(snapshot.get("histograms", {})):
+        hist = snapshot["histograms"][name]
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["counts"]):
+            cumulative += count
+            lines.append(
+                f'{family}_bucket{{le="{_fmt(float(bound))}"}} {cumulative}'
+            )
+        lines.append(
+            f'{family}_bucket{{le="+Inf"}} {_fmt(hist["count"])}'
+        )
+        lines.append(f"{family}_sum {_fmt(hist['sum'])}")
+        lines.append(f"{family}_count {_fmt(hist['count'])}")
+
+    rates = cache_rates(counters)
+    if rates:
+        family = "sqlciv_cache_hit_ratio"
+        lines.append(
+            f"# HELP {family} Hit ratio per cache since process start."
+        )
+        lines.append(f"# TYPE {family} gauge")
+        for label, _hits, _misses, rate, _extras in rates:
+            cache = _escape_label(label.replace(" ", "_"))
+            lines.append(f'{family}{{cache="{cache}"}} {round(rate, 6)}')
+
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,277 @@
+"""The per-worker timeline profiler (``--profile=timeline``).
+
+Where ``--profile`` answers "how much, in total" and ``--trace`` answers
+"under which include", the timeline answers the scheduling question the
+parallel-speedup mystery needs: **which worker was doing which phase,
+when**.  It records flat, phase-tagged spans —
+
+``parse``, ``include``, ``absdom`` (the phase-1 abstract
+interpretation), ``verdict-memo`` (lookup, hit or miss),
+``cascade:<policy>`` (the phase-2 check cascade), ``prefilter``,
+``image.construct`` / ``image.rebind``, ``audit``, ``cache.page_load``,
+and ``pickle`` (result serialization for the IPC hop)
+
+— per page, wherever the page actually ran.  Each page's spans travel
+home inside the picklable :class:`~repro.analysis.analyzer.PageResult`
+(tagged with the recording process id), and the driver assembles one
+``timeline.json`` with a **lane** per worker process: lane 0 is the
+driver, worker lanes are numbered by first appearance in page order.
+
+Determinism: span **ids** are derived from ``(page, phase, occurrence
+index)`` — never from timestamps, pids, or lanes — so two runs that do
+the same work produce the same id for every span, serial or parallel.
+Timestamps are ``time.perf_counter()`` readings; on the platforms we
+run (Linux ``CLOCK_MONOTONIC``), they are comparable across the driver
+and its forked/spawned workers, which is what lets one run-relative
+clock order spans from different processes on a shared gantt.
+
+Recording is off unless ``--profile=timeline`` is given, and the
+disabled paths are a singleton attribute check — and by construction
+(DESIGN 5i) enabling it never changes an analysis output byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+TIMELINE_FORMAT = "sqlciv-timeline/1"
+
+
+class _NullCapture:
+    """What :meth:`TimelineRecorder.page` yields while recording is off."""
+
+    __slots__ = ()
+
+    def payload(self) -> None:
+        return None
+
+
+_NULL_CAPTURE = _NullCapture()
+
+
+class _PageCapture:
+    """One page's span list plus its wall-clock bounds."""
+
+    __slots__ = ("page", "t_start", "t_end", "spans")
+
+    def __init__(self, page: str) -> None:
+        self.page = page
+        self.t_start = 0.0
+        self.t_end = 0.0
+        self.spans: list[dict] = []
+
+    def payload(self) -> dict:
+        """The picklable form shipped in ``PageResult.timeline``."""
+        return {
+            "page": self.page,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "pid": os.getpid(),
+            "spans": self.spans,
+        }
+
+
+class TimelineRecorder:
+    """The process-wide phase recorder (:data:`TIMELINE`).
+
+    ``enabled`` gates everything.  Spans are stored flat (dicts with a
+    ``parent`` index), nested via an open-span stack; :meth:`page`
+    isolates a page's spans exactly like ``TRACE.capture`` isolates a
+    page's tree, so worker-recorded pages reassemble identically to
+    driver-recorded ones.  Driver-side phases recorded outside any page
+    (directory scan, project-state hash) accumulate until
+    :meth:`drain_driver_spans`.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._spans: list[dict] = []
+        self._stack: list[int] = []
+
+    def configure(self, enabled: bool) -> None:
+        self.enabled = enabled
+        self._spans = []
+        self._stack = []
+
+    @contextmanager
+    def phase(self, name: str, **meta):
+        """Record one phase-tagged span under the innermost open span."""
+        if not self.enabled:
+            yield None
+            return
+        span: dict = {
+            "phase": name,
+            "parent": self._stack[-1] if self._stack else None,
+            "start": time.perf_counter(),
+            "end": 0.0,
+        }
+        if meta:
+            span["meta"] = meta
+        index = len(self._spans)
+        self._spans.append(span)
+        self._stack.append(index)
+        try:
+            yield span
+        finally:
+            span["end"] = time.perf_counter()
+            self._stack.pop()
+
+    def annotate(self, key: str, value) -> None:
+        """Set a meta key on the innermost open span, if any."""
+        if self.enabled and self._stack:
+            span = self._spans[self._stack[-1]]
+            span.setdefault("meta", {})[key] = value
+
+    @contextmanager
+    def page(self, page: str):
+        """Capture one page's spans, isolated from the enclosing state."""
+        if not self.enabled:
+            yield _NULL_CAPTURE
+            return
+        saved_spans, saved_stack = self._spans, self._stack
+        self._spans, self._stack = [], []
+        capture = _PageCapture(page)
+        capture.t_start = time.perf_counter()
+        try:
+            yield capture
+        finally:
+            capture.t_end = time.perf_counter()
+            capture.spans = self._spans
+            self._spans, self._stack = saved_spans, saved_stack
+
+    def drain_driver_spans(self) -> list[dict]:
+        """Hand over (and clear) the spans recorded outside any page."""
+        spans, self._spans = self._spans, []
+        self._stack = []
+        return spans
+
+
+#: The process-wide recorder; workers enable their own copy in the pool
+#: initializer and ship finished page captures home inside PageResult.
+TIMELINE = TimelineRecorder()
+
+
+def append_span(
+    payload: dict, phase: str, start: float, end: float, **meta
+) -> None:
+    """Append a top-level span to a finished page payload (used for the
+    ``pickle`` phase, which by definition runs after the capture closed)
+    and stretch the page bounds to cover it."""
+    span: dict = {"phase": phase, "parent": None, "start": start, "end": end}
+    if meta:
+        span["meta"] = meta
+    payload["spans"].append(span)
+    payload["t_end"] = max(payload["t_end"], end)
+
+
+def span_id(page: str, phase: str, occurrence: int) -> str:
+    """Deterministic span id: a function of the page, the phase name,
+    and the phase's occurrence ordinal within the page — identical
+    across reruns, lanes, and processes."""
+    seed = f"{page}|{phase}|{occurrence}".encode("utf-8", errors="replace")
+    return hashlib.sha256(seed).hexdigest()[:12]
+
+
+def assemble(
+    page_payloads: list[dict | None],
+    driver_spans: list[dict] | None = None,
+    attrs: dict | None = None,
+) -> dict:
+    """The ``timeline.json`` document for one run.
+
+    ``page_payloads`` are the per-page captures **in page order**
+    (``None`` entries — pages analyzed with recording off — are
+    skipped).  Lane 0 is the driver process; worker lanes are numbered
+    by first appearance in page order, so the lane layout is a pure
+    function of the page→worker assignment.
+    """
+    driver_spans = driver_spans or []
+    pages = [p for p in page_payloads if p]
+    starts = [p["t_start"] for p in pages] + [s["start"] for s in driver_spans]
+    ends = [p["t_end"] for p in pages] + [s["end"] for s in driver_spans]
+    t0 = min(starts) if starts else 0.0
+    wall = (max(ends) - t0) if ends else 0.0
+
+    driver_pid = os.getpid()
+    lane_of: dict[int, int] = {driver_pid: 0}
+    lanes = [{"lane": 0, "pid": driver_pid, "role": "driver"}]
+    for payload in pages:
+        pid = payload["pid"]
+        if pid not in lane_of:
+            lane_of[pid] = len(lanes)
+            lanes.append({"lane": len(lanes), "pid": pid, "role": "worker"})
+
+    out_pages = []
+    for payload in pages:
+        counts: dict[str, int] = {}
+        spans = []
+        for span in payload["spans"]:
+            phase = span["phase"]
+            occurrence = counts.get(phase, 0)
+            counts[phase] = occurrence + 1
+            record = {
+                "id": span_id(payload["page"], phase, occurrence),
+                "phase": phase,
+                "parent": span["parent"],
+                "start": round(span["start"] - t0, 6),
+                "dur": round(span["end"] - span["start"], 6),
+            }
+            if span.get("meta"):
+                record["meta"] = span["meta"]
+            spans.append(record)
+        out_pages.append(
+            {
+                "page": payload["page"],
+                "lane": lane_of[payload["pid"]],
+                "start": round(payload["t_start"] - t0, 6),
+                "dur": round(payload["t_end"] - payload["t_start"], 6),
+                "spans": spans,
+            }
+        )
+
+    driver_counts: dict[str, int] = {}
+    out_driver = []
+    for span in driver_spans:
+        phase = span["phase"]
+        occurrence = driver_counts.get(phase, 0)
+        driver_counts[phase] = occurrence + 1
+        record = {
+            "id": span_id("<driver>", phase, occurrence),
+            "phase": phase,
+            "parent": span["parent"],
+            "start": round(span["start"] - t0, 6),
+            "dur": round(span["end"] - span["start"], 6),
+        }
+        if span.get("meta"):
+            record["meta"] = span["meta"]
+        out_driver.append(record)
+
+    return {
+        "format": TIMELINE_FORMAT,
+        "attrs": attrs or {},
+        "wall_seconds": round(wall, 6),
+        "lanes": lanes,
+        "driver_spans": out_driver,
+        "pages": out_pages,
+    }
+
+
+def write_timeline(path: str | Path, timeline: dict) -> None:
+    Path(path).write_text(
+        json.dumps(timeline, indent=1) + "\n", encoding="utf-8"
+    )
+
+
+def load_timeline(path: str | Path) -> dict:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("format") != TIMELINE_FORMAT:
+        raise ValueError(
+            f"{path} is not a {TIMELINE_FORMAT} document "
+            f"(format={data.get('format') if isinstance(data, dict) else None!r})"
+        )
+    return data

@@ -1,138 +1,24 @@
-"""Performance telemetry: phase timers, counters, and gauges.
+"""Compatibility shim: the perf registry now lives in :mod:`repro.obs`.
 
-The ROADMAP's north star is a system "as fast as the hardware allows";
-this module is the instrument panel that makes speed claims checkable.
-One process-wide :class:`PerfRecorder` (:data:`PERF`) collects
-
-* **timers** — cumulative wall-clock seconds per named phase
-  (``phase1.string_analysis``, ``phase2.checks``, ``fingerprint`` …),
-* **counters** — monotone event counts (cache hits/misses per cache,
-  fixpoint iterations, pages analyzed, …), and
-* **gauges** — high-water marks (peak memo sizes, largest subgrammar).
-
-Everything is a plain ``float``/``int`` in a flat dict, so a snapshot is
-trivially picklable: parallel analysis workers ship their deltas back to
-the driver, which folds them into its own recorder (counters/timers add,
-gauges take the max).  Recording is cheap enough to leave on
-unconditionally — a dict update per event — and is surfaced only when
-asked for (CLI ``--profile``, the benchmark harness).
+``from repro.perf import PERF`` keeps working everywhere; the actual
+implementation — counters, timers, gauges, and the fixed-bucket
+histograms added with the observability layer — is
+:mod:`repro.obs.metrics`.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
+from repro.obs.metrics import (  # noqa: F401  (re-exported API)
+    PERF,
+    MetricsRegistry,
+    PerfRecorder,
+    buckets_for,
+    cache_rates,
+    render_table,
+)
 
 #: Bump when an analysis-semantics change invalidates cached results
 #: (on-disk ASTs / page reports keyed by content hash + this version).
-ANALYZER_CACHE_VERSION = "5"
-
-
-class PerfRecorder:
-    """A flat bag of timers, counters, and gauges."""
-
-    def __init__(self) -> None:
-        self.counters: dict[str, int] = {}
-        self.timers: dict[str, float] = {}
-        self.gauges: dict[str, float] = {}
-
-    # -- recording ---------------------------------------------------------
-
-    def incr(self, name: str, amount: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + amount
-
-    def add_time(self, name: str, seconds: float) -> None:
-        self.timers[name] = self.timers.get(name, 0.0) + seconds
-
-    def gauge(self, name: str, value: float) -> None:
-        """Record a high-water mark (keeps the max ever seen)."""
-        if value > self.gauges.get(name, float("-inf")):
-            self.gauges[name] = value
-
-    @contextmanager
-    def timer(self, name: str):
-        started = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.add_time(name, time.perf_counter() - started)
-
-    # -- snapshots ---------------------------------------------------------
-
-    def reset(self) -> None:
-        self.counters.clear()
-        self.timers.clear()
-        self.gauges.clear()
-
-    def snapshot(self) -> dict:
-        """A picklable copy: ``{"counters": …, "timers": …, "gauges": …}``."""
-        return {
-            "counters": dict(self.counters),
-            "timers": dict(self.timers),
-            "gauges": dict(self.gauges),
-        }
-
-    def diff(self, before: dict) -> dict:
-        """What happened since ``before`` (an earlier :meth:`snapshot`).
-
-        Counters and timers subtract; gauges keep the current high-water
-        mark (a max over a superset of events is still an upper bound).
-        """
-        now = self.snapshot()
-        return {
-            "counters": _sub(now["counters"], before["counters"]),
-            "timers": _sub(now["timers"], before["timers"]),
-            "gauges": dict(now["gauges"]),
-        }
-
-    def merge(self, delta: dict) -> None:
-        """Fold a worker's snapshot/diff into this recorder."""
-        for name, value in delta.get("counters", {}).items():
-            self.incr(name, value)
-        for name, value in delta.get("timers", {}).items():
-            self.add_time(name, value)
-        for name, value in delta.get("gauges", {}).items():
-            self.gauge(name, value)
-
-
-def _sub(now: dict, before: dict) -> dict:
-    out = {}
-    for name, value in now.items():
-        delta = value - before.get(name, 0)
-        if delta:
-            out[name] = delta
-    return out
-
-
-def render_table(snapshot: dict) -> str:
-    """The ``--profile`` table: timers, then counters, then gauges."""
-    lines = ["== perf profile =="]
-    timers = snapshot.get("timers", {})
-    if timers:
-        lines.append("phase timings:")
-        width = max(len(n) for n in timers)
-        for name in sorted(timers):
-            lines.append(f"  {name:<{width}}  {timers[name]:9.3f}s")
-    counters = snapshot.get("counters", {})
-    if counters:
-        lines.append("counters:")
-        width = max(len(n) for n in counters)
-        for name in sorted(counters):
-            lines.append(f"  {name:<{width}}  {counters[name]:>9}")
-    gauges = snapshot.get("gauges", {})
-    if gauges:
-        lines.append("gauges (high-water marks):")
-        width = max(len(n) for n in gauges)
-        for name in sorted(gauges):
-            value = gauges[name]
-            shown = f"{value:g}" if isinstance(value, float) else str(value)
-            lines.append(f"  {name:<{width}}  {shown:>9}")
-    if len(lines) == 1:
-        lines.append("(no events recorded)")
-    return "\n".join(lines)
-
-
-#: The process-wide recorder.  Parallel workers each get their own copy
-#: (a fresh process), take a :meth:`PerfRecorder.snapshot` before a page
-#: and ship ``PERF.diff(before)`` back with the page's result.
-PERF = PerfRecorder()
+#: "6": PageResult grew timeline/worker fields with the observability
+#: layer — older pickles must not be replayed into the new shape.
+ANALYZER_CACHE_VERSION = "6"

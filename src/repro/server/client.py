@@ -143,8 +143,10 @@ class ServerClient:
     def status(self):
         return self.request("status")
 
-    def metrics(self):
-        return self.request("metrics")
+    def metrics(self, format: str | None = None):
+        """Daemon metrics; ``format="prometheus"`` returns the text
+        exposition (under ``"text"``) instead of the JSON snapshot."""
+        return self.request("metrics", format=format)
 
     def ping(self):
         return self.request("ping")
@@ -189,9 +191,17 @@ def client_main(argv: list[str] | None = None) -> int:
     )
     invalidate.add_argument("paths", nargs="+")
 
+    metrics = commands.add_parser(
+        "metrics", help="perf counters/timers/gauges/histograms as JSON"
+    )
+    metrics.add_argument(
+        "--prometheus", action="store_true",
+        help="print the Prometheus text exposition instead of JSON "
+             "(the same document --metrics-addr serves over HTTP)",
+    )
+
     for name, help_text in (
         ("status", "one-line daemon state as JSON"),
-        ("metrics", "perf counters/timers/gauges as JSON"),
         ("ping", "liveness check"),
         ("shutdown", "stop the daemon"),
     ):
@@ -233,6 +243,10 @@ def client_main(argv: list[str] | None = None) -> int:
             if args.command == "invalidate":
                 result = client.invalidate(args.paths)
                 print(json.dumps(result, indent=2))
+                return 0
+            if args.command == "metrics" and args.prometheus:
+                result = client.metrics(format="prometheus")
+                sys.stdout.write(result["text"])
                 return 0
             result = client.request(args.command)
             print(json.dumps(result, indent=2))

@@ -35,6 +35,7 @@ hash as a second line of defense for cross-restart reuse.
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import os
 import socketserver
@@ -136,7 +137,7 @@ class AnalysisDaemon:
         request_id, op, params = request["id"], request["op"], request["params"]
         PERF.incr(f"server.requests.{op}")
         handler = getattr(self, f"op_{op}")
-        with self.lock:
+        with self.lock, PERF.latency("server.request_seconds"):
             try:
                 result = handler(params)
             except protocol.ProtocolError as exc:
@@ -285,6 +286,35 @@ class AnalysisDaemon:
             "ignored": ignored,
         }
 
+    def _resident_gauges(self) -> dict[str, float]:
+        """Current-value gauges for the metrics surface (the registry's
+        own gauges are high-water marks, so point-in-time occupancy is
+        sampled here)."""
+        from repro.analysis.policy import VERDICT_CACHE
+        from repro.lang.image import IMAGE_CACHE
+
+        return {
+            "resident.projects": 1,
+            "resident.pages": len({rel for rel, _audit in self._memo}),
+            "server.uptime_seconds": round(time.time() - self.started, 3),
+            "server.parse_cache_entries": len(self._parse_cache),
+            "server.depgraph_pages": len(self.depgraph.pages()),
+            "server.depgraph_files": len(self.depgraph.files()),
+            "image.cache.entries": len(IMAGE_CACHE),
+            "policy.verdict_cache.entries": len(VERDICT_CACHE),
+        }
+
+    def _cache_hit_rates(self) -> dict[str, float]:
+        """Hit rates per cache since daemon start, from the counters."""
+        from repro.obs.metrics import cache_rates
+
+        return {
+            label.replace(" ", "_"): round(rate, 4)
+            for label, _hits, _misses, rate, _extras in cache_rates(
+                PERF.snapshot()["counters"]
+            )
+        }
+
     def op_status(self, params: dict) -> dict:
         memoized = {rel for rel, _audit in self._memo}
         return {
@@ -303,12 +333,31 @@ class AnalysisDaemon:
                     self.depgraph.layout_sensitive_pages()
                 ),
             },
+            "resident": self._resident_gauges(),
+            "cache_hit_rates": self._cache_hit_rates(),
         }
 
+    def prometheus_text(self) -> str:
+        """The Prometheus exposition for this daemon (served both by the
+        ``metrics`` op with ``format="prometheus"`` and by the HTTP
+        ``--metrics-addr`` endpoint)."""
+        from repro.obs.prometheus import render_prometheus
+
+        return render_prometheus(
+            PERF.snapshot(), extra_gauges=self._resident_gauges()
+        )
+
     def op_metrics(self, params: dict) -> dict:
+        if params.get("format") == "prometheus":
+            return {
+                "content_type": "text/plain; version=0.0.4; charset=utf-8",
+                "text": self.prometheus_text(),
+            }
         return {
             "uptime_seconds": round(time.time() - self.started, 3),
             "perf": PERF.snapshot(),
+            "resident": self._resident_gauges(),
+            "cache_hit_rates": self._cache_hit_rates(),
         }
 
     def op_ping(self, params: dict) -> dict:
@@ -332,6 +381,54 @@ class AnalysisDaemon:
             )
         except OSError as exc:
             log.warning("could not persist dependency graph: %s", exc)
+
+
+# -- Prometheus scrape endpoint ----------------------------------------------
+
+
+def start_metrics_server(daemon: AnalysisDaemon, addr: str):
+    """Serve ``GET /metrics`` (Prometheus text format) on ``addr``.
+
+    ``addr`` is ``HOST:PORT`` (``:0`` / bare ``PORT`` bind an ephemeral
+    port on 127.0.0.1 — the bound address is reported in the daemon's
+    ready line).  Returns the running ``ThreadingHTTPServer``; the
+    serving thread is a daemon thread, so it never blocks shutdown.
+    """
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    host, _, port_text = addr.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"--metrics-addr: invalid port in {addr!r}")
+
+    class _MetricsHandler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+                self.send_error(404, "only /metrics is served here")
+                return
+            body = daemon.prometheus_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, format: str, *args) -> None:
+            log.debug("metrics endpoint: " + format, *args)
+
+    httpd = ThreadingHTTPServer((host, port), _MetricsHandler)
+    thread = threading.Thread(
+        target=httpd.serve_forever,
+        kwargs={"poll_interval": 0.1},
+        name="sqlciv-metrics",
+        daemon=True,
+    )
+    thread.start()
+    return httpd
 
 
 # -- socket layer -------------------------------------------------------------
@@ -439,6 +536,11 @@ def serve_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--policy-config", metavar="FILE",
                         help="enable sink policies from a YAML config for "
                              "the daemon's lifetime (see README 'Policies')")
+    parser.add_argument("--metrics-addr", metavar="HOST:PORT",
+                        help="also serve GET /metrics (Prometheus text "
+                             "format) over HTTP on HOST:PORT (':0' binds an "
+                             "ephemeral port; the bound address appears in "
+                             "the ready line as \"metrics\")")
     parser.add_argument("--log-level", choices=("quiet", "info", "debug"),
                         default="info")
     args = parser.parse_args(argv)
@@ -473,12 +575,23 @@ def serve_main(argv: list[str] | None = None) -> int:
     server = create_server(
         daemon, socket_path=args.socket, host=args.host, port=args.port
     )
+    metrics_server = None
+    if args.metrics_addr:
+        try:
+            metrics_server = start_metrics_server(daemon, args.metrics_addr)
+        except (OSError, ValueError) as exc:
+            server.server_close()
+            parser.error(f"--metrics-addr: {exc}")
     if args.socket is not None:
         address = args.socket
     else:
         address = "%s:%d" % server.server_address[:2]
+    ready = {"listening": address, "pid": os.getpid()}
+    if metrics_server is not None:
+        ready["metrics"] = "%s:%d" % metrics_server.server_address[:2]
+        log.info("metrics endpoint on http://%s/metrics", ready["metrics"])
     # the ready line scripts wait for (stdout, flushed, machine-readable)
-    print(f'{{"listening": "{address}", "pid": {os.getpid()}}}', flush=True)
+    print(json.dumps(ready), flush=True)
     log.info("sqlciv daemon serving %s on %s", daemon.root, address)
     try:
         server.serve_forever(poll_interval=0.1)
@@ -486,6 +599,9 @@ def serve_main(argv: list[str] | None = None) -> int:
         pass
     finally:
         server.server_close()
+        if metrics_server is not None:
+            metrics_server.shutdown()
+            metrics_server.server_close()
         if args.socket is not None:
             try:
                 Path(args.socket).unlink()

@@ -27,7 +27,11 @@ Operations:
 ``invalidate``
     ``paths`` (required list): files that changed on disk.  Deleted and
     out-of-tree paths are legal — see the daemon.
-``status`` / ``metrics`` / ``ping``
+``metrics``
+    ``format`` (optional: ``"json"``, the default, or ``"prometheus"``
+    for the text exposition format the ``--metrics-addr`` endpoint
+    serves — see :mod:`repro.obs.prometheus` for the name contract).
+``status`` / ``ping``
     No parameters.
 ``shutdown``
     No parameters; the response is sent before the daemon stops.
@@ -128,6 +132,12 @@ def _validate_params(op: str, params: dict, request_id) -> None:
         if set(params) != {"paths"}:
             fail('invalidate takes exactly one parameter: "paths"')
         expect_str_list("paths", params["paths"])
+    elif op == "metrics":
+        extra = set(params) - {"format"}
+        if extra:
+            fail(f"unexpected metrics parameter(s): {sorted(extra)}")
+        if "format" in params and params["format"] not in ("json", "prometheus"):
+            fail('"format" must be "json" or "prometheus"')
     elif params:
         fail(f"{op} takes no parameters")
 

@@ -188,7 +188,7 @@ def bench_prefilter_hit_rate() -> dict:
     """Pre-filter hits/misses over full analyses of two corpus apps."""
     from repro.corpus import build_app
     from repro.analysis.analyzer import entry_pages, run_pages
-    from repro.perf import PERF
+    from repro.obs.metrics import PERF
 
     per_app: dict[str, dict] = {}
     for app in ("tiger_php_news", "utopia_news_pro"):

@@ -21,8 +21,8 @@ from repro.lang.grammar import Grammar, Lit, Nonterminal, Symbol
 from repro.lang.image import fst_image, regular_image
 from repro.lang.intersect import intersect
 from repro.lang.regex import Pattern, search_language
-from repro.perf import PERF
-from repro.trace import TRACE
+from repro.obs.metrics import PERF
+from repro.obs.trace import TRACE
 
 from .values import ArrVal, StrVal, Value
 
@@ -60,6 +60,10 @@ class GrammarBuilder:
         #: model is running.  Consumed by the origin events below.
         self.site: tuple[str, int] = ("", 0)
         self.call_name: str | None = None
+        #: extra fields for the next labeled ``any_string`` birth (byte
+        #: span of the source expression, superglobal key, …); set by the
+        #: interpreter around superglobal reads, consumed once
+        self.source_extra: dict | None = None
 
     # -- provenance -----------------------------------------------------------
 
@@ -123,15 +127,22 @@ class GrammarBuilder:
             self._literal_cache[text] = nt
         return StrVal(self._literal_cache[text])
 
-    def any_string(self, label: str | None = None, hint: str = "Σ*") -> StrVal:
-        """Σ* — the unknown string; optionally taint-labeled at birth."""
+    def any_string(
+        self, label: str | None = None, hint: str = "Σ*", **origin
+    ) -> StrVal:
+        """Σ* — the unknown string; optionally taint-labeled at birth.
+
+        Keyword ``origin`` extras (e.g. ``span=[lo, hi]``) are recorded on
+        the source event; fields in :attr:`source_extra` override them."""
         nt = self.fresh(hint)
         self.grammar.add(nt, ())
         self.grammar.add(nt, (CharSet.any_char(), nt))
         if label:
             self.grammar.add_label(nt, label)
+            if self.source_extra:
+                origin.update(self.source_extra)
             self.grammar.set_origin(
-                nt, self._origin_event("source", hint, label=label)
+                nt, self._origin_event("source", hint, label=label, **origin)
             )
         return StrVal(nt)
 

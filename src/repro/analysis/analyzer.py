@@ -30,9 +30,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.obs.timeline import TIMELINE, append_span
-from repro.perf import PERF
+from repro.obs.metrics import PERF
 from repro.php.includes import IncludeResolver
-from repro.trace import TRACE
+from repro.obs.trace import TRACE
 
 from .audit import AuditReport, AuditTrail, audit_page
 from .diskcache import DiskCache, project_state_hash
@@ -177,7 +177,7 @@ class PageResult:
     #: worker-side perf delta (parallel runs only; folded into the
     #: driver's recorder and cleared by :func:`run_pages`)
     perf: dict | None = None
-    #: this page's span tree (:meth:`repro.trace.Span.to_dict` form) when
+    #: this page's span tree (:meth:`repro.obs.trace.Span.to_dict` form) when
     #: ``--trace`` is on; recorded wherever the page actually ran and
     #: reassembled by the driver in page order, so a parallel run's trace
     #: has the same tree shape as a serial run's

@@ -35,11 +35,11 @@ import logging
 import sys
 from pathlib import Path
 
-from repro import trace
+from repro.obs import trace
 from repro.obs import timeline as obs_timeline
 from repro.obs.timeline import TIMELINE
-from repro.perf import PERF, render_table
-from repro.trace import TRACE
+from repro.obs.metrics import PERF, render_table
+from repro.obs.trace import TRACE
 
 from .analyzer import entry_pages, run_pages
 from .reports import SOUND, UNSOUND_CAVEATS, json_document
@@ -77,6 +77,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.oracle.fuzz import fuzz_main
 
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "fix":
+        from repro.remediate.engine import fix_main
+
+        return fix_main(argv[1:])
     if argv and argv[0] == "stats":
         from repro.obs.stats import stats_main
 

@@ -1,8 +1,8 @@
 """On-disk content-addressed caches (the CLI's ``--cache-dir``).
 
 Two stores, both keyed by content hashes salted with
-:data:`~repro.perf.ANALYZER_CACHE_VERSION` (bumping the version orphans
-every old entry, so semantics changes can never replay stale results):
+:data:`ANALYZER_CACHE_VERSION` (bumping the version orphans every old
+entry, so semantics changes can never replay stale results):
 
 * ``ast/`` — parsed :class:`repro.php.ast.File` trees (or the parse
   error), keyed by the SHA-256 of the file's bytes.  Survives edits to
@@ -29,9 +29,15 @@ import os
 import pickle
 from pathlib import Path
 
-from repro.perf import ANALYZER_CACHE_VERSION, PERF
+from repro.obs.metrics import PERF
 
 log = logging.getLogger(__name__)
+
+#: Bump when an analysis-semantics change invalidates cached results
+#: (on-disk ASTs / page reports keyed by content hash + this version).
+#: "7": tokens and AST nodes carry byte spans for the remediation
+#: engine — older span-less pickles must not be replayed.
+ANALYZER_CACHE_VERSION = "7"
 
 #: extensions the include resolver scans — part of the project state
 RESOLVER_EXTENSIONS = (".php", ".inc", ".html", ".tpl")

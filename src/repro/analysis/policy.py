@@ -38,10 +38,10 @@ from repro.lang.earley import (
 from repro.lang.grammar import Grammar, Lit, Nonterminal
 from repro.lang.intersect import intersect, intersection_is_empty
 from repro.obs.timeline import TIMELINE
-from repro.perf import PERF
+from repro.obs.metrics import PERF
 from repro.sql.bridge import TokenizationFailure, grammar_to_tokens
 from repro.sql.grammar import sql_grammar
-from repro.trace import TRACE
+from repro.obs.trace import TRACE
 
 from . import quotes
 from .provenance import trace_provenance

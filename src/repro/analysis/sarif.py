@@ -147,14 +147,26 @@ def _relative_uri(file: str, root: Path) -> dict:
         return {"uri": Path(file).as_posix()}
 
 
-def _location(file: str, line: int, root: Path, message: str | None = None) -> dict:
+def _location(
+    file: str,
+    line: int,
+    root: Path,
+    message: str | None = None,
+    span: list | tuple | None = None,
+) -> dict:
     location: dict = {
         "physicalLocation": {
             "artifactLocation": _relative_uri(file, root),
         }
     }
     if line and line > 0:
-        location["physicalLocation"]["region"] = {"startLine": line}
+        region: dict = {"startLine": line}
+        if span and len(span) == 2 and span[0] >= 0 and span[1] >= span[0]:
+            # byte-exact source span recorded by the provenance chain
+            # (SARIF §3.30.11: charOffset/charLength are 0-based)
+            region["charOffset"] = int(span[0])
+            region["charLength"] = int(span[1] - span[0])
+        location["physicalLocation"]["region"] = region
     if message:
         location["message"] = {"text": message}
     return location
@@ -186,7 +198,7 @@ def _code_flow(finding: Finding, root: Path) -> dict | None:
             {
                 "location": _location(
                     event.get("file", ""), event.get("line", 0), root,
-                    _step_message(event),
+                    _step_message(event), span=event.get("span"),
                 )
             }
         )
@@ -195,7 +207,7 @@ def _code_flow(finding: Finding, root: Path) -> dict | None:
             {
                 "location": _location(
                     event.get("file", ""), event.get("line", 0), root,
-                    _step_message(event),
+                    _step_message(event), span=event.get("span"),
                 )
             }
         )
@@ -216,12 +228,25 @@ def _code_flow(finding: Finding, root: Path) -> dict | None:
     return flow
 
 
+def _fix_key(finding: Finding, root: Path) -> tuple:
+    """How the remediation engine addresses a finding's ``fixes[]``
+    (matches :meth:`~repro.remediate.engine.RemediationReport.sarif_fixes`)."""
+    return (
+        _relative_uri(finding.file, root)["uri"],
+        finding.line,
+        finding.sink,
+        finding.check,
+        finding.policy or "sql",
+    )
+
+
 def _result(
     finding: Finding,
     page: str,
     root: Path,
     rule_index: dict[str, int] = _RULE_INDEX,
     titles: dict[str, str] | None = None,
+    fixes: dict | None = None,
 ) -> dict:
     level = "error" if finding.category == "direct" else "warning"
     title = (titles or {}).get(finding.policy, _SQL_TITLE)
@@ -241,6 +266,10 @@ def _result(
     flow = _code_flow(finding, root)
     if flow is not None:
         result["codeFlows"] = [flow]
+    if fixes:
+        verified = fixes.get(_fix_key(finding, root))
+        if verified:
+            result["fixes"] = verified
     properties: dict = {
         "page": _relative_uri(page, root)["uri"],
         "sink": finding.sink,
@@ -264,12 +293,16 @@ def _result(
 
 
 def results_to_sarif(
-    project_root: str | Path, page_results: list, policies=None
+    project_root: str | Path, page_results: list, policies=None, fixes=None
 ) -> dict:
     """The SARIF log for one run over ``page_results``
     (:class:`~repro.analysis.analyzer.PageResult` list, in page order).
     ``policies`` (a :class:`~.policies.config.PolicyConfig`) selects the
-    rule catalog; None keeps the classic SQL-only catalog."""
+    rule catalog; None keeps the classic SQL-only catalog.  ``fixes``
+    (``sqlciv fix``'s :meth:`~repro.remediate.engine.RemediationReport.\
+sarif_fixes` mapping) attaches verified patches as SARIF ``fixes[]``;
+    None — every path except ``sqlciv fix --sarif`` — leaves the
+    document byte-identical to before the remediation engine existed."""
     root = Path(project_root).resolve()
     rules, rule_index, titles = _rule_catalog(policies)
     results = []
@@ -279,7 +312,10 @@ def results_to_sarif(
                 if finding.safe:
                     continue
                 results.append(
-                    _result(finding, page_result.page, root, rule_index, titles)
+                    _result(
+                        finding, page_result.page, root, rule_index,
+                        titles, fixes,
+                    )
                 )
     return {
         "$schema": SARIF_SCHEMA_URI,
@@ -306,10 +342,11 @@ def results_to_sarif(
 
 
 def render_sarif(
-    project_root: str | Path, page_results: list, policies=None
+    project_root: str | Path, page_results: list, policies=None, fixes=None
 ) -> str:
     return json.dumps(
-        results_to_sarif(project_root, page_results, policies), indent=2
+        results_to_sarif(project_root, page_results, policies, fixes),
+        indent=2,
     )
 
 
@@ -318,9 +355,10 @@ def write_sarif(
     project_root: str | Path,
     page_results: list,
     policies=None,
+    fixes=None,
 ) -> None:
     Path(path).write_text(
-        render_sarif(project_root, page_results, policies) + "\n",
+        render_sarif(project_root, page_results, policies, fixes) + "\n",
         encoding="utf-8",
     )
 

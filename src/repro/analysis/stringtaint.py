@@ -23,10 +23,10 @@ from pathlib import Path
 from repro.lang.fsa import NFA
 from repro.lang.grammar import Grammar, INDIRECT, Nonterminal
 from repro.lang.regex import Pattern
-from repro.perf import PERF
+from repro.obs.metrics import PERF
 from repro.php import ast, builtins
 from repro.obs.timeline import TIMELINE
-from repro.trace import TRACE
+from repro.obs.trace import TRACE
 from repro.php.includes import IncludeResolver
 from repro.php.parser import PhpParseError, parse
 
@@ -770,14 +770,37 @@ class StringTaintAnalysis:
             # YAML-declared extra taint sources (--policy-config sources:)
             label = self.policies.source_label(expr.name)
         if label is not None:
-            return ArrVal(default=self.builder.any_string(label, hint=expr.name))
+            origin = {}
+            if expr.span is not None:
+                origin["span"] = list(expr.span)
+            return ArrVal(
+                default=self.builder.any_string(label, hint=expr.name, **origin)
+            )
         value = env.get(expr.name)
         if value is None:
             return self.builder.literal("")
         return value
 
     def _eval_ArrayDim(self, expr: ast.ArrayDim, env: Env) -> Value:
-        base = self.eval(expr.base, env)
+        # superglobal reads like $_GET['id'] mint their taint source while
+        # evaluating the base: hand the birth event the full expression's
+        # byte span and the literal key, so remediation can both splice a
+        # patch and rebuild a witness input vector
+        extra: dict | None = None
+        if isinstance(expr.base, ast.Var):
+            extra = {}
+            if expr.span is not None:
+                extra["span"] = list(expr.span)
+            if isinstance(expr.index, ast.Literal) and isinstance(
+                expr.index.value, (str, int)
+            ):
+                extra["key"] = str(expr.index.value)
+            self.builder.source_extra = extra
+        try:
+            base = self.eval(expr.base, env)
+        finally:
+            if extra is not None:
+                self.builder.source_extra = None
         key = self._static_key(expr.index, env)
         if isinstance(base, ArrVal):
             value = base.get(key)

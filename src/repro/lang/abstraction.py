@@ -40,7 +40,7 @@ import sys
 from collections import deque
 
 from repro.obs.timeline import TIMELINE
-from repro.perf import PERF
+from repro.obs.metrics import PERF
 
 from .charset import CharSet
 from .fsa import DFA

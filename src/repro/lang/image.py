@@ -18,8 +18,8 @@ from __future__ import annotations
 from collections import OrderedDict, defaultdict
 
 from repro.obs.timeline import TIMELINE
-from repro.perf import PERF
-from repro.trace import TRACE
+from repro.obs.metrics import PERF
+from repro.obs.trace import TRACE
 
 from .charset import CharSet
 from .fst import FST, FSTExplosion, map_marker_charset, render_output

@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable
 
-from repro.perf import PERF
+from repro.obs.metrics import PERF
 
 from .charset import CharSet
 from .fsa import DFA

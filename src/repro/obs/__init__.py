@@ -1,7 +1,7 @@
 """Unified observability layer: metrics, traces, timelines, exposition.
 
-This package subsumes the older top-level ``repro.perf`` and
-``repro.trace`` modules (which remain as thin compatibility shims) and
+This package subsumed the older top-level ``repro.perf`` and
+``repro.trace`` modules (now removed — import from here directly) and
 adds the instruments the ROADMAP's scalability work needs:
 
 * :mod:`repro.obs.metrics` — the typed metrics registry behind the

@@ -2,13 +2,13 @@
 
 The analyzer's pipeline — parse → include resolution → phase-1 fixpoint
 → intersections/images → phase-2 checks — runs per page, possibly across
-worker processes.  ``--profile`` (:mod:`repro.perf`) answers "how much,
+worker processes.  ``--profile`` (:mod:`repro.obs.metrics`) answers "how much,
 in total"; this module answers "where, in which page, under which
 include" by recording a tree of **spans**:
 
 * a span has a name, attributes (cache hit/miss, grammar sizes, …),
   a wall-clock duration, and children;
-* the perf delta (:meth:`repro.perf.PerfRecorder.diff`) observed while
+* the perf delta (:meth:`repro.obs.metrics.PerfRecorder.diff`) observed while
   the span was open is attached at span exit, so the sum of span deltas
   and the ``--profile`` table agree by construction;
 * span **ids are deterministic**: derived from the span's position in

@@ -112,6 +112,8 @@ class FuzzReport:
     skipped_vectors: int = 0
     hits: int = 0
     divergences: list[Divergence] = field(default_factory=list)
+    #: one outcome dict per divergence when ``--fix-check`` ran
+    fix_checks: list[dict] = field(default_factory=list)
 
     def render(self) -> str:
         lines = [
@@ -121,7 +123,28 @@ class FuzzReport:
         ]
         for divergence in self.divergences:
             lines.append(divergence.render())
+        for outcome in self.fix_checks:
+            lines.append(render_fix_check(outcome))
         return "\n".join(lines)
+
+
+def render_fix_check(outcome: dict) -> str:
+    if outcome.get("error"):
+        return f"fix-check: engine error — {outcome['error']}"
+    survives = outcome.get("survives")
+    verdict = (
+        "no verified patch"
+        if survives is None
+        else (
+            "divergence SURVIVES the patch"
+            if survives
+            else "divergence eliminated by the patch"
+        )
+    )
+    return (
+        f"fix-check: {outcome.get('fixed', 0)} patched / "
+        f"{outcome.get('unfixable', 0)} unfixable — {verdict}"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -191,6 +214,7 @@ def _write_artifact(
     vector: InputVector,
     divergence: Divergence,
     policy: str | None = None,
+    fix_outcome: dict | None = None,
 ) -> Path:
     target = artifacts / f"div_{iteration:04d}_{divergence.kind}"
     if target.exists():
@@ -201,11 +225,66 @@ def _write_artifact(
         # the marker the regression-seed replayer reads to re-enable the
         # same policy mode (tests/oracle seeds)
         (target / "policy").write_text(policy + "\n")
-    (target / "report.txt").write_text(
+    report = (
         divergence.render()
         + f"\n\nreplay: analyze {entry} and execute it under vector.json\n"
     )
+    if fix_outcome is not None:
+        report += render_fix_check(fix_outcome) + "\n"
+        (target / "fix-check.json").write_text(
+            json.dumps(fix_outcome, indent=2) + "\n"
+        )
+    (target / "report.txt").write_text(report)
     return target
+
+
+def attempt_fix(
+    app: Path,
+    entry: str,
+    vector: InputVector,
+    kind: str,
+    policy: str | None = None,
+) -> dict:
+    """Post-minimization remediation attempt (``--fix-check``).
+
+    Runs the remediation engine over a copy of the minimized
+    reproducer, applies whatever verifies, and replays the divergence
+    on the patched tree.  ``survives`` is None when nothing verified,
+    else whether the same divergence kind still reproduces — a
+    divergence that survives a verified patch is a stronger soundness
+    signal than the divergence alone (the engine's re-analysis agreed
+    the finding was gone, yet the concrete behaviour persists).
+    """
+    outcome: dict = {"attempted": True, "fixed": 0, "unfixable": 0,
+                     "survives": None}
+    copy = Path(tempfile.mkdtemp(prefix="sqlciv-fixcheck-")) / "app"
+    shutil.copytree(app, copy)
+    try:
+        from repro.remediate import remediate_project
+
+        policies = None
+        if policy:
+            from repro.analysis.policies import PolicyConfig
+
+            policies = PolicyConfig(enabled=("sql", policy))
+        try:
+            report = remediate_project(
+                copy, pages=[entry], policies=policies, apply=True,
+                oracle=False,
+            )
+        except Exception as exc:   # engine failure is a finding, not a crash
+            outcome["error"] = f"{type(exc).__name__}: {exc}"
+            return outcome
+        outcome["fixed"] = len(report.fixed)
+        outcome["unfixable"] = len(report.unfixable)
+        outcome["statuses"] = [e.status for e in report.entries]
+        if report.applied:
+            outcome["survives"] = _reproduces(
+                copy, entry, vector, kind, policy=policy
+            )
+        return outcome
+    finally:
+        shutil.rmtree(copy.parent, ignore_errors=True)
 
 
 # ---------------------------------------------------------------------------
@@ -223,6 +302,7 @@ def run_fuzz(
     progress_every: int = 25,
     log=print,
     policy: str | None = None,
+    fix_check: bool = False,
 ) -> FuzzReport:
     rng = random.Random(seed)
     report = FuzzReport()
@@ -270,11 +350,19 @@ def run_fuzz(
                             divergence = candidate
                             break
                 report.divergences.append(divergence)
+                fix_outcome = None
+                if fix_check:
+                    fix_outcome = attempt_fix(
+                        workdir, entry, vector, divergence.kind,
+                        policy=policy,
+                    )
+                    report.fix_checks.append(fix_outcome)
+                    log(render_fix_check(fix_outcome))
                 if artifacts is not None:
                     artifacts.mkdir(parents=True, exist_ok=True)
                     where = _write_artifact(
                         artifacts, iteration, workdir, entry, vector,
-                        divergence, policy=policy,
+                        divergence, policy=policy, fix_outcome=fix_outcome,
                     )
                     log(f"divergence at iteration {iteration}: saved {where}")
                 else:
@@ -320,6 +408,15 @@ def fuzz_main(argv: list[str] | None = None) -> int:
         help="shrink divergent pages/vectors to minimal reproducers",
     )
     parser.add_argument(
+        "--fix-check",
+        action="store_true",
+        help=(
+            "after minimizing a divergence, run the remediation engine "
+            "on the reproducer and report whether the divergence "
+            "survives the verified patches"
+        ),
+    )
+    parser.add_argument(
         "--artifacts-dir",
         default="fuzz-artifacts",
         help="where minimized reproducers are written",
@@ -336,6 +433,7 @@ def fuzz_main(argv: list[str] | None = None) -> int:
         minimize=options.minimize,
         artifacts_dir=options.artifacts_dir,
         policy=options.policy,
+        fix_check=options.fix_check,
     )
     print(report.render())
     return EXIT_DIVERGENCES if report.divergences else EXIT_CLEAN

@@ -20,6 +20,11 @@ from dataclasses import dataclass, field
 @dataclass
 class Node:
     line: int = field(default=0, kw_only=True)
+    #: byte span ``(start, end)`` of the node's source text in its file,
+    #: or ``None`` when no faithful span exists (synthesized nodes,
+    #: heredoc bodies, constant-folded values).  Spans are what lets the
+    #: remediation engine splice patches with byte precision.
+    span: tuple[int, int] | None = field(default=None, kw_only=True)
 
 
 # ---------------------------------------------------------------------------

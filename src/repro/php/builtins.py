@@ -967,6 +967,11 @@ BUILTINS: dict[str, Handler] = {
     "gzcompress": _any_handler(),
     "gzuncompress": _any_handler(),
     "strval": _identity_handler(),
+    # the remediation engine's prepared-statement shim
+    # (repro.remediate.synthesize): executes the template with the
+    # array-bound holes attached out of band, so the query reaching the
+    # sink is exactly the untainted template literal
+    "sqlciv_prepare": _identity_handler(),
     # misc string
     "basename": _h_substr,
     "dirname": _h_dirname,
@@ -2212,6 +2217,11 @@ CONCRETE: dict[str, ConcreteSpec] = {
     ),
     "sqlite_escape_string": ConcreteSpec(
         lambda args, nodes, state: php_sqlite_escape(_str_at(args, 0)), "charwise"
+    ),
+    # prepared-statement shim: the query is the taint-free template
+    # (parameters are bound out of band), matching the abstract model
+    "sqlciv_prepare": ConcreteSpec(
+        lambda args, nodes, state: _str_at(args, 0), "drop"
     ),
     "htmlspecialchars": ConcreteSpec(
         lambda args, nodes, state: php_htmlspecialchars(

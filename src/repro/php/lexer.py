@@ -40,6 +40,11 @@ class Token:
     kind: str  # INLINE_HTML, VARIABLE, IDENT, KEYWORD, NUMBER, SQ_STRING, DQ_STRING, OP, EOF
     value: str
     line: int
+    #: byte span of the token's source text, ``[offset, end)`` in the
+    #: file the lexer ran over; ``-1`` when no faithful span exists
+    #: (synthetic tokens, heredoc bodies whose value is normalized)
+    offset: int = -1
+    end: int = -1
 
 
 IDENT_START = frozenset(
@@ -65,7 +70,8 @@ class Lexer:
             self._lex_html()
             if self.pos < len(self.source):
                 self._lex_php()
-        self.tokens.append(Token("EOF", "", self.line))
+        n = len(self.source)
+        self.tokens.append(Token("EOF", "", self.line, n, n))
         return self.tokens
 
     # -- modes ---------------------------------------------------------------
@@ -84,7 +90,7 @@ class Lexer:
             end = min(open_tag, short_tag)
         if end > start:
             text = self.source[start:end]
-            self.tokens.append(Token("INLINE_HTML", text, self.line))
+            self.tokens.append(Token("INLINE_HTML", text, self.line, start, end))
             self.line += text.count("\n")
         self.pos = end
         if self.pos < len(self.source):
@@ -130,7 +136,10 @@ class Lexer:
                 end = start
                 while end < n and source[end] in IDENT_CHARS:
                     end += 1
-                self.tokens.append(Token("VARIABLE", source[start:end], self.line))
+                self.tokens.append(
+                    Token("VARIABLE", source[start:end], self.line,
+                          self.pos, end)
+                )
                 self.pos = end
                 continue
             if char in IDENT_START:
@@ -142,7 +151,7 @@ class Lexer:
                 lowered = word.lower()
                 kind = "KEYWORD" if lowered in KEYWORDS else "IDENT"
                 value = lowered if kind == "KEYWORD" else word
-                self.tokens.append(Token(kind, value, self.line))
+                self.tokens.append(Token(kind, value, self.line, start, end))
                 self.pos = end
                 continue
             if char in DIGITS or (
@@ -161,7 +170,9 @@ class Lexer:
                 continue
             for op in OPERATORS:
                 if source.startswith(op, self.pos):
-                    self.tokens.append(Token("OP", op, self.line))
+                    self.tokens.append(
+                        Token("OP", op, self.line, self.pos, self.pos + len(op))
+                    )
                     self.pos += len(op)
                     break
             else:
@@ -184,7 +195,7 @@ class Lexer:
                 end += 1
                 while end < n and source[end] in DIGITS:
                     end += 1
-        self.tokens.append(Token("NUMBER", source[start:end], self.line))
+        self.tokens.append(Token("NUMBER", source[start:end], self.line, start, end))
         self.pos = end
 
     def _lex_single_quoted(self) -> None:
@@ -199,7 +210,9 @@ class Lexer:
                 continue
             if char == "'":
                 text = "".join(chunks)
-                self.tokens.append(Token("SQ_STRING", text, self.line))
+                self.tokens.append(
+                    Token("SQ_STRING", text, self.line, self.pos, i + 1)
+                )
                 self.line += source.count("\n", self.pos, i)
                 self.pos = i + 1
                 return
@@ -224,7 +237,9 @@ class Lexer:
                 depth -= 1
             elif char == '"' and depth == 0:
                 body = source[self.pos + 1 : i]
-                self.tokens.append(Token("DQ_STRING", body, self.line))
+                self.tokens.append(
+                    Token("DQ_STRING", body, self.line, self.pos, i + 1)
+                )
                 self.line += source.count("\n", self.pos, i)
                 self.pos = i + 1
                 return

@@ -74,6 +74,17 @@ class Parser:
     def error(self, message: str) -> PhpParseError:
         return PhpParseError(f"{self.path}:{self.peek().line}: {message}")
 
+    def _spanned(self, expr: ast.Expr, start_index: int) -> ast.Expr:
+        """Stamp ``expr`` with the byte span of the tokens consumed since
+        ``start_index`` (a saved ``self.pos``).  Inner productions stamp
+        first, so a node already carrying a span keeps it."""
+        if expr.span is None and self.pos > start_index:
+            first = self.tokens[start_index]
+            last = self.tokens[self.pos - 1]
+            if first.offset >= 0 and last.end >= 0:
+                expr.span = (first.offset, last.end)
+        return expr
+
     # -- entry ------------------------------------------------------------------
 
     def parse_file(self) -> ast.File:
@@ -437,6 +448,10 @@ class Parser:
         return left
 
     def _assignment(self) -> ast.Expr:
+        start = self.pos
+        return self._spanned(self._assignment_inner(), start)
+
+    def _assignment_inner(self) -> ast.Expr:
         left = self._ternary()
         if self.at("OP") and self.peek().value in _ASSIGN_OPS:
             op_token = self.take()
@@ -447,6 +462,10 @@ class Parser:
         return left
 
     def _ternary(self) -> ast.Expr:
+        start = self.pos
+        return self._spanned(self._ternary_inner(), start)
+
+    def _ternary_inner(self) -> ast.Expr:
         condition = self._binary(0)
         if self.at_op("?"):
             line = self.take().line
@@ -461,6 +480,7 @@ class Parser:
         return condition
 
     def _binary(self, min_precedence: int) -> ast.Expr:
+        start = self.pos
         left = self._unary()
         while True:
             token = self.peek()
@@ -471,9 +491,17 @@ class Parser:
                 return left
             self.take()
             right = self._binary(precedence + 1)
-            left = ast.BinOp(op=token.value, left=left, right=right, line=token.line)
+            left = self._spanned(
+                ast.BinOp(op=token.value, left=left, right=right, line=token.line),
+                start,
+            )
 
     def _unary(self) -> ast.Expr:
+        start = self.pos
+        return self._spanned(self._unary_inner(), start)
+
+    def _unary_inner(self) -> ast.Expr:
+        start = self.pos
         token = self.peek()
         if token.kind == "OP":
             if token.value == "!":
@@ -509,7 +537,7 @@ class Parser:
                 self.expect("OP", ")")
                 kind = {"integer": "int", "boolean": "bool", "double": "float"}.get(kind, kind)
                 return ast.Cast(kind=kind, operand=self._unary(), line=token.line)
-        return self._postfix(self._primary())
+        return self._postfix(self._primary(), start)
 
     def _looks_like_cast(self) -> bool:
         nxt, after = self.peek(1), self.peek(2)
@@ -520,7 +548,7 @@ class Parser:
             and after.value == ")"
         )
 
-    def _postfix(self, expr: ast.Expr) -> ast.Expr:
+    def _postfix(self, expr: ast.Expr, start: int) -> ast.Expr:
         while True:
             token = self.peek()
             if token.kind != "OP":
@@ -529,12 +557,17 @@ class Parser:
                 self.take()
                 index = None if self.at_op("]") else self.expression()
                 self.expect("OP", "]")
-                expr = ast.ArrayDim(base=expr, index=index, line=token.line)
+                expr = self._spanned(
+                    ast.ArrayDim(base=expr, index=index, line=token.line), start
+                )
             elif token.value == "(" and isinstance(
                 expr, (ast.Var, ast.VarVar, ast.ArrayDim, ast.Prop)
             ):
                 # $f(...) / $handlers[$op](...): a dynamic call
-                expr = ast.DynCall(target=expr, args=self._args(), line=token.line)
+                expr = self._spanned(
+                    ast.DynCall(target=expr, args=self._args(), line=token.line),
+                    start,
+                )
             elif token.value == "->":
                 self.take()
                 if self.at("IDENT") or self.at("KEYWORD"):
@@ -545,9 +578,14 @@ class Parser:
                     raise self.error("expected property/method name after ->")
                 if self.at_op("("):
                     args = self._args()
-                    expr = ast.MethodCall(obj=expr, name=name, args=args, line=token.line)
+                    expr = self._spanned(
+                        ast.MethodCall(obj=expr, name=name, args=args, line=token.line),
+                        start,
+                    )
                 else:
-                    expr = ast.Prop(base=expr, name=name, line=token.line)
+                    expr = self._spanned(
+                        ast.Prop(base=expr, name=name, line=token.line), start
+                    )
             elif token.value in ("++", "--"):
                 self.take()
                 expr = ast.Assign(
@@ -572,6 +610,10 @@ class Parser:
         return args
 
     def _primary(self) -> ast.Expr:
+        start = self.pos
+        return self._spanned(self._primary_inner(), start)
+
+    def _primary_inner(self) -> ast.Expr:
         token = self.peek()
         line = token.line
         if token.kind == "VARIABLE":
@@ -590,7 +632,11 @@ class Parser:
             return ast.Literal(value=token.value, line=line)
         if token.kind == "DQ_STRING":
             self.take()
-            return expand_interpolation(token.value, line, self.path)
+            base = token.offset + 1 if token.offset >= 0 else -1
+            expr = expand_interpolation(token.value, line, self.path, base)
+            if token.offset >= 0:
+                expr.span = (token.offset, token.end)
+            return expr
         if token.kind == "OP" and token.value == "$":
             # $$name / ${expr}: a variable-variable
             self.take()
@@ -703,17 +749,32 @@ _ESCAPES = {
 }
 
 
-def expand_interpolation(body: str, line: int, path: str) -> ast.Expr:
+def expand_interpolation(
+    body: str, line: int, path: str, base: int = -1
+) -> ast.Expr:
     """Expand a raw double-quoted string body into an :class:`ast.Interp`
-    (or a plain :class:`ast.Literal` when there is nothing to interpolate)."""
+    (or a plain :class:`ast.Literal` when there is nothing to interpolate).
+
+    ``base`` is the file offset of ``body[0]`` (``-1`` when unknown, e.g.
+    normalized heredoc bodies): with it, every interpolated part carries
+    the byte span of its raw source text."""
     parts: list[ast.Expr] = []
     chunk: list[str] = []
+    chunk_start = 0
     i = 0
     n = len(body)
 
-    def flush() -> None:
+    def note(start: int) -> None:
+        nonlocal chunk_start
+        if not chunk:
+            chunk_start = start
+
+    def flush(end: int) -> None:
         if chunk:
-            parts.append(ast.Literal(value="".join(chunk), line=line))
+            span = (base + chunk_start, base + end) if base >= 0 else None
+            parts.append(
+                ast.Literal(value="".join(chunk), line=line, span=span)
+            )
             chunk.clear()
 
     while i < n:
@@ -722,29 +783,39 @@ def expand_interpolation(body: str, line: int, path: str) -> ast.Expr:
             esc = body[i + 1]
             if esc == "x" and i + 3 < n:
                 try:
-                    chunk.append(chr(int(body[i + 2 : i + 4], 16)))
+                    decoded = chr(int(body[i + 2 : i + 4], 16))
+                    note(i)
+                    chunk.append(decoded)
                     i += 4
                     continue
                 except ValueError:
                     pass
+            note(i)
             chunk.append(_ESCAPES.get(esc, "\\" + esc))
             i += 2
             continue
         if char == "$" and i + 1 < n and body[i + 1] in IDENT_START:
-            flush()
-            expr, i = _simple_interp(body, i + 1, line)
+            flush(i)
+            expr, i = _simple_interp(body, i + 1, line, base)
             parts.append(expr)
             continue
         if char == "{" and i + 1 < n and body[i + 1] == "$":
-            flush()
+            flush(i)
             end = _matching_brace(body, i)
             inner = body[i + 1 : end]
-            parts.append(_parse_expr_text(inner, line, path))
+            part = _parse_expr_text(
+                inner, line, path, base + i + 1 if base >= 0 else -1
+            )
+            if base >= 0:
+                # the splice-friendly span is the whole ``{$…}`` group
+                part.span = (base + i, base + end + 1)
+            parts.append(part)
             i = end + 1
             continue
+        note(i)
         chunk.append(char)
         i += 1
-    flush()
+    flush(n)
     if len(parts) == 1 and isinstance(parts[0], ast.Literal):
         return parts[0]
     if not parts:
@@ -752,11 +823,18 @@ def expand_interpolation(body: str, line: int, path: str) -> ast.Expr:
     return ast.Interp(parts=parts, line=line)
 
 
-def _simple_interp(body: str, start: int, line: int) -> tuple[ast.Expr, int]:
+def _simple_interp(
+    body: str, start: int, line: int, base: int = -1
+) -> tuple[ast.Expr, int]:
+    def span(lo: int, hi: int):
+        return (base + lo, base + hi) if base >= 0 else None
+
     i = start
     while i < len(body) and body[i] in IDENT_CHARS:
         i += 1
-    expr: ast.Expr = ast.Var(name=body[start:i], line=line)
+    expr: ast.Expr = ast.Var(
+        name=body[start:i], line=line, span=span(start - 1, i)
+    )
     if i < len(body) and body[i] == "[":
         end = body.find("]", i)
         if end != -1:
@@ -768,13 +846,19 @@ def _simple_interp(body: str, start: int, line: int) -> tuple[ast.Expr, int]:
                 key = ast.Literal(value=int(key_text), line=line)
             else:
                 key = ast.Literal(value=key_text.strip("'\""), line=line)
-            expr = ast.ArrayDim(base=expr, index=key, line=line)
+            expr = ast.ArrayDim(
+                base=expr, index=key, line=line,
+                span=span(start - 1, end + 1),
+            )
             i = end + 1
     elif body.startswith("->", i) and i + 2 < len(body) and body[i + 2] in IDENT_START:
         j = i + 2
         while j < len(body) and body[j] in IDENT_CHARS:
             j += 1
-        expr = ast.Prop(base=expr, name=body[i + 2 : j], line=line)
+        expr = ast.Prop(
+            base=expr, name=body[i + 2 : j], line=line,
+            span=span(start - 1, j),
+        )
         i = j
     return expr, i
 
@@ -791,10 +875,23 @@ def _matching_brace(body: str, start: int) -> int:
     raise PhpParseError(f"unbalanced braces in interpolated string: {body!r}")
 
 
-def _parse_expr_text(text: str, line: int, path: str) -> ast.Expr:
+def _parse_expr_text(
+    text: str, line: int, path: str, base: int = -1
+) -> ast.Expr:
     tokens = lex("<?php " + text + ";", path)
     parser = Parser(tokens, path)
-    return parser.expression()
+    expr = parser.expression()
+    # sub-parser spans are relative to the synthetic "<?php " + text
+    # buffer; shift them into file coordinates (or drop them when the
+    # caller has no faithful base offset)
+    delta = base - 6
+    for node in ast.walk(expr):
+        if node.span is not None:
+            if base >= 0:
+                node.span = (node.span[0] + delta, node.span[1] + delta)
+            else:
+                node.span = None
+    return expr
 
 
 def parse(source: str, path: str = "<string>") -> ast.File:

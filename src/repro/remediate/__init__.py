@@ -1,0 +1,42 @@
+"""Grammar-guided remediation: synthesize, verify, and deploy fixes.
+
+The analysis pipeline ends where the paper does — with a finding.  This
+package closes the loop for each *confirmed* finding:
+
+* :mod:`repro.remediate.synthesize` walks the finding's provenance back
+  to the tainted source-expression byte spans and proposes candidate
+  patches in preference order: a **prepared-statement rewrite** of the
+  sink's query argument (tainted holes become ``?`` placeholders bound
+  through the ``sqlciv_prepare`` shim), then a **policy-designated
+  sanitizer insertion** (``mysql_real_escape_string`` / ``intval`` for
+  SQL, ``htmlspecialchars`` with ``ENT_QUOTES`` for XSS contexts,
+  ``escapeshellarg`` for shell, ``basename`` for path) wrapped around
+  the latest point of the taint chain with a usable span;
+* :mod:`repro.remediate.verify` re-runs the full static analysis on the
+  patched tree — the finding must disappear and **no new finding may
+  appear under any enabled policy** — and cross-checks with the concrete
+  oracle interpreter on a witness input vector reconstructed from the
+  finding's provenance (the vector that violated before the patch must
+  be confined after it);
+* :mod:`repro.remediate.guard` is the enforcement compiler: when no
+  patch verifies, the hotspot's safe-query language (its scope grammar
+  with every untrusted hole restricted to a check-specific safe
+  sublanguage) is exported as a deployable JSON **guard profile**, and
+  :mod:`repro.remediate.guard_runtime` is the standalone, stdlib-only
+  reference checker that accepts exactly that language;
+* :mod:`repro.remediate.engine` orchestrates the above per project and
+  backs the ``sqlciv fix`` CLI, the daemon's ``fix`` op, and the SARIF
+  ``fixes[]`` export.
+"""
+
+from .engine import RemediationReport, remediate_project
+from .synthesize import Patch
+from .verify import FindingKey, finding_key
+
+__all__ = [
+    "Patch",
+    "RemediationReport",
+    "remediate_project",
+    "FindingKey",
+    "finding_key",
+]

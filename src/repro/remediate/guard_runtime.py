@@ -1,0 +1,203 @@
+"""Standalone reference checker for deployed guard profiles.
+
+This module is the *runtime* half of the enforcement compiler: it
+depends only on the Python standard library, so a guard profile exported
+by :mod:`repro.remediate.guard` can be dropped next to this single file
+at a deployment boundary (a database proxy, a WAF hook) and enforced
+without the analysis toolchain.
+
+A profile is a JSON document describing the hotspot's **safe-query
+grammar**: the context-free language of every query the page can build
+when each untrusted hole is confined to its check-specific safe
+sublanguage.  :func:`check_query` answers membership with a classic
+Earley recognizer — the grammar is small (a trimmed per-hotspot scope)
+and queries are short, so cubic worst-case is irrelevant; nullable
+nonterminals are handled with the Aycock–Horspool prediction fix, and
+multi-character literal terminals are lowered to character runs at load
+time.
+
+Usage::
+
+    python -m repro.remediate.guard_runtime profile.json "SELECT ..."
+    # exit 0: the query is in the safe language; exit 1: reject
+
+or programmatically: ``GuardChecker(profile).check(query)``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: profile format version this checker understands
+GUARD_PROFILE_VERSION = 1
+
+
+class GuardChecker:
+    """Earley membership over one guard profile."""
+
+    def __init__(self, profile: dict) -> None:
+        if profile.get("version") != GUARD_PROFILE_VERSION:
+            raise ValueError(
+                f"unsupported guard profile version: {profile.get('version')!r}"
+            )
+        self.start: str = profile["start"]
+        #: nonterminal -> list of rhs; rhs = list of terminal/nt symbols
+        #: with every literal lowered to single characters:
+        #: ("c", char) | ("set", ((lo, hi), ...)) | ("nt", name)
+        self.rules: dict[str, list[tuple]] = {}
+        for name, alternatives in profile["productions"].items():
+            lowered = []
+            for rhs in alternatives:
+                symbols: list[tuple] = []
+                for symbol in rhs:
+                    tag, payload = symbol[0], symbol[1]
+                    if tag == "lit":
+                        for char in payload:
+                            symbols.append(("c", char))
+                    elif tag == "set":
+                        symbols.append(
+                            ("set", tuple((lo, hi) for lo, hi in payload))
+                        )
+                    elif tag == "nt":
+                        symbols.append(("nt", payload))
+                    else:
+                        raise ValueError(f"unknown symbol tag {tag!r}")
+                lowered.append(tuple(symbols))
+            self.rules[name] = lowered
+        self.nullable = self._nullable()
+
+    def _nullable(self) -> frozenset[str]:
+        nullable: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, alternatives in self.rules.items():
+                if name in nullable:
+                    continue
+                for rhs in alternatives:
+                    if all(
+                        sym[0] == "nt" and sym[1] in nullable for sym in rhs
+                    ):
+                        nullable.add(name)
+                        changed = True
+                        break
+        return frozenset(nullable)
+
+    @staticmethod
+    def _matches(symbol: tuple, char: str) -> bool:
+        if symbol[0] == "c":
+            return symbol[1] == char
+        if symbol[0] == "set":
+            code = ord(char)
+            return any(lo <= code <= hi for lo, hi in symbol[1])
+        return False
+
+    def check(self, query: str) -> bool:
+        """True iff ``query`` is in the profile's safe-query language."""
+        # items: (lhs, rhs, dot, origin)
+        n = len(query)
+        chart: list[set[tuple]] = [set() for _ in range(n + 1)]
+        for rhs in self.rules.get(self.start, ()):
+            chart[0].add((self.start, rhs, 0, 0))
+        for position in range(n + 1):
+            worklist = list(chart[position])
+            while worklist:
+                item = worklist.pop()
+                lhs, rhs, dot, origin = item
+                if dot < len(rhs):
+                    symbol = rhs[dot]
+                    if symbol[0] == "nt":
+                        target = symbol[1]
+                        for alt in self.rules.get(target, ()):
+                            predicted = (target, alt, 0, position)
+                            if predicted not in chart[position]:
+                                chart[position].add(predicted)
+                                worklist.append(predicted)
+                        if target in self.nullable:
+                            advanced = (lhs, rhs, dot + 1, origin)
+                            if advanced not in chart[position]:
+                                chart[position].add(advanced)
+                                worklist.append(advanced)
+                    elif position < n and self._matches(
+                        symbol, query[position]
+                    ):
+                        chart[position + 1].add((lhs, rhs, dot + 1, origin))
+                else:
+                    # complete: advance every item waiting on lhs at origin
+                    for waiting in list(chart[origin]):
+                        w_lhs, w_rhs, w_dot, w_origin = waiting
+                        if (
+                            w_dot < len(w_rhs)
+                            and w_rhs[w_dot][0] == "nt"
+                            and w_rhs[w_dot][1] == lhs
+                        ):
+                            advanced = (w_lhs, w_rhs, w_dot + 1, w_origin)
+                            if advanced not in chart[position]:
+                                chart[position].add(advanced)
+                                worklist.append(advanced)
+        return any(
+            lhs == self.start and dot == len(rhs) and origin == 0
+            for lhs, rhs, dot, origin in chart[n]
+        )
+
+    def shortest_string(self) -> str | None:
+        """A shortest member of the safe-query language (None when the
+        language is empty) — the profile's self-test "accept" example."""
+        # bottom-up shortest-derivation fixpoint per nonterminal
+        best: dict[str, str] = {}
+        changed = True
+        while changed:
+            changed = False
+            for name, alternatives in self.rules.items():
+                for rhs in alternatives:
+                    pieces: list[str] = []
+                    ok = True
+                    for symbol in rhs:
+                        if symbol[0] == "c":
+                            pieces.append(symbol[1])
+                        elif symbol[0] == "set":
+                            lo = symbol[1][0][0]
+                            pieces.append(chr(lo))
+                        else:
+                            known = best.get(symbol[1])
+                            if known is None:
+                                ok = False
+                                break
+                            pieces.append(known)
+                    if not ok:
+                        continue
+                    candidate = "".join(pieces)
+                    current = best.get(name)
+                    if current is None or len(candidate) < len(current):
+                        best[name] = candidate
+                        changed = True
+        return best.get(self.start)
+
+
+def check_query(profile: dict, query: str) -> bool:
+    return GuardChecker(profile).check(query)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) not in (1, 2):
+        print(
+            "usage: guard_runtime.py profile.json [query]  "
+            "(query read from stdin when omitted)",
+            file=sys.stderr,
+        )
+        return 2
+    with open(argv[0], encoding="utf-8") as handle:
+        profile = json.load(handle)
+    query = argv[1] if len(argv) == 2 else sys.stdin.read().rstrip("\n")
+    checker = GuardChecker(profile)
+    if checker.check(query):
+        print("accept")
+        return 0
+    print("reject")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

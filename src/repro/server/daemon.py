@@ -44,7 +44,7 @@ import threading
 import time
 from pathlib import Path
 
-from repro.perf import PERF
+from repro.obs.metrics import PERF
 from repro.analysis.analyzer import PageResult, entry_pages, run_pages
 from repro.analysis.diskcache import RESOLVER_EXTENSIONS
 from repro.analysis.reports import UNSOUND_CAVEATS, json_document
@@ -229,6 +229,49 @@ class AnalysisDaemon:
         if audit and document["confidence"] == UNSOUND_CAVEATS:
             return 3
         return 0
+
+    def op_fix(self, params: dict) -> dict:
+        """Run the remediation engine against the resident project.
+
+        The engine reuses the daemon's parse cache for its pre-patch
+        analysis; when ``apply`` wrote patches back, the patched files
+        go through the standard ``invalidate`` path so the memo and
+        depgraph see the new tree."""
+        from repro.remediate import remediate_project
+
+        requested = params.get("pages")
+        pages = None
+        if requested is not None:
+            pages = []
+            for raw in requested:
+                rel = self._normalize(raw)
+                if rel is None:
+                    raise protocol.ProtocolError(
+                        protocol.INVALID_PARAMS,
+                        f"page {raw!r} is outside the project root",
+                    )
+                if not (self.root / rel).is_file():
+                    raise protocol.ProtocolError(
+                        protocol.INVALID_PARAMS,
+                        f"page {raw!r} does not exist",
+                    )
+                pages.append(rel)
+        with PERF.timer("server.fix"):
+            report = remediate_project(
+                self.root,
+                pages=pages,
+                policies=self.policies,
+                apply=bool(params.get("apply", False)),
+                parse_cache=self._parse_cache,
+                oracle=bool(params.get("oracle", True)),
+            )
+            result = report.as_dict()
+            if report.applied:
+                patched = sorted({patch.file for patch in report.patches})
+                result["invalidated"] = self.op_invalidate(
+                    {"paths": patched}
+                )
+        return result
 
     def op_invalidate(self, params: dict) -> dict:
         changed: list[str] = []

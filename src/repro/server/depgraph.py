@@ -36,7 +36,7 @@ import json
 import logging
 from pathlib import Path
 
-from repro.perf import ANALYZER_CACHE_VERSION
+from repro.analysis.diskcache import ANALYZER_CACHE_VERSION
 
 log = logging.getLogger(__name__)
 

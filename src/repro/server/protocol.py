@@ -24,6 +24,12 @@ Operations:
     entry page), ``audit`` (bool, default true — matching the CLI's
     ``--json``, which always audits), ``sarif`` (bool: also render the
     SARIF 2.1.0 log).
+``fix``
+    ``pages`` (optional list, as for ``analyze``), ``apply`` (bool:
+    write verified patches back to the tree — the daemon then
+    invalidates the patched files itself), ``oracle`` (bool, default
+    true: concrete witness cross-check).  Runs the remediation engine
+    (:mod:`repro.remediate`) against the daemon's project root.
 ``invalidate``
     ``paths`` (required list): files that changed on disk.  Deleted and
     out-of-tree paths are legal — see the daemon.
@@ -47,7 +53,7 @@ PROTOCOL_VERSION = "sqlciv-server/1"
 MAX_LINE_BYTES = 64 * 1024 * 1024
 
 OPS = frozenset(
-    {"analyze", "invalidate", "status", "metrics", "ping", "shutdown"}
+    {"analyze", "invalidate", "status", "metrics", "ping", "shutdown", "fix"}
 )
 
 #: error codes a daemon can answer with
@@ -126,6 +132,16 @@ def _validate_params(op: str, params: dict, request_id) -> None:
         if "pages" in params and params["pages"] is not None:
             expect_str_list("pages", params["pages"])
         for flag in ("audit", "sarif"):
+            if flag in params and not isinstance(params[flag], bool):
+                fail(f'"{flag}" must be a boolean')
+    elif op == "fix":
+        allowed = {"pages", "apply", "oracle"}
+        extra = set(params) - allowed
+        if extra:
+            fail(f"unexpected fix parameter(s): {sorted(extra)}")
+        if "pages" in params and params["pages"] is not None:
+            expect_str_list("pages", params["pages"])
+        for flag in ("apply", "oracle"):
             if flag in params and not isinstance(params[flag], bool):
                 fail(f'"{flag}" must be a boolean')
     elif op == "invalidate":

@@ -6,7 +6,7 @@ import time
 from pathlib import Path
 
 
-from repro.perf import PERF
+from repro.obs.metrics import PERF
 from repro.analysis.diskcache import DiskCache
 
 

@@ -16,7 +16,7 @@ import pytest
 
 from repro.analysis.analyzer import analyze_project, entry_pages, run_pages
 from repro.corpus import build_app
-from repro.perf import PERF
+from repro.obs.metrics import PERF
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 

@@ -7,7 +7,7 @@ import pytest
 from repro.analysis.analyzer import analyze_page, run_pages
 from repro.analysis.provenance import Provenance, trace_provenance
 from repro.lang.grammar import DIRECT, Grammar, Lit
-from repro.perf import PERF
+from repro.obs.metrics import PERF
 
 
 @pytest.fixture

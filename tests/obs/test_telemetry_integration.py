@@ -27,7 +27,7 @@ from repro.analysis.policy import VERDICT_CACHE
 from repro.corpus import build_app
 from repro.lang.image import IMAGE_CACHE
 from repro.obs.timeline import TIMELINE, assemble
-from repro.perf import PERF
+from repro.obs.metrics import PERF
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 

@@ -1,0 +1,172 @@
+"""Corpus-wide remediation: the ISSUE acceptance bar.
+
+* at least 70% of SQL-policy findings across the five corpus apps get a
+  verified patch (prepared rewrite or sanitizer insertion);
+* every unfixable finding carries machine-readable reasons and a
+  self-testing guard profile whose accept and reject examples both pass;
+* ``fix --apply`` is idempotent under every policy: a second engine run
+  over the patched tree synthesizes nothing and reports no new findings;
+* the patched trees of two apps re-analyze to checked-in goldens.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.analyzer import entry_pages, run_pages
+from repro.analysis.policies import PolicyConfig
+from repro.analysis.policies.registry import REGISTRY
+from repro.analysis.reports import json_document
+from repro.corpus import APPS, build_app
+from repro.remediate import remediate_project
+
+GOLDEN = Path(__file__).parent / "golden"
+
+APP_DIRS = [app_dir for _, app_dir in APPS]
+
+ALL_POLICIES = PolicyConfig(enabled=tuple(REGISTRY))
+
+#: apps whose patched trees are pinned byte-exactly (satellite: the CI
+#: remediation-smoke job replays the same two apps)
+GOLDEN_APPS = ("eve_activity_tracker", "tiger_php_news")
+
+
+def entry_signature(entry):
+    return (entry.file, entry.line, entry.sink, entry.check, entry.policy)
+
+
+@pytest.fixture(scope="module")
+def allpol_runs(tmp_path_factory):
+    """Per app: remediate under every policy with ``apply``, then run
+    the engine a second time over the patched tree."""
+    out = {}
+    for app_dir in APP_DIRS:
+        tmp = tmp_path_factory.mktemp(f"fix_{app_dir}")
+        build_app(tmp, app_dir)
+        root = tmp / app_dir
+        first = remediate_project(
+            root, policies=ALL_POLICIES, apply=True, oracle=False,
+            guard_dir=tmp / "guards",
+        )
+        second = remediate_project(root, policies=ALL_POLICIES, oracle=False)
+        out[app_dir] = (first, second)
+    return out
+
+
+@pytest.fixture(scope="module")
+def sql_fixed_apps(tmp_path_factory):
+    """The two golden apps remediated under the classic SQL policy with
+    the concrete oracle cross-check enabled, patches applied."""
+    out = {}
+    for app_dir in GOLDEN_APPS:
+        tmp = tmp_path_factory.mktemp(f"sqlfix_{app_dir}")
+        build_app(tmp, app_dir)
+        root = tmp / app_dir
+        report = remediate_project(root, apply=True, oracle=True)
+        out[app_dir] = (root, report)
+    return out
+
+
+class TestFixRate:
+    def test_sql_fix_rate_meets_the_bar(self, allpol_runs):
+        fixed = total = 0
+        for first, _second in allpol_runs.values():
+            sql_entries = [e for e in first.entries if e.policy == "sql"]
+            total += len(sql_entries)
+            fixed += sum(1 for e in sql_entries if e.fixed)
+        assert total >= 40, f"corpus lost SQL findings ({total})"
+        assert fixed / total >= 0.70, f"fix rate {fixed}/{total}"
+
+    def test_both_patch_kinds_occur(self, allpol_runs):
+        statuses = {
+            entry.status
+            for first, _second in allpol_runs.values()
+            for entry in first.entries
+        }
+        assert "fixed-prepared" in statuses
+        assert "fixed-sanitizer" in statuses
+
+    def test_every_kept_patch_has_a_diff_and_verification(self, allpol_runs):
+        for first, _second in allpol_runs.values():
+            assert len(first.diffs) == len(first.patches)
+            for entry in first.entries:
+                if entry.fixed and entry.status != "fixed-by-earlier-patch":
+                    assert entry.diff
+                    assert entry.verification["verified"] is True
+
+
+class TestUnfixable:
+    def test_reasons_are_machine_readable(self, allpol_runs):
+        for first, _second in allpol_runs.values():
+            for entry in first.unfixable:
+                assert entry.reasons, entry_signature(entry)
+                for rung, reason in entry.reasons.items():
+                    assert rung in ("prepared", "sanitize")
+                    assert reason and " " not in reason.split(":")[0]
+
+    def test_guard_self_tests_pass(self, allpol_runs):
+        guards = 0
+        for first, _second in allpol_runs.values():
+            for entry in first.unfixable:
+                guards += 1
+                assert entry.guard_self_test == {
+                    "example_accepted": True,
+                    "witness_rejected": True,
+                }, entry_signature(entry)
+                assert entry.guard_path
+                with open(entry.guard_path, encoding="utf-8") as handle:
+                    profile = json.load(handle)
+                assert profile["examples"]["accept"] is not None
+                assert profile["examples"]["reject"]
+        assert guards, "expected unfixable findings in the corpus"
+
+
+class TestIdempotence:
+    def test_second_run_synthesizes_nothing(self, allpol_runs):
+        for app_dir, (first, second) in allpol_runs.items():
+            assert second.patches == [], app_dir
+            assert second.fixed == [], app_dir
+            assert not second.applied, app_dir
+
+    def test_second_run_sees_exactly_the_unfixable_findings(
+        self, allpol_runs
+    ):
+        # line-free signatures: a prepared rewrite can collapse a
+        # multi-line sink argument, shifting later line numbers
+        for app_dir, (first, second) in allpol_runs.items():
+            before = sorted(
+                (e.file, e.sink, e.check, e.policy, e.category)
+                for e in first.unfixable
+            )
+            after = sorted(
+                (e.file, e.sink, e.check, e.policy, e.category)
+                for e in second.entries
+            )
+            assert after == before, app_dir
+
+
+class TestSqlRemediationWithOracle:
+    def test_every_sql_finding_is_fixed(self, sql_fixed_apps):
+        for app_dir, (_root, report) in sql_fixed_apps.items():
+            assert report.entries, app_dir
+            assert report.unfixable == [], app_dir
+            assert report.applied, app_dir
+
+    def test_oracle_confirms_fixes(self, sql_fixed_apps):
+        confirmed = [
+            entry
+            for _root, report in sql_fixed_apps.values()
+            for entry in report.entries
+            if entry.oracle == "confirmed"
+        ]
+        assert confirmed, "expected concrete oracle confirmation"
+
+    @pytest.mark.parametrize("app_dir", GOLDEN_APPS)
+    def test_patched_tree_matches_golden(self, sql_fixed_apps, app_dir):
+        root, _report = sql_fixed_apps[app_dir]
+        pages = entry_pages(root)
+        results = run_pages(root, pages, audit=True, jobs=1)
+        rendered = json.dumps(json_document(root, results), indent=2)
+        rendered = rendered.replace(str(root), "<ROOT>") + "\n"
+        assert rendered == (GOLDEN / f"{app_dir}.fixed.json").read_text()

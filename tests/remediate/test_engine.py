@@ -1,0 +1,197 @@
+"""End-to-end remediation on synthetic apps: the candidate ladder, the
+oracle cross-check, apply + idempotence, the ``sqlciv fix`` CLI, and the
+daemon's ``fix`` op."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import EXIT_USAGE, EXIT_VERIFIED, main as cli_main
+from repro.analysis.policies import PolicyConfig
+from repro.remediate import remediate_project
+from repro.remediate.engine import (
+    STATUS_FIXED_PREPARED,
+    STATUS_FIXED_SANITIZER,
+    STATUS_UNFIXABLE,
+)
+from repro.remediate.synthesize import PREPARE_SHIM, REASON_MID_LITERAL
+from repro.remediate.verify import ORACLE_CONFIRMED
+from repro.server.daemon import AnalysisDaemon
+from repro.server.protocol import ProtocolError, parse_request
+
+PREPARED_PAGE = (
+    "<?php\n"
+    "$id = $_GET['id'];\n"
+    "mysql_query(\"SELECT * FROM t WHERE name='$id'\");\n"
+)
+
+MID_LITERAL_PAGE = (
+    "<?php\n"
+    "$q = $_GET['q'];\n"
+    "mysql_query(\"SELECT * FROM t WHERE name LIKE '%$q%'\");\n"
+)
+
+DB_XSS_PAGE = (
+    "<?php\n"
+    "$r = mysql_fetch_array(mysql_query(\"SELECT x FROM t\"));\n"
+    "echo \"<b>\" . $r['x'] . \"</b>\";\n"
+)
+
+
+def make_app(tmp_path, source, name="app"):
+    root = tmp_path / name
+    root.mkdir()
+    (root / "index.php").write_text(source)
+    return root
+
+
+class TestPreparedRewrite:
+    def test_end_to_end_with_oracle(self, tmp_path):
+        root = make_app(tmp_path, PREPARED_PAGE)
+        report = remediate_project(root)
+        (entry,) = report.entries
+        assert entry.status == STATUS_FIXED_PREPARED
+        assert entry.oracle == ORACLE_CONFIRMED
+        assert entry.file == "index.php"
+        assert PREPARE_SHIM in entry.diff
+        assert entry.verification["verified"] is True
+        # nothing applied: the real tree is untouched
+        assert (root / "index.php").read_text() == PREPARED_PAGE
+        # the report is JSON-serializable as-is
+        json.dumps(report.as_dict())
+
+    def test_sarif_fixes_are_keyed_by_finding(self, tmp_path):
+        root = make_app(tmp_path, PREPARED_PAGE)
+        report = remediate_project(root, oracle=False)
+        fixes = report.sarif_fixes()
+        ((key, fix_list),) = fixes.items()
+        assert key[0] == "index.php" and key[2] == "mysql_query"
+        (fix,) = fix_list
+        (change,) = fix["artifactChanges"]
+        (replacement,) = change["replacements"]
+        assert PREPARE_SHIM in replacement["insertedContent"]["text"]
+
+    def test_apply_and_idempotence(self, tmp_path):
+        root = make_app(tmp_path, PREPARED_PAGE)
+        first = remediate_project(root, apply=True, oracle=False)
+        assert first.applied
+        patched = (root / "index.php").read_text()
+        assert PREPARE_SHIM in patched
+        second = remediate_project(root, oracle=False)
+        assert second.entries == []
+        assert second.patches == []
+        assert (root / "index.php").read_text() == patched
+
+
+class TestSanitizerRung:
+    def test_mid_literal_falls_through_to_sanitizer(self, tmp_path):
+        root = make_app(tmp_path, MID_LITERAL_PAGE)
+        report = remediate_project(root, oracle=False)
+        (entry,) = report.entries
+        assert entry.status == STATUS_FIXED_SANITIZER
+        assert entry.reasons["prepared"] == REASON_MID_LITERAL
+        assert "mysql_real_escape_string($_GET['q'])" in entry.diff
+
+    def test_sanitized_tree_is_idempotent(self, tmp_path):
+        root = make_app(tmp_path, MID_LITERAL_PAGE)
+        remediate_project(root, apply=True, oracle=False)
+        second = remediate_project(root, oracle=False)
+        assert second.entries == []
+
+
+class TestUnfixable:
+    def test_indirect_source_gets_guard_fallback(self, tmp_path):
+        root = make_app(tmp_path, DB_XSS_PAGE)
+        policies = PolicyConfig(enabled=("sql", "xss"))
+        guard_dir = tmp_path / "guards"
+        report = remediate_project(
+            root, policies=policies, guard_dir=guard_dir, oracle=False
+        )
+        unfixable = [e for e in report.entries if e.status == STATUS_UNFIXABLE]
+        assert unfixable, "expected an unfixable xss finding"
+        for entry in unfixable:
+            assert entry.policy == "xss"
+            # machine-readable reasons for every candidate rung
+            assert entry.reasons.get("prepared") == "not-a-sql-sink"
+            assert entry.reasons.get("sanitize")
+            # self-testing guard profile written to disk
+            assert entry.guard_path
+            with open(entry.guard_path, encoding="utf-8") as handle:
+                profile = json.load(handle)
+            assert profile["self_test"]["example_accepted"] is True
+            assert entry.guard_self_test == profile["self_test"]
+
+
+class TestFixCli:
+    def test_json_sarif_and_diff_dir(self, tmp_path, capsys):
+        root = make_app(tmp_path, PREPARED_PAGE)
+        sarif = tmp_path / "out.sarif"
+        diff_dir = tmp_path / "diffs"
+        code = cli_main([
+            "fix", str(root), "--json", "--no-oracle",
+            "--sarif", str(sarif), "--diff-dir", str(diff_dir),
+        ])
+        assert code == EXIT_VERIFIED
+        document = json.loads(capsys.readouterr().out)
+        assert document["fixed"] == 1 and document["unfixable"] == 0
+        log = json.loads(sarif.read_text())
+        results = log["runs"][0]["results"]
+        fixed = [r for r in results if "fixes" in r]
+        assert len(fixed) == 1
+        diffs = list(diff_dir.glob("fix-*.diff"))
+        assert len(diffs) == 1
+        assert PREPARE_SHIM in diffs[0].read_text()
+
+    def test_text_report_renders_status(self, tmp_path, capsys):
+        root = make_app(tmp_path, PREPARED_PAGE)
+        code = cli_main(["fix", str(root), "--no-oracle"])
+        assert code == EXIT_VERIFIED
+        out = capsys.readouterr().out
+        assert "1 fixed / 0 unfixable" in out
+        assert STATUS_FIXED_PREPARED in out
+
+    def test_bad_root_is_usage_error(self, tmp_path, capsys):
+        code = cli_main(["fix", str(tmp_path / "missing")])
+        assert code == EXIT_USAGE
+
+    def test_apply_writes_the_tree(self, tmp_path, capsys):
+        root = make_app(tmp_path, PREPARED_PAGE)
+        code = cli_main(["fix", str(root), "--apply", "--no-oracle"])
+        assert code == EXIT_VERIFIED
+        assert PREPARE_SHIM in (root / "index.php").read_text()
+
+
+class TestDaemonFixOp:
+    def test_fix_apply_invalidates_and_converges(self, tmp_path):
+        root = make_app(tmp_path, PREPARED_PAGE)
+        daemon = AnalysisDaemon(root)
+        before = daemon.op_analyze({"audit": False})
+        assert before["exit_code"] == 1
+        result = daemon.op_fix({"apply": True, "oracle": False})
+        assert result["applied"] is True
+        assert result["fixed"] == 1
+        assert result["invalidated"]["invalidated_pages"] == ["index.php"]
+        assert result["invalidated"]["changed"] == ["index.php"]
+        after = daemon.op_analyze({"audit": False})
+        assert after["exit_code"] == 0
+        again = daemon.op_fix({"oracle": False})
+        assert again["findings"] == 0 and again["applied"] is False
+
+    def test_fix_rejects_pages_outside_root(self, tmp_path):
+        root = make_app(tmp_path, PREPARED_PAGE)
+        daemon = AnalysisDaemon(root)
+        with pytest.raises(ProtocolError):
+            daemon.op_fix({"pages": ["../outside.php"]})
+        with pytest.raises(ProtocolError):
+            daemon.op_fix({"pages": ["missing.php"]})
+
+    def test_protocol_validates_fix_requests(self):
+        parsed = parse_request(
+            '{"op": "fix", "pages": ["index.php"], "apply": true}'
+        )
+        assert parsed["op"] == "fix"
+        assert parsed["params"] == {"pages": ["index.php"], "apply": True}
+        with pytest.raises(ProtocolError):
+            parse_request('{"op": "fix", "bogus": 1}')
+        with pytest.raises(ProtocolError):
+            parse_request('{"op": "fix", "apply": "yes"}')

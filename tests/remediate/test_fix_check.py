@@ -1,0 +1,103 @@
+"""``sqlciv fuzz --fix-check``: the post-minimization remediation
+attempt.  Divergences come from deliberately broken abstract models (the
+planted-divergence pattern from the differential tests), so the engine
+runs with the same broken model — what matters is the outcome contract:
+patch counts, statuses, and whether the divergence survives the patch."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.oracle.fuzz import attempt_fix, diff_page, render_fix_check
+from repro.oracle.interp import InputVector
+from repro.php import builtins
+
+
+@pytest.fixture
+def broken_trim():
+    """A language-preserving but taint-dropping trim model: the static
+    shell verdict goes wrongly safe, producing a verdict divergence."""
+    original = builtins.BUILTINS["trim"]
+    builtins.BUILTINS["trim"] = builtins._regular_handler(r".*", "broken_trim")
+    yield
+    builtins.BUILTINS["trim"] = original
+
+
+@pytest.fixture
+def broken_addslashes():
+    """An addslashes model whose language excludes the concrete output:
+    a membership divergence with no statically-unsafe finding to patch."""
+    original = builtins.BUILTINS["addslashes"]
+    builtins.BUILTINS["addslashes"] = builtins._regular_handler(
+        r"[0-9a-zA-Z ]*", "broken_addslashes"
+    )
+    yield
+    builtins.BUILTINS["addslashes"] = original
+
+
+def write_app(tmp_path: Path, source: str) -> Path:
+    app = tmp_path / "app"
+    app.mkdir()
+    (app / "index.php").write_text(source)
+    return app
+
+
+class TestAttemptFix:
+    def test_surviving_divergence_is_reported(self, tmp_path, broken_trim):
+        # the shell divergence rides on a statically-safe sink; the SQL
+        # finding on the same page gets a verified prepared rewrite, and
+        # replaying the divergence on the patched tree shows it survives
+        app = write_app(
+            tmp_path,
+            "<?php\n"
+            "$id = $_GET['id'];\n"
+            "$d = trim($id);\n"
+            'system("ls -l " . $d);\n'
+            "mysql_query(\"SELECT * FROM t WHERE name='$id'\");\n",
+        )
+        vector = InputVector(get={"id": "; id"})
+        divergences = diff_page(app, "index.php", [vector], policy="shell")
+        assert [d.kind for d in divergences] == ["verdict"]
+        outcome = attempt_fix(
+            app, "index.php", vector, "verdict", policy="shell"
+        )
+        assert outcome["attempted"] is True
+        assert outcome["fixed"] == 1
+        assert outcome["statuses"] == ["fixed-prepared"]
+        assert outcome["survives"] is True
+        assert "SURVIVES" in render_fix_check(outcome)
+        # the attempt ran on a scratch copy: the reproducer is untouched
+        assert "sqlciv_prepare" not in (app / "index.php").read_text()
+
+    def test_no_patch_when_nothing_is_statically_unsafe(
+        self, tmp_path, broken_addslashes
+    ):
+        app = write_app(
+            tmp_path,
+            "<?php\n"
+            "$id = addslashes($_GET['id']);\n"
+            "mysql_query(\"SELECT * FROM t WHERE name='$id'\");\n",
+        )
+        vector = InputVector(get={"id": "a'b"})
+        divergences = diff_page(app, "index.php", [vector])
+        assert [d.kind for d in divergences] == ["membership"]
+        outcome = attempt_fix(app, "index.php", vector, "membership")
+        assert outcome["fixed"] == 0
+        assert outcome["unfixable"] == 0
+        assert outcome["survives"] is None
+        assert render_fix_check(outcome).endswith("no verified patch")
+
+
+class TestRenderFixCheck:
+    def test_eliminated(self):
+        line = render_fix_check(
+            {"fixed": 2, "unfixable": 1, "survives": False}
+        )
+        assert line == (
+            "fix-check: 2 patched / 1 unfixable — divergence eliminated "
+            "by the patch"
+        )
+
+    def test_engine_error(self):
+        line = render_fix_check({"error": "ValueError: boom"})
+        assert line == "fix-check: engine error — ValueError: boom"

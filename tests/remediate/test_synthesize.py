@@ -1,0 +1,253 @@
+"""Unit tests for candidate-patch synthesis (templates, rendering,
+machine-readable inapplicability reasons)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.php.parser import parse
+from repro.remediate.synthesize import (
+    PREPARE_SHIM,
+    REASON_ALL_HOLES,
+    REASON_MID_LITERAL,
+    REASON_NO_HOLES,
+    REASON_NO_SANITIZER,
+    REASON_NO_SOURCES,
+    REASON_SINK_NOT_FOUND,
+    REASON_SOURCE_NO_SPAN,
+    Patch,
+    build_template,
+    find_sink_argument,
+    flatten_query,
+    php_single_quote,
+    render_expr,
+    sanitizer_for,
+    synthesize_prepared,
+    synthesize_sanitizer,
+)
+
+
+def sink_arg(source: str, sink: str = "mysql_query", line: int = 1):
+    tree = parse(source, "page.php")
+    arg = find_sink_argument(tree, line, sink)
+    assert arg is not None
+    return tree, arg
+
+
+def fake_finding(**overrides):
+    base = dict(
+        file="page.php",
+        line=1,
+        sink="mysql_query",
+        policy="",
+        check="odd-quotes",
+        witness="a'b",
+        provenance=None,
+    )
+    base.update(overrides)
+    return SimpleNamespace(**base)
+
+
+class TestPhpSingleQuote:
+    def test_plain(self):
+        assert php_single_quote("abc") == "'abc'"
+
+    def test_escapes_quote_and_backslash(self):
+        assert php_single_quote("a'b\\c") == "'a\\'b\\\\c'"
+
+
+class TestRenderExpr:
+    @pytest.mark.parametrize(
+        "expr_src, rendered",
+        [
+            ("$x", "$x"),
+            ("$row['name']", "$row['name']"),
+            ("$obj->field", "$obj->field"),
+            ("trim($x)", "trim($x)"),
+            ("$a . $b", "($a . $b)"),
+            ("(int)$x", "(int)$x"),
+            ("-$n", "-$n"),
+            ("@f($x)", "@f($x)"),
+            ("MY_CONST", "MY_CONST"),
+            ("f(1, 'two')", "f(1, 'two')"),
+        ],
+    )
+    def test_rendering(self, expr_src, rendered):
+        _, arg = sink_arg(f"<?php mysql_query({expr_src});")
+        assert render_expr(arg) == rendered
+
+    def test_rendered_holes_are_valid_php(self):
+        _, arg = sink_arg("<?php mysql_query($row['name']);")
+        rendered = render_expr(arg)
+        parse(f"<?php f({rendered});", "check.php")
+
+
+class TestFlattenAndTemplate:
+    def test_interpolated_quoted_hole_swallows_quotes(self):
+        _, arg = sink_arg(
+            "<?php mysql_query(\"SELECT * FROM t WHERE name='$x' AND id=$y\");"
+        )
+        parts = flatten_query(arg)
+        template, holes, reason = build_template(parts)
+        assert reason is None
+        assert template == "SELECT * FROM t WHERE name=? AND id=?"
+        assert [render_expr(hole) for hole in holes] == ["$x", "$y"]
+
+    def test_concatenated_quoted_hole_swallows_quotes(self):
+        _, arg = sink_arg(
+            "<?php mysql_query(\"SELECT * FROM t WHERE name='\" . $x . \"'\");"
+        )
+        template, holes, reason = build_template(flatten_query(arg))
+        assert reason is None
+        assert template == "SELECT * FROM t WHERE name=?"
+        assert len(holes) == 1
+
+    def test_hole_mid_literal_is_rejected(self):
+        _, arg = sink_arg(
+            "<?php mysql_query(\"SELECT * FROM t WHERE name LIKE '%$x%'\");"
+        )
+        _, _, reason = build_template(flatten_query(arg))
+        assert reason == REASON_MID_LITERAL
+
+    def test_adjacent_literals_merge(self):
+        _, arg = sink_arg(
+            "<?php mysql_query('SELECT * FROM ' . 't WHERE id=' . $x);"
+        )
+        parts = flatten_query(arg)
+        assert parts[0] == ("lit", "SELECT * FROM t WHERE id=")
+        template, _, reason = build_template(parts)
+        assert reason is None
+        assert template == "SELECT * FROM t WHERE id=?"
+
+
+class TestSynthesizePrepared:
+    SOURCE = "<?php\nmysql_query(\"SELECT * FROM t WHERE name='$id'\");\n"
+
+    def test_builds_prepare_shim_call(self):
+        tree = parse(self.SOURCE, "page.php")
+        finding = fake_finding(line=2)
+        patch, reason = synthesize_prepared(self.SOURCE, tree, finding)
+        assert reason == ""
+        assert patch.kind == "prepared"
+        (start, end, replacement), = patch.replacements
+        assert replacement == (
+            f"{PREPARE_SHIM}('SELECT * FROM t WHERE name=?', array($id))"
+        )
+        patched = patch.apply(self.SOURCE)
+        parse(patched, "page.php")   # the patched file still parses
+        assert PREPARE_SHIM in patched
+
+    def test_literal_query_has_no_holes(self):
+        source = "<?php mysql_query('SELECT 1');\n"
+        patch, reason = synthesize_prepared(
+            source, parse(source, "p.php"), fake_finding()
+        )
+        assert patch is None
+        assert reason == REASON_NO_HOLES
+
+    def test_all_hole_query_has_no_trusted_context(self):
+        source = "<?php mysql_query($q);\n"
+        patch, reason = synthesize_prepared(
+            source, parse(source, "p.php"), fake_finding()
+        )
+        assert patch is None
+        assert reason == REASON_ALL_HOLES
+
+    def test_missing_sink_call(self):
+        source = "<?php $a = 1;\n"
+        patch, reason = synthesize_prepared(
+            source, parse(source, "p.php"), fake_finding()
+        )
+        assert patch is None
+        assert reason == REASON_SINK_NOT_FOUND
+
+
+class TestSanitizer:
+    def test_sql_quoted_checks_get_escaping(self):
+        assert sanitizer_for(fake_finding(check="odd-quotes")) == (
+            "mysql_real_escape_string(", ")"
+        )
+
+    def test_sql_unquoted_checks_get_intval(self):
+        assert sanitizer_for(fake_finding(check="numeric")) == ("intval(", ")")
+
+    @pytest.mark.parametrize(
+        "policy, opener",
+        [
+            ("xss", "htmlspecialchars("),
+            ("shell", "escapeshellarg("),
+            ("path", "basename("),
+        ],
+    )
+    def test_policy_sanitizers(self, policy, opener):
+        assert sanitizer_for(fake_finding(policy=policy))[0] == opener
+
+    def test_eval_has_no_sanitizer(self):
+        assert sanitizer_for(fake_finding(policy="eval")) is None
+
+    def _harness(self, source):
+        tree = parse(source, "page.php")
+        return (lambda _file: source), (lambda _file: tree)
+
+    def test_wraps_source_expression_span(self):
+        source = "<?php\n$id = $_GET['id'];\nmysql_query($sql);\n"
+        start = source.index("$_GET['id']")
+        span = (start, start + len("$_GET['id']"))
+        finding = fake_finding(
+            provenance=SimpleNamespace(
+                sources=[{"name": "_GET", "key": "id", "file": "page.php",
+                          "span": list(span)}]
+            )
+        )
+        read, parse_src = self._harness(source)
+        patch, reason = synthesize_sanitizer(finding, read, parse_src)
+        assert reason == ""
+        assert patch.kind == "sanitize"
+        assert patch.replacements == [
+            (span[0], span[1], "mysql_real_escape_string($_GET['id'])")
+        ]
+        assert "mysql_real_escape_string($_GET['id'])" in patch.apply(source)
+
+    def test_source_without_span_is_rejected(self):
+        finding = fake_finding(
+            provenance=SimpleNamespace(
+                sources=[{"name": "db", "file": "page.php", "span": None}]
+            )
+        )
+        read, parse_src = self._harness("<?php $a = 1;\n")
+        patch, reason = synthesize_sanitizer(finding, read, parse_src)
+        assert patch is None
+        assert reason == REASON_SOURCE_NO_SPAN
+
+    def test_no_provenance_sources(self):
+        finding = fake_finding(provenance=SimpleNamespace(sources=[]))
+        read, parse_src = self._harness("<?php $a = 1;\n")
+        patch, reason = synthesize_sanitizer(finding, read, parse_src)
+        assert patch is None
+        assert reason == REASON_NO_SOURCES
+
+    def test_eval_policy_has_no_insertable_fix(self):
+        finding = fake_finding(policy="eval", provenance=None)
+        read, parse_src = self._harness("<?php $a = 1;\n")
+        patch, reason = synthesize_sanitizer(finding, read, parse_src)
+        assert patch is None
+        assert reason == REASON_NO_SANITIZER
+
+
+class TestPatch:
+    def test_apply_splices_in_reverse_offset_order(self):
+        patch = Patch(
+            file="p.php",
+            kind="sanitize",
+            replacements=[(0, 1, "AA"), (2, 3, "BB")],
+        )
+        assert patch.apply("xyz") == "AAyBB"
+
+    def test_unified_diff_names_the_file(self):
+        patch = Patch(
+            file="p.php", kind="prepared", replacements=[(6, 7, "meow")]
+        )
+        diff = patch.unified_diff("hello cat\n", "sub/p.php")
+        assert "--- a/sub/p.php" in diff
+        assert "+++ b/sub/p.php" in diff
+        assert "+hello meowat" in diff

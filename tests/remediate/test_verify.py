@@ -1,0 +1,160 @@
+"""Unit tests for the patch verifier's building blocks: finding keys,
+parser round-trip, witness-vector reconstruction, and the workspace."""
+
+from pathlib import Path
+from types import SimpleNamespace
+
+from repro.php.parser import parse
+from repro.remediate.synthesize import Patch
+from repro.remediate.verify import (
+    Workspace,
+    canonical_render,
+    finding_key,
+    roundtrip_patch,
+    witness_vector,
+)
+
+
+def fake_finding(**overrides):
+    base = dict(
+        file="/proj/page.php",
+        line=3,
+        sink="mysql_query",
+        policy="",
+        check="odd-quotes",
+        category="direct",
+        witness="a'b",
+        provenance=None,
+    )
+    base.update(overrides)
+    return SimpleNamespace(**base)
+
+
+class TestFindingKey:
+    def test_key_is_relative_and_line_free(self, tmp_path):
+        page = tmp_path / "sub" / "page.php"
+        page.parent.mkdir()
+        page.write_text("<?php\n")
+        finding = fake_finding(file=str(page))
+        assert finding_key(finding, tmp_path) == (
+            "sub/page.php", "mysql_query", "sql", "odd-quotes", "direct"
+        )
+
+    def test_same_key_across_lines(self, tmp_path):
+        page = tmp_path / "p.php"
+        page.write_text("<?php\n")
+        first = fake_finding(file=str(page), line=3)
+        second = fake_finding(file=str(page), line=99)
+        assert finding_key(first, tmp_path) == finding_key(second, tmp_path)
+
+    def test_policy_finding_keeps_policy(self, tmp_path):
+        page = tmp_path / "p.php"
+        page.write_text("<?php\n")
+        finding = fake_finding(file=str(page), policy="xss")
+        assert finding_key(finding, tmp_path)[2] == "xss"
+
+
+class TestCanonicalRender:
+    def test_ignores_line_and_span_differences(self):
+        first = parse("<?php $a = f($x);", "a.php")
+        second = parse("<?php\n\n  $a   = f( $x );", "a.php")
+        assert canonical_render(first) == canonical_render(second)
+
+    def test_distinguishes_different_programs(self):
+        first = parse("<?php $a = f($x);", "a.php")
+        second = parse("<?php $a = g($x);", "a.php")
+        assert canonical_render(first) != canonical_render(second)
+
+
+class TestRoundtrip:
+    SOURCE = "<?php mysql_query($q);\n"
+
+    def _patch(self, replacement):
+        start = self.SOURCE.index("$q")
+        return Patch(
+            file="p.php",
+            kind="prepared",
+            replacements=[(start, start + 2, replacement)],
+        )
+
+    def test_clean_splice_round_trips(self):
+        patch = self._patch("sqlciv_prepare('SELECT 1', array())")
+        assert roundtrip_patch(patch.apply(self.SOURCE), patch, "p.php") is None
+
+    def test_unparseable_patched_file(self):
+        patch = self._patch("if (")
+        failure = roundtrip_patch(patch.apply(self.SOURCE), patch, "p.php")
+        assert failure is not None
+        assert failure.startswith("patched file no longer parses")
+
+    def test_replacement_must_be_one_expression(self):
+        # the spliced text parses in context but is not a single
+        # stand-alone expression — the round-trip must refuse it
+        patch = self._patch("$a), mysql_query($b")
+        failure = roundtrip_patch(patch.apply(self.SOURCE), patch, "p.php")
+        assert failure is not None
+
+
+class TestWitnessVector:
+    def test_get_source_builds_get_vector(self):
+        finding = fake_finding(
+            provenance=SimpleNamespace(
+                sources=[{"name": "_GET", "key": "id"}]
+            )
+        )
+        vector = witness_vector(finding)
+        assert vector.get == {"id": "a'b"}
+        assert vector.post == {}
+
+    def test_mixed_tables(self):
+        finding = fake_finding(
+            provenance=SimpleNamespace(
+                sources=[
+                    {"name": "_POST", "key": "name"},
+                    {"name": "_COOKIE", "key": "sid"},
+                ]
+            )
+        )
+        vector = witness_vector(finding)
+        assert vector.post == {"name": "a'b"}
+        assert vector.cookie == {"sid": "a'b"}
+
+    def test_default_attack_when_no_witness(self):
+        finding = fake_finding(
+            witness="",
+            provenance=SimpleNamespace(
+                sources=[{"name": "_GET", "key": "id"}]
+            ),
+        )
+        assert witness_vector(finding).get == {"id": "' OR '1'='1"}
+
+    def test_unkeyed_source_is_not_constructible(self):
+        finding = fake_finding(
+            provenance=SimpleNamespace(
+                sources=[{"name": "db", "key": None}]
+            )
+        )
+        assert witness_vector(finding) is None
+
+    def test_no_provenance(self):
+        assert witness_vector(fake_finding(provenance=None)) is None
+
+
+class TestWorkspace:
+    def test_scratch_copy_isolation(self, tmp_path):
+        root = tmp_path / "app"
+        root.mkdir()
+        page = root / "index.php"
+        page.write_text("<?php $a = 1;\n")
+        workspace = Workspace(root)
+        try:
+            assert workspace.read(page) == "<?php $a = 1;\n"
+            workspace.write(page, "<?php $a = 2;\n")
+            # the real tree is untouched; the scratch copy changed
+            assert page.read_text() == "<?php $a = 1;\n"
+            assert workspace.read(page) == "<?php $a = 2;\n"
+            scratch = workspace.map_path(page)
+            assert Path(scratch).read_text() == "<?php $a = 2;\n"
+        finally:
+            workspace.close()
+        assert not workspace.root.exists()

@@ -1,7 +1,7 @@
 """Dependency-graph correctness: the invalidation rules of
 DESIGN.md §5e, plus persistence round-trips."""
 
-from repro.perf import ANALYZER_CACHE_VERSION
+from repro.analysis.diskcache import ANALYZER_CACHE_VERSION
 from repro.server.depgraph import DependencyGraph
 
 

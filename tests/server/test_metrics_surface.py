@@ -14,7 +14,7 @@ import urllib.request
 
 import pytest
 
-from repro.perf import PERF
+from repro.obs.metrics import PERF
 from repro.server.client import ServerError
 from repro.server.daemon import start_metrics_server
 

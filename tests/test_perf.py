@@ -1,6 +1,6 @@
 """Tests for the perf recorder's snapshot algebra and rendering."""
 
-from repro.perf import PerfRecorder, render_table
+from repro.obs.metrics import PerfRecorder, render_table
 
 
 class TestDiff:

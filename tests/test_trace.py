@@ -9,8 +9,8 @@ from pathlib import Path
 import pytest
 
 from repro.corpus import build_app
-from repro.perf import PERF
-from repro.trace import (
+from repro.obs.metrics import PERF
+from repro.obs.trace import (
     TRACE,
     TRACE_FORMAT,
     TraceRecorder,

@@ -8,6 +8,14 @@ gate fails if any app runs more than ``tolerance`` (default 25%) over
 its budget, so a change that quietly gives back the kernel-level
 speedups breaks CI instead of landing.
 
+``--parallel`` gates the analysis farm instead: for every app in
+``parallel_speedup_min`` it measures the in-process page-analysis wall
+(the ``run.pages_wall`` timer a ``--profile`` run embeds) serially and
+at ``parallel_jobs`` workers, and fails if the speedup falls below the
+per-app floor.  On a box with fewer cores than ``parallel_jobs`` the
+ratio is meaningless, so — mirroring the harness's ``degraded``
+marker — the gate prints a warning and skips rather than failing.
+
 Budgets are calibrated on the reference machine with deliberate
 headroom over the measured walls (see the ``calibration`` block in
 ``budgets.json``), so ordinary CI-runner jitter stays well inside the
@@ -28,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import statistics
 import sys
 import tempfile
@@ -39,7 +48,7 @@ BUDGETS_PATH = Path(__file__).resolve().parent / "budgets.json"
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
-from perf_harness import run_cli  # noqa: E402
+from perf_harness import analysis_wall, run_cli  # noqa: E402
 
 
 def measure_app(name: str, reps: int) -> float:
@@ -61,6 +70,77 @@ def measure_app(name: str, reps: int) -> float:
     return min(walls)
 
 
+def measure_speedup(name: str, jobs: int, reps: int) -> float | None:
+    """Best-of-``reps`` analysis-wall speedup (serial / ``jobs``-worker)
+    for one corpus app; ``None`` if the timer is missing."""
+    from repro.corpus import build_app
+
+    serial_walls: list[float] = []
+    parallel_walls: list[float] = []
+    with tempfile.TemporaryDirectory(prefix=f"benchgate-{name}-") as tmp:
+        build_app(Path(tmp), name)
+        app_root = Path(tmp) / name
+        for _ in range(reps):
+            _wall, doc, _exit = run_cli(app_root, jobs=1)
+            serial = analysis_wall(doc)
+            if serial is not None:
+                serial_walls.append(serial)
+            _wall, doc, _exit = run_cli(app_root, jobs=jobs)
+            parallel = analysis_wall(doc)
+            if parallel is not None:
+                parallel_walls.append(parallel)
+    if not serial_walls or not parallel_walls:
+        return None
+    return min(serial_walls) / min(parallel_walls)
+
+
+def gate_parallel(budgets: dict, reps: int) -> int:
+    """Fail when any app's farm speedup falls below its budget floor."""
+    floors: dict[str, float] = budgets.get("parallel_speedup_min", {})
+    jobs = budgets.get("parallel_jobs", 4)
+    if not floors:
+        print("no parallel_speedup_min budgets configured; nothing to gate")
+        return 0
+    cpu_count = os.cpu_count() or 1
+    if cpu_count < jobs:
+        # same contract as the harness's `degraded` marker: an
+        # undersized box cannot measure parallel speedup meaningfully
+        print(
+            f"WARNING: cpu_count {cpu_count} < parallel_jobs {jobs}; "
+            "speedup is not measurable here — skipping the parallel gate"
+        )
+        return 0
+
+    failures = []
+    for app, floor in floors.items():
+        print(
+            f"measuring {app} speedup at --jobs {jobs} "
+            f"(best of {reps}) ...",
+            flush=True,
+        )
+        speedup = measure_speedup(app, jobs, reps)
+        if speedup is None:
+            print(f"  {app}: no run.pages_wall timer in output  FAIL")
+            failures.append((app, 0.0, floor))
+            continue
+        verdict = "ok" if speedup >= floor else "FAIL"
+        print(f"  {app}: {speedup:.2f}x  (floor {floor}x)  {verdict}")
+        if speedup < floor:
+            failures.append((app, speedup, floor))
+
+    if failures:
+        print(
+            f"\nparallel gate FAILED: {len(failures)} app(s) below the "
+            "speedup floor:",
+            file=sys.stderr,
+        )
+        for app, speedup, floor in failures:
+            print(f"  {app}: {speedup:.2f}x < {floor}x", file=sys.stderr)
+        return 1
+    print(f"parallel gate passed ({len(floors)} apps, --jobs {jobs})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -75,9 +155,18 @@ def main(argv: list[str] | None = None) -> int:
         "--update", action="store_true",
         help="re-measure and rewrite budgets.json instead of gating",
     )
+    parser.add_argument(
+        "--parallel", action="store_true",
+        help=(
+            "gate the analysis-farm speedup floors (parallel_speedup_min "
+            "in budgets.json) instead of the serial wall budgets"
+        ),
+    )
     args = parser.parse_args(argv)
 
     budgets = json.loads(BUDGETS_PATH.read_text())
+    if args.parallel:
+        return gate_parallel(budgets, args.reps)
     tolerance = (
         args.tolerance if args.tolerance is not None
         else budgets.get("tolerance", 0.25)

@@ -1,0 +1,208 @@
+"""Concurrency smoke test: one multi-tenant daemon, many clients.
+
+Starts a single ``sqlciv serve`` process, makes **two** corpus projects
+resident (the startup project plus one via ``load_project``), then
+hammers it with N concurrent clients interleaving:
+
+* ``analyze`` — the response document must be **byte-identical** to a
+  cold ``sqlciv --json`` run over the same tree, every time;
+* ``invalidate`` after a verdict-preserving edit (a newline appended at
+  end-of-file shifts no hotspot line), so re-analysis runs constantly
+  under the readers without ever changing what they must observe;
+* ``fix`` (report-only) — must never error and never perturb the
+  analyze documents other clients see.
+
+Any divergence, protocol error, or unclean daemon exit fails the run.
+This is the CI ``concurrency-smoke`` job's workload; it is a
+correctness gate, not a timing benchmark.
+
+Usage::
+
+    python benchmarks/concurrency_smoke.py [--clients 4] [--iterations 3]
+        [--apps eve_activity_tracker tiger_php_news] [--jobs 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from perf_harness import run_cli, verdicts  # noqa: E402
+
+
+def start_daemon(app_root: Path, jobs: int) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.analysis.cli", "serve", str(app_root),
+         "--port", "0", "--jobs", str(jobs), "--log-level", "quiet"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True, env=env,
+    )
+    ready = json.loads(proc.stdout.readline())
+    port = int(ready["listening"].rsplit(":", 1)[1])
+    return proc, port
+
+
+def client_worker(
+    port: int,
+    project: str | None,
+    app_root: Path,
+    golden: dict,
+    iterations: int,
+    editable: str | None,
+    failures: list[str],
+) -> None:
+    """One client's interleaved workload against one resident project."""
+    from repro.server.client import ServerClient
+
+    label = project or "default"
+    try:
+        with ServerClient(port=port).connect(retry_seconds=10.0) as client:
+            for round_no in range(iterations):
+                response = client.analyze(project=project)
+                if verdicts(response["document"]) != golden:
+                    failures.append(
+                        f"{label}: analyze diverged from the cold CLI "
+                        f"(round {round_no})"
+                    )
+                    return
+                if editable is not None:
+                    # verdict-preserving edit: appending a newline at
+                    # end-of-file shifts no hotspot line, so every
+                    # concurrent reader must still see the golden doc
+                    target = app_root / editable
+                    target.write_text(target.read_text() + "\n")
+                    client.invalidate([editable], project=project)
+                    after = client.analyze(project=project)
+                    if verdicts(after["document"]) != golden:
+                        failures.append(
+                            f"{label}: post-edit analyze diverged "
+                            f"(round {round_no})"
+                        )
+                        return
+                    # no pages_reanalyzed assertion here: a concurrent
+                    # reader may have re-analyzed the invalidated page
+                    # first, in which case this analyze legally replays
+                else:
+                    report = client.fix(project=project)
+                    if "findings" not in report or report.get("applied"):
+                        failures.append(
+                            f"{label}: fix returned an unexpected shape "
+                            f"(round {round_no}): {sorted(report)[:5]}"
+                        )
+                        return
+    except Exception as exc:  # noqa: BLE001 - surfaced to the driver
+        failures.append(f"{label}: {type(exc).__name__}: {exc}")
+
+
+def pick_editable(golden_doc: dict, app_root: Path) -> str:
+    """A page file safe to append-edit: prefer a leaf nothing includes."""
+    pages = [p["page"] for p in golden_doc["pages"]]
+    for page in pages:
+        if Path(page).name == "style.php":
+            return page
+    return pages[0]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--apps", nargs=2,
+                        default=["eve_activity_tracker", "tiger_php_news"],
+                        metavar=("APP1", "APP2"),
+                        help="two corpus apps to make resident")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent clients per project mix")
+    parser.add_argument("--iterations", type=int, default=3,
+                        help="workload rounds per client")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="daemon worker-farm size")
+    args = parser.parse_args(argv)
+
+    from repro.corpus import build_app
+    from repro.server.client import ServerClient
+
+    with tempfile.TemporaryDirectory(prefix="concsmoke-") as tmp:
+        roots: dict[str, Path] = {}
+        goldens: dict[str, dict] = {}
+        for name in args.apps:
+            build_app(Path(tmp), name)
+            roots[name] = Path(tmp) / name
+            print(f"cold CLI golden for {name} ...", flush=True)
+            _wall, doc, _exit = run_cli(roots[name], jobs=1)
+            goldens[name] = verdicts(doc)
+
+        first, second = args.apps
+        proc, port = start_daemon(roots[first], jobs=args.jobs)
+        failures: list[str] = []
+        try:
+            with ServerClient(port=port).connect(retry_seconds=10.0) as admin:
+                loaded = admin.load_project(roots[second], name=second)
+                assert loaded["loaded"], loaded
+                listing = admin.projects()
+                assert len(listing["projects"]) == 2, listing
+
+            threads = []
+            for index in range(args.clients):
+                # even clients hit the default project, odd ones the
+                # loaded tenant; within each pair one client is the
+                # editor (invalidate loop) and one runs analyze+fix
+                name = first if index % 2 == 0 else second
+                project = None if name == first else name
+                editable = (
+                    pick_editable(goldens[name], roots[name])
+                    if index < 2 else None
+                )
+                threads.append(threading.Thread(
+                    target=client_worker,
+                    args=(port, project, roots[name], goldens[name],
+                          args.iterations, editable, failures),
+                    name=f"client-{index}",
+                ))
+            print(
+                f"running {len(threads)} clients x {args.iterations} "
+                f"rounds against 2 resident projects ...", flush=True,
+            )
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=600)
+                if thread.is_alive():
+                    failures.append(f"{thread.name}: timed out")
+
+            with ServerClient(port=port).connect() as admin:
+                status = admin.status()
+                assert status["resident"]["resident.projects"] == 2, status
+                admin.shutdown()
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+        if proc.returncode != 0:
+            failures.append(f"daemon exit code {proc.returncode}")
+        if failures:
+            print("concurrency smoke FAILED:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"concurrency smoke passed: {args.clients} clients, "
+            f"2 projects, every response byte-identical to the cold CLI, "
+            "clean daemon exit"
+        )
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

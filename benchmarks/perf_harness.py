@@ -87,6 +87,30 @@ def verdicts(document: dict) -> dict:
     return {key: value for key, value in document.items() if key != "perf"}
 
 
+def analysis_wall(document: dict) -> float | None:
+    """The in-process page-analysis wall (``run.pages_wall`` timer) a
+    ``--profile`` run embeds — interpreter start-up and report rendering
+    excluded, so the parallel speedup measures page throughput rather
+    than being drowned by the ~0.5s constant python/import cost every
+    subprocess pays regardless of jobs."""
+    return document.get("perf", {}).get("timers", {}).get("run.pages_wall")
+
+
+#: farm counters worth surfacing per app (work stealing, cascade
+#: splitting, the include/parse pre-pass, and the shared memo sections)
+FARM_COUNTERS = (
+    "farm.tasks.stolen",
+    "farm.pages.split",
+    "farm.tasks.cascades",
+    "farm.prepass.files_parsed",
+    "farm.prepass.files_shared",
+    "farm.prepass.files_discovered",
+    "farm.verdict.shared_hits",
+    "farm.image.shared_hits",
+    "farm.ast.shared_hits",
+)
+
+
 def bench_daemon(app_root: Path, serial_doc: dict) -> dict:
     """Cold / warm / post-single-edit request walls against one
     ``sqlciv serve`` process (README "Server mode")."""
@@ -185,6 +209,14 @@ def bench_app(name: str, jobs: int) -> dict:
         # a number that reads as "parallelism doesn't help"
         cpu_count = os.cpu_count() or 1
         degraded = cpu_count < jobs
+        serial_analysis = analysis_wall(serial_doc)
+        parallel_analysis = analysis_wall(parallel_doc)
+        parallel_counters = parallel_doc.get("perf", {}).get("counters", {})
+        farm = {
+            key: parallel_counters[key]
+            for key in FARM_COUNTERS
+            if parallel_counters.get(key)
+        }
         return {
             "app": name,
             "pages": len(serial_doc["pages"]),
@@ -207,10 +239,29 @@ def bench_app(name: str, jobs: int) -> dict:
                 "pages_total": daemon["pages_total"],
                 "clean_exit": daemon["clean_exit"],
             },
+            "analysis_wall_seconds": {
+                "serial": (
+                    round(serial_analysis, 3)
+                    if serial_analysis is not None else None
+                ),
+                "parallel": (
+                    round(parallel_analysis, 3)
+                    if parallel_analysis is not None else None
+                ),
+            },
+            # page-throughput speedup from the analysis wall; null (with
+            # a marker) whenever the box is degraded or the timer is
+            # missing, never a misleading number
             "parallel_speedup": (
+                None
+                if degraded or not serial_analysis or not parallel_analysis
+                else round(serial_analysis / parallel_analysis, 2)
+            ),
+            "process_speedup": (
                 None if degraded else round(serial_wall / parallel_wall, 2)
             ),
             **({"degraded": "cpu_count < jobs"} if degraded else {}),
+            **({"farm_counters": farm} if farm else {}),
             "warm_speedup": round(cold_wall / warm_wall, 2),
             "phase2_cascades_cold": cold_counters.get("policy.check_cascades", 0),
             "phase2_cascades_warm": executed,
@@ -248,9 +299,9 @@ def main(argv: list[str] | None = None) -> int:
         row = bench_app(name, args.jobs)
         rows.append(row)
         speedup = (
-            f"{row['parallel_speedup']}x"
+            f"{row['parallel_speedup']}x analysis"
             if row["parallel_speedup"] is not None
-            else "n/a: cpu_count < jobs"
+            else "speedup n/a: " + row.get("degraded", "timer missing")
         )
         print(
             f"  serial {row['wall_seconds']['serial']}s"

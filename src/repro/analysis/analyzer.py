@@ -9,27 +9,27 @@ verdict is stamped with a confidence level and the report carries the
 deduplicated diagnostics for unmodeled or widened constructs.
 
 Pages are independent ``main``\\ s (paper §5.3), which makes the driver
-embarrassingly parallel: :func:`run_pages` fans entry pages out over a
-``ProcessPoolExecutor`` (``jobs > 1``) and merges the per-page
-:class:`PageResult` records back **in page order**, so the aggregate
-report is deterministic — byte-identical to a serial run — regardless
-of worker scheduling.  ``jobs=1`` keeps the exact single-process path
-(shared parse cache and include resolver across pages).  An optional
-on-disk cache (:mod:`repro.analysis.diskcache`) makes repeat runs over
-an unchanged corpus near-instant.
+embarrassingly parallel: :func:`run_pages` fans work out to the
+analysis farm (:mod:`repro.farm` — persistent work-stealing workers, a
+parallel include/parse pre-pass, and cross-worker memo sharing) when
+``jobs > 1`` and merges the per-page :class:`PageResult` records back
+**in page order**, so the aggregate report is deterministic —
+byte-identical to a serial run — regardless of worker scheduling.
+``jobs=1`` keeps the exact single-process path (shared parse cache and
+include resolver across pages).  An optional on-disk cache
+(:mod:`repro.analysis.diskcache`) makes repeat runs over an unchanged
+corpus near-instant.
 """
 
 from __future__ import annotations
 
 import os
-import pickle
 import re
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.obs.timeline import TIMELINE, append_span
+from repro.obs.timeline import TIMELINE
 from repro.obs.metrics import PERF
 from repro.php.includes import IncludeResolver
 from repro.obs.trace import TRACE
@@ -218,7 +218,7 @@ def _relative_deps(dep_files, project_root: Path) -> list[str]:
     return sorted(rels)
 
 
-def _analyze_one_page(
+def _phase1_page(
     project_root: Path,
     page: str | Path,
     audit: bool,
@@ -226,8 +226,13 @@ def _analyze_one_page(
     resolver: IncludeResolver,
     disk_cache: DiskCache | None,
     policies=None,
-) -> PageResult:
-    """The two-phase analysis of a single entry page."""
+):
+    """Phase 1 (string-taint abstract interpretation) of one page.
+
+    Returns ``(analysis_result, string_seconds)`` — the live result the
+    phase-2 checks consume.  Split out of :func:`_analyze_one_page` so
+    the farm can ship the resulting ``(grammar, hotspots)`` pair to
+    other workers as stealable cascade tasks."""
     started = time.perf_counter()
     trail = AuditTrail() if audit else None
     analysis = StringTaintAnalysis(
@@ -246,7 +251,42 @@ def _analyze_one_page(
             "grammar_nonterminals", len(result.grammar.productions)
         )
         phase1_span.set("grammar_productions", result.grammar.num_productions())
-    string_seconds = time.perf_counter() - started
+    PERF.incr("pages.analyzed")
+    return result, time.perf_counter() - started
+
+
+def _check_one(grammar, spot, policies):
+    """One phase-2 cascade: ``(report, scope_nonterminals, scope_productions)``.
+
+    The unit the farm steals: a function of the (picklable) grammar and
+    hotspot alone, so the verdict is identical wherever it runs."""
+    scope = grammar.subgrammar(spot.query.nt)
+    nonterminals = len(scope.productions)
+    productions = scope.num_productions()
+    PERF.gauge("grammar.hotspot_productions.max", productions)
+    return _check_spot(grammar, spot, policies), nonterminals, productions
+
+
+def _audit_result(result, audit: bool) -> AuditReport | None:
+    if not audit:
+        return None
+    with TRACE.span("audit"), TIMELINE.phase("audit"):
+        return audit_page(result)
+
+
+def _analyze_one_page(
+    project_root: Path,
+    page: str | Path,
+    audit: bool,
+    parse_cache: dict,
+    resolver: IncludeResolver,
+    disk_cache: DiskCache | None,
+    policies=None,
+) -> PageResult:
+    """The two-phase analysis of a single entry page."""
+    result, string_seconds = _phase1_page(
+        project_root, page, audit, parse_cache, resolver, disk_cache, policies
+    )
 
     started = time.perf_counter()
     reports: list[HotspotReport] = []
@@ -255,23 +295,21 @@ def _analyze_one_page(
     with TRACE.span("phase2") as phase2_span:
         with PERF.timer("phase2.checks"), TIMELINE.phase("phase2"):
             for spot in result.hotspots:
-                scope = result.grammar.subgrammar(spot.query.nt)
-                nonterminals += len(scope.productions)
-                productions += scope.num_productions()
-                PERF.gauge("grammar.hotspot_productions.max", scope.num_productions())
-                reports.append(_check_spot(result.grammar, spot, policies))
+                report, scope_nts, scope_prods = _check_one(
+                    result.grammar, spot, policies
+                )
+                nonterminals += scope_nts
+                productions += scope_prods
+                reports.append(report)
         phase2_span.set("hotspots", len(reports))
     check_seconds = time.perf_counter() - started
 
-    page_audit = None
-    if audit:
-        with TRACE.span("audit"), TIMELINE.phase("audit"):
-            page_audit = audit_page(result)
+    page_audit = _audit_result(result, audit)
+    if page_audit is not None:
         # a hotspot's verdict is only as trustworthy as the weakest
         # construct on its page's include closure
         for report in reports:
             report.confidence = page_audit.confidence
-    PERF.incr("pages.analyzed")
     return PageResult(
         page=str(page),
         reports=reports,
@@ -361,8 +399,6 @@ def _page_result_inner(
 
 # -- parallel workers ---------------------------------------------------------
 
-_WORKER_STATE: dict = {}
-
 
 def _warm_worker_caches(policies) -> None:
     """Pre-build the policy automata a worker will need (warm start).
@@ -388,63 +424,6 @@ def _warm_worker_caches(policies) -> None:
                 policy_instance(pid).warm()
 
 
-def _init_page_worker(
-    root: str,
-    audit: bool,
-    cache_dir: str | None,
-    project_state: str | None,
-    trace_enabled: bool = False,
-    policies=None,
-    timeline_enabled: bool = False,
-    profile: bool = False,
-) -> None:
-    _WORKER_STATE["root"] = Path(root)
-    _WORKER_STATE["audit"] = audit
-    _WORKER_STATE["parse_cache"] = {}
-    _WORKER_STATE["resolver"] = IncludeResolver(root)
-    _WORKER_STATE["disk_cache"] = DiskCache(cache_dir) if cache_dir else None
-    _WORKER_STATE["project_state"] = project_state
-    _WORKER_STATE["policies"] = policies
-    _WORKER_STATE["profile"] = profile
-    # workers record their own page span trees; the driver reassembles
-    # them in page order so the run tree is scheduling-independent
-    TRACE.configure(trace_enabled)
-    TIMELINE.configure(timeline_enabled)
-    _warm_worker_caches(policies)
-
-
-def _page_worker(page: str) -> PageResult:
-    before = PERF.snapshot()
-    result = _page_result(
-        _WORKER_STATE["root"],
-        page,
-        _WORKER_STATE["audit"],
-        _WORKER_STATE["parse_cache"],
-        _WORKER_STATE["resolver"],
-        _WORKER_STATE["disk_cache"],
-        _WORKER_STATE["project_state"],
-        _WORKER_STATE.get("policies"),
-    )
-    if _WORKER_STATE.get("profile"):
-        # the result is pickled once more by the pool machinery on the
-        # way home; measuring our own dump gives the same byte count and
-        # attributes the serialization cost to this page
-        started = time.perf_counter()
-        size = len(pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
-        finished = time.perf_counter()
-        PERF.incr("ipc.page_results")
-        PERF.incr("ipc.page_bytes_total", size)
-        PERF.gauge("ipc.page_bytes.max", size)
-        PERF.observe("ipc.page_bytes", size)
-        PERF.add_time("ipc.pickle", finished - started)
-        if result.timeline is not None:
-            append_span(
-                result.timeline, "pickle", started, finished, bytes=size
-            )
-    result.perf = PERF.diff(before)
-    return result
-
-
 def resolve_jobs(jobs: int | None, pages: int | None = None) -> int:
     """``None``/``0`` means "use every core"; never more jobs than pages."""
     if not jobs or jobs < 1:
@@ -464,15 +443,21 @@ def run_pages(
     parse_cache: dict | None = None,
     policies=None,
     profile: bool = False,
+    farm=None,
+    epoch: int = 0,
 ) -> list[PageResult]:
     """Analyze ``pages`` and return their results **in input order**.
 
     ``jobs=1`` is today's exact serial path: pages run in-process and
-    share one parse cache and include resolver.  ``jobs>1`` fans pages
-    out to worker processes (each with its own caches); because a page's
-    analysis is a pure function of the project tree, the per-page
-    results are identical either way, and merging in input order makes
-    the whole run order-insensitive to worker completion.
+    share one parse cache and include resolver.  ``jobs>1`` fans work
+    out to the analysis farm (:mod:`repro.farm`): a pool of persistent
+    work-stealing workers, an include/parse pre-pass warming a shared
+    AST memo, and cross-worker sharing of verdict and FST-image memos
+    through a content-addressed memo service.  Because a page's analysis
+    is a pure function of the project tree — and every shared memo entry
+    is keyed by content — the per-page results are identical either way,
+    and merging in input order makes the whole run order-insensitive to
+    worker completion.
 
     ``cache_max_mb`` caps the on-disk cache (LRU-by-atime pruning, see
     :meth:`DiskCache.prune`).  ``parse_cache`` lets a long-lived caller
@@ -491,6 +476,13 @@ def run_pages(
     page-result bytes and serialization time); timeline recording
     additionally follows the driver's ``TIMELINE.enabled`` into the
     workers.  Neither changes any analysis output (DESIGN 5i).
+
+    ``farm`` lets a long-lived caller (the analysis daemon) pass its own
+    :class:`repro.farm.AnalysisFarm`, amortizing worker start-up across
+    calls and projects; ``epoch`` is that caller's invalidation counter
+    for this project (workers discard per-project state from older
+    epochs).  Without ``farm``, a parallel run owns a private farm for
+    the duration of the call.
     """
     root = Path(project_root)
     disk_cache = DiskCache(cache_dir, max_mb=cache_max_mb) if cache_dir else None
@@ -501,7 +493,7 @@ def run_pages(
         ):
             project_state = project_state_hash(root)
     jobs = resolve_jobs(jobs, len(pages))
-    if jobs <= 1:
+    if jobs <= 1 and farm is None:
         if parse_cache is None:
             parse_cache = {}
         resolver = IncludeResolver(root)
@@ -512,35 +504,28 @@ def run_pages(
             )
             for page in pages
         ]
-    with PERF.timer("parallel.fanout"):
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_init_page_worker,
-            initargs=(
-                str(root),
-                audit,
-                str(cache_dir) if cache_dir else None,
-                project_state,
-                TRACE.enabled,
-                policies,
-                TIMELINE.enabled,
-                profile,
-            ),
-        ) as pool:
-            # batching amortizes per-task IPC; results still come back in
-            # input order
-            chunksize = max(1, len(pages) // (jobs * 4))
-            results = list(
-                pool.map(
-                    _page_worker,
-                    [str(page) for page in pages],
-                    chunksize=chunksize,
-                )
+    from repro.farm.driver import AnalysisFarm
+
+    owned = None
+    if farm is None:
+        owned = farm = AnalysisFarm(jobs)
+    try:
+        with PERF.timer("parallel.fanout"):
+            results = farm.map_pages(
+                root,
+                [str(page) for page in pages],
+                audit=audit,
+                cache_dir=str(cache_dir) if cache_dir else None,
+                cache_max_mb=cache_max_mb,
+                project_state=project_state,
+                policies=policies,
+                profile=profile,
+                epoch=epoch,
+                disk_cache=disk_cache,
             )
-    for result in results:
-        if result.perf is not None:
-            PERF.merge(result.perf)
-            result.perf = None
+    finally:
+        if owned is not None:
+            owned.shutdown()
     return results
 
 

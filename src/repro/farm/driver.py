@@ -1,0 +1,360 @@
+"""The farm driver: persistent workers, task fan-out, page-order merge.
+
+:class:`AnalysisFarm` owns the pool — one task queue per worker, one
+shared result queue, a stop event, and (unless ``REPRO_FARM_MEMO=0``)
+the :class:`~repro.farm.memo.MemoService` every worker publishes to.
+Workers are plain daemon processes running
+:func:`repro.farm.workers.farm_worker_main`; they survive across
+batches, so a long-lived caller (the analysis daemon) pays fork and
+warm-up once and shares one pool across every resident project.
+
+:meth:`map_pages` runs one batch: an optional include/parse pre-pass
+over the entry pages' dependency closure — seeded with the pages
+themselves and extended breadth-first as parse tasks report their
+static include targets (``REPRO_FARM_PREPASS=0`` disables) — then the
+entry pages, placed LPT-first by :class:`WorkStealingScheduler` with
+runtime stealing between the workers themselves.  Pages that report
+many hotspots come back as phase-1 partials plus a published
+``(grammar, hotspots)`` blob; the driver fans the hotspots back out as
+stealable ``cascade`` tasks and reassembles the page in hotspot order
+(``REPRO_FARM_SPLIT=<n>`` tunes the threshold, ``0`` disables).
+
+Determinism: results are merged **in page order**, cascade reports are
+reattached **in hotspot order**, and every per-task perf delta is merged
+into the driver's recorder — so output documents and the telemetry
+invariants (hits+misses totals, pages.analyzed) are byte-identical to a
+serial run regardless of which worker ran what, when.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import threading
+from pathlib import Path
+
+from repro.obs.metrics import PERF
+from repro.obs.timeline import TIMELINE
+from repro.obs.trace import TRACE
+
+from .memo import MemoService, SharedMemoClient
+from .scheduler import FarmTask, WorkStealingScheduler
+from .workers import BatchConfig, farm_worker_main
+
+
+def _env_flag(name: str, default: str = "1") -> bool:
+    return os.environ.get(name, default) != "0"
+
+
+def _split_threshold() -> int:
+    raw = os.environ.get("REPRO_FARM_SPLIT", "")
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return 3
+
+
+def _file_cost(path: Path) -> float:
+    try:
+        return float(path.stat().st_size) + 1.0
+    except OSError:
+        return 1.0
+
+
+class AnalysisFarm:
+    """A persistent work-stealing worker pool plus its memo service.
+
+    Batches are serialized by an internal lock — concurrent daemon
+    clients queue up rather than interleave task streams — but the pool
+    itself is shared: the same workers (with their warm policy automata
+    and per-project caches) serve every batch and every project.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        self.jobs = max(1, jobs)
+        self._ctx = multiprocessing.get_context()
+        self.memo_service = MemoService() if _env_flag("REPRO_FARM_MEMO") else None
+        store = self.memo_service.store if self.memo_service else None
+        self._client = SharedMemoClient(store)
+        self._batch_lock = threading.Lock()
+        self._batch_counter = 0
+        self._stop = self._ctx.Event()
+        self._task_queues = [self._ctx.Queue() for _ in range(self.jobs)]
+        self._result_queue = self._ctx.Queue()
+        self._workers = []
+        for index in range(self.jobs):
+            process = self._ctx.Process(
+                target=farm_worker_main,
+                args=(
+                    index,
+                    self._task_queues,
+                    self._result_queue,
+                    self._stop,
+                    store,
+                ),
+                daemon=True,
+                name=f"farm-worker-{index}",
+            )
+            process.start()
+            self._workers.append(process)
+
+    # -- batch execution ---------------------------------------------------
+
+    def map_pages(
+        self,
+        project_root: str | Path,
+        pages: list,
+        audit: bool = False,
+        cache_dir: str | None = None,
+        cache_max_mb: float | None = None,
+        project_state: str | None = None,
+        policies=None,
+        profile: bool = False,
+        epoch: int = 0,
+        disk_cache=None,
+    ) -> list:
+        """Analyze ``pages`` on the farm; results in input order."""
+        with self._batch_lock:
+            return self._run_batch(
+                Path(project_root), pages, audit, cache_dir, cache_max_mb,
+                project_state, policies, profile, epoch, disk_cache,
+            )
+
+    def _run_batch(
+        self, root, pages, audit, cache_dir, cache_max_mb, project_state,
+        policies, profile, epoch, disk_cache,
+    ) -> list:
+        self._batch_counter += 1
+        config = BatchConfig(
+            root=str(root),
+            audit=audit,
+            cache_dir=cache_dir,
+            cache_max_mb=cache_max_mb,
+            project_state=project_state,
+            policies=policies,
+            profile=profile,
+            trace=TRACE.enabled,
+            timeline=TIMELINE.enabled,
+            epoch=epoch,
+            split_threshold=self._split_threshold_for(),
+            batch_id=f"{os.getpid()}:{self._batch_counter}",
+        )
+        scheduler = WorkStealingScheduler(self.jobs)
+        seq = 0
+
+        # The pre-pass BFS starts at the entry pages; parse tasks report
+        # static include targets and the collect loop fans the newly
+        # discovered files out as further chunks, so the pre-pass covers
+        # the pages' dependency closure without touching the rest of the
+        # project tree.
+        prepass = {
+            "enabled": (
+                self.memo_service is not None
+                and _env_flag("REPRO_FARM_PREPASS")
+                and len(pages) > 1
+            ),
+            "seen": set(),
+            "next_chunk": 0,
+        }
+        parse_tasks: list[FarmTask] = []
+        if prepass["enabled"]:
+            seeds = [Path(str(p)) for p in pages]
+            prepass["seen"].update(os.path.normpath(str(p)) for p in seeds)
+            for chunk in self._chunk_files(seeds):
+                cost = sum(_file_cost(path) for path in chunk)
+                payload = (
+                    "parse", config, tuple(str(p) for p in chunk),
+                    prepass["next_chunk"],
+                )
+                prepass["next_chunk"] += 1
+                parse_tasks.append(FarmTask(seq, "parse", cost, payload))
+                seq += 1
+            PERF.incr("farm.prepass.chunks", len(parse_tasks))
+        # the pre-pass is planned first so it sits at every queue front:
+        # workers warm the shared AST memo before page analyses want it
+        scheduler.plan(parse_tasks)
+
+        page_tasks = []
+        for index, page in enumerate(pages):
+            payload = ("page", config, str(page), index)
+            page_tasks.append(
+                FarmTask(seq, "page", _file_cost(Path(page)), payload)
+            )
+            seq += 1
+        scheduler.plan(page_tasks)
+
+        for worker_index, planned in enumerate(scheduler.queues):
+            for task in planned:
+                self._task_queues[worker_index].put(task.payload)
+
+        return self._collect(
+            config, len(pages), len(parse_tasks), disk_cache, prepass
+        )
+
+    def _split_threshold_for(self) -> int:
+        if self.memo_service is None:
+            return 0
+        return _split_threshold()
+
+    def _chunk_files(self, files: list[Path]) -> list[list[Path]]:
+        chunks = max(1, min(self.jobs * 2, len(files)))
+        sliced: list[list[Path]] = [[] for _ in range(chunks)]
+        # deterministic greedy balance by size: biggest file first onto
+        # the lightest chunk
+        weights = [0.0] * chunks
+        ordered = sorted(
+            files, key=lambda p: (-_file_cost(p), str(p))
+        )
+        for path in ordered:
+            target = min(range(chunks), key=lambda i: (weights[i], i))
+            sliced[target].append(path)
+            weights[target] += _file_cost(path)
+        return [chunk for chunk in sliced if chunk]
+
+    def _collect(self, config, n_pages, n_parse, disk_cache, prepass) -> list:
+        results: list = [None] * n_pages
+        splits: dict[int, dict] = {}
+        outstanding = n_pages + n_parse
+        next_queue = 0
+        while outstanding > 0:
+            try:
+                envelope = self._result_queue.get(timeout=1.0)
+            except queue_mod.Empty:
+                for process in self._workers:
+                    if not process.is_alive():
+                        raise RuntimeError(
+                            f"farm worker {process.name} died "
+                            f"(exitcode {process.exitcode})"
+                        )
+                continue
+            outstanding -= 1
+            kind = envelope[0]
+            if kind == "parse":
+                perf, stolen = envelope[-3], envelope[-2]
+            else:
+                perf, stolen = envelope[-2], envelope[-1]
+            if perf:
+                PERF.merge(perf)
+            if stolen:
+                PERF.incr("farm.tasks.stolen")
+
+            if kind == "page":
+                _, index, result, _, _ = envelope
+                results[index] = result
+            elif kind == "phase1":
+                _, index, partial, blob_key, n_spots, cache_key, _, _ = envelope
+                PERF.incr("farm.pages.split")
+                splits[index] = {
+                    "partial": partial,
+                    "blob_key": blob_key,
+                    "n": n_spots,
+                    "cache_key": cache_key,
+                    "reports": {},
+                }
+                for spot_index in range(n_spots):
+                    task = ("cascade", config, blob_key, index, spot_index)
+                    self._task_queues[next_queue % self.jobs].put(task)
+                    next_queue += 1
+                outstanding += n_spots
+            elif kind == "cascade":
+                (_, page_index, spot_index, report, scope_nts, scope_prods,
+                 seconds, _, _) = envelope
+                PERF.incr("farm.tasks.cascades")
+                state = splits[page_index]
+                state["reports"][spot_index] = (
+                    report, scope_nts, scope_prods, seconds
+                )
+                if len(state["reports"]) == state["n"]:
+                    results[page_index] = self._assemble_split(
+                        state, disk_cache
+                    )
+                    del splits[page_index]
+            elif kind == "parse":
+                (_, chunk_id, parsed, shared, errors, discovered,
+                 _, _, payload) = envelope
+                PERF.incr("farm.prepass.files_parsed", parsed)
+                PERF.incr("farm.prepass.files_shared", shared)
+                PERF.incr("farm.prepass.files_error", errors)
+                TIMELINE.adopt_capture(payload)
+                new = [
+                    name for name in discovered
+                    if name not in prepass["seen"]
+                ]
+                if new:
+                    prepass["seen"].update(new)
+                    PERF.incr("farm.prepass.files_discovered", len(new))
+                    for chunk in self._chunk_files([Path(n) for n in new]):
+                        task = (
+                            "parse", config,
+                            tuple(str(p) for p in chunk),
+                            prepass["next_chunk"],
+                        )
+                        prepass["next_chunk"] += 1
+                        PERF.incr("farm.prepass.chunks")
+                        self._task_queues[next_queue % self.jobs].put(task)
+                        next_queue += 1
+                        outstanding += 1
+            elif kind == "error":
+                _, task_kind, tb, _, _ = envelope
+                raise RuntimeError(
+                    f"farm worker failed on a {task_kind!r} task:\n{tb}"
+                )
+            else:
+                raise RuntimeError(f"unknown farm envelope kind {kind!r}")
+
+        missing = [i for i, result in enumerate(results) if result is None]
+        if missing:
+            raise RuntimeError(f"farm batch lost results for pages {missing}")
+        return results
+
+    def _assemble_split(self, state: dict, disk_cache):
+        """Reattach a split page's cascade reports **in hotspot order**
+        — the same order the serial phase-2 loop runs — then stamp
+        confidence and store the finished result, exactly like the
+        inline path."""
+        partial = state["partial"]
+        for spot_index in range(state["n"]):
+            report, scope_nts, scope_prods, seconds = state["reports"][
+                spot_index
+            ]
+            partial.reports.append(report)
+            partial.nonterminals += scope_nts
+            partial.productions += scope_prods
+            partial.check_seconds += seconds
+        if partial.audit is not None:
+            for report in partial.reports:
+                report.confidence = partial.audit.confidence
+        if disk_cache is not None and state["cache_key"] is not None:
+            disk_cache.store("page", state["cache_key"], partial)
+        self._client.delete("blob", state["blob_key"])
+        return partial
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def memo_stats(self) -> dict:
+        if self.memo_service is None:
+            return {"sizes": {}, "counters": {}}
+        return self.memo_service.stats()
+
+    def shutdown(self) -> None:
+        self._stop.set()
+        for process in self._workers:
+            process.join(timeout=2.0)
+        for process in self._workers:
+            if process.is_alive():
+                process.terminate()
+        for q in self._task_queues + [self._result_queue]:
+            q.cancel_join_thread()
+            q.close()
+        if self.memo_service is not None:
+            self.memo_service.shutdown()
+            self.memo_service = None
+
+    def __enter__(self) -> "AnalysisFarm":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

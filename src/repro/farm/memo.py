@@ -1,0 +1,261 @@
+"""The farm's shared memo service: one store, every worker.
+
+A serial run's verdict / FST-image / AST memos live in process-global
+caches; the old ``ProcessPoolExecutor`` driver gave each worker its own
+empty copy, so a four-worker run recomputed every shared cascade four
+times.  The farm instead hosts a single :class:`MemoStore` in a
+``multiprocessing.managers.BaseManager`` process; workers reach it
+through a picklable proxy wrapped in :class:`SharedMemoClient`.
+
+Every key is **content-addressed** (grammar fingerprints, FST content
+keys, source-bytes AST keys), so an entry published by any worker — or
+by a worker serving a *different* project in the multi-tenant daemon —
+is exactly what a cold computation in the consumer would have produced.
+That is the whole soundness argument (DESIGN.md §5k): sharing can change
+*when* a value is computed, never *what* it is.
+
+Values cross the proxy as pickled bytes; section adapters
+(:class:`VerdictMemo`, :class:`ImageMemo`, :class:`AstMemo`,
+:class:`BlobStore`) do the (un)pickling and feed hit/miss/publish
+counters into the :mod:`repro.obs` registry.  Any proxy failure
+(manager died, connection reset) permanently degrades the client to
+"no sharing" — the analysis itself never depends on the service.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from collections import OrderedDict
+from multiprocessing.managers import BaseManager
+
+from repro.obs.metrics import PERF
+
+#: Per-section entry caps: enough for whole corpus runs, bounded for
+#: daemon lifetimes.  Blobs (split-page grammar transports) are large
+#: and short-lived, so their section is kept small.
+_SECTION_CAPS = {"verdict": 8192, "image": 2048, "ast": 8192, "blob": 64}
+_DEFAULT_CAP = 4096
+
+
+class MemoStore:
+    """Thread-safe sectioned LRU of pickled-bytes memo entries.
+
+    Lives inside the manager process; every method call is one proxy
+    round-trip, so the API is deliberately coarse (``get``/``put``/
+    ``delete``/``stats``) and values are opaque ``bytes``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sections: dict[str, OrderedDict[object, bytes]] = {}
+        self._counters: dict[str, int] = {}
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def get(self, section: str, key) -> bytes | None:
+        with self._lock:
+            entries = self._sections.get(section)
+            if entries is None or key not in entries:
+                self._bump(f"{section}.misses")
+                return None
+            entries.move_to_end(key)
+            self._bump(f"{section}.hits")
+            return entries[key]
+
+    def put(self, section: str, key, blob: bytes) -> None:
+        cap = _SECTION_CAPS.get(section, _DEFAULT_CAP)
+        with self._lock:
+            entries = self._sections.setdefault(section, OrderedDict())
+            if key not in entries:
+                self._bump(f"{section}.published")
+                self._bump(f"{section}.published_bytes", len(blob))
+            entries[key] = blob
+            entries.move_to_end(key)
+            while len(entries) > cap:
+                entries.popitem(last=False)
+                self._bump(f"{section}.evictions")
+
+    def has(self, section: str, key) -> bool:
+        """Existence probe without shipping the value (or touching the
+        hit/miss counters — used by the pre-pass to skip re-parses)."""
+        with self._lock:
+            entries = self._sections.get(section)
+            return entries is not None and key in entries
+
+    def delete(self, section: str, key) -> None:
+        with self._lock:
+            entries = self._sections.get(section)
+            if entries is not None:
+                entries.pop(key, None)
+
+    def stats(self) -> dict:
+        with self._lock:
+            sizes = {
+                name: len(entries) for name, entries in self._sections.items()
+            }
+            return {"sizes": sizes, "counters": dict(self._counters)}
+
+
+class _MemoManager(BaseManager):
+    pass
+
+
+_MemoManager.register(
+    "MemoStore", MemoStore, exposed=["get", "put", "has", "delete", "stats"]
+)
+
+
+class MemoService:
+    """Owns the manager process hosting one :class:`MemoStore`.
+
+    ``service.store`` is the proxy — picklable, so the farm driver hands
+    it to every worker process at spawn time.
+    """
+
+    def __init__(self) -> None:
+        self._manager = _MemoManager()
+        self._manager.start()
+        self.store = self._manager.MemoStore()
+
+    def stats(self) -> dict:
+        try:
+            return self.store.stats()
+        except Exception:
+            return {"sizes": {}, "counters": {}}
+
+    def shutdown(self) -> None:
+        try:
+            self._manager.shutdown()
+        except Exception:
+            pass
+
+
+class SharedMemoClient:
+    """One worker's error-tolerant handle on the shared store.
+
+    The first proxy failure flips the client to broken: every later call
+    is a cheap local no-op, the worker keeps analyzing with its own
+    process-local caches, and the driver sees the degradation only in
+    the ``farm.memo.errors`` counter.
+    """
+
+    def __init__(self, store) -> None:
+        self._store = store
+        self._broken = store is None
+
+    @property
+    def available(self) -> bool:
+        return not self._broken
+
+    def fetch_bytes(self, section: str, key) -> bytes | None:
+        if self._broken:
+            return None
+        try:
+            return self._store.get(section, key)
+        except Exception:
+            self._broken = True
+            PERF.incr("farm.memo.errors")
+            return None
+
+    def has(self, section: str, key) -> bool:
+        if self._broken:
+            return False
+        try:
+            return self._store.has(section, key)
+        except Exception:
+            self._broken = True
+            PERF.incr("farm.memo.errors")
+            return False
+
+    def publish_bytes(self, section: str, key, blob: bytes) -> None:
+        if self._broken:
+            return
+        try:
+            self._store.put(section, key, blob)
+        except Exception:
+            self._broken = True
+            PERF.incr("farm.memo.errors")
+
+    def delete(self, section: str, key) -> None:
+        if self._broken:
+            return
+        try:
+            self._store.delete(section, key)
+        except Exception:
+            self._broken = True
+            PERF.incr("farm.memo.errors")
+
+
+class _SectionMemo:
+    """Pickle + counter adapter over one store section.
+
+    Subclass interface expected by the analysis-layer hooks
+    (``policy.SHARED_VERDICTS`` etc.): ``fetch(key) -> object | None``
+    and ``publish(key, value)``.
+    """
+
+    section = ""
+
+    def __init__(self, client: SharedMemoClient) -> None:
+        self.client = client
+
+    def fetch(self, key):
+        blob = self.client.fetch_bytes(self.section, key)
+        if blob is None:
+            PERF.incr(f"farm.{self.section}.shared_misses")
+            return None
+        try:
+            value = pickle.loads(blob)
+        except Exception:
+            PERF.incr("farm.memo.errors")
+            return None
+        PERF.incr(f"farm.{self.section}.shared_hits")
+        return value
+
+    def publish(self, key, value) -> None:
+        try:
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            PERF.incr("farm.memo.errors")
+            return
+        PERF.incr(f"farm.{self.section}.published")
+        PERF.incr(f"farm.{self.section}.published_bytes", len(blob))
+        self.client.publish_bytes(self.section, key, blob)
+
+
+class VerdictMemo(_SectionMemo):
+    """Phase-2 verdict payloads, keyed by namespaced grammar fingerprint
+    (the same key :data:`repro.analysis.policy.VERDICT_CACHE` uses)."""
+
+    section = "verdict"
+
+
+class ImageMemo(_SectionMemo):
+    """FST-image entries ``(grammar, start, recipes)``, keyed by
+    ``(fst.content_key(), input shape fingerprint)``."""
+
+    section = "image"
+
+
+class AstMemo(_SectionMemo):
+    """Parsed ``(tree, error)`` pairs keyed by the on-disk AST cache key
+    (a hash of source bytes + path — see :meth:`DiskCache.ast_key`)."""
+
+    section = "ast"
+
+    def has(self, key) -> bool:
+        return self.client.has(self.section, key)
+
+
+class BlobStore(_SectionMemo):
+    """Split-page transport: a pickled ``(grammar, hotspots)`` pair
+    published by the phase-1 worker and fetched by cascade workers.
+    Unlike the memo sections the driver deletes blobs once a page is
+    fully assembled."""
+
+    section = "blob"
+
+    def delete(self, key) -> None:
+        self.client.delete(self.section, key)

@@ -728,6 +728,121 @@ class Grammar:
                 forms.append(form[:idx] + rhs + form[idx + 1 :])
         return sorted(results)
 
+    def affix_summary(
+        self, root: Nonterminal
+    ) -> tuple[str, str, int] | None:
+        """``(forced_prefix, forced_suffix, min_length)`` of L(root).
+
+        Sound under-approximations: every string of the language starts
+        with ``forced_prefix``, ends with ``forced_suffix``, and is at
+        least ``min_length`` characters long.  Returns ``None`` when the
+        language is provably empty.  Cycles and charset alternatives
+        simply truncate the forced affix (to the empty string in the
+        worst case), so the summary is always a valid *necessary*
+        condition for membership — the include resolver uses it to prune
+        candidate paths before the exact :meth:`generates` test.
+        """
+        cached = self._memo_get(("affix", root))
+        if cached is not None:
+            return cached[0]
+        min_len = self._min_lengths(root).get(root)
+        if min_len is None:
+            self._memo_set(("affix", root), (None,))
+            return None
+        prefix = self._forced_affix(root, reverse=False)
+        suffix = self._forced_affix(root, reverse=True)
+        summary = (prefix, suffix, min_len)
+        self._memo_set(("affix", root), (summary,))
+        return summary
+
+    def _min_lengths(self, root: Nonterminal) -> dict[Nonterminal, int]:
+        """Shortest derivable string length per reachable nonterminal.
+
+        Nonterminals with an empty language (unproductive, or undefined
+        references) are absent from the result.
+        """
+        reach = self.reachable(root)
+        lengths: dict[Nonterminal, int] = {}
+        changed = True
+        while changed:
+            changed = False
+            for nt in reach:
+                best = lengths.get(nt)
+                for rhs in self.productions.get(nt, ()):
+                    total = 0
+                    for symbol in rhs:
+                        if isinstance(symbol, Lit):
+                            total += len(symbol.text)
+                        elif isinstance(symbol, CharSet):
+                            if symbol.size() == 0:
+                                break
+                            total += 1
+                        else:
+                            ref = lengths.get(symbol)
+                            if ref is None:
+                                break
+                            total += ref
+                    else:
+                        if best is None or total < best:
+                            best = total
+                if best is not None and lengths.get(nt) != best:
+                    lengths[nt] = best
+                    changed = True
+        return lengths
+
+    def _forced_affix(self, root: Nonterminal, *, reverse: bool) -> str:
+        """Longest literal prefix (or suffix, ``reverse=True``) every
+        string of L(root) must carry.  Under-approximate but sound."""
+        memo: dict[Nonterminal, tuple[str, bool] | None] = {}
+
+        def symbol_affix(symbol) -> tuple[str, bool]:
+            # (affix, exact): exact means the symbol derives exactly
+            # that one string, so a following symbol's affix may extend it.
+            if isinstance(symbol, Lit):
+                text = symbol.text[::-1] if reverse else symbol.text
+                return text, True
+            if isinstance(symbol, CharSet):
+                if symbol.size() == 1:
+                    return next(symbol.chars(limit=1)), True
+                return "", False
+            return nt_affix(symbol)
+
+        def seq_affix(rhs: Rhs) -> tuple[str, bool]:
+            parts: list[str] = []
+            for symbol in reversed(rhs) if reverse else rhs:
+                affix, exact = symbol_affix(symbol)
+                parts.append(affix)
+                if not exact:
+                    return "".join(parts), False
+            return "".join(parts), True
+
+        def nt_affix(nt: Nonterminal) -> tuple[str, bool]:
+            if nt in memo:
+                entry = memo[nt]
+                # A cycle (entry is None) forces the affix open here.
+                return ("", False) if entry is None else entry
+            rhss = self.productions.get(nt)
+            if not rhss:
+                memo[nt] = ("", False)
+                return memo[nt]
+            memo[nt] = None
+            options = [seq_affix(rhs) for rhs in rhss]
+            common = options[0][0]
+            for text, _ in options[1:]:
+                limit = min(len(common), len(text))
+                i = 0
+                while i < limit and common[i] == text[i]:
+                    i += 1
+                common = common[:i]
+            exact = all(e for _, e in options) and all(
+                text == common for text, _ in options
+            )
+            memo[nt] = (common, exact)
+            return memo[nt]
+
+        affix, _ = nt_affix(root)
+        return affix[::-1] if reverse else affix
+
     def generates(self, root: Nonterminal, text: str) -> bool:
         """Membership test: does ``root`` derive ``text``?
 

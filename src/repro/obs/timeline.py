@@ -92,11 +92,13 @@ class TimelineRecorder:
         self.enabled = False
         self._spans: list[dict] = []
         self._stack: list[int] = []
+        self._adopted: list[dict] = []
 
     def configure(self, enabled: bool) -> None:
         self.enabled = enabled
         self._spans = []
         self._stack = []
+        self._adopted = []
 
     @contextmanager
     def phase(self, name: str, **meta):
@@ -150,6 +152,18 @@ class TimelineRecorder:
         self._stack = []
         return spans
 
+    def adopt_capture(self, payload: dict | None) -> None:
+        """Register a worker-recorded capture that is not a page (the
+        farm's include/parse pre-pass chunks).  Adopted captures render
+        in the timeline's ``aux`` section, keeping ``pages`` exactly one
+        entry per analyzed page."""
+        if self.enabled and payload:
+            self._adopted.append(payload)
+
+    def drain_adopted(self) -> list[dict]:
+        adopted, self._adopted = self._adopted, []
+        return adopted
+
 
 #: The process-wide recorder; workers enable their own copy in the pool
 #: initializer and ship finished page captures home inside PageResult.
@@ -181,6 +195,7 @@ def assemble(
     page_payloads: list[dict | None],
     driver_spans: list[dict] | None = None,
     attrs: dict | None = None,
+    aux_payloads: list[dict] | None = None,
 ) -> dict:
     """The ``timeline.json`` document for one run.
 
@@ -189,25 +204,32 @@ def assemble(
     skipped).  Lane 0 is the driver process; worker lanes are numbered
     by first appearance in page order, so the lane layout is a pure
     function of the page→worker assignment.
+
+    ``aux_payloads`` are non-page worker captures (the farm's pre-pass
+    chunks, see :meth:`TimelineRecorder.adopt_capture`); they render
+    under an ``aux`` key so ``pages`` stays one entry per analyzed page.
     """
     driver_spans = driver_spans or []
     pages = [p for p in page_payloads if p]
-    starts = [p["t_start"] for p in pages] + [s["start"] for s in driver_spans]
-    ends = [p["t_end"] for p in pages] + [s["end"] for s in driver_spans]
+    aux = [p for p in (aux_payloads or []) if p]
+    starts = (
+        [p["t_start"] for p in pages + aux]
+        + [s["start"] for s in driver_spans]
+    )
+    ends = [p["t_end"] for p in pages + aux] + [s["end"] for s in driver_spans]
     t0 = min(starts) if starts else 0.0
     wall = (max(ends) - t0) if ends else 0.0
 
     driver_pid = os.getpid()
     lane_of: dict[int, int] = {driver_pid: 0}
     lanes = [{"lane": 0, "pid": driver_pid, "role": "driver"}]
-    for payload in pages:
+    for payload in pages + aux:
         pid = payload["pid"]
         if pid not in lane_of:
             lane_of[pid] = len(lanes)
             lanes.append({"lane": len(lanes), "pid": pid, "role": "worker"})
 
-    out_pages = []
-    for payload in pages:
+    def render_capture(payload: dict) -> dict:
         counts: dict[str, int] = {}
         spans = []
         for span in payload["spans"]:
@@ -224,15 +246,16 @@ def assemble(
             if span.get("meta"):
                 record["meta"] = span["meta"]
             spans.append(record)
-        out_pages.append(
-            {
-                "page": payload["page"],
-                "lane": lane_of[payload["pid"]],
-                "start": round(payload["t_start"] - t0, 6),
-                "dur": round(payload["t_end"] - payload["t_start"], 6),
-                "spans": spans,
-            }
-        )
+        return {
+            "page": payload["page"],
+            "lane": lane_of[payload["pid"]],
+            "start": round(payload["t_start"] - t0, 6),
+            "dur": round(payload["t_end"] - payload["t_start"], 6),
+            "spans": spans,
+        }
+
+    out_pages = [render_capture(payload) for payload in pages]
+    out_aux = [render_capture(payload) for payload in aux]
 
     driver_counts: dict[str, int] = {}
     out_driver = []
@@ -251,7 +274,7 @@ def assemble(
             record["meta"] = span["meta"]
         out_driver.append(record)
 
-    return {
+    document = {
         "format": TIMELINE_FORMAT,
         "attrs": attrs or {},
         "wall_seconds": round(wall, 6),
@@ -259,6 +282,9 @@ def assemble(
         "driver_spans": out_driver,
         "pages": out_pages,
     }
+    if out_aux:
+        document["aux"] = out_aux
+    return document
 
 
 def write_timeline(path: str | Path, timeline: dict) -> None:

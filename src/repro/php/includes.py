@@ -18,6 +18,11 @@ import os
 from pathlib import Path
 
 from repro.lang.grammar import Grammar, Nonterminal
+from repro.obs.metrics import PERF
+
+
+def _prefilter_enabled() -> bool:
+    return os.environ.get("REPRO_INCLUDE_PREFILTER", "1") != "0"
 
 
 class IncludeResolver:
@@ -88,9 +93,30 @@ class IncludeResolver:
             resolved = sorted(set(exact))
         else:
             scope = grammar.subgrammar(path_nt)
+            candidates = names.items()
+            if _prefilter_enabled():
+                # Sound pruning: every string of the argument language
+                # carries the forced affixes, so a candidate without them
+                # cannot be generated and the exact test can be skipped.
+                summary = scope.affix_summary(path_nt)
+                if summary is None:
+                    candidates = []
+                else:
+                    prefix, suffix, min_len = summary
+                    candidates = [
+                        (text, file)
+                        for text, file in candidates
+                        if len(text) >= min_len
+                        and text.startswith(prefix)
+                        and text.endswith(suffix)
+                    ]
+                PERF.incr(
+                    "include.prefilter.pruned", len(names) - len(candidates)
+                )
+                PERF.incr("include.prefilter.kept", len(candidates))
             matches = {
                 file
-                for text, file in names.items()
+                for text, file in candidates
                 if scope.generates(path_nt, text)
             }
             resolved = sorted(matches)[:limit]

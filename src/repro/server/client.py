@@ -134,11 +134,27 @@ class ServerClient:
 
     # -- convenience wrappers ---------------------------------------------
 
-    def analyze(self, pages=None, audit=None, sarif=None):
-        return self.request("analyze", pages=pages, audit=audit, sarif=sarif)
+    def analyze(self, pages=None, audit=None, sarif=None, project=None):
+        return self.request(
+            "analyze", pages=pages, audit=audit, sarif=sarif, project=project
+        )
 
-    def invalidate(self, paths):
-        return self.request("invalidate", paths=list(paths))
+    def fix(self, pages=None, apply=None, oracle=None, project=None):
+        return self.request(
+            "fix", pages=pages, apply=apply, oracle=oracle, project=project
+        )
+
+    def invalidate(self, paths, project=None):
+        return self.request("invalidate", paths=list(paths), project=project)
+
+    def load_project(self, root, name=None):
+        return self.request("load_project", root=str(root), name=name)
+
+    def unload_project(self, name):
+        return self.request("unload_project", name=name)
+
+    def projects(self):
+        return self.request("projects")
 
     def status(self):
         return self.request("status")
@@ -185,11 +201,32 @@ def client_main(argv: list[str] | None = None) -> int:
                          help="skip the soundness audit (faster; the "
                               "document then differs from `sqlciv --json`, "
                               "which always audits)")
+    analyze.add_argument("--project", metavar="NAME",
+                         help="resident project to analyze (default: the "
+                              "project the daemon was started on)")
 
     invalidate = commands.add_parser(
         "invalidate", help="tell the daemon these files changed on disk"
     )
     invalidate.add_argument("paths", nargs="+")
+    invalidate.add_argument("--project", metavar="NAME",
+                            help="resident project the paths belong to")
+
+    load_project = commands.add_parser(
+        "load-project", help="make another project resident in the daemon"
+    )
+    load_project.add_argument("root", help="project root directory")
+    load_project.add_argument("--name", metavar="NAME",
+                              help="project name (default: root basename)")
+
+    unload_project = commands.add_parser(
+        "unload-project", help="evict a resident project"
+    )
+    unload_project.add_argument("name")
+
+    commands.add_parser(
+        "projects", help="list the daemon's resident projects"
+    )
 
     metrics = commands.add_parser(
         "metrics", help="perf counters/timers/gauges/histograms as JSON"
@@ -228,6 +265,7 @@ def client_main(argv: list[str] | None = None) -> int:
                     pages=args.pages or None,
                     audit=False if args.no_audit else None,
                     sarif=True if args.sarif else None,
+                    project=args.project,
                 )
                 print(json.dumps(result["document"], indent=2))
                 if args.sarif:
@@ -241,7 +279,15 @@ def client_main(argv: list[str] | None = None) -> int:
                 )
                 return int(result["exit_code"])
             if args.command == "invalidate":
-                result = client.invalidate(args.paths)
+                result = client.invalidate(args.paths, project=args.project)
+                print(json.dumps(result, indent=2))
+                return 0
+            if args.command == "load-project":
+                result = client.load_project(args.root, name=args.name)
+                print(json.dumps(result, indent=2))
+                return 0
+            if args.command == "unload-project":
+                result = client.unload_project(args.name)
                 print(json.dumps(result, indent=2))
                 return 0
             if args.command == "metrics" and args.prometheus:

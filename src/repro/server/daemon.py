@@ -19,11 +19,24 @@ Results are built by the same code path as the batch CLI
 ``analyze`` response is byte-identical to a cold ``sqlciv --json`` /
 ``--sarif`` run over the same tree.
 
-Concurrency: connections are handled in threads, but analysis state is
-guarded by one lock — concurrent ``analyze`` requests queue, and each
-batch runs through the existing :func:`~repro.analysis.analyzer.run_pages`
-pool (``--jobs``).  A request that arrives while an equivalent batch is
-running simply replays the then-fresh memo.
+Multi-tenancy: several projects can be resident at once.  The root on
+the command line is the *default* project; ``load_project`` adds more,
+``unload_project`` evicts them, and ``analyze`` / ``fix`` /
+``invalidate`` take an optional ``project`` name.  Each project owns
+its memo, parse cache, dependency graph, and invalidation **epoch** in
+a :class:`ProjectState` behind its own lock, so an edit to one project
+can never invalidate (or leak into) another; process-global shared
+state — the verdict memo, the FST-image memo, and the analysis farm's
+shared memo service — is content-addressed, so cross-project sharing
+is sound by construction (see DESIGN "Soundness of shared memos").
+
+Concurrency: connections are handled in threads.  Requests against
+different projects interleave freely (per-project locks); the actual
+analysis batches serialize on one analysis lock and — when the daemon
+runs with ``--jobs N > 1`` — share a single persistent
+:class:`~repro.farm.driver.AnalysisFarm`, so every resident project is
+served by the same warm worker pool.  A request that arrives while an
+equivalent batch is running simply replays the then-fresh memo.
 
 Staleness contract: the daemon trusts ``invalidate`` notifications.
 Edits it was never told about are *not* picked up for memoized pages
@@ -58,6 +71,95 @@ log = logging.getLogger(__name__)
 DEPGRAPH_FILENAME = "depgraph.json"
 
 
+def _project_name(root: str | Path) -> str:
+    """A default project name: the root directory's basename."""
+    return Path(os.path.abspath(root)).name or "project"
+
+
+class ProjectState:
+    """Everything the daemon keeps resident for one project: the
+    per-page result memo, the shared parse cache, the dependency graph,
+    and the invalidation **epoch** — a counter bumped on every
+    ``invalidate`` so farm workers rebuild their per-project
+    environments (resolver, parse cache, file census) instead of
+    serving stale ones.  Guarded by its own re-entrant lock, so
+    requests against different projects never contend."""
+
+    def __init__(
+        self, name: str, root: str | Path, cache_dir: str | Path | None = None
+    ) -> None:
+        self.name = name
+        self.root = Path(root)
+        if not self.root.is_dir():
+            raise NotADirectoryError(f"{self.root} is not a directory")
+        self._abs_root = Path(os.path.abspath(self.root))
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.lock = threading.RLock()
+        self.loaded = time.time()
+        self.epoch = 0
+        #: (relative page, audit flag) → memoized PageResult
+        self.memo: dict[tuple[str, bool], PageResult] = {}
+        #: absolute path → (tree, error); shared with run_pages on the
+        #: serial path, evicted per-file on invalidate
+        self.parse_cache: dict = {}
+        self.depgraph = DependencyGraph()
+        if self.cache_dir is not None:
+            persisted = DependencyGraph.load(
+                self.cache_dir / DEPGRAPH_FILENAME, root=str(self.root)
+            )
+            if persisted is not None:
+                self.depgraph = persisted
+                log.info(
+                    "%s: loaded persisted dependency graph: "
+                    "%d pages, %d files",
+                    name, len(persisted.pages()), len(persisted.files()),
+                )
+
+    # -- path helpers ------------------------------------------------------
+
+    def rel(self, path: str | Path) -> str:
+        try:
+            return Path(path).relative_to(self.root).as_posix()
+        except ValueError:
+            return Path(path).as_posix()
+
+    def normalize(self, raw: str) -> str | None:
+        """Project-relative POSIX form of a client-supplied path, or
+        None when it is outside the project root (``..`` components are
+        collapsed first, so traversal can't sneak back in)."""
+        candidate = Path(raw)
+        if not candidate.is_absolute():
+            candidate = self._abs_root / candidate
+        normalized = Path(os.path.normpath(str(candidate)))
+        try:
+            return normalized.relative_to(self._abs_root).as_posix()
+        except ValueError:
+            return None
+
+    def persist_depgraph(self) -> None:
+        if self.cache_dir is None:
+            return
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self.depgraph.save(
+                self.cache_dir / DEPGRAPH_FILENAME, root=str(self.root)
+            )
+        except OSError as exc:
+            log.warning(
+                "%s: could not persist dependency graph: %s", self.name, exc
+            )
+
+    def summary(self) -> dict:
+        return {
+            "name": self.name,
+            "root": str(self.root),
+            "epoch": self.epoch,
+            "memoized_pages": len({rel for rel, _audit in self.memo}),
+            "depgraph_pages": len(self.depgraph.pages()),
+            "loaded_seconds_ago": round(time.time() - self.loaded, 3),
+        }
+
+
 class AnalysisDaemon:
     """Protocol dispatcher + incremental analysis state (socket-free, so
     tests can drive it in-process and the socket layer stays thin)."""
@@ -70,10 +172,6 @@ class AnalysisDaemon:
         cache_max_mb: float | None = None,
         policies=None,
     ) -> None:
-        self.root = Path(project_root)
-        if not self.root.is_dir():
-            raise NotADirectoryError(f"{self.root} is not a directory")
-        self._abs_root = Path(os.path.abspath(self.root))
         self.jobs = jobs if jobs and jobs >= 1 else 1
         self.cache_dir = Path(cache_dir) if cache_dir else None
         self.cache_max_mb = cache_max_mb
@@ -81,46 +179,58 @@ class AnalysisDaemon:
         #: (page, audit) memo key needs no policy component — the config
         #: digest still keys the on-disk cache through run_pages
         self.policies = policies
-        self.lock = threading.RLock()
         self.started = time.time()
         self.stopping = False
-        #: (relative page, audit flag) → memoized PageResult
-        self._memo: dict[tuple[str, bool], PageResult] = {}
-        #: absolute path → (tree, error); shared with run_pages on the
-        #: serial path, evicted per-file on invalidate
-        self._parse_cache: dict = {}
-        self.depgraph = DependencyGraph()
-        if self.cache_dir is not None:
-            persisted = DependencyGraph.load(
-                self.cache_dir / DEPGRAPH_FILENAME, root=str(self.root)
-            )
-            if persisted is not None:
-                self.depgraph = persisted
-                log.info(
-                    "loaded persisted dependency graph: %d pages, %d files",
-                    len(persisted.pages()), len(persisted.files()),
+        #: project name → ProjectState; guarded by the registry lock
+        #: (held only for dict lookups/mutations, never across analysis)
+        self.projects: dict[str, ProjectState] = {}
+        self._projects_lock = threading.RLock()
+        #: analysis batches serialize here — the farm's workers are a
+        #: shared resource, and run_pages' process-global memos are not
+        #: re-entrant from concurrent threads.  Lock order is always
+        #: project.lock → _analysis_lock, never the reverse.
+        self._analysis_lock = threading.RLock()
+        #: shared persistent worker pool (created lazily on the first
+        #: parallel batch; every resident project analyzes through it)
+        self._farm = None
+        default = ProjectState(
+            _project_name(project_root), project_root, cache_dir=self.cache_dir
+        )
+        self.projects[default.name] = default
+        self.default_name = default.name
+        # back-compat: the default project's root, as `status` reports it
+        self.root = default.root
+
+    # -- project registry --------------------------------------------------
+
+    def _project(self, params: dict) -> ProjectState:
+        """The project a request addresses (``project`` param, else the
+        default project the daemon was started on)."""
+        name = params.get("project")
+        with self._projects_lock:
+            if name is None:
+                return self.projects[self.default_name]
+            try:
+                return self.projects[name]
+            except KeyError:
+                raise protocol.ProtocolError(
+                    protocol.INVALID_PARAMS,
+                    f"no loaded project named {name!r} "
+                    f"(loaded: {sorted(self.projects)}); "
+                    "load it first with load_project",
                 )
 
-    # -- path helpers ------------------------------------------------------
-
-    def _rel(self, path: str | Path) -> str:
-        try:
-            return Path(path).relative_to(self.root).as_posix()
-        except ValueError:
-            return Path(path).as_posix()
-
-    def _normalize(self, raw: str) -> str | None:
-        """Project-relative POSIX form of a client-supplied path, or
-        None when it is outside the project root (``..`` components are
-        collapsed first, so traversal can't sneak back in)."""
-        candidate = Path(raw)
-        if not candidate.is_absolute():
-            candidate = self._abs_root / candidate
-        normalized = Path(os.path.normpath(str(candidate)))
-        try:
-            return normalized.relative_to(self._abs_root).as_posix()
-        except ValueError:
+    def _farm_for_batch(self):
+        """The shared farm when the daemon runs parallel batches; None
+        keeps run_pages on the serial in-process path."""
+        if self.jobs <= 1:
             return None
+        if self._farm is None:
+            from repro.farm.driver import AnalysisFarm
+
+            self._farm = AnalysisFarm(self.jobs)
+            log.info("analysis farm started: %d workers", self.jobs)
+        return self._farm
 
     # -- dispatch ----------------------------------------------------------
 
@@ -137,7 +247,10 @@ class AnalysisDaemon:
         request_id, op, params = request["id"], request["op"], request["params"]
         PERF.incr(f"server.requests.{op}")
         handler = getattr(self, f"op_{op}")
-        with self.lock, PERF.latency("server.request_seconds"):
+        # no global lock here: each op takes the locks it needs (its
+        # project's lock, the registry lock, the analysis lock), so
+        # clients of different projects are served concurrently
+        with PERF.latency("server.request_seconds"):
             try:
                 result = handler(params)
             except protocol.ProtocolError as exc:
@@ -161,53 +274,58 @@ class AnalysisDaemon:
     # -- operations --------------------------------------------------------
 
     def op_analyze(self, params: dict) -> dict:
+        project = self._project(params)
         audit = bool(params.get("audit", True))
         requested = params.get("pages")
-        with PERF.timer("server.analyze"):
+        with project.lock, PERF.timer("server.analyze"):
             if requested is None:
-                pages = entry_pages(self.root)
+                pages = entry_pages(project.root)
             else:
                 pages = []
                 for raw in requested:
-                    rel = self._normalize(raw)
+                    rel = project.normalize(raw)
                     if rel is None:
                         raise protocol.ProtocolError(
                             protocol.INVALID_PARAMS,
                             f"page {raw!r} is outside the project root",
                         )
-                    page = self.root / rel
+                    page = project.root / rel
                     if not page.is_file():
                         raise protocol.ProtocolError(
                             protocol.INVALID_PARAMS,
                             f"page {raw!r} does not exist",
                         )
                     pages.append(page)
-            keys = [(self._rel(page), audit) for page in pages]
+            keys = [(project.rel(page), audit) for page in pages]
             stale = [
-                page for page, key in zip(pages, keys) if key not in self._memo
+                page for page, key in zip(pages, keys)
+                if key not in project.memo
             ]
             if stale:
-                fresh = run_pages(
-                    self.root,
-                    stale,
-                    audit=audit,
-                    jobs=self.jobs,
-                    cache_dir=self.cache_dir,
-                    cache_max_mb=self.cache_max_mb,
-                    parse_cache=self._parse_cache,
-                    policies=self.policies,
-                )
+                with self._analysis_lock:
+                    fresh = run_pages(
+                        project.root,
+                        stale,
+                        audit=audit,
+                        jobs=self.jobs,
+                        cache_dir=project.cache_dir,
+                        cache_max_mb=self.cache_max_mb,
+                        parse_cache=project.parse_cache,
+                        policies=self.policies,
+                        farm=self._farm_for_batch(),
+                        epoch=project.epoch,
+                    )
                 for result in fresh:
-                    rel = self._rel(result.page)
-                    self._memo[(rel, audit)] = result
-                    self.depgraph.record(
+                    rel = project.rel(result.page)
+                    project.memo[(rel, audit)] = result
+                    project.depgraph.record(
                         rel, result.deps, result.layout_sensitive
                     )
-                self._persist_depgraph()
+                project.persist_depgraph()
             PERF.incr("server.pages.reanalyzed", len(stale))
             PERF.incr("server.pages.replayed", len(pages) - len(stale))
-            results = [self._memo[key] for key in keys]
-            document = json_document(self.root, results)
+            results = [project.memo[key] for key in keys]
+            document = json_document(project.root, results)
             response = {
                 "document": document,
                 "pages_total": len(pages),
@@ -217,7 +335,7 @@ class AnalysisDaemon:
             }
             if params.get("sarif"):
                 response["sarif"] = render_sarif(
-                    self.root, results, policies=self.policies
+                    project.root, results, policies=self.policies
                 )
         return response
 
@@ -239,87 +357,99 @@ class AnalysisDaemon:
         depgraph see the new tree."""
         from repro.remediate import remediate_project
 
+        project = self._project(params)
         requested = params.get("pages")
         pages = None
         if requested is not None:
             pages = []
             for raw in requested:
-                rel = self._normalize(raw)
+                rel = project.normalize(raw)
                 if rel is None:
                     raise protocol.ProtocolError(
                         protocol.INVALID_PARAMS,
                         f"page {raw!r} is outside the project root",
                     )
-                if not (self.root / rel).is_file():
+                if not (project.root / rel).is_file():
                     raise protocol.ProtocolError(
                         protocol.INVALID_PARAMS,
                         f"page {raw!r} does not exist",
                     )
                 pages.append(rel)
-        with PERF.timer("server.fix"):
-            report = remediate_project(
-                self.root,
-                pages=pages,
-                policies=self.policies,
-                apply=bool(params.get("apply", False)),
-                parse_cache=self._parse_cache,
-                oracle=bool(params.get("oracle", True)),
-            )
+        with project.lock, PERF.timer("server.fix"):
+            with self._analysis_lock:
+                report = remediate_project(
+                    project.root,
+                    pages=pages,
+                    policies=self.policies,
+                    apply=bool(params.get("apply", False)),
+                    parse_cache=project.parse_cache,
+                    oracle=bool(params.get("oracle", True)),
+                )
             result = report.as_dict()
             if report.applied:
                 patched = sorted({patch.file for patch in report.patches})
                 result["invalidated"] = self.op_invalidate(
-                    {"paths": patched}
+                    {"paths": patched, "project": project.name}
                 )
         return result
 
     def op_invalidate(self, params: dict) -> dict:
+        project = self._project(params)
         changed: list[str] = []
         added: list[str] = []
         deleted: list[str] = []
         ignored: list[str] = []
-        for raw in params["paths"]:
-            rel = self._normalize(raw)
-            if rel is None:
-                log.info(
-                    "invalidate: %s is outside the project root — ignored", raw
-                )
-                ignored.append(raw)
-                continue
-            if not rel.endswith(RESOLVER_EXTENSIONS):
-                log.info(
-                    "invalidate: %s is not resolver-visible — ignored", raw
-                )
-                ignored.append(raw)
-                continue
-            if not (self.root / rel).exists():
-                deleted.append(rel)
-            elif self.depgraph.knows_file(rel):
-                changed.append(rel)
-            else:
-                # exists but was never a recorded dependency: treat as an
-                # addition (it may re-route include-name resolution)
-                added.append(rel)
-        affected = self.depgraph.affected_by(
-            changed=changed, added=added, deleted=deleted
-        )
-        for rel in affected:
-            self._memo.pop((rel, True), None)
-            self._memo.pop((rel, False), None)
-        for rel in deleted:
-            # a deleted entry page can't be re-analyzed; drop it entirely
-            if rel in set(self.depgraph.pages()):
-                self.depgraph.forget(rel)
-                self._memo.pop((rel, True), None)
-                self._memo.pop((rel, False), None)
-        for rel in changed + added + deleted:
-            self._parse_cache.pop(self.root / rel, None)
+        with project.lock:
+            for raw in params["paths"]:
+                rel = project.normalize(raw)
+                if rel is None:
+                    log.info(
+                        "invalidate: %s is outside the project root — "
+                        "ignored", raw
+                    )
+                    ignored.append(raw)
+                    continue
+                if not rel.endswith(RESOLVER_EXTENSIONS):
+                    log.info(
+                        "invalidate: %s is not resolver-visible — ignored",
+                        raw,
+                    )
+                    ignored.append(raw)
+                    continue
+                if not (project.root / rel).exists():
+                    deleted.append(rel)
+                elif project.depgraph.knows_file(rel):
+                    changed.append(rel)
+                else:
+                    # exists but was never a recorded dependency: treat as
+                    # an addition (it may re-route include-name resolution)
+                    added.append(rel)
+            affected = project.depgraph.affected_by(
+                changed=changed, added=added, deleted=deleted
+            )
+            for rel in affected:
+                project.memo.pop((rel, True), None)
+                project.memo.pop((rel, False), None)
+            for rel in deleted:
+                # a deleted entry page can't be re-analyzed; drop it
+                if rel in set(project.depgraph.pages()):
+                    project.depgraph.forget(rel)
+                    project.memo.pop((rel, True), None)
+                    project.memo.pop((rel, False), None)
+            for rel in changed + added + deleted:
+                project.parse_cache.pop(project.root / rel, None)
+            if changed or added or deleted:
+                # farm workers key their per-project environments by
+                # (root, epoch); bumping forces a rebuild, so only THIS
+                # project's workers' state is refreshed — other resident
+                # projects keep their epochs and their environments
+                project.epoch += 1
         PERF.incr("server.pages.invalidated", len(affected))
         if affected:
             log.info(
-                "invalidate: %d changed, %d added, %d deleted → %d page(s) "
-                "re-queued", len(changed), len(added), len(deleted),
-                len(affected),
+                "invalidate %s: %d changed, %d added, %d deleted → "
+                "%d page(s) re-queued", project.name, len(changed),
+                len(added), len(deleted), len(affected),
             )
         return {
             "invalidated_pages": sorted(affected),
@@ -329,20 +459,103 @@ class AnalysisDaemon:
             "ignored": ignored,
         }
 
+    # -- project management ops --------------------------------------------
+
+    def op_load_project(self, params: dict) -> dict:
+        """Make another project resident: ``{"root": DIR, "name": ...}``.
+
+        The new project gets its own memo, parse cache, depgraph, and
+        epoch; when the daemon has a cache dir, the project's on-disk
+        state lives under ``<cache-dir>/projects/<name>/`` so depgraphs
+        and page caches never collide across tenants."""
+        root = params["root"]
+        name = params.get("name") or _project_name(root)
+        cache_dir = (
+            self.cache_dir / "projects" / name
+            if self.cache_dir is not None else None
+        )
+        with self._projects_lock:
+            existing = self.projects.get(name)
+            if existing is not None:
+                if Path(os.path.abspath(existing.root)) == Path(
+                    os.path.abspath(root)
+                ):
+                    return {"loaded": False, "project": existing.summary()}
+                raise protocol.ProtocolError(
+                    protocol.INVALID_PARAMS,
+                    f"project name {name!r} is already loaded for "
+                    f"{existing.root}; pass a distinct \"name\"",
+                )
+            try:
+                project = ProjectState(name, root, cache_dir=cache_dir)
+            except NotADirectoryError as exc:
+                raise protocol.ProtocolError(
+                    protocol.INVALID_PARAMS, str(exc)
+                )
+            self.projects[name] = project
+        log.info("loaded project %s (%s)", name, project.root)
+        PERF.incr("server.projects.loaded")
+        return {"loaded": True, "project": project.summary()}
+
+    def op_unload_project(self, params: dict) -> dict:
+        name = params["name"]
+        with self._projects_lock:
+            if name == self.default_name:
+                raise protocol.ProtocolError(
+                    protocol.INVALID_PARAMS,
+                    f"{name!r} is the daemon's default project and cannot "
+                    "be unloaded",
+                )
+            project = self.projects.get(name)
+            if project is None:
+                raise protocol.ProtocolError(
+                    protocol.INVALID_PARAMS,
+                    f"no loaded project named {name!r}",
+                )
+            del self.projects[name]
+        # take the project's lock once to let any in-flight request on
+        # it drain before its state is dropped
+        with project.lock:
+            project.persist_depgraph()
+        log.info("unloaded project %s (%s)", name, project.root)
+        PERF.incr("server.projects.unloaded")
+        return {"unloaded": True, "name": name}
+
+    def op_projects(self, params: dict) -> dict:
+        with self._projects_lock:
+            summaries = [
+                self.projects[name].summary()
+                for name in sorted(self.projects)
+            ]
+        return {"default": self.default_name, "projects": summaries}
+
+    # -- metrics / status --------------------------------------------------
+
     def _resident_gauges(self) -> dict[str, float]:
         """Current-value gauges for the metrics surface (the registry's
         own gauges are high-water marks, so point-in-time occupancy is
-        sampled here)."""
+        sampled here).  Page/file totals aggregate over every resident
+        project."""
         from repro.analysis.policy import VERDICT_CACHE
         from repro.lang.image import IMAGE_CACHE
 
+        with self._projects_lock:
+            projects = list(self.projects.values())
         return {
-            "resident.projects": 1,
-            "resident.pages": len({rel for rel, _audit in self._memo}),
+            "resident.projects": len(projects),
+            "resident.pages": sum(
+                len({rel for rel, _audit in p.memo}) for p in projects
+            ),
             "server.uptime_seconds": round(time.time() - self.started, 3),
-            "server.parse_cache_entries": len(self._parse_cache),
-            "server.depgraph_pages": len(self.depgraph.pages()),
-            "server.depgraph_files": len(self.depgraph.files()),
+            "server.parse_cache_entries": sum(
+                len(p.parse_cache) for p in projects
+            ),
+            "server.depgraph_pages": sum(
+                len(p.depgraph.pages()) for p in projects
+            ),
+            "server.depgraph_files": sum(
+                len(p.depgraph.files()) for p in projects
+            ),
             "image.cache.entries": len(IMAGE_CACHE),
             "policy.verdict_cache.entries": len(VERDICT_CACHE),
         }
@@ -359,23 +572,33 @@ class AnalysisDaemon:
         }
 
     def op_status(self, params: dict) -> dict:
-        memoized = {rel for rel, _audit in self._memo}
+        # top-level fields describe the default project (the one the
+        # daemon was started on) for backwards compatibility; the
+        # "projects" list covers every resident tenant
+        with self._projects_lock:
+            default = self.projects[self.default_name]
+            summaries = [
+                self.projects[name].summary()
+                for name in sorted(self.projects)
+            ]
+        memoized = {rel for rel, _audit in default.memo}
         return {
             "protocol": protocol.PROTOCOL_VERSION,
-            "root": str(self.root),
+            "root": str(default.root),
             "pid": os.getpid(),
             "uptime_seconds": round(time.time() - self.started, 3),
             "jobs": self.jobs,
             "cache_dir": str(self.cache_dir) if self.cache_dir else None,
             "memoized_pages": len(memoized),
-            "parse_cache_entries": len(self._parse_cache),
+            "parse_cache_entries": len(default.parse_cache),
             "depgraph": {
-                "pages": len(self.depgraph.pages()),
-                "files": len(self.depgraph.files()),
+                "pages": len(default.depgraph.pages()),
+                "files": len(default.depgraph.files()),
                 "layout_sensitive_pages": len(
-                    self.depgraph.layout_sensitive_pages()
+                    default.depgraph.layout_sensitive_pages()
                 ),
             },
+            "projects": summaries,
             "resident": self._resident_gauges(),
             "cache_hit_rates": self._cache_hit_rates(),
         }
@@ -408,22 +631,20 @@ class AnalysisDaemon:
 
     def op_shutdown(self, params: dict) -> dict:
         self.stopping = True
-        self._persist_depgraph()
+        self.close()
         log.info("shutdown requested")
         return {"stopping": True}
 
-    # -- persistence -------------------------------------------------------
-
-    def _persist_depgraph(self) -> None:
-        if self.cache_dir is None:
-            return
-        try:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            self.depgraph.save(
-                self.cache_dir / DEPGRAPH_FILENAME, root=str(self.root)
-            )
-        except OSError as exc:
-            log.warning("could not persist dependency graph: %s", exc)
+    def close(self) -> None:
+        """Persist every project's depgraph and stop the shared farm."""
+        with self._projects_lock:
+            projects = list(self.projects.values())
+        for project in projects:
+            with project.lock:
+                project.persist_depgraph()
+        if self._farm is not None:
+            self._farm.shutdown()
+            self._farm = None
 
 
 # -- Prometheus scrape endpoint ----------------------------------------------
@@ -642,6 +863,7 @@ def serve_main(argv: list[str] | None = None) -> int:
         pass
     finally:
         server.server_close()
+        daemon.close()
         if metrics_server is not None:
             metrics_server.shutdown()
             metrics_server.server_close()

@@ -23,16 +23,29 @@ Operations:
     ``pages`` (optional list of project-relative paths; default: every
     entry page), ``audit`` (bool, default true — matching the CLI's
     ``--json``, which always audits), ``sarif`` (bool: also render the
-    SARIF 2.1.0 log).
+    SARIF 2.1.0 log), ``project`` (optional resident-project name;
+    default: the project the daemon was started on).
 ``fix``
     ``pages`` (optional list, as for ``analyze``), ``apply`` (bool:
     write verified patches back to the tree — the daemon then
     invalidates the patched files itself), ``oracle`` (bool, default
-    true: concrete witness cross-check).  Runs the remediation engine
-    (:mod:`repro.remediate`) against the daemon's project root.
+    true: concrete witness cross-check), ``project`` (optional, as for
+    ``analyze``).  Runs the remediation engine
+    (:mod:`repro.remediate`) against the addressed project's root.
 ``invalidate``
     ``paths`` (required list): files that changed on disk.  Deleted and
-    out-of-tree paths are legal — see the daemon.
+    out-of-tree paths are legal — see the daemon.  ``project``
+    (optional, as for ``analyze``).
+``load_project``
+    ``root`` (required directory path), ``name`` (optional; default:
+    the root's basename).  Makes another project resident alongside the
+    startup project — it gets its own memo, dependency graph, and
+    invalidation epoch, served by the same daemon (and worker farm).
+``unload_project``
+    ``name`` (required): evict a resident project (the startup project
+    cannot be unloaded).
+``projects``
+    No parameters; lists every resident project.
 ``metrics``
     ``format`` (optional: ``"json"``, the default, or ``"prometheus"``
     for the text exposition format the ``--metrics-addr`` endpoint
@@ -53,7 +66,8 @@ PROTOCOL_VERSION = "sqlciv-server/1"
 MAX_LINE_BYTES = 64 * 1024 * 1024
 
 OPS = frozenset(
-    {"analyze", "invalidate", "status", "metrics", "ping", "shutdown", "fix"}
+    {"analyze", "invalidate", "status", "metrics", "ping", "shutdown", "fix",
+     "load_project", "unload_project", "projects"}
 )
 
 #: error codes a daemon can answer with
@@ -124,8 +138,12 @@ def _validate_params(op: str, params: dict, request_id) -> None:
         ):
             fail(f'"{name}" must be a list of strings')
 
+    def expect_project(value) -> None:
+        if value is not None and not isinstance(value, str):
+            fail('"project" must be a string (a resident project name)')
+
     if op == "analyze":
-        allowed = {"pages", "audit", "sarif"}
+        allowed = {"pages", "audit", "sarif", "project"}
         extra = set(params) - allowed
         if extra:
             fail(f"unexpected analyze parameter(s): {sorted(extra)}")
@@ -134,8 +152,9 @@ def _validate_params(op: str, params: dict, request_id) -> None:
         for flag in ("audit", "sarif"):
             if flag in params and not isinstance(params[flag], bool):
                 fail(f'"{flag}" must be a boolean')
+        expect_project(params.get("project"))
     elif op == "fix":
-        allowed = {"pages", "apply", "oracle"}
+        allowed = {"pages", "apply", "oracle", "project"}
         extra = set(params) - allowed
         if extra:
             fail(f"unexpected fix parameter(s): {sorted(extra)}")
@@ -144,10 +163,26 @@ def _validate_params(op: str, params: dict, request_id) -> None:
         for flag in ("apply", "oracle"):
             if flag in params and not isinstance(params[flag], bool):
                 fail(f'"{flag}" must be a boolean')
+        expect_project(params.get("project"))
     elif op == "invalidate":
-        if set(params) != {"paths"}:
-            fail('invalidate takes exactly one parameter: "paths"')
+        extra = set(params) - {"paths", "project"}
+        if extra:
+            fail(f"unexpected invalidate parameter(s): {sorted(extra)}")
+        if "paths" not in params:
+            fail('invalidate requires a "paths" parameter')
         expect_str_list("paths", params["paths"])
+        expect_project(params.get("project"))
+    elif op == "load_project":
+        extra = set(params) - {"root", "name"}
+        if extra:
+            fail(f"unexpected load_project parameter(s): {sorted(extra)}")
+        if not isinstance(params.get("root"), str):
+            fail('load_project requires a "root" string')
+        if "name" in params and not isinstance(params["name"], str):
+            fail('"name" must be a string')
+    elif op == "unload_project":
+        if set(params) != {"name"} or not isinstance(params["name"], str):
+            fail('unload_project takes exactly one parameter: "name" (string)')
     elif op == "metrics":
         extra = set(params) - {"format"}
         if extra:

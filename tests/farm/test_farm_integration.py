@@ -1,0 +1,102 @@
+"""Farm integration tests: byte-identity under every farm configuration.
+
+Each test runs the real CLI in fresh subprocesses (env kill switches
+only matter at process start) over a small synthetic app and asserts
+the ``--json`` document — minus the perf block — is identical to the
+serial run.  Covers cascade-level task splitting (forced via
+``REPRO_FARM_SPLIT=1``) and the memo/pre-pass kill switches.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+INDEX_PHP = """<?php
+include 'lib.inc';
+mysql_query($q1 . $_GET['a'] . "'");
+mysql_query($q2 . $_GET['b'] . "'");
+mysql_query($q1 . "0");
+mysql_query($q2 . "1");
+?>"""
+LIB_INC = (
+    "<?php $q1 = \"SELECT a FROM t WHERE x = '\";\n"
+    "$q2 = \"SELECT b FROM t WHERE y = '\"; ?>"
+)
+OTHER_PHP = "<?php include 'lib.inc'; mysql_query($q1 . \"z'\"); ?>"
+
+
+@pytest.fixture
+def app(tmp_path):
+    (tmp_path / "index.php").write_text(INDEX_PHP)
+    (tmp_path / "other.php").write_text(OTHER_PHP)
+    (tmp_path / "lib.inc").write_text(LIB_INC)
+    return tmp_path
+
+
+def run_cli(app_root, jobs, extra_env=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.update(extra_env or {})
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis.cli", str(app_root),
+         "--json", "--profile", "--jobs", str(jobs)],
+        capture_output=True, text=True, env=env,
+    )
+    assert proc.returncode in (0, 1, 3), proc.stderr[-2000:]
+    return json.loads(proc.stdout)
+
+
+def verdicts(document):
+    return {k: v for k, v in document.items() if k != "perf"}
+
+
+class TestFarmConfigurations:
+    def test_forced_cascade_splitting_is_byte_identical(self, app):
+        serial = run_cli(app, jobs=1)
+        split = run_cli(app, jobs=2, extra_env={"REPRO_FARM_SPLIT": "1"})
+        assert verdicts(split) == verdicts(serial)
+        # the threshold of 1 forces every multi-hotspot page to split
+        counters = split["perf"]["counters"]
+        assert counters.get("farm.pages.split", 0) >= 1
+        assert counters.get("farm.tasks.cascades", 0) >= 4
+
+    def test_memo_service_disabled_is_byte_identical(self, app):
+        serial = run_cli(app, jobs=1)
+        no_memo = run_cli(app, jobs=2, extra_env={"REPRO_FARM_MEMO": "0"})
+        assert verdicts(no_memo) == verdicts(serial)
+        counters = no_memo["perf"]["counters"]
+        # without the service there is nothing to share or split over
+        assert counters.get("farm.verdict.shared_hits", 0) == 0
+        assert counters.get("farm.pages.split", 0) == 0
+
+    def test_prepass_disabled_is_byte_identical(self, app):
+        serial = run_cli(app, jobs=1)
+        no_prepass = run_cli(
+            app, jobs=2, extra_env={"REPRO_FARM_PREPASS": "0"}
+        )
+        assert verdicts(no_prepass) == verdicts(serial)
+        counters = no_prepass["perf"]["counters"]
+        assert counters.get("farm.prepass.files_parsed", 0) == 0
+
+    def test_counter_invariance_across_split_modes(self, app):
+        # pages.analyzed and the verdict-lookup totals must not depend
+        # on how work was carved up (tests/obs contract, farm edition)
+        serial = run_cli(app, jobs=1)["perf"]["counters"]
+        split = run_cli(
+            app, jobs=2, extra_env={"REPRO_FARM_SPLIT": "1"}
+        )["perf"]["counters"]
+
+        def lookups(counters):
+            return (
+                counters.get("policy.verdict_cache.hits", 0)
+                + counters.get("policy.verdict_cache.misses", 0)
+            )
+
+        assert split["pages.analyzed"] == serial["pages.analyzed"]
+        assert lookups(split) == lookups(serial)

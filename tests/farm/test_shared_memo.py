@@ -1,0 +1,215 @@
+"""Shared-memo consistency tests.
+
+The farm's soundness contract (DESIGN "Soundness of shared memos"): a
+memo entry published by one worker and consumed by another must be
+exactly what a cold computation in the consumer would have produced —
+sharing changes *when* a value is computed, never *what* it is.  These
+tests exercise that contract in-process: "worker A" and "worker B" are
+two fresh local caches wired to one :class:`MemoStore`, so the compare
+is against the genuinely cold path, no multiprocessing involved.
+"""
+
+import pytest
+
+from repro.farm.memo import (
+    ImageMemo,
+    MemoStore,
+    SharedMemoClient,
+    VerdictMemo,
+)
+
+
+class TestMemoStore:
+    def test_round_trip_and_miss(self):
+        store = MemoStore()
+        assert store.get("verdict", "k") is None
+        store.put("verdict", "k", b"payload")
+        assert store.get("verdict", "k") == b"payload"
+        assert store.has("verdict", "k")
+        assert not store.has("verdict", "other")
+
+    def test_sections_are_disjoint(self):
+        store = MemoStore()
+        store.put("verdict", "k", b"v")
+        assert store.get("image", "k") is None
+
+    def test_delete(self):
+        store = MemoStore()
+        store.put("blob", "k", b"v")
+        store.delete("blob", "k")
+        assert store.get("blob", "k") is None
+        store.delete("blob", "never-existed")  # must not raise
+
+    def test_lru_eviction_respects_section_cap(self):
+        store = MemoStore()
+        # the blob section's cap is 64 (large short-lived payloads)
+        for index in range(70):
+            store.put("blob", index, b"x")
+        stats = store.stats()
+        assert stats["sizes"]["blob"] == 64
+        assert store.get("blob", 0) is None      # oldest evicted
+        assert store.get("blob", 69) == b"x"     # newest kept
+        assert stats["counters"]["blob.evictions"] == 6
+
+    def test_stats_counters(self):
+        store = MemoStore()
+        store.put("verdict", "k", b"v")
+        store.get("verdict", "k")
+        store.get("verdict", "miss")
+        counters = store.stats()["counters"]
+        assert counters["verdict.hits"] == 1
+        assert counters["verdict.misses"] == 1
+        assert counters["verdict.published"] == 1
+
+
+class _ExplodingStore:
+    def get(self, section, key):
+        raise ConnectionResetError("manager died")
+
+    put = has = delete = get
+
+
+class TestClientDegradation:
+    def test_none_store_is_a_no_op_client(self):
+        client = SharedMemoClient(None)
+        assert not client.available
+        assert client.fetch_bytes("verdict", "k") is None
+        client.publish_bytes("verdict", "k", b"v")  # must not raise
+
+    def test_first_failure_degrades_permanently(self):
+        client = SharedMemoClient(_ExplodingStore())
+        assert client.available
+        assert client.fetch_bytes("verdict", "k") is None
+        assert not client.available
+        # later calls never touch the broken store again
+        client.publish_bytes("verdict", "k", b"v")
+        assert client.fetch_bytes("verdict", "k") is None
+
+
+@pytest.fixture
+def vulnerable_page(tmp_path):
+    page = tmp_path / "index.php"
+    page.write_text(
+        "<?php mysql_query(\"SELECT * FROM t WHERE id = '\" "
+        ". $_GET['id'] . \"'\"); ?>"
+    )
+    return tmp_path, page
+
+
+def phase1(root, page):
+    from repro.analysis.stringtaint import StringTaintAnalysis
+
+    result = StringTaintAnalysis(root).analyze_file(page)
+    assert result.hotspots
+    return result
+
+
+class TestVerdictSharing:
+    def test_shared_verdict_equals_cold_computation(
+        self, vulnerable_page, monkeypatch
+    ):
+        from repro.analysis import policy
+        from repro.analysis.policy import VerdictCache, check_hotspot
+
+        root, page = vulnerable_page
+        result = phase1(root, page)
+        spot = result.hotspots[0]
+
+        # cold reference: no sharing, fresh local cache
+        monkeypatch.setattr(policy, "SHARED_VERDICTS", None)
+        cold = check_hotspot(result.grammar, spot, cache=VerdictCache())
+
+        # "worker A": fresh cache, publishes into the shared store
+        store = MemoStore()
+        monkeypatch.setattr(
+            policy, "SHARED_VERDICTS", VerdictMemo(SharedMemoClient(store))
+        )
+        published = check_hotspot(result.grammar, spot, cache=VerdictCache())
+        assert store.stats()["sizes"].get("verdict", 0) == 1
+
+        # "worker B": fresh cache + fresh client on the same store —
+        # the verdict must come from the shared entry, not a cascade
+        monkeypatch.setattr(
+            policy, "SHARED_VERDICTS", VerdictMemo(SharedMemoClient(store))
+        )
+        shared = check_hotspot(result.grammar, spot, cache=VerdictCache())
+        assert store.stats()["counters"]["verdict.hits"] == 1
+
+        for label, report in (("published", published), ("shared", shared)):
+            assert report.verified == cold.verified, label
+            assert report.render() == cold.render(), label
+            assert len(report.findings) == len(cold.findings), label
+
+    def test_shared_hit_counts_as_local_miss(
+        self, vulnerable_page, monkeypatch
+    ):
+        # the counter-invariance contract: hits+misses totals must not
+        # depend on whether a verdict arrived via the shared store
+        from repro.analysis import policy
+        from repro.analysis.policy import VerdictCache, check_hotspot
+        from repro.obs.metrics import PERF
+
+        root, page = vulnerable_page
+        result = phase1(root, page)
+        spot = result.hotspots[0]
+        store = MemoStore()
+        monkeypatch.setattr(
+            policy, "SHARED_VERDICTS", VerdictMemo(SharedMemoClient(store))
+        )
+        check_hotspot(result.grammar, spot, cache=VerdictCache())
+
+        before = dict(PERF.snapshot()["counters"])
+        check_hotspot(result.grammar, spot, cache=VerdictCache())
+        after = PERF.snapshot()["counters"]
+        delta = lambda name: after.get(name, 0) - before.get(name, 0)  # noqa: E731
+        assert delta("policy.verdict_cache.misses") == 1
+        assert delta("policy.verdict_cache.hits") == 0
+        assert delta("farm.verdict.shared_hits") == 1
+
+
+class TestImageSharing:
+    def test_shared_image_equals_cold_computation(self, monkeypatch):
+        from repro.lang import image as image_mod
+        from repro.lang.charset import CharSet
+        from repro.lang.fst import FST
+        from repro.lang.grammar import Grammar, Lit
+        from repro.lang.image import fst_image
+
+        def build_grammar():
+            g = Grammar()
+            s = g.fresh("S")
+            g.start = s
+            g.add(s, (Lit("a'b"),))
+            return g, s
+
+        fst = FST.escape_chars(CharSet.of("'\"\\"))
+
+        # cold reference
+        monkeypatch.setattr(image_mod, "SHARED_IMAGES", None)
+        image_mod.IMAGE_CACHE.clear()
+        g, s = build_grammar()
+        cold_result, cold_start = fst_image(g, s, fst)
+
+        # publish from "worker A" (fresh local image cache)
+        store = MemoStore()
+        image_mod.IMAGE_CACHE.clear()
+        monkeypatch.setattr(
+            image_mod, "SHARED_IMAGES", ImageMemo(SharedMemoClient(store))
+        )
+        g, s = build_grammar()
+        fst_image(g, s, fst)
+        assert store.stats()["sizes"].get("image", 0) == 1
+
+        # consume in "worker B": local cache cold, shared store warm
+        image_mod.IMAGE_CACHE.clear()
+        monkeypatch.setattr(
+            image_mod, "SHARED_IMAGES", ImageMemo(SharedMemoClient(store))
+        )
+        g, s = build_grammar()
+        shared_result, shared_start = fst_image(g, s, fst)
+        assert store.stats()["counters"]["image.hits"] == 1
+
+        for text in ("a\\'b", "a'b", "x"):
+            assert shared_result.generates(
+                shared_start, text
+            ) == cold_result.generates(cold_start, text)

@@ -24,6 +24,13 @@ reattached **in hotspot order**, and every per-task perf delta is merged
 into the driver's recorder — so output documents and the telemetry
 invariants (hits+misses totals, pages.analyzed) are byte-identical to a
 serial run regardless of which worker ran what, when.
+
+Failure isolation: every task and result envelope is tagged with its
+batch id.  When a batch aborts, its undispatched tasks are drained and
+its published blobs dropped; envelopes that workers were still
+producing are discarded by the next batch's collect loop (counted as
+``farm.envelopes.stale_dropped``), so a failed request never leaks
+results into a later batch — or a later tenant.
 """
 
 from __future__ import annotations
@@ -40,7 +47,7 @@ from repro.obs.trace import TRACE
 
 from .memo import MemoService, SharedMemoClient
 from .scheduler import FarmTask, WorkStealingScheduler
-from .workers import BatchConfig, farm_worker_main
+from .workers import BatchConfig, _profile_ipc, farm_worker_main
 
 
 def _env_flag(name: str, default: str = "1") -> bool:
@@ -215,13 +222,39 @@ class AnalysisFarm:
         return [chunk for chunk in sliced if chunk]
 
     def _collect(self, config, n_pages, n_parse, disk_cache, prepass) -> list:
-        results: list = [None] * n_pages
         splits: dict[int, dict] = {}
+        try:
+            return self._collect_inner(
+                config, n_pages, n_parse, disk_cache, prepass, splits
+            )
+        except Exception:
+            # A failed batch must not poison the persistent farm: pull
+            # its undispatched tasks back out of the worker queues and
+            # drop its published blobs.  Tasks a worker already took
+            # will still emit envelopes later, but they carry this
+            # batch's id, so the next batch's _collect discards them.
+            self._abort_batch(splits)
+            raise
+
+    def _abort_batch(self, splits: dict[int, dict]) -> None:
+        for task_queue in self._task_queues:
+            while True:
+                try:
+                    task_queue.get_nowait()
+                except queue_mod.Empty:
+                    break
+        for state in splits.values():
+            self._client.delete("blob", state["blob_key"])
+
+    def _collect_inner(
+        self, config, n_pages, n_parse, disk_cache, prepass, splits
+    ) -> list:
+        results: list = [None] * n_pages
         outstanding = n_pages + n_parse
         next_queue = 0
         while outstanding > 0:
             try:
-                envelope = self._result_queue.get(timeout=1.0)
+                batch_tag, envelope = self._result_queue.get(timeout=1.0)
             except queue_mod.Empty:
                 for process in self._workers:
                     if not process.is_alive():
@@ -229,6 +262,11 @@ class AnalysisFarm:
                             f"farm worker {process.name} died "
                             f"(exitcode {process.exitcode})"
                         )
+                continue
+            if batch_tag != config.batch_id:
+                # leftover from an aborted earlier batch (possibly a
+                # different project's) — never merge it into this one
+                PERF.incr("farm.envelopes.stale_dropped")
                 continue
             outstanding -= 1
             kind = envelope[0]
@@ -269,7 +307,7 @@ class AnalysisFarm:
                 )
                 if len(state["reports"]) == state["n"]:
                     results[page_index] = self._assemble_split(
-                        state, disk_cache
+                        state, config, disk_cache
                     )
                     del splits[page_index]
             elif kind == "parse":
@@ -310,7 +348,7 @@ class AnalysisFarm:
             raise RuntimeError(f"farm batch lost results for pages {missing}")
         return results
 
-    def _assemble_split(self, state: dict, disk_cache):
+    def _assemble_split(self, state: dict, config, disk_cache):
         """Reattach a split page's cascade reports **in hotspot order**
         — the same order the serial phase-2 loop runs — then stamp
         confidence and store the finished result, exactly like the
@@ -329,6 +367,10 @@ class AnalysisFarm:
                 report.confidence = partial.audit.confidence
         if disk_cache is not None and state["cache_key"] is not None:
             disk_cache.store("page", state["cache_key"], partial)
+        # --profile accounting for split pages happens here, on the
+        # assembled result, so ipc.page_results/ipc.page_bytes_* count
+        # every page exactly once whether or not it was split
+        _profile_ipc(config, partial)
         self._client.delete("blob", state["blob_key"])
         return partial
 

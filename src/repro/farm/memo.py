@@ -32,10 +32,16 @@ from multiprocessing.managers import BaseManager
 from repro.obs.metrics import PERF
 
 #: Per-section entry caps: enough for whole corpus runs, bounded for
-#: daemon lifetimes.  Blobs (split-page grammar transports) are large
-#: and short-lived, so their section is kept small.
-_SECTION_CAPS = {"verdict": 8192, "image": 2048, "ast": 8192, "blob": 64}
+#: daemon lifetimes.
+_SECTION_CAPS = {"verdict": 8192, "image": 2048, "ast": 8192}
 _DEFAULT_CAP = 4096
+
+#: Sections that are never LRU-evicted.  Split-page blobs must survive
+#: until the driver has run every one of the page's cascade tasks — an
+#: eviction in between would fail the whole batch — so their lifetime
+#: is driver-managed: published in ``_run_page``, deleted in
+#: ``_assemble_split`` (or on batch abort), never aged out.
+_NO_EVICT_SECTIONS = frozenset({"blob"})
 
 
 class MemoStore:
@@ -73,6 +79,8 @@ class MemoStore:
                 self._bump(f"{section}.published_bytes", len(blob))
             entries[key] = blob
             entries.move_to_end(key)
+            if section in _NO_EVICT_SECTIONS:
+                return
             while len(entries) > cap:
                 entries.popitem(last=False)
                 self._bump(f"{section}.evictions")
@@ -252,8 +260,10 @@ class AstMemo(_SectionMemo):
 class BlobStore(_SectionMemo):
     """Split-page transport: a pickled ``(grammar, hotspots)`` pair
     published by the phase-1 worker and fetched by cascade workers.
-    Unlike the memo sections the driver deletes blobs once a page is
-    fully assembled."""
+    Unlike the memo sections the blob section is exempt from LRU
+    eviction — a live blob must outlast all of its page's cascade
+    tasks — and the driver deletes blobs explicitly once a page is
+    fully assembled (or the batch aborts)."""
 
     section = "blob"
 

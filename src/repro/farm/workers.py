@@ -428,4 +428,7 @@ def farm_worker_main(index, task_queues, result_queue, stop_event, store):
         if task is None:
             time.sleep(0.002)
             continue
-        result_queue.put(_execute(task, stolen, blobs))
+        # every envelope is tagged with its batch id so the driver can
+        # discard leftovers from an aborted batch instead of mistaking
+        # them for the current batch's results
+        result_queue.put((task[1].batch_id, _execute(task, stolen, blobs)))

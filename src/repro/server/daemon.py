@@ -51,6 +51,7 @@ import argparse
 import json
 import logging
 import os
+import re
 import socketserver
 import sys
 import threading
@@ -70,10 +71,25 @@ log = logging.getLogger(__name__)
 
 DEPGRAPH_FILENAME = "depgraph.json"
 
+#: Project names become cache-directory components
+#: (``<cache-dir>/projects/<name>``), so they must be single flat path
+#: segments: no separators, no ``..``, nothing a tenant could use to
+#: escape its namespace or collide with another tenant's.
+_PROJECT_NAME_RE = re.compile(r"[A-Za-z0-9._-]+")
+
 
 def _project_name(root: str | Path) -> str:
     """A default project name: the root directory's basename."""
     return Path(os.path.abspath(root)).name or "project"
+
+
+def _validate_project_name(name: str) -> None:
+    if not _PROJECT_NAME_RE.fullmatch(name) or set(name) <= {"."}:
+        raise protocol.ProtocolError(
+            protocol.INVALID_PARAMS,
+            f"invalid project name {name!r}: must be a [A-Za-z0-9._-]+ "
+            "slug (no path separators, not '.' or '..')",
+        )
 
 
 class ProjectState:
@@ -470,6 +486,7 @@ class AnalysisDaemon:
         and page caches never collide across tenants."""
         root = params["root"]
         name = params.get("name") or _project_name(root)
+        _validate_project_name(name)
         cache_dir = (
             self.cache_dir / "projects" / name
             if self.cache_dir is not None else None
@@ -642,9 +659,13 @@ class AnalysisDaemon:
         for project in projects:
             with project.lock:
                 project.persist_depgraph()
-        if self._farm is not None:
-            self._farm.shutdown()
-            self._farm = None
+        # the analysis lock lets any in-flight batch drain before its
+        # workers are torn down, and synchronizes _farm against
+        # _farm_for_batch (which runs under the same lock)
+        with self._analysis_lock:
+            if self._farm is not None:
+                self._farm.shutdown()
+                self._farm = None
 
 
 # -- Prometheus scrape endpoint ----------------------------------------------

@@ -42,14 +42,26 @@ class TestMemoStore:
 
     def test_lru_eviction_respects_section_cap(self):
         store = MemoStore()
-        # the blob section's cap is 64 (large short-lived payloads)
-        for index in range(70):
+        # the image section's cap is 2048
+        for index in range(2054):
+            store.put("image", index, b"x")
+        stats = store.stats()
+        assert stats["sizes"]["image"] == 2048
+        assert store.get("image", 0) is None      # oldest evicted
+        assert store.get("image", 2053) == b"x"   # newest kept
+        assert stats["counters"]["image.evictions"] == 6
+
+    def test_blob_section_is_never_evicted(self):
+        # split-page blobs have driver-managed lifetimes: a live blob
+        # must outlast all of its page's cascade tasks, however many
+        # pages split before their cascades drain
+        store = MemoStore()
+        for index in range(300):
             store.put("blob", index, b"x")
         stats = store.stats()
-        assert stats["sizes"]["blob"] == 64
-        assert store.get("blob", 0) is None      # oldest evicted
-        assert store.get("blob", 69) == b"x"     # newest kept
-        assert stats["counters"]["blob.evictions"] == 6
+        assert stats["sizes"]["blob"] == 300
+        assert store.get("blob", 0) == b"x"       # oldest still live
+        assert "blob.evictions" not in stats["counters"]
 
     def test_stats_counters(self):
         store = MemoStore()

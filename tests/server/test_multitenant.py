@@ -95,6 +95,23 @@ class TestProjectRegistry:
         # the daemon survives the bad request
         assert client.ping()["pong"] is True
 
+    @pytest.mark.parametrize(
+        "bad_name",
+        ["../escape", "a/b", "a\\b", "..", ".", "with space"],
+    )
+    def test_non_slug_project_names_are_refused(
+        self, tmp_path, bad_name, start_daemon
+    ):
+        # names become cache-directory components; a separator or '..'
+        # would let one tenant write into (or read) another's namespace
+        alpha = make_app(tmp_path, "alpha")
+        beta = make_app(tmp_path, "beta", safe=True)
+        client = start_daemon(alpha).client()
+        with pytest.raises(ServerError) as excinfo:
+            client.load_project(beta, name=bad_name)
+        assert excinfo.value.code == "invalid-params"
+        assert [p["name"] for p in client.projects()["projects"]] == ["alpha"]
+
 
 class TestTenantIsolation:
     def test_documents_are_per_project(self, tmp_path, start_daemon):
